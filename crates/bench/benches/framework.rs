@@ -1,0 +1,43 @@
+//! Criterion benches for the consolidation framework end to end, plus
+//! the optimisation ablations (leader election, argument batching,
+//! constant reuse).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ewc_bench::{run_dynamic_with, Mix};
+use ewc_core::RuntimeConfig;
+use ewc_gpu::GpuConfig;
+
+fn cfgs() -> (RuntimeConfig, RuntimeConfig) {
+    let on = RuntimeConfig { force_gpu: true, threshold_factor: 30, ..RuntimeConfig::default() };
+    let off = RuntimeConfig {
+        leader_election: false,
+        argument_batching: false,
+        constant_reuse: false,
+        ..on.clone()
+    };
+    (on, off)
+}
+
+fn bench_framework(c: &mut Criterion) {
+    let gpu = GpuConfig::tesla_c1060();
+    let mut g = c.benchmark_group("framework");
+    g.sample_size(10);
+    let (on, off) = cfgs();
+    for n in [2u32, 6] {
+        let mix = Mix::encryption(&gpu, n);
+        g.bench_function(format!("dynamic_enc_x{n}_optimised"), |b| {
+            b.iter(|| run_dynamic_with(&mix, on.clone()))
+        });
+        g.bench_function(format!("dynamic_enc_x{n}_unoptimised"), |b| {
+            b.iter(|| run_dynamic_with(&mix, off.clone()))
+        });
+    }
+    let mix = Mix::encryption_montecarlo(&gpu, 2, 4);
+    g.bench_function("dynamic_heterogeneous_2e_4m", |b| {
+        b.iter(|| run_dynamic_with(&mix, on.clone()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_framework);
+criterion_main!(benches);

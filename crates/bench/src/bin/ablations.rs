@@ -1,0 +1,5 @@
+//! Run the ablation studies.
+fn main() {
+    let rows = ewc_bench::experiments::ablations::run();
+    println!("{}", ewc_bench::experiments::ablations::render(&rows));
+}

@@ -1,0 +1,39 @@
+//! Regenerate every table and figure in one run (the EXPERIMENTS.md
+//! ledger).
+use ewc_bench::experiments as ex;
+
+fn main() {
+    println!("# Energy-Aware Workload Consolidation — full experiment run\n");
+    let rows = ex::table1::run();
+    println!("{}", ex::table1::render(&rows));
+    let rows = ex::fig1::run(9);
+    println!("{}", ex::fig1::render(&rows));
+    let (t2, t3) = ex::scenarios::run();
+    println!("{}", ex::scenarios::render(&t2, &t3));
+    let rows = ex::fig3::run();
+    println!("{}", ex::fig3::render(&rows));
+    let rows = ex::fig4::run();
+    println!("{}", ex::fig4::render(&rows));
+    let rows = ex::fig5::run();
+    println!("{}", ex::fig5::render(&rows));
+    let rows = ex::fig7::run(12);
+    println!("{}", ex::fig7::render(&rows));
+    let rows = ex::fig8::run(9);
+    println!("{}", ex::fig8::render(&rows));
+    let rows = ex::tables56::run();
+    println!("{}", ex::tables56::render(&rows));
+    let rows = ex::tables78::run();
+    println!("{}", ex::tables78::render(&rows));
+    let rows = ex::ablations::run();
+    println!("{}", ex::ablations::render(&rows));
+
+    println!("# Extensions beyond the paper\n");
+    let rows = ex::fermi::run();
+    println!("{}", ex::fermi::render(&rows));
+    let rows = ex::multigpu::run(40);
+    println!("{}", ex::multigpu::render(&rows));
+    let rows = ex::trace::run();
+    println!("{}", ex::trace::render(&rows));
+    let rows = ex::future_hw::run(9);
+    println!("{}", ex::future_hw::render(&rows));
+}

@@ -1,0 +1,6 @@
+//! Fermi concurrent-kernels vs cross-process consolidation (extension
+//! experiment; see EXPERIMENTS.md).
+fn main() {
+    let rows = ewc_bench::experiments::fermi::run();
+    println!("{}", ewc_bench::experiments::fermi::render(&rows));
+}

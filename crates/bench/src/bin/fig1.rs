@@ -1,0 +1,5 @@
+//! Regenerate Figure 1 (motivation sweep).
+fn main() {
+    let rows = ewc_bench::experiments::fig1::run(9);
+    println!("{}", ewc_bench::experiments::fig1::render(&rows));
+}

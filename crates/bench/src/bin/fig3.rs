@@ -1,0 +1,5 @@
+//! Regenerate Figure 3 (type-1 performance-model validation).
+fn main() {
+    let rows = ewc_bench::experiments::fig3::run();
+    println!("{}", ewc_bench::experiments::fig3::render(&rows));
+}

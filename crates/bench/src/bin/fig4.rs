@@ -1,0 +1,5 @@
+//! Regenerate Figure 4 (type-2 performance-model validation).
+fn main() {
+    let rows = ewc_bench::experiments::fig4::run();
+    println!("{}", ewc_bench::experiments::fig4::render(&rows));
+}

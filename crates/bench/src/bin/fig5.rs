@@ -1,0 +1,5 @@
+//! Regenerate Figure 5 (power-model validation, 14 variants).
+fn main() {
+    let rows = ewc_bench::experiments::fig5::run();
+    println!("{}", ewc_bench::experiments::fig5::render(&rows));
+}

@@ -1,0 +1,6 @@
+//! Future-hardware study: consolidation on GT200 vs Fermi silicon
+//! (extension experiment; see EXPERIMENTS.md).
+fn main() {
+    let rows = ewc_bench::experiments::future_hw::run(9);
+    println!("{}", ewc_bench::experiments::future_hw::render(&rows));
+}

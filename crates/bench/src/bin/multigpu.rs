@@ -1,0 +1,5 @@
+//! Multi-GPU scaling study (extension experiment; see EXPERIMENTS.md).
+fn main() {
+    let rows = ewc_bench::experiments::multigpu::run(40);
+    println!("{}", ewc_bench::experiments::multigpu::render(&rows));
+}

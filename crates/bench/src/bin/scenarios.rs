@@ -1,0 +1,5 @@
+//! Regenerate Tables 2 and 3 (the two consolidation scenarios).
+fn main() {
+    let (t2, t3) = ewc_bench::experiments::scenarios::run();
+    println!("{}", ewc_bench::experiments::scenarios::render(&t2, &t3));
+}

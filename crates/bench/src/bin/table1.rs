@@ -1,0 +1,5 @@
+//! Regenerate Table 1.
+fn main() {
+    let rows = ewc_bench::experiments::table1::run();
+    println!("{}", ewc_bench::experiments::table1::render(&rows));
+}

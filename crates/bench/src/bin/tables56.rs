@@ -1,0 +1,5 @@
+//! Regenerate Tables 5 and 6 (Search + BlackScholes mixes).
+fn main() {
+    let rows = ewc_bench::experiments::tables56::run();
+    println!("{}", ewc_bench::experiments::tables56::render(&rows));
+}

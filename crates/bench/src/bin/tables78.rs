@@ -1,0 +1,5 @@
+//! Regenerate Tables 7 and 8 (Encryption + MonteCarlo mixes).
+fn main() {
+    let rows = ewc_bench::experiments::tables78::run();
+    println!("{}", ewc_bench::experiments::tables78::render(&rows));
+}

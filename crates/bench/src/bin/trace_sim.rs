@@ -1,0 +1,6 @@
+//! Trace-driven enterprise simulation: threshold sweep over a Poisson
+//! request trace (extension experiment; see EXPERIMENTS.md).
+fn main() {
+    let rows = ewc_bench::experiments::trace::run();
+    println!("{}", ewc_bench::experiments::trace::render(&rows));
+}

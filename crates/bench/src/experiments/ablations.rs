@@ -1,0 +1,187 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! Each ablation flips one mechanism and reports the delta:
+//!
+//! 1. **Leader election** (homogeneous coordination) — backend message
+//!    count and coordination time with/without.
+//! 2. **Argument batching** — message count with/without.
+//! 3. **Constant-data reuse** — staged bytes and time with/without.
+//! 4. **Dispatch policy** — the paper-observed redistribution dispatcher
+//!    vs the idealised greedy dispatcher on the scenario-1 mix.
+//! 5. **Virtual-SM power averaging** vs per-SM summation (also visible in
+//!    Figure 5's last column).
+
+use ewc_gpu::{DispatchPolicy, ExecutionEngine, GpuConfig};
+use ewc_core::RuntimeConfig;
+
+use crate::mix::Mix;
+use crate::report::Table;
+use crate::setups::run_dynamic_with;
+
+/// One ablation comparison.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// What was ablated.
+    pub name: &'static str,
+    /// Metric name.
+    pub metric: &'static str,
+    /// Value with the mechanism ON.
+    pub with_on: f64,
+    /// Value with the mechanism OFF.
+    pub with_off: f64,
+}
+
+fn base_cfg() -> RuntimeConfig {
+    RuntimeConfig { force_gpu: true, ..RuntimeConfig::default() }
+}
+
+/// Leader election: messages and coordination seconds on 9 homogeneous
+/// encryption instances.
+pub fn leader_election() -> Vec<Row> {
+    let cfg = GpuConfig::tesla_c1060();
+    let mix = Mix::encryption(&cfg, 9);
+    let on = run_dynamic_with(&mix, base_cfg());
+    let off = run_dynamic_with(&mix, RuntimeConfig { leader_election: false, ..base_cfg() });
+    let (s_on, s_off) = (on.stats.unwrap(), off.stats.unwrap());
+    vec![
+        Row {
+            name: "leader election",
+            metric: "coordination (s)",
+            with_on: s_on.coordination_s,
+            with_off: s_off.coordination_s,
+        },
+        Row {
+            name: "leader election",
+            metric: "messages",
+            with_on: s_on.messages as f64,
+            with_off: s_off.messages as f64,
+        },
+    ]
+}
+
+/// Argument batching: message count on 6 encryption instances.
+pub fn argument_batching() -> Vec<Row> {
+    let cfg = GpuConfig::tesla_c1060();
+    let mix = Mix::encryption(&cfg, 6);
+    let on = run_dynamic_with(&mix, base_cfg());
+    let off = run_dynamic_with(&mix, RuntimeConfig { argument_batching: false, ..base_cfg() });
+    vec![Row {
+        name: "argument batching",
+        metric: "messages",
+        with_on: on.stats.unwrap().messages as f64,
+        with_off: off.stats.unwrap().messages as f64,
+    }]
+}
+
+/// Constant reuse: staged bytes on 8 encryption instances (each
+/// registers the AES T-tables).
+pub fn constant_reuse() -> Vec<Row> {
+    let cfg = GpuConfig::tesla_c1060();
+    let mix = Mix::encryption(&cfg, 8);
+    let on = run_dynamic_with(&mix, base_cfg());
+    let off = run_dynamic_with(&mix, RuntimeConfig { constant_reuse: false, ..base_cfg() });
+    let (s_on, s_off) = (on.stats.unwrap(), off.stats.unwrap());
+    vec![
+        Row {
+            name: "constant reuse",
+            metric: "constant uploads",
+            with_on: s_on.constant_misses as f64,
+            with_off: s_off.constant_misses as f64,
+        },
+        Row {
+            name: "constant reuse",
+            metric: "cache hits",
+            with_on: s_on.constant_hits as f64,
+            with_off: s_off.constant_hits as f64,
+        },
+    ]
+}
+
+/// Dispatch policy: scenario-1 consolidated time under the paper's
+/// redistribution dispatcher vs the idealised greedy dispatcher.
+pub fn dispatch_policy() -> Vec<Row> {
+    let cfg = GpuConfig::tesla_c1060();
+    let mix = Mix::scenario1(&cfg);
+    let engine = ExecutionEngine::new(cfg.clone());
+    let mut grid = ewc_gpu::Grid::new();
+    for (i, (_, w)) in mix.instances.iter().enumerate() {
+        grid.push(
+            ewc_gpu::grid::GridSegment::bare(w.desc(), w.blocks()).with_tag(i as u64),
+        );
+    }
+    let paper = engine.run(&grid, DispatchPolicy::PaperRedistribution).unwrap().elapsed_s;
+    let greedy = engine.run(&grid, DispatchPolicy::GreedyGlobal).unwrap().elapsed_s;
+    vec![Row {
+        name: "dispatch policy (scenario 1)",
+        metric: "time paper vs greedy (s)",
+        with_on: paper,
+        with_off: greedy,
+    }]
+}
+
+/// Run every ablation.
+pub fn run() -> Vec<Row> {
+    let mut rows = leader_election();
+    rows.extend(argument_batching());
+    rows.extend(constant_reuse());
+    rows.extend(dispatch_policy());
+    rows
+}
+
+/// Render the ablation table.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(&["ablation", "metric", "on", "off"]);
+    for r in rows {
+        t.row(vec![
+            r.name.into(),
+            r.metric.into(),
+            format!("{:.3}", r.with_on),
+            format!("{:.3}", r.with_off),
+        ]);
+    }
+    format!("Ablations (mechanism on vs off)\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leader_election_reduces_coordination() {
+        let rows = leader_election();
+        let coord = &rows[0];
+        assert!(coord.with_on < coord.with_off / 2.0, "{coord:?}");
+        let msgs = &rows[1];
+        assert!(msgs.with_on < msgs.with_off, "{msgs:?}");
+    }
+
+    #[test]
+    fn batching_reduces_messages() {
+        let r = &argument_batching()[0];
+        // 3 args per instance × 6 instances = 18 extra messages without
+        // batching.
+        assert!(r.with_off >= r.with_on + 18.0, "{r:?}");
+    }
+
+    #[test]
+    fn constant_reuse_caches_uploads() {
+        let rows = constant_reuse();
+        let uploads = &rows[0];
+        assert_eq!(uploads.with_on, 1.0, "one upload with reuse on");
+        assert_eq!(uploads.with_off, 8.0, "one per instance with reuse off");
+        let hits = &rows[1];
+        assert_eq!(hits.with_on, 7.0);
+        assert_eq!(hits.with_off, 0.0);
+    }
+
+    #[test]
+    fn greedy_dispatch_erases_the_critical_sm_pileup() {
+        let r = &dispatch_policy()[0];
+        assert!(
+            r.with_off < r.with_on - 5.0,
+            "greedy should balance scenario 1: paper {} vs greedy {}",
+            r.with_on,
+            r.with_off
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Figure 1 — the motivation: N encryption instances on CPU, on GPU
+//! serially, and consolidated on GPU (manual, no framework overheads).
+
+use ewc_gpu::GpuConfig;
+
+use crate::mix::Mix;
+use crate::report::{joules, secs, Table};
+use crate::setups::{run_cpu, run_manual, run_serial};
+
+/// One point of the figure.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Instance count.
+    pub n: u32,
+    /// CPU time / energy.
+    pub cpu_s: f64,
+    /// CPU energy (J).
+    pub cpu_j: f64,
+    /// Serial GPU time.
+    pub serial_s: f64,
+    /// Serial GPU energy.
+    pub serial_j: f64,
+    /// Consolidated (manual) GPU time.
+    pub consolidated_s: f64,
+    /// Consolidated GPU energy.
+    pub consolidated_j: f64,
+}
+
+/// Sweep 1..=max_n encryption instances.
+pub fn run(max_n: u32) -> Vec<Row> {
+    let cfg = GpuConfig::tesla_c1060();
+    (1..=max_n)
+        .map(|n| {
+            let mix = Mix::encryption(&cfg, n);
+            let cpu = run_cpu(&mix);
+            let serial = run_serial(&mix);
+            let manual = run_manual(&mix);
+            assert!(serial.correct && manual.correct);
+            Row {
+                n,
+                cpu_s: cpu.time_s,
+                cpu_j: cpu.energy_j,
+                serial_s: serial.time_s,
+                serial_j: serial.energy_j,
+                consolidated_s: manual.time_s,
+                consolidated_j: manual.energy_j,
+            }
+        })
+        .collect()
+}
+
+/// Render the figure's two panels as one table.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(&[
+        "n", "CPU (s)", "serial (s)", "consol (s)", "CPU (J)", "serial (J)", "consol (J)",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.n.to_string(),
+            secs(r.cpu_s),
+            secs(r.serial_s),
+            secs(r.consolidated_s),
+            joules(r.cpu_j),
+            joules(r.serial_j),
+            joules(r.consolidated_j),
+        ]);
+    }
+    format!("Figure 1: consolidating N encryption instances (motivation)\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn motivation_shape_holds() {
+        let rows = run(9);
+        let first = &rows[0];
+        let last = &rows[8];
+        // Single instance: GPU worse on both axes (Table 1 / Figure 1).
+        assert!(first.serial_s > first.cpu_s);
+        assert!(first.serial_j > first.cpu_j);
+        // Serial grows ~linearly; consolidation stays ~flat.
+        assert!(last.serial_s > 7.0 * first.serial_s);
+        assert!(last.consolidated_s < 1.3 * first.consolidated_s);
+        // At 9 instances consolidation beats the CPU on time and energy.
+        assert!(last.consolidated_s < last.cpu_s);
+        assert!(last.consolidated_j < last.cpu_j);
+    }
+}

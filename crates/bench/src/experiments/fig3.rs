@@ -1,0 +1,159 @@
+//! Figure 3 — performance-model validation, type 1 (≤ 1 block per SM).
+//!
+//! Consolidations whose total block count fits one wave: the model only
+//! needs each kernel's solo time plus the global-bandwidth-sharing term.
+//! Prediction is compared against the execution engine (the "measured"
+//! side of this reproduction).
+
+use ewc_gpu::{DispatchPolicy, ExecutionEngine, GpuConfig};
+use ewc_models::{ConsolidationPlan, KernelSpec, PerfModel};
+use ewc_workloads::{
+    AesWorkload, BlackScholesWorkload, MonteCarloWorkload, SearchWorkload, SortWorkload, Workload,
+};
+
+use crate::report::{pct, secs, Table};
+
+/// One validation point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Combination label.
+    pub label: String,
+    /// Total blocks (≤ 30 ⇒ type 1).
+    pub blocks: u32,
+    /// Model-predicted time (s).
+    pub predicted_s: f64,
+    /// Engine-measured time (s).
+    pub measured_s: f64,
+    /// Relative error.
+    pub error: f64,
+}
+
+fn validate(label: &str, plan: &ConsolidationPlan) -> Row {
+    let cfg = GpuConfig::tesla_c1060();
+    let model = PerfModel::new(cfg.clone());
+    let pred = model.predict(plan);
+    assert!(pred.is_type1, "{label}: must be a type-1 consolidation");
+    let engine = ExecutionEngine::new(cfg);
+    let measured =
+        engine.run(&plan.to_grid(), DispatchPolicy::default()).expect("runnable plan").elapsed_s;
+    Row {
+        label: label.to_string(),
+        blocks: plan.total_blocks(),
+        predicted_s: pred.time_s,
+        measured_s: measured,
+        error: (pred.time_s - measured).abs() / measured,
+    }
+}
+
+/// Run the validation set.
+pub fn run() -> Vec<Row> {
+    let cfg = GpuConfig::tesla_c1060();
+    let enc = AesWorkload::fig7(&cfg);
+    let sort = SortWorkload::fig8(&cfg);
+    let search = SearchWorkload::tables56(&cfg);
+    let bs = BlackScholesWorkload::tables56(&cfg);
+    let mc = MonteCarloWorkload::tables78(&cfg);
+
+    let spec = |w: &dyn Workload| KernelSpec::new(w.desc(), w.blocks());
+    let mut rows = Vec::new();
+    rows.push(validate(
+        "enc x2",
+        &ConsolidationPlan::new().with(spec(&enc)).with(spec(&enc)),
+    ));
+    rows.push(validate(
+        "enc x4 + sort x2",
+        &{
+            let mut p = ConsolidationPlan::new();
+            for _ in 0..4 {
+                p.push(spec(&enc));
+            }
+            for _ in 0..2 {
+                p.push(spec(&sort));
+            }
+            p
+        },
+    ));
+    rows.push(validate(
+        "sort x3 + search",
+        &{
+            let mut p = ConsolidationPlan::new();
+            for _ in 0..3 {
+                p.push(spec(&sort));
+            }
+            p.push(spec(&search));
+            p
+        },
+    ));
+    rows.push(validate(
+        "search + bs x5",
+        &{
+            let mut p = ConsolidationPlan::new();
+            p.push(spec(&search));
+            for _ in 0..5 {
+                p.push(spec(&bs));
+            }
+            p
+        },
+    ));
+    rows.push(validate(
+        "enc x3 + mc x12",
+        &{
+            let mut p = ConsolidationPlan::new();
+            for _ in 0..3 {
+                p.push(spec(&enc));
+            }
+            for _ in 0..12 {
+                p.push(spec(&mc));
+            }
+            p
+        },
+    ));
+    rows.push(validate(
+        "mc x30",
+        &{
+            let mut p = ConsolidationPlan::new();
+            for _ in 0..30 {
+                p.push(spec(&mc));
+            }
+            p
+        },
+    ));
+    rows
+}
+
+/// Render the table.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(&["combination", "blocks", "predicted (s)", "measured (s)", "error"]);
+    for r in rows {
+        t.row(vec![
+            r.label.clone(),
+            r.blocks.to_string(),
+            secs(r.predicted_s),
+            secs(r.measured_s),
+            pct(r.error),
+        ]);
+    }
+    format!("Figure 3: type-1 performance prediction (≤ 1 block per SM)\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type1_predictions_are_accurate() {
+        let rows = run();
+        assert!(rows.len() >= 5);
+        for r in &rows {
+            assert!(r.blocks <= 30);
+            assert!(
+                r.error < 0.08,
+                "{}: predicted {:.2} measured {:.2} ({:.1}%)",
+                r.label,
+                r.predicted_s,
+                r.measured_s,
+                r.error * 100.0
+            );
+        }
+    }
+}

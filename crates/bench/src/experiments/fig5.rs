@@ -1,0 +1,178 @@
+//! Figure 5 — power-model validation over 14 consolidation variants.
+//!
+//! Predicted average power (virtual-SM Eq. 11 with trained coefficients)
+//! versus the noisy ground-truth measurement of an actual engine run.
+//! The paper reports errors below 10% with a 6.4% average; the same
+//! bounds are asserted by `tests/`.
+
+use ewc_energy::{GpuPowerGroundTruth, PowerCoefficients, ThermalModel, TrainingBenchmark};
+use ewc_gpu::{DispatchPolicy, ExecutionEngine, GpuConfig};
+use ewc_models::{analyze, ConsolidationPlan, KernelSpec, PerfModel, PowerModel};
+use ewc_workloads::{
+    AesWorkload, BlackScholesWorkload, MonteCarloWorkload, SearchWorkload, SortWorkload, Workload,
+};
+
+use crate::report::{pct, Table};
+
+/// One variant's validation.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Variant label.
+    pub label: String,
+    /// Model-predicted average dynamic power (W).
+    pub predicted_w: f64,
+    /// "Measured" (noisy ground-truth) average dynamic power (W).
+    pub measured_w: f64,
+    /// Relative error.
+    pub error: f64,
+    /// The rejected per-SM-summation estimate (W), for the record.
+    pub per_sm_sum_w: f64,
+}
+
+/// Run all 14 variants.
+pub fn run() -> Vec<Row> {
+    let cfg = GpuConfig::tesla_c1060();
+    let truth = GpuPowerGroundTruth::tesla_c1060();
+    let coeffs = PowerCoefficients::train(&cfg, &truth, &TrainingBenchmark::rodinia_suite(), 42)
+        .expect("training converges");
+    let power = PowerModel::new(coeffs, ThermalModel::gt200(), cfg.clone());
+    let perf = PerfModel::new(cfg.clone());
+    let engine = ExecutionEngine::new(cfg.clone());
+
+    let enc = AesWorkload::fig7(&cfg);
+    let enc1 = AesWorkload::scenario1(&cfg);
+    let mc1 = MonteCarloWorkload::scenario1(&cfg);
+    let mc = MonteCarloWorkload::tables78(&cfg);
+    let sort = SortWorkload::fig8(&cfg);
+    let search = SearchWorkload::tables56(&cfg);
+    let search2 = SearchWorkload::scenario2(&cfg);
+    let bs = BlackScholesWorkload::tables56(&cfg);
+    let bs2 = BlackScholesWorkload::scenario2(&cfg);
+    let spec = |w: &dyn Workload| KernelSpec::new(w.desc(), w.blocks());
+    let homo = |w: &dyn Workload, n: u32| {
+        let mut p = ConsolidationPlan::new();
+        for _ in 0..n {
+            p.push(spec(w));
+        }
+        p
+    };
+
+    let variants: Vec<(String, ConsolidationPlan)> = vec![
+        ("enc x1".into(), homo(&enc, 1)),
+        ("enc x3".into(), homo(&enc, 3)),
+        ("enc x6".into(), homo(&enc, 6)),
+        ("enc x9".into(), homo(&enc, 9)),
+        ("sort x3".into(), homo(&sort, 3)),
+        ("sort x6".into(), homo(&sort, 6)),
+        ("sort x9".into(), homo(&sort, 9)),
+        ("mc x15".into(), homo(&mc, 15)),
+        ("search x2".into(), homo(&search, 2)),
+        ("bs x2".into(), homo(&bs, 2)),
+        ("enc+mc (scenario1)".into(), homo(&enc1, 1).with(spec(&mc1))),
+        ("search+bs (scenario2)".into(), homo(&search2, 1).with(spec(&bs2))),
+        ("search + bs x10".into(), {
+            let mut p = homo(&search, 1);
+            for _ in 0..10 {
+                p.push(spec(&bs));
+            }
+            p
+        }),
+        ("enc x3 + mc x9".into(), {
+            let mut p = homo(&enc, 3);
+            for _ in 0..9 {
+                p.push(spec(&mc));
+            }
+            p
+        }),
+    ];
+    assert_eq!(variants.len(), 14, "the paper validates 14 variants");
+
+    variants
+        .into_iter()
+        .enumerate()
+        .map(|(i, (label, plan))| {
+            // Prediction.
+            let placement = analyze(&plan, &cfg);
+            let pp = perf.predict_placed(&plan, &placement);
+            let rates = power.predicted_rates(&plan, &placement, pp.time_s, &pp.per_sm_finish);
+            let predicted = power.predict_dyn_power_w(&rates);
+            let per_sm_sum = power.predict_per_sm_sum_w(&plan, &placement, &pp.per_sm_finish);
+
+            // Measurement: engine run + noisy ground truth.
+            let out = engine.run(&plan.to_grid(), DispatchPolicy::default()).expect("runnable");
+            let mut rng = GpuPowerGroundTruth::rng(1000 + i as u64);
+            let mut e = 0.0;
+            for iv in &out.intervals {
+                e += truth.measured_power_w(&iv.rates, &mut rng) * iv.dur_s;
+            }
+            let measured = e / out.elapsed_s;
+            Row {
+                label,
+                predicted_w: predicted,
+                measured_w: measured,
+                error: (predicted - measured).abs() / measured,
+                per_sm_sum_w: per_sm_sum,
+            }
+        })
+        .collect()
+}
+
+/// Mean relative error across rows.
+pub fn mean_error(rows: &[Row]) -> f64 {
+    rows.iter().map(|r| r.error).sum::<f64>() / rows.len() as f64
+}
+
+/// Render the table.
+pub fn render(rows: &[Row]) -> String {
+    let mut t =
+        Table::new(&["variant", "predicted (W)", "measured (W)", "error", "per-SM-sum (W)"]);
+    for r in rows {
+        t.row(vec![
+            r.label.clone(),
+            format!("{:.1}", r.predicted_w),
+            format!("{:.1}", r.measured_w),
+            pct(r.error),
+            format!("{:.0}", r.per_sm_sum_w),
+        ]);
+    }
+    format!(
+        "Figure 5: power-model validation over 14 variants (mean error {})\n{}",
+        pct(mean_error(rows)),
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_predictions_within_paper_bounds() {
+        let rows = run();
+        assert_eq!(rows.len(), 14);
+        for r in &rows {
+            assert!(
+                r.error < 0.10,
+                "{}: predicted {:.1} measured {:.1} ({:.1}%)",
+                r.label,
+                r.predicted_w,
+                r.measured_w,
+                r.error * 100.0
+            );
+        }
+        let mean = mean_error(&rows);
+        assert!(mean < 0.07, "mean error {:.1}% (paper: 6.4%)", mean * 100.0);
+    }
+
+    #[test]
+    fn per_sm_summation_is_grossly_wrong() {
+        let rows = run();
+        // For the multi-SM variants the summed estimate must be several
+        // times the measurement (the paper saw 9×).
+        let worst = rows
+            .iter()
+            .map(|r| r.per_sm_sum_w / r.measured_w)
+            .fold(0.0, f64::max);
+        assert!(worst > 4.0, "worst summation overestimate only {worst:.1}x");
+    }
+}

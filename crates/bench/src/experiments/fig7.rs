@@ -1,0 +1,94 @@
+//! Figure 7 — N encryption instances under all four setups.
+
+use ewc_gpu::GpuConfig;
+
+use crate::mix::Mix;
+use crate::report::{joules, secs, Table};
+use crate::setups::{four_way, FourWay};
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Instance count.
+    pub n: u32,
+    /// The four setups.
+    pub setups: FourWay,
+}
+
+/// Sweep 1..=max_n instances.
+pub fn run(max_n: u32) -> Vec<Row> {
+    let cfg = GpuConfig::tesla_c1060();
+    (1..=max_n)
+        .map(|n| {
+            let fw = four_way(&Mix::encryption(&cfg, n));
+            assert!(fw.serial.correct && fw.manual.correct && fw.dynamic.correct);
+            Row { n, setups: fw }
+        })
+        .collect()
+}
+
+/// Render time and energy panels.
+pub fn render(rows: &[Row]) -> String {
+    let mut time = Table::new(&["n", "CPU (s)", "serial (s)", "manual (s)", "dynamic (s)"]);
+    let mut energy = Table::new(&["n", "CPU", "serial", "manual", "dynamic"]);
+    for r in rows {
+        let s = &r.setups;
+        time.row(vec![
+            r.n.to_string(),
+            secs(s.cpu.time_s),
+            secs(s.serial.time_s),
+            secs(s.manual.time_s),
+            secs(s.dynamic.time_s),
+        ]);
+        energy.row(vec![
+            r.n.to_string(),
+            joules(s.cpu.energy_j),
+            joules(s.serial.energy_j),
+            joules(s.manual.energy_j),
+            joules(s.dynamic.energy_j),
+        ]);
+    }
+    format!(
+        "Figure 7: encryption instances — execution time\n{}\nFigure 7: encryption instances — total energy\n{}",
+        time.render(),
+        energy.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_shapes() {
+        let rows = run(9);
+        let one = &rows[0].setups;
+        let nine = &rows[8].setups;
+        // One instance: GPU worse than CPU on time and energy.
+        assert!(one.serial.time_s > one.cpu.time_s);
+        assert!(one.dynamic.energy_j > one.cpu.energy_j);
+        // Serial is the worst GPU setup at every point.
+        for r in &rows {
+            assert!(r.setups.serial.time_s >= r.setups.manual.time_s);
+            assert!(r.setups.serial.time_s + 1e-9 >= r.setups.dynamic.time_s * 0.5);
+        }
+        // Nine instances: consolidation beats the CPU on both axes.
+        assert!(nine.manual.time_s < nine.cpu.time_s);
+        assert!(nine.dynamic.time_s < nine.cpu.time_s);
+        assert!(nine.dynamic.energy_j < nine.cpu.energy_j);
+        // Dynamic carries overhead over manual, but bounded.
+        assert!(nine.dynamic.time_s >= nine.manual.time_s);
+        assert!(nine.dynamic.time_s < 1.5 * nine.manual.time_s);
+    }
+
+    #[test]
+    fn beyond_thirty_blocks_consolidation_degrades() {
+        // 11 instances = 33 blocks > 30 SMs: compute-bound encryption
+        // blocks start doubling up and the consolidated time jumps — the
+        // paper's "too many instances" regime its framework avoids.
+        let rows = run(11);
+        let at9 = rows[8].setups.manual.time_s;
+        let at11 = rows[10].setups.manual.time_s;
+        assert!(at11 > 1.5 * at9, "expected a jump: {at9} → {at11}");
+    }
+}

@@ -1,0 +1,24 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! Every module exposes `run()` returning typed rows and `render()`
+//! producing the printed table, with the paper's reported values carried
+//! alongside the measured ones so the harness output doubles as the
+//! EXPERIMENTS.md ledger. Absolute values are not expected to match the
+//! 2011 testbed; the *shape* (who wins, by what factor, where crossovers
+//! fall) is the reproduction target and is what `tests/` asserts.
+
+pub mod ablations;
+pub mod fermi;
+pub mod fig1;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig7;
+pub mod fig8;
+pub mod future_hw;
+pub mod multigpu;
+pub mod scenarios;
+pub mod table1;
+pub mod trace;
+pub mod tables56;
+pub mod tables78;

@@ -1,0 +1,167 @@
+//! Tables 2 & 3 — the two motivating consolidation scenarios.
+//!
+//! Scenario 1 (Table 2): MonteCarlo (45 blocks) + encryption (15 blocks)
+//! — a *bad* consolidation: the critical SMs serialise 1 encryption + 2
+//! MC blocks, so the merged kernel takes longer than running both
+//! workloads back to back and costs more energy.
+//!
+//! Scenario 2 (Table 3): BlackScholes (45 blocks) + search (15 blocks) —
+//! a *good* consolidation: BS warps interleave into search's stall
+//! cycles, so the merged kernel finishes barely after the longer member
+//! and saves energy.
+
+use std::sync::Arc;
+
+use ewc_gpu::GpuConfig;
+use ewc_workloads::{
+    AesWorkload, BlackScholesWorkload, MonteCarloWorkload, SearchWorkload, Workload,
+};
+
+use crate::mix::Mix;
+use crate::report::{joules, secs, Table};
+use crate::setups::run_manual;
+
+/// One row: a single workload or the consolidation.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Label as in the paper's table.
+    pub label: String,
+    /// Measured time (s).
+    pub time_s: f64,
+    /// Measured whole-system energy (J).
+    pub energy_j: f64,
+    /// The paper's reported time (s).
+    pub paper_time_s: f64,
+    /// The paper's reported energy (J).
+    pub paper_energy_j: f64,
+}
+
+/// Both scenarios' rows: (table2, table3).
+pub fn run() -> (Vec<Row>, Vec<Row>) {
+    let cfg = GpuConfig::tesla_c1060();
+
+    let single = |name: &str, w: Arc<dyn Workload>| {
+        let r = run_manual(&Mix::new().add(name, w, 1));
+        assert!(r.correct);
+        r
+    };
+
+    // Scenario 1.
+    let mc = single("montecarlo", Arc::new(MonteCarloWorkload::scenario1(&cfg)));
+    let enc = single("encryption", Arc::new(AesWorkload::scenario1(&cfg)));
+    let both1 = run_manual(&Mix::scenario1(&cfg));
+    assert!(both1.correct);
+    let table2 = vec![
+        Row {
+            label: "Single MC".into(),
+            time_s: mc.time_s,
+            energy_j: mc.energy_j,
+            paper_time_s: 62.4,
+            paper_energy_j: 25_600.0,
+        },
+        Row {
+            label: "Single encryption".into(),
+            time_s: enc.time_s,
+            energy_j: enc.energy_j,
+            paper_time_s: 19.5,
+            paper_energy_j: 7_030.0,
+        },
+        Row {
+            label: "MC+encryption".into(),
+            time_s: both1.time_s,
+            energy_j: both1.energy_j,
+            paper_time_s: 84.6,
+            paper_energy_j: 33_500.0,
+        },
+    ];
+
+    // Scenario 2.
+    let bs = single("blackscholes", Arc::new(BlackScholesWorkload::scenario2(&cfg)));
+    let search = single("search", Arc::new(SearchWorkload::scenario2(&cfg)));
+    let both2 = run_manual(&Mix::scenario2(&cfg));
+    assert!(both2.correct);
+    let table3 = vec![
+        Row {
+            label: "Single BlackScholes".into(),
+            time_s: bs.time_s,
+            energy_j: bs.energy_j,
+            paper_time_s: 26.4,
+            paper_energy_j: 12_200.0,
+        },
+        Row {
+            label: "Single search".into(),
+            time_s: search.time_s,
+            energy_j: search.energy_j,
+            paper_time_s: 49.2,
+            paper_energy_j: 19_200.0,
+        },
+        Row {
+            label: "BlackScholes+Search".into(),
+            time_s: both2.time_s,
+            energy_j: both2.energy_j,
+            paper_time_s: 58.7,
+            paper_energy_j: 26_700.0,
+        },
+    ];
+    (table2, table3)
+}
+
+fn render_one(title: &str, rows: &[Row]) -> String {
+    let mut t = Table::new(&["workload", "time (s)", "energy", "paper time", "paper energy"]);
+    for r in rows {
+        t.row(vec![
+            r.label.clone(),
+            secs(r.time_s),
+            joules(r.energy_j),
+            secs(r.paper_time_s),
+            joules(r.paper_energy_j),
+        ]);
+    }
+    format!("{title}\n{}", t.render())
+}
+
+/// Render both tables.
+pub fn render(table2: &[Row], table3: &[Row]) -> String {
+    format!(
+        "{}\n{}",
+        render_one("Table 2: scenario 1 — MC + encryption (bad consolidation)", table2),
+        render_one("Table 3: scenario 2 — BlackScholes + search (good consolidation)", table3),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario1_consolidation_is_not_beneficial() {
+        let (t2, _) = run();
+        let (mc, enc, both) = (&t2[0], &t2[1], &t2[2]);
+        // Consolidated time ≥ sum of the singles (within a whisker):
+        // throughput was lost, exactly as Table 2 reports.
+        assert!(
+            both.time_s > 0.95 * (mc.time_s + enc.time_s),
+            "consolidated {:.1} vs sum {:.1}",
+            both.time_s,
+            mc.time_s + enc.time_s
+        );
+        // And energy is not saved either.
+        assert!(both.energy_j > 0.95 * (mc.energy_j + enc.energy_j));
+        // Calibration sanity: singles near the paper's absolute values.
+        assert!((mc.time_s - 62.4).abs() / 62.4 < 0.1, "mc {}", mc.time_s);
+        assert!((enc.time_s - 19.5).abs() / 19.5 < 0.1, "enc {}", enc.time_s);
+    }
+
+    #[test]
+    fn scenario2_consolidation_wins() {
+        let (_, t3) = run();
+        let (bs, search, both) = (&t3[0], &t3[1], &t3[2]);
+        // Consolidated time well below the sum, just above the longer
+        // member — and energy below the sum (Table 3's shape).
+        assert!(both.time_s < 0.85 * (bs.time_s + search.time_s));
+        assert!(both.time_s > 0.95 * search.time_s);
+        assert!(both.energy_j < 0.95 * (bs.energy_j + search.energy_j));
+        assert!((bs.time_s - 26.4).abs() / 26.4 < 0.1, "bs {}", bs.time_s);
+        assert!((search.time_s - 49.2).abs() / 49.2 < 0.1, "search {}", search.time_s);
+    }
+}

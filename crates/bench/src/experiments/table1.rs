@@ -1,0 +1,109 @@
+//! Table 1 — poor GPU speedup over multicore CPU for single instances.
+
+use std::sync::Arc;
+
+use ewc_gpu::GpuConfig;
+use ewc_workloads::{
+    AesWorkload, BlackScholesWorkload, MonteCarloWorkload, SearchWorkload, SortWorkload, Workload,
+};
+
+use crate::mix::Mix;
+use crate::report::{ratio, secs, Table};
+use crate::setups::{run_cpu, run_serial};
+
+/// One Table 1 row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Workload name.
+    pub name: &'static str,
+    /// Input-size label from the paper.
+    pub input: &'static str,
+    /// Blocks per instance.
+    pub blocks: u32,
+    /// Threads per block.
+    pub threads: u32,
+    /// Measured single-instance GPU time (transfers included), s.
+    pub gpu_s: f64,
+    /// Measured single-instance CPU time, s.
+    pub cpu_s: f64,
+    /// Measured GPU speedup over CPU.
+    pub speedup: f64,
+    /// The paper's reported speedup.
+    pub paper_speedup: f64,
+}
+
+/// Run the table.
+pub fn run() -> Vec<Row> {
+    let cfg = GpuConfig::tesla_c1060();
+    let entries: Vec<(&'static str, &'static str, f64, Arc<dyn Workload>)> = vec![
+        ("encryption", "12K", 0.84, Arc::new(AesWorkload::fig7(&cfg))),
+        ("encryption", "6K", 0.15, Arc::new(AesWorkload::table1_6k(&cfg))),
+        ("sorting", "6K", 1.45, Arc::new(SortWorkload::fig8(&cfg))),
+        ("search", "10K", 0.48, Arc::new(SearchWorkload::tables56(&cfg))),
+        ("blackscholes", "4096K", 1.68, Arc::new(BlackScholesWorkload::tables56(&cfg))),
+        ("montecarlo", "steps=500K", 7.0, Arc::new(MonteCarloWorkload::tables78(&cfg))),
+    ];
+    entries
+        .into_iter()
+        .map(|(name, input, paper, w)| {
+            let blocks = w.blocks();
+            let threads = w.desc().threads_per_block;
+            let mix = Mix::new().add(name, Arc::clone(&w), 1);
+            let gpu = run_serial(&mix);
+            let cpu = run_cpu(&mix);
+            assert!(gpu.correct, "{name}: GPU output must match host reference");
+            Row {
+                name,
+                input,
+                blocks,
+                threads,
+                gpu_s: gpu.time_s,
+                cpu_s: cpu.time_s,
+                speedup: cpu.time_s / gpu.time_s,
+                paper_speedup: paper,
+            }
+        })
+        .collect()
+}
+
+/// Render the table.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(&[
+        "workload", "input", "blocks", "tpb", "GPU (s)", "CPU (s)", "speedup", "paper",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.name.into(),
+            r.input.into(),
+            r.blocks.to_string(),
+            r.threads.to_string(),
+            secs(r.gpu_s),
+            secs(r.cpu_s),
+            ratio(r.speedup),
+            ratio(r.paper_speedup),
+        ]);
+    }
+    format!("Table 1: single-instance GPU speedup over multicore CPU\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_the_paper() {
+        let rows = run();
+        assert_eq!(rows.len(), 6);
+        let by = |n: &str, i: &str| {
+            rows.iter().find(|r| r.name == n && r.input == i).expect("row exists")
+        };
+        // Who wins matches Table 1: encryption/search lose on GPU,
+        // sorting/blackscholes/montecarlo win.
+        assert!(by("encryption", "12K").speedup < 1.0);
+        assert!(by("encryption", "6K").speedup < by("encryption", "12K").speedup);
+        assert!(by("search", "10K").speedup < 1.0);
+        assert!(by("sorting", "6K").speedup > 1.0);
+        assert!(by("blackscholes", "4096K").speedup > 1.0);
+        assert!(by("montecarlo", "steps=500K").speedup > 4.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Tables 5 & 6 — Search (S) + BlackScholes (B) heterogeneous mixes.
+
+use ewc_gpu::GpuConfig;
+
+use crate::mix::Mix;
+use crate::report::{joules, ratio, secs, Table};
+use crate::setups::{four_way, FourWay};
+
+/// One mix row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Search instances.
+    pub s: u32,
+    /// BlackScholes instances.
+    pub b: u32,
+    /// The four setups.
+    pub setups: FourWay,
+    /// Paper times (CPU, manual, dynamic, serial), s.
+    pub paper_s: [f64; 4],
+    /// Paper energies (CPU, manual, dynamic, serial), J.
+    pub paper_j: [f64; 4],
+}
+
+/// The paper's four mixes.
+pub fn run() -> Vec<Row> {
+    let cfg = GpuConfig::tesla_c1060();
+    let cases = [
+        (1u32, 1u32, [60.3, 36.6, 38.1, 69.4], [24_532.9, 13_572.6, 14_139.9, 25_730.3]),
+        (1, 10, [218.4, 37.4, 40.2, 377.2], [95_184.1, 15_061.7, 16_198.0, 151_902.1]),
+        (2, 10, [220.5, 38.1, 41.1, 412.5], [89_718.5, 15_568.4, 16_788.7, 168_271.2]),
+        (1, 20, [401.7, 38.4, 43.4, 719.2], [176_763.3, 15_736.9, 17_786.4, 294_683.6]),
+    ];
+    cases
+        .into_iter()
+        .map(|(s, b, paper_s, paper_j)| {
+            let fw = four_way(&Mix::search_blackscholes(&cfg, s, b));
+            assert!(fw.serial.correct && fw.manual.correct && fw.dynamic.correct);
+            Row { s, b, setups: fw, paper_s, paper_j }
+        })
+        .collect()
+}
+
+/// Render both tables.
+pub fn render(rows: &[Row]) -> String {
+    let mut time = Table::new(&[
+        "mix", "CPU (s)", "manual (s)", "dynamic (s)", "serial (s)", "paper CPU", "paper dyn",
+    ]);
+    let mut energy = Table::new(&["mix", "CPU", "manual", "dynamic", "serial", "dyn saving"]);
+    for r in rows {
+        let s = &r.setups;
+        let label = format!("{}S+{}B", r.s, r.b);
+        time.row(vec![
+            label.clone(),
+            secs(s.cpu.time_s),
+            secs(s.manual.time_s),
+            secs(s.dynamic.time_s),
+            secs(s.serial.time_s),
+            secs(r.paper_s[0]),
+            secs(r.paper_s[2]),
+        ]);
+        energy.row(vec![
+            label,
+            joules(s.cpu.energy_j),
+            joules(s.manual.energy_j),
+            joules(s.dynamic.energy_j),
+            joules(s.serial.energy_j),
+            ratio(s.cpu.energy_j / s.dynamic.energy_j),
+        ]);
+    }
+    format!(
+        "Table 5: Search+BlackScholes — execution time\n{}\nTable 6: Search+BlackScholes — total energy\n{}",
+        time.render(),
+        energy.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables56_shapes() {
+        let rows = run();
+        for r in &rows {
+            let s = &r.setups;
+            let label = format!("{}S+{}B", r.s, r.b);
+            // Serial is the worst; consolidation beats the CPU.
+            assert!(s.serial.time_s > s.cpu.time_s, "{label}: serial worst");
+            assert!(s.manual.time_s < s.cpu.time_s, "{label}: manual wins");
+            assert!(s.dynamic.time_s < s.cpu.time_s, "{label}: dynamic wins");
+            assert!(
+                s.dynamic.time_s >= s.manual.time_s,
+                "{label}: dynamic pays overhead"
+            );
+            assert!(s.dynamic.energy_j < s.cpu.energy_j, "{label}: energy wins");
+        }
+        // Consolidated time is nearly flat in the BS count...
+        let t1 = rows[0].setups.manual.time_s;
+        let t20 = rows[3].setups.manual.time_s;
+        assert!(t20 < 1.6 * t1, "manual nearly flat: {t1} → {t20}");
+        // ...so the biggest mix wins the most (paper: 9.3× speed, 9.9×
+        // energy; we assert > 4× for shape).
+        let speedup = rows[3].setups.cpu.time_s / rows[3].setups.dynamic.time_s;
+        let saving = rows[3].setups.cpu.energy_j / rows[3].setups.dynamic.energy_j;
+        assert!(speedup > 4.0, "1S+20B speedup {speedup:.1}");
+        assert!(saving > 4.0, "1S+20B energy saving {saving:.1}");
+        // And the benefit grows with the mix size.
+        let small = rows[0].setups.cpu.time_s / rows[0].setups.dynamic.time_s;
+        assert!(speedup > small);
+    }
+}

@@ -1,0 +1,106 @@
+//! Tables 7 & 8 — Encryption (E) + MonteCarlo (M) heterogeneous mixes.
+
+use ewc_gpu::GpuConfig;
+
+use crate::mix::Mix;
+use crate::report::{joules, ratio, secs, Table};
+use crate::setups::{four_way, FourWay};
+
+/// One mix row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Encryption instances.
+    pub e: u32,
+    /// MonteCarlo instances.
+    pub m: u32,
+    /// The four setups.
+    pub setups: FourWay,
+    /// Paper times (CPU, manual, dynamic, serial), s.
+    pub paper_s: [f64; 4],
+    /// Paper energies (CPU, manual, dynamic, serial), J.
+    pub paper_j: [f64; 4],
+}
+
+/// The paper's four mixes.
+pub fn run() -> Vec<Row> {
+    let cfg = GpuConfig::tesla_c1060();
+    let cases = [
+        (1u32, 1u32, [387.7, 57.2, 57.2, 88.9], [162_443.0, 20_617.8, 20_648.0, 32_058.4]),
+        (3, 3, [605.5, 57.4, 57.5, 266.8], [263_853.8, 21_697.6, 21_746.5, 100_838.4]),
+        (4, 12, [976.6, 57.7, 57.8, 701.5], [427_091.8, 22_309.4, 22_380.2, 271_439.5]),
+        (5, 15, [1163.4, 57.8, 59.9, 876.9], [511_666.9, 22_451.4, 23_263.5, 340_546.2]),
+    ];
+    cases
+        .into_iter()
+        .map(|(e, m, paper_s, paper_j)| {
+            let fw = four_way(&Mix::encryption_montecarlo(&cfg, e, m));
+            assert!(fw.serial.correct && fw.manual.correct && fw.dynamic.correct);
+            Row { e, m, setups: fw, paper_s, paper_j }
+        })
+        .collect()
+}
+
+/// Render both tables.
+pub fn render(rows: &[Row]) -> String {
+    let mut time = Table::new(&[
+        "mix", "CPU (s)", "manual (s)", "dynamic (s)", "serial (s)", "paper CPU", "paper dyn",
+    ]);
+    let mut energy = Table::new(&["mix", "CPU", "manual", "dynamic", "serial", "dyn saving"]);
+    for r in rows {
+        let s = &r.setups;
+        let label = format!("{}E+{}M", r.e, r.m);
+        time.row(vec![
+            label.clone(),
+            secs(s.cpu.time_s),
+            secs(s.manual.time_s),
+            secs(s.dynamic.time_s),
+            secs(s.serial.time_s),
+            secs(r.paper_s[0]),
+            secs(r.paper_s[2]),
+        ]);
+        energy.row(vec![
+            label,
+            joules(s.cpu.energy_j),
+            joules(s.manual.energy_j),
+            joules(s.dynamic.energy_j),
+            joules(s.serial.energy_j),
+            ratio(s.cpu.energy_j / s.dynamic.energy_j),
+        ]);
+    }
+    format!(
+        "Table 7: Encryption+MonteCarlo — execution time\n{}\nTable 8: Encryption+MonteCarlo — total energy\n{}",
+        time.render(),
+        energy.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables78_shapes() {
+        let rows = run();
+        for r in &rows {
+            let s = &r.setups;
+            let label = format!("{}E+{}M", r.e, r.m);
+            assert!(s.manual.time_s < s.cpu.time_s, "{label}: manual wins");
+            assert!(s.dynamic.time_s < s.cpu.time_s, "{label}: dynamic wins");
+            assert!(s.serial.time_s > s.manual.time_s, "{label}: serial slower");
+            assert!(s.dynamic.energy_j < s.cpu.energy_j, "{label}: energy wins");
+        }
+        // Consolidated time nearly flat while CPU time climbs steeply.
+        let m1 = rows[0].setups.manual.time_s;
+        let m4 = rows[3].setups.manual.time_s;
+        assert!(m4 < 1.4 * m1, "manual flat: {m1} → {m4}");
+        let cpu1 = rows[0].setups.cpu.time_s;
+        let cpu4 = rows[3].setups.cpu.time_s;
+        assert!(cpu4 > 2.0 * cpu1, "CPU climbs: {cpu1} → {cpu4}");
+        // The biggest mix is the paper's headline: 19× speedup, 22×
+        // energy savings; assert > 8× for shape.
+        let speedup = rows[3].setups.cpu.time_s / rows[3].setups.dynamic.time_s;
+        let saving = rows[3].setups.cpu.energy_j / rows[3].setups.dynamic.energy_j;
+        assert!(speedup > 8.0, "5E+15M speedup {speedup:.1}");
+        assert!(saving > 8.0, "5E+15M energy saving {saving:.1}");
+    }
+}

@@ -1,0 +1,258 @@
+//! Trace-driven enterprise simulation (an extension beyond the paper's
+//! static batches).
+//!
+//! The paper assumes "a large number of users simultaneously sending
+//! their requests" and picks its threshold (10 × GPUs) with a shrug —
+//! "this number can be adjusted based on further observation". This
+//! experiment does the observing: requests arrive as a seeded Poisson
+//! process over a mixed workload population, the full (unforced)
+//! decision engine routes them, and we sweep the threshold to expose the
+//! latency-vs-energy trade-off the paper leaves implicit.
+
+use std::sync::Arc;
+
+use ewc_core::{Runtime, RuntimeConfig, Template};
+use ewc_gpu::GpuConfig;
+use ewc_workloads::{
+    AesWorkload, BlackScholesWorkload, MatmulWorkload, SearchWorkload, SortWorkload, Workload,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::report::{joules, secs, Table};
+
+/// A generated request trace.
+#[derive(Debug, Clone)]
+pub struct TraceSpec {
+    /// Number of requests.
+    pub requests: u32,
+    /// Mean inter-arrival time in (simulated) seconds.
+    pub mean_interarrival_s: f64,
+    /// RNG seed for arrivals and workload selection.
+    pub seed: u64,
+}
+
+impl Default for TraceSpec {
+    fn default() -> Self {
+        TraceSpec { requests: 40, mean_interarrival_s: 2.0, seed: 7 }
+    }
+}
+
+/// One arrival: time + workload choice.
+#[derive(Debug, Clone)]
+pub struct Arrival {
+    /// Simulated arrival time.
+    pub at_s: f64,
+    /// Registry name of the requested workload.
+    pub name: &'static str,
+}
+
+/// Generate the Poisson arrival trace over the enterprise workload mix
+/// (40% encryption, 20% search, 20% BlackScholes, 15% sorting,
+/// 5% matmul).
+pub fn generate(spec: &TraceSpec) -> Vec<Arrival> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut t = 0.0;
+    (0..spec.requests)
+        .map(|_| {
+            // Exponential inter-arrival via inverse CDF.
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            t += -spec.mean_interarrival_s * u.ln();
+            let name = match rng.gen_range(0..100u32) {
+                0..=39 => "encryption",
+                40..=59 => "search",
+                60..=79 => "blackscholes",
+                80..=94 => "sorting",
+                _ => "matmul",
+            };
+            Arrival { at_s: t, name }
+        })
+        .collect()
+}
+
+/// Result of replaying a trace at one threshold setting.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Threshold factor used.
+    pub threshold: u32,
+    /// Total simulated wall time.
+    pub elapsed_s: f64,
+    /// Whole-system energy.
+    pub energy_j: f64,
+    /// Mean request latency.
+    pub mean_latency_s: f64,
+    /// 95th-percentile request latency.
+    pub p95_latency_s: f64,
+    /// Kernels that went through consolidated launches.
+    pub consolidated: usize,
+    /// Kernels offloaded to the CPU.
+    pub cpu_offloaded: u64,
+    /// Total device launches.
+    pub launches: u64,
+}
+
+/// Replay `trace` at one threshold factor.
+pub fn replay(trace: &[Arrival], threshold_factor: u32, max_wait_s: f64) -> Row {
+    let cfg = GpuConfig::tesla_c1060();
+    let workloads: Vec<(&'static str, Arc<dyn Workload>)> = vec![
+        ("encryption", Arc::new(AesWorkload::fig7(&cfg))),
+        ("search", Arc::new(SearchWorkload::tables56(&cfg))),
+        ("blackscholes", Arc::new(BlackScholesWorkload::tables56(&cfg))),
+        ("sorting", Arc::new(SortWorkload::fig8(&cfg))),
+        ("matmul", Arc::new(MatmulWorkload::scalability_limited(&cfg))),
+    ];
+    let mut builder = Runtime::builder(RuntimeConfig {
+        threshold_factor,
+        max_pending_wait_s: max_wait_s,
+        noise_seed: Some(threshold_factor as u64),
+        ..RuntimeConfig::default()
+    });
+    for (name, w) in &workloads {
+        builder = builder.workload(name, Arc::clone(w));
+    }
+    // Templates: the heterogeneous pairs the paper studies, plus
+    // homogeneous fallbacks for everything.
+    builder = builder
+        .template(Template::heterogeneous("search+bs", &["search", "blackscholes"]))
+        .template(Template::homogeneous("encryption"))
+        .template(Template::homogeneous("sorting"))
+        .template(Template::homogeneous("matmul"))
+        .template(Template::homogeneous("blackscholes"))
+        .template(Template::homogeneous("search"));
+    let rt = builder.build();
+
+    let lookup = |name: &str| {
+        workloads
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, w)| Arc::clone(w))
+            .expect("trace names are registered")
+    };
+
+    let mut sessions = Vec::new();
+    for (i, arrival) in trace.iter().enumerate() {
+        let w = lookup(arrival.name);
+        let mut fe = rt.connect();
+        fe.advance_clock(arrival.at_s).expect("advance clock");
+        let (args, bufs) = w.build_args(&mut fe, i as u64).expect("build");
+        fe.configure_call(w.blocks(), w.desc().threads_per_block).unwrap();
+        for a in &args {
+            fe.setup_argument(*a).unwrap();
+        }
+        fe.launch(arrival.name).expect("launch");
+        sessions.push((fe, bufs, w, i as u64));
+    }
+    sessions[0].0.sync().expect("drain");
+    for (fe, bufs, w, seed) in &sessions {
+        let out = fe.memcpy_d2h(bufs.output, 0, bufs.output_len).expect("readback");
+        assert_eq!(out, w.expected_output(*seed), "request {seed} corrupted");
+    }
+    let report = rt.shutdown();
+    let lat = report.stats.latencies_sorted();
+    Row {
+        threshold: threshold_factor,
+        elapsed_s: report.elapsed_s,
+        energy_j: report.energy.energy_j,
+        mean_latency_s: lat.iter().sum::<f64>() / lat.len() as f64,
+        p95_latency_s: report.stats.latency_percentile(95.0).expect("requests ran"),
+        consolidated: report.stats.kernels_consolidated(),
+        cpu_offloaded: report.stats.cpu_executions,
+        launches: report.stats.launches,
+    }
+}
+
+/// Sweep the threshold factor over the default trace.
+pub fn run() -> Vec<Row> {
+    let trace = generate(&TraceSpec::default());
+    [1u32, 2, 4, 8, 16]
+        .into_iter()
+        .map(|t| replay(&trace, t, 120.0))
+        .collect()
+}
+
+/// Render the sweep.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(&[
+        "threshold", "elapsed (s)", "energy", "mean lat (s)", "p95 lat (s)", "consolidated",
+        "cpu", "launches",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.threshold.to_string(),
+            secs(r.elapsed_s),
+            joules(r.energy_j),
+            secs(r.mean_latency_s),
+            secs(r.p95_latency_s),
+            r.consolidated.to_string(),
+            r.cpu_offloaded.to_string(),
+            r.launches.to_string(),
+        ]);
+    }
+    format!(
+        "Threshold sweep over a Poisson request trace (40 requests, mean inter-arrival 2 s)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_generation_is_deterministic_and_ordered() {
+        let spec = TraceSpec::default();
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.len(), 40);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.at_s, y.at_s);
+            assert_eq!(x.name, y.name);
+        }
+        for w in a.windows(2) {
+            assert!(w[0].at_s <= w[1].at_s, "arrivals must be ordered");
+        }
+        let mut seen: Vec<&str> = a.iter().map(|x| x.name).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert!(seen.len() >= 3, "mix should be diverse: {seen:?}");
+    }
+
+    #[test]
+    fn replay_completes_every_request() {
+        let trace = generate(&TraceSpec { requests: 12, ..TraceSpec::default() });
+        let row = replay(&trace, 4, 60.0);
+        assert!(row.mean_latency_s > 0.0);
+        assert!(row.p95_latency_s >= row.mean_latency_s * 0.5);
+        assert!(row.launches > 0 || row.cpu_offloaded > 0, "work must have run somewhere");
+        assert!(row.energy_j > 0.0);
+    }
+
+    #[test]
+    fn higher_threshold_batches_more() {
+        let trace = generate(&TraceSpec { requests: 24, mean_interarrival_s: 1.0, seed: 3 });
+        let low = replay(&trace, 1, 300.0);
+        let high = replay(&trace, 8, 300.0);
+        assert!(
+            high.launches <= low.launches,
+            "higher threshold must not issue more launches: {} vs {}",
+            high.launches,
+            low.launches
+        );
+    }
+
+    #[test]
+    fn staleness_bound_keeps_latency_finite() {
+        // Threshold far above the request count: only the max-wait flush
+        // (and the final sync) can run kernels. With a tight bound the
+        // p95 latency stays near it.
+        let trace = generate(&TraceSpec { requests: 10, mean_interarrival_s: 5.0, seed: 1 });
+        let tight = replay(&trace, 100, 20.0);
+        let loose = replay(&trace, 100, f64::INFINITY);
+        assert!(
+            tight.mean_latency_s < loose.mean_latency_s,
+            "staleness flush must cut queueing: {} vs {}",
+            tight.mean_latency_s,
+            loose.mean_latency_s
+        );
+    }
+}

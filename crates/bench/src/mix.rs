@@ -1,0 +1,110 @@
+//! Workload mixes: the unit every experiment runs.
+
+use std::sync::Arc;
+
+use ewc_gpu::GpuConfig;
+use ewc_workloads::{
+    AesWorkload, BlackScholesWorkload, MonteCarloWorkload, SearchWorkload, SortWorkload, Workload,
+};
+
+/// A set of workload instances submitted together, in template layout
+/// order (smaller kernels first, matching the paper's observed
+/// placements).
+#[derive(Clone)]
+pub struct Mix {
+    /// (registry name, implementation) per instance.
+    pub instances: Vec<(String, Arc<dyn Workload>)>,
+}
+
+impl Mix {
+    /// Empty mix.
+    pub fn new() -> Self {
+        Mix { instances: Vec::new() }
+    }
+
+    /// Add `n` instances of a workload under `name`.
+    pub fn add(mut self, name: &str, w: Arc<dyn Workload>, n: u32) -> Self {
+        for _ in 0..n {
+            self.instances.push((name.to_string(), Arc::clone(&w)));
+        }
+        self
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Is the mix empty?
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// `n` encryption instances (Figures 1 and 7).
+    pub fn encryption(cfg: &GpuConfig, n: u32) -> Self {
+        Mix::new().add("encryption", Arc::new(AesWorkload::fig7(cfg)), n)
+    }
+
+    /// `n` sorting instances (Figure 8).
+    pub fn sorting(cfg: &GpuConfig, n: u32) -> Self {
+        Mix::new().add("sorting", Arc::new(SortWorkload::fig8(cfg)), n)
+    }
+
+    /// Scenario 1 (Table 2): one encryption + one MonteCarlo instance in
+    /// the Section III configuration.
+    pub fn scenario1(cfg: &GpuConfig) -> Self {
+        Mix::new()
+            .add("encryption", Arc::new(AesWorkload::scenario1(cfg)), 1)
+            .add("montecarlo", Arc::new(MonteCarloWorkload::scenario1(cfg)), 1)
+    }
+
+    /// Scenario 2 (Table 3): one search + one BlackScholes instance.
+    pub fn scenario2(cfg: &GpuConfig) -> Self {
+        Mix::new()
+            .add("search", Arc::new(SearchWorkload::scenario2(cfg)), 1)
+            .add("blackscholes", Arc::new(BlackScholesWorkload::scenario2(cfg)), 1)
+    }
+
+    /// `s` search + `b` BlackScholes instances (Tables 5/6; search
+    /// first = template layout order).
+    pub fn search_blackscholes(cfg: &GpuConfig, s: u32, b: u32) -> Self {
+        Mix::new()
+            .add("search", Arc::new(SearchWorkload::tables56(cfg)), s)
+            .add("blackscholes", Arc::new(BlackScholesWorkload::tables56(cfg)), b)
+    }
+
+    /// `e` encryption + `m` MonteCarlo instances (Tables 7/8).
+    pub fn encryption_montecarlo(cfg: &GpuConfig, e: u32, m: u32) -> Self {
+        Mix::new()
+            .add("encryption", Arc::new(AesWorkload::tables78(cfg)), e)
+            .add("montecarlo", Arc::new(MonteCarloWorkload::tables78(cfg)), m)
+    }
+}
+
+impl Default for Mix {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_sizes() {
+        let cfg = GpuConfig::tesla_c1060();
+        assert_eq!(Mix::encryption(&cfg, 9).len(), 9);
+        assert_eq!(Mix::scenario1(&cfg).len(), 2);
+        assert_eq!(Mix::search_blackscholes(&cfg, 1, 20).len(), 21);
+        assert!(Mix::new().is_empty());
+    }
+
+    #[test]
+    fn layout_order_puts_small_kernel_first() {
+        let cfg = GpuConfig::tesla_c1060();
+        let m = Mix::encryption_montecarlo(&cfg, 2, 3);
+        assert_eq!(m.instances[0].0, "encryption");
+        assert_eq!(m.instances[2].0, "montecarlo");
+    }
+}

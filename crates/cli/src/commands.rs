@@ -1,0 +1,303 @@
+//! Subcommand dispatch and implementations.
+
+use std::sync::Arc;
+
+use ewc_bench::experiments as ex;
+use ewc_energy::{GpuPowerGroundTruth, PowerCoefficients, ThermalModel, TrainingBenchmark};
+use ewc_gpu::{ConsolidatedGrid, DispatchPolicy, ExecutionEngine, GpuConfig, Grid};
+use ewc_models::{ConsolidationPlan, EnergyModel, PowerModel};
+use ewc_workloads::{
+    AesWorkload, BlackScholesWorkload, MatmulWorkload, MonteCarloWorkload, SearchWorkload,
+    SortWorkload, Workload,
+};
+
+/// Every runnable experiment id with a one-line description.
+pub const EXPERIMENTS: &[(&str, &str)] = &[
+    ("table1", "single-instance GPU speedup over CPU (Table 1)"),
+    ("fig1", "motivation sweep: N encryption instances (Figure 1)"),
+    ("scenarios", "the good and bad consolidation scenarios (Tables 2-3)"),
+    ("fig3", "type-1 performance-model validation (Figure 3)"),
+    ("fig4", "type-2 performance-model validation (Figure 4)"),
+    ("fig5", "power-model validation, 14 variants (Figure 5)"),
+    ("fig7", "encryption sweep, four setups (Figure 7)"),
+    ("fig8", "sorting sweep, four setups (Figure 8)"),
+    ("tables56", "Search+BlackScholes mixes (Tables 5-6)"),
+    ("tables78", "Encryption+MonteCarlo mixes (Tables 7-8)"),
+    ("ablations", "mechanism on/off studies"),
+    ("fermi", "Fermi concurrent kernels vs consolidation (extension)"),
+    ("multigpu", "multi-GPU scaling (extension)"),
+    ("trace", "Poisson-trace threshold sweep (extension)"),
+    ("future-hw", "consolidation on Fermi-class silicon (extension)"),
+];
+
+/// Usage text.
+pub fn usage() -> String {
+    let mut s = String::from(
+        "usage: ewc <command> [args]\n\
+         \n\
+         commands:\n\
+         \x20 experiments            list reproducible tables and figures\n\
+         \x20 run <id>               regenerate one experiment (see `ewc experiments`)\n\
+         \x20 predict <w> <n>        predict consolidating n instances of workload w\n\
+         \x20                        (w: enc | sort | search | bs | mc | matmul)\n\
+         \x20 devices                show the simulated GPU presets\n\
+         \x20 gantt <1|2>            per-SM schedule of a paper scenario\n",
+    );
+    s.push_str("\nexperiment ids: ");
+    s.push_str(&EXPERIMENTS.iter().map(|(id, _)| *id).collect::<Vec<_>>().join(", "));
+    s
+}
+
+/// Dispatch an argument vector to its command.
+pub fn dispatch(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("experiments") => Ok(list_experiments()),
+        Some("run") => {
+            let id = args.get(1).ok_or("run: missing experiment id")?;
+            run_experiment(id)
+        }
+        Some("predict") => {
+            let w = args.get(2).is_none();
+            if w {
+                return Err("predict: need <workload> <instances>".into());
+            }
+            let name = &args[1];
+            let n: u32 = args[2].parse().map_err(|_| "predict: instances must be a number")?;
+            predict(name, n)
+        }
+        Some("devices") => Ok(devices()),
+        Some("gantt") => {
+            let which = args.get(1).ok_or("gantt: need a scenario (1 or 2)")?;
+            gantt(which)
+        }
+        Some("help") | None => Ok(usage()),
+        Some(other) => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn list_experiments() -> String {
+    let mut out = String::from("reproducible experiments:\n");
+    for (id, desc) in EXPERIMENTS {
+        out.push_str(&format!("  {id:<10} {desc}\n"));
+    }
+    out
+}
+
+fn run_experiment(id: &str) -> Result<String, String> {
+    Ok(match id {
+        "table1" => ex::table1::render(&ex::table1::run()),
+        "fig1" => ex::fig1::render(&ex::fig1::run(9)),
+        "scenarios" => {
+            let (t2, t3) = ex::scenarios::run();
+            ex::scenarios::render(&t2, &t3)
+        }
+        "fig3" => ex::fig3::render(&ex::fig3::run()),
+        "fig4" => ex::fig4::render(&ex::fig4::run()),
+        "fig5" => ex::fig5::render(&ex::fig5::run()),
+        "fig7" => ex::fig7::render(&ex::fig7::run(12)),
+        "fig8" => ex::fig8::render(&ex::fig8::run(9)),
+        "tables56" => ex::tables56::render(&ex::tables56::run()),
+        "tables78" => ex::tables78::render(&ex::tables78::run()),
+        "ablations" => ex::ablations::render(&ex::ablations::run()),
+        "fermi" => ex::fermi::render(&ex::fermi::run()),
+        "multigpu" => ex::multigpu::render(&ex::multigpu::run(40)),
+        "trace" => ex::trace::render(&ex::trace::run()),
+        "future-hw" => ex::future_hw::render(&ex::future_hw::run(9)),
+        other => return Err(format!("unknown experiment '{other}'")),
+    })
+}
+
+/// Look up a workload by short name.
+fn workload(name: &str) -> Result<Arc<dyn Workload>, String> {
+    let cfg = GpuConfig::tesla_c1060();
+    Ok(match name {
+        "enc" | "encryption" => Arc::new(AesWorkload::fig7(&cfg)),
+        "sort" | "sorting" => Arc::new(SortWorkload::fig8(&cfg)),
+        "search" => Arc::new(SearchWorkload::tables56(&cfg)),
+        "bs" | "blackscholes" => Arc::new(BlackScholesWorkload::tables56(&cfg)),
+        "mc" | "montecarlo" => Arc::new(MonteCarloWorkload::tables78(&cfg)),
+        "matmul" => Arc::new(MatmulWorkload::scalability_limited(&cfg)),
+        other => return Err(format!("unknown workload '{other}' (enc|sort|search|bs|mc|matmul)")),
+    })
+}
+
+fn predict(name: &str, n: u32) -> Result<String, String> {
+    if n == 0 {
+        return Err("predict: need at least one instance".into());
+    }
+    let cfg = GpuConfig::tesla_c1060();
+    let w = workload(name)?;
+    let coeffs = PowerCoefficients::train(
+        &cfg,
+        &GpuPowerGroundTruth::tesla_c1060(),
+        &TrainingBenchmark::rodinia_suite(),
+        42,
+    )
+    .ok_or("power-model training failed")?;
+    let model = EnergyModel::new(
+        cfg.clone(),
+        PowerModel::new(coeffs, ThermalModel::gt200(), cfg.clone()),
+        200.0,
+    );
+    let plan = ConsolidationPlan::homogeneous(w.desc(), w.blocks(), n);
+    let cons = model.predict(&plan);
+    let serial = model.predict_serial(&plan);
+
+    let cpu_engine = ewc_cpu::CpuEngine::new(ewc_cpu::CpuConfig::xeon_e5520_x2());
+    let tasks: Vec<_> = (0..n).map(|_| w.cpu_task()).collect();
+    let cpu_out = cpu_engine.run(&tasks);
+    let cpu_energy = ewc_cpu::CpuPowerModel::xeon_e5520_x2().energy_j(&cpu_out);
+
+    let verdict = if cons.system_energy_j < serial.system_energy_j.min(cpu_energy) {
+        "CONSOLIDATE on GPU"
+    } else if cpu_energy < serial.system_energy_j {
+        "run on CPU"
+    } else {
+        "run serially on GPU"
+    };
+
+    Ok(format!(
+        "prediction for {n} x {} ({} blocks each):\n\
+         \x20 consolidated GPU: {:>8.2} s  {:>9.0} J  (avg dyn power {:.1} W, {} SMs, critical SM{})\n\
+         \x20 serial GPU:       {:>8.2} s  {:>9.0} J\n\
+         \x20 multicore CPU:    {:>8.2} s  {:>9.0} J\n\
+         \x20 verdict: {}",
+        w.name(),
+        w.blocks(),
+        cons.time_s,
+        cons.system_energy_j,
+        cons.dyn_power_w,
+        cons.perf.sms_used,
+        cons.perf.critical_sms.first().copied().unwrap_or(0),
+        serial.time_s,
+        serial.system_energy_j,
+        cpu_out.makespan_s,
+        cpu_energy,
+        verdict,
+    ))
+}
+
+fn devices() -> String {
+    let mut out = String::from("simulated devices:\n");
+    for (name, cfg) in [
+        ("tesla_c1060 (paper testbed)", GpuConfig::tesla_c1060()),
+        ("tesla_c2050 (Fermi-class)", GpuConfig::tesla_c2050()),
+    ] {
+        out.push_str(&format!(
+            "  {name}\n    {} SMs @ {:.2} GHz, {} lanes/SM, {} KiB smem/SM, {} regs/SM\n    {:.0} GB/s DRAM, {:.1} GB/s PCIe, {} MiB global\n",
+            cfg.num_sms,
+            cfg.clock_hz / 1e9,
+            cfg.sp_per_sm,
+            cfg.shared_mem_per_sm / 1024,
+            cfg.registers_per_sm,
+            cfg.dram_bandwidth / 1e9,
+            cfg.pcie_bandwidth / 1e9,
+            cfg.global_mem_bytes >> 20,
+        ));
+    }
+    out
+}
+
+fn gantt(which: &str) -> Result<String, String> {
+    let cfg = GpuConfig::tesla_c1060();
+    let (label, grid) = match which {
+        "1" => {
+            let enc = AesWorkload::scenario1(&cfg);
+            let mc = MonteCarloWorkload::scenario1(&cfg);
+            (
+                "scenario 1: encryption (0) + MonteCarlo (1) — the bad consolidation",
+                ConsolidatedGrid::new()
+                    .add(Grid::single(enc.desc(), enc.blocks()))
+                    .add(Grid::single(mc.desc(), mc.blocks()))
+                    .build(),
+            )
+        }
+        "2" => {
+            let search = SearchWorkload::scenario2(&cfg);
+            let bs = BlackScholesWorkload::scenario2(&cfg);
+            (
+                "scenario 2: search (0) + BlackScholes (1) — the good consolidation",
+                ConsolidatedGrid::new()
+                    .add(Grid::single(search.desc(), search.blocks()))
+                    .add(Grid::single(bs.desc(), bs.blocks()))
+                    .build(),
+            )
+        }
+        other => return Err(format!("gantt: unknown scenario '{other}' (1 or 2)")),
+    };
+    let engine = ExecutionEngine::new(cfg.clone());
+    let out = engine.run(&grid, DispatchPolicy::default()).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "{label}\nmakespan {:.2} s, critical SMs start at SM{}\n\n{}",
+        out.elapsed_s,
+        out.trace.critical_sms(cfg.num_sms, 1e-6).first().copied().unwrap_or(0),
+        out.trace.ascii_gantt(cfg.num_sms, 72)
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_listing() {
+        assert!(dispatch(&args(&["help"])).unwrap().contains("usage"));
+        assert!(dispatch(&[]).unwrap().contains("usage"));
+        let listing = dispatch(&args(&["experiments"])).unwrap();
+        for (id, _) in EXPERIMENTS {
+            assert!(listing.contains(id), "missing {id}");
+        }
+    }
+
+    #[test]
+    fn unknown_commands_error() {
+        assert!(dispatch(&args(&["bogus"])).is_err());
+        assert!(dispatch(&args(&["run", "nope"])).is_err());
+        assert!(dispatch(&args(&["run"])).is_err());
+        assert!(dispatch(&args(&["predict", "enc"])).is_err());
+        assert!(dispatch(&args(&["predict", "nope", "3"])).is_err());
+        assert!(dispatch(&args(&["gantt", "9"])).is_err());
+    }
+
+    #[test]
+    fn devices_lists_both_presets() {
+        let d = devices();
+        assert!(d.contains("tesla_c1060"));
+        assert!(d.contains("tesla_c2050"));
+    }
+
+    #[test]
+    fn predict_renders_a_verdict() {
+        let p = dispatch(&args(&["predict", "enc", "9"])).unwrap();
+        assert!(p.contains("consolidated GPU"), "{p}");
+        assert!(p.contains("verdict: CONSOLIDATE"), "9 encs should consolidate: {p}");
+        let p = dispatch(&args(&["predict", "enc", "1"])).unwrap();
+        assert!(p.contains("verdict: run on CPU"), "1 enc should go to CPU: {p}");
+    }
+
+    #[test]
+    fn gantt_renders_scenarios() {
+        let g = dispatch(&args(&["gantt", "1"])).unwrap();
+        assert!(g.contains("SM00 |"));
+        assert!(g.contains("makespan 81.90"));
+        let g = dispatch(&args(&["gantt", "2"])).unwrap();
+        assert!(g.contains("SM29 |"));
+    }
+
+    #[test]
+    fn run_fast_experiments() {
+        // Only the model-validation experiments (fast) in unit tests; the
+        // heavy sweeps are covered by the bench crate's own tests.
+        for id in ["fig3", "fig4", "fig5"] {
+            let out = dispatch(&args(&["run", id])).unwrap();
+            assert!(
+                out.contains("prediction") || out.contains("validation"),
+                "{id}: {out}"
+            );
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! `ewc` — the command-line face of the consolidation framework.
+//!
+//! ```text
+//! ewc experiments                 list every reproducible table/figure
+//! ewc run <id>                    regenerate one experiment
+//! ewc predict enc 9               model a homogeneous consolidation
+//! ewc devices                     show the simulated GPU presets
+//! ewc gantt <1|2>                 per-SM schedule of a paper scenario
+//! ```
+
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&args) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{}", commands::usage());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,479 @@
+//! The backend daemon (Section IV).
+//!
+//! "The backend is a daemon, launched before any workload execution...
+//! it is the backend that really conducts the CUDA API calls and kernel
+//! calls." It owns the node's GPUs; every device operation requested by
+//! a frontend executes in the backend's context, so kernel-call
+//! arguments are always valid device pointers. Host→device copies cross
+//! process boundaries through a **pre-allocated staging buffer**
+//! (process → buffer → device: two copies, the paper's main overhead),
+//! and every frontend message pays a channel round trip.
+//!
+//! Kernel launches queue in the pending list. When the pending count
+//! reaches the threshold (10 × number of GPUs, Section VII) — or a
+//! sync/shutdown forces a drain, or the oldest request exceeds its
+//! staleness bound — the backend matches pending kernels against the
+//! template registry *per device* (each context's buffers live on one
+//! GPU), coordinates the participating frontends (leader election for
+//! homogeneous groups), asks the [`DecisionEngine`] which alternative
+//! wins on predicted energy, and executes it.
+//!
+//! **Clocks.** The backend keeps a host clock for channel, staging and
+//! coordination costs. Each device has its own clock; synchronous API
+//! operations (memcpys) drag the host clock along, while kernel launches
+//! are issued asynchronously — the device's clock runs ahead on its own,
+//! so groups dispatched to different GPUs genuinely overlap.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam_channel::{Receiver, Sender};
+use ewc_gpu::grid::GridSegment;
+use ewc_gpu::kernel::{BlockCtx, LaunchConfig};
+use ewc_gpu::{GpuDevice, Grid};
+use ewc_workloads::Workload;
+
+use crate::config::RuntimeConfig;
+use crate::decision::{Choice, DecisionEngine};
+use crate::leader::LeaderCoordinator;
+use crate::optimize::ConstantCache;
+use crate::protocol::{CoreError, ExecConfig, KernelRequest, Request};
+use crate::stats::{BackendStats, ConsolidationRecord, KernelOutcome};
+use crate::template::TemplateRegistry;
+
+/// Channel + thread handle for a running backend.
+pub struct BackendHandles {
+    /// Request channel into the daemon.
+    pub sender: Sender<Request>,
+    /// The daemon thread.
+    pub join: JoinHandle<()>,
+}
+
+/// Spawn the backend daemon thread over a pool of devices.
+pub fn spawn(
+    cfg: RuntimeConfig,
+    gpus: Vec<GpuDevice>,
+    registry: HashMap<String, Arc<dyn Workload>>,
+    templates: TemplateRegistry,
+    decision: DecisionEngine,
+) -> BackendHandles {
+    assert!(!gpus.is_empty(), "backend needs at least one GPU");
+    let (tx, rx) = crossbeam_channel::unbounded();
+    let coordinator = LeaderCoordinator::new(&cfg);
+    let constants = gpus.iter().map(|_| ConstantCache::new(cfg.constant_reuse)).collect();
+    let backend = Backend {
+        cfg,
+        gpus,
+        registry,
+        templates,
+        decision,
+        coordinator,
+        constants,
+        stats: BackendStats::default(),
+        pending: Vec::new(),
+        ctx_state: HashMap::new(),
+        ctx_device: HashMap::new(),
+        next_device: 0,
+        next_seq: 0,
+        host_clock: 0.0,
+    };
+    let join = std::thread::Builder::new()
+        .name("ewc-backend".into())
+        .spawn(move || backend.run(rx))
+        .expect("spawn backend thread");
+    BackendHandles { sender: tx, join }
+}
+
+#[derive(Default)]
+struct CtxState {
+    config: Option<ExecConfig>,
+    args: Vec<ewc_gpu::kernel::KernelArg>,
+}
+
+struct Backend {
+    cfg: RuntimeConfig,
+    gpus: Vec<GpuDevice>,
+    registry: HashMap<String, Arc<dyn Workload>>,
+    templates: TemplateRegistry,
+    decision: DecisionEngine,
+    coordinator: LeaderCoordinator,
+    /// One constant cache per device (constants live in device memory).
+    constants: Vec<ConstantCache>,
+    stats: BackendStats,
+    pending: Vec<KernelRequest>,
+    ctx_state: HashMap<u64, CtxState>,
+    /// Context → device binding (a process's buffers live on one GPU).
+    ctx_device: HashMap<u64, usize>,
+    next_device: usize,
+    next_seq: u64,
+    /// Host-side clock: channel, staging and coordination costs.
+    host_clock: f64,
+}
+
+impl Backend {
+    fn run(mut self, rx: Receiver<Request>) {
+        'daemon: loop {
+            let Ok(req) = rx.recv() else { break };
+            if self.handle(req) {
+                break;
+            }
+            // Drain whatever is already queued before considering
+            // consolidation, so a burst of requests from concurrent
+            // frontends lands in one pending set (the enterprise arrival
+            // pattern the paper assumes).
+            while let Ok(more) = rx.try_recv() {
+                if self.handle(more) {
+                    break 'daemon;
+                }
+            }
+            if self.pending.len() >= self.cfg.threshold() {
+                self.flush(false);
+            } else if !self.pending.is_empty() {
+                // Staleness bound: do not let requests queue forever when
+                // the threshold is never reached (trace-driven runs).
+                let oldest = self
+                    .pending
+                    .iter()
+                    .map(|r| r.submitted_at_s)
+                    .fold(f64::INFINITY, f64::min);
+                if self.host_clock - oldest > self.cfg.max_pending_wait_s {
+                    self.flush(true);
+                }
+            }
+        }
+    }
+
+    /// Device assigned to a context (round-robin on first touch).
+    fn device_for(&mut self, ctx: u64) -> usize {
+        if let Some(&d) = self.ctx_device.get(&ctx) {
+            return d;
+        }
+        let d = self.next_device % self.gpus.len();
+        self.next_device += 1;
+        self.ctx_device.insert(ctx, d);
+        d
+    }
+
+    /// Bring device `d` up to the host clock (it cannot serve a new
+    /// synchronous request in the past).
+    fn catch_up(&mut self, d: usize) {
+        let now = self.gpus[d].now_s();
+        if now < self.host_clock {
+            self.gpus[d].idle(self.host_clock - now);
+        }
+    }
+
+    /// After a *synchronous* device operation the host has waited for it.
+    fn host_joins(&mut self, d: usize) {
+        self.host_clock = self.host_clock.max(self.gpus[d].now_s());
+    }
+
+    /// Handle one request; returns true on shutdown.
+    fn handle(&mut self, req: Request) -> bool {
+        if let Request::AdvanceClock { to_s } = req {
+            // Harness construct, not an API call: no channel cost.
+            self.host_clock = self.host_clock.max(to_s);
+            return false;
+        }
+        self.charge_channel();
+        match req {
+            Request::Malloc { ctx, len, reply } => {
+                let d = self.device_for(ctx);
+                let r = self.gpus[d].malloc(len).map_err(CoreError::from);
+                let _ = reply.send(r);
+            }
+            Request::Free { ctx, ptr, reply } => {
+                let d = self.device_for(ctx);
+                let r = self.gpus[d].free(ptr).map_err(CoreError::from);
+                let _ = reply.send(r);
+            }
+            Request::MemcpyH2D { ctx, dst, offset, data, reply } => {
+                self.charge_staging(data.len() as u64);
+                let d = self.device_for(ctx);
+                self.catch_up(d);
+                let r = self.gpus[d]
+                    .memcpy_h2d(dst, offset, &data)
+                    .map(|_| ())
+                    .map_err(CoreError::from);
+                self.host_joins(d);
+                let _ = reply.send(r);
+            }
+            Request::MemcpyD2H { ctx, src, offset, len, reply } => {
+                let d = self.device_for(ctx);
+                self.catch_up(d);
+                let r = self.gpus[d]
+                    .memcpy_d2h(src, offset, len)
+                    .map(|(bytes, _)| bytes)
+                    .map_err(CoreError::from);
+                self.host_joins(d);
+                self.charge_staging(len);
+                let _ = reply.send(r);
+            }
+            Request::ConfigureCall { ctx, config } => {
+                self.ctx_state.entry(ctx).or_default().config = Some(config);
+            }
+            Request::SetupArgument { ctx, arg } => {
+                self.ctx_state.entry(ctx).or_default().args.push(arg);
+            }
+            Request::Launch { ctx, name, batched_args, reply } => {
+                let r = self.enqueue_launch(ctx, name, batched_args);
+                let _ = reply.send(r);
+            }
+            Request::RegisterConstant { ctx, key, data, reply } => {
+                self.charge_staging(data.len() as u64);
+                let d = self.device_for(ctx);
+                self.catch_up(d);
+                let r = self.constants[d].register(&mut self.gpus[d], &key, &data);
+                self.host_joins(d);
+                match &r {
+                    Ok(up) if up.cache_hit => self.stats.constant_hits += 1,
+                    Ok(_) => self.stats.constant_misses += 1,
+                    Err(_) => {}
+                }
+                let _ = reply.send(r.map(|u| u.ptr).map_err(CoreError::from));
+            }
+            Request::AdvanceClock { .. } => unreachable!("handled above"),
+            Request::Sync { reply, .. } => {
+                self.flush(true);
+                // Sync waits for every device to drain.
+                for d in 0..self.gpus.len() {
+                    self.host_joins(d);
+                }
+                let _ = reply.send(Ok(()));
+            }
+            Request::Shutdown { reply } => {
+                self.flush(true);
+                for d in 0..self.gpus.len() {
+                    self.host_joins(d);
+                }
+                let activities: Vec<Vec<ewc_gpu::counters::ActivityInterval>> =
+                    self.gpus.iter().map(|g| g.activity().to_vec()).collect();
+                let _ =
+                    reply.send((std::mem::take(&mut self.stats), activities, self.host_clock));
+                return true;
+            }
+        }
+        false
+    }
+
+    fn charge_channel(&mut self) {
+        self.stats.messages += 1;
+        self.stats.channel_s += self.cfg.channel_latency_s;
+        self.host_clock += self.cfg.channel_latency_s;
+    }
+
+    /// Host-to-host copy into/out of the pre-allocated staging buffer:
+    /// bytes over staging bandwidth, plus one extra channel round trip
+    /// per buffer-sized chunk beyond the first.
+    fn charge_staging(&mut self, bytes: u64) {
+        let copy_s = bytes as f64 / self.cfg.staging_bandwidth;
+        let chunks = bytes.div_ceil(self.cfg.staging_buffer_bytes.max(1)).max(1);
+        let extra = (chunks - 1) as f64 * self.cfg.channel_latency_s;
+        self.stats.staged_bytes += bytes;
+        self.stats.staging_s += copy_s + extra;
+        self.host_clock += copy_s + extra;
+    }
+
+    fn enqueue_launch(
+        &mut self,
+        ctx: u64,
+        name: String,
+        batched_args: Option<Vec<ewc_gpu::kernel::KernelArg>>,
+    ) -> Result<u64, CoreError> {
+        let workload = self
+            .registry
+            .get(&name)
+            .cloned()
+            .ok_or_else(|| CoreError::UnknownKernel(name.clone()))?;
+        self.device_for(ctx); // bind early so flush can partition
+        let state = self.ctx_state.entry(ctx).or_default();
+        let config = state.config.take().ok_or(CoreError::NotConfigured)?;
+        let desc = workload.desc();
+        if config.grid_blocks != workload.blocks()
+            || config.threads_per_block != desc.threads_per_block
+        {
+            return Err(CoreError::BadConfiguration(format!(
+                "configured {}x{}, registered {}x{}",
+                config.grid_blocks,
+                config.threads_per_block,
+                workload.blocks(),
+                desc.threads_per_block
+            )));
+        }
+        let args = match batched_args {
+            Some(a) => a,
+            None => std::mem::take(&mut state.args),
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let submitted_at_s = self.host_clock;
+        self.pending.push(KernelRequest { ctx, seq, name, args, workload, submitted_at_s });
+        Ok(seq)
+    }
+
+    /// Drain the pending queue. With `force`, everything executes now;
+    /// otherwise only while the threshold is met. Groups form per device
+    /// (a context's data lives on its bound GPU).
+    fn flush(&mut self, force: bool) {
+        loop {
+            if self.pending.is_empty() {
+                return;
+            }
+            if !force && self.pending.len() < self.cfg.threshold() {
+                return;
+            }
+            let mut grouped = false;
+            for d in 0..self.gpus.len() {
+                let local: Vec<usize> = (0..self.pending.len())
+                    .filter(|&i| self.ctx_device.get(&self.pending[i].ctx) == Some(&d))
+                    .collect();
+                if local.is_empty() {
+                    continue;
+                }
+                let refs: Vec<&KernelRequest> =
+                    local.iter().map(|&i| &self.pending[i]).collect();
+                if let Some((t, sel)) = self.templates.best_match(&refs) {
+                    let tname = t.name.clone();
+                    let global: Vec<usize> = sel.into_iter().map(|i| local[i]).collect();
+                    let group = self.extract(global);
+                    self.execute_group(d, &tname, group);
+                    grouped = true;
+                    break;
+                }
+            }
+            if !grouped {
+                // No template matches anywhere: run the oldest kernel on
+                // its own ("the backend lets the kernels run normally").
+                let oldest = (0..self.pending.len())
+                    .min_by_key(|&i| self.pending[i].seq)
+                    .expect("non-empty pending");
+                let group = self.extract(vec![oldest]);
+                let d = self.ctx_device[&group[0].ctx];
+                self.execute_group(d, "<individual>", group);
+            }
+        }
+    }
+
+    /// Remove the given indices from pending, preserving the order the
+    /// indices are listed in (the template's layout order).
+    fn extract(&mut self, idx: Vec<usize>) -> Vec<KernelRequest> {
+        let mut marked: Vec<Option<KernelRequest>> =
+            self.pending.drain(..).map(Some).collect();
+        let group: Vec<KernelRequest> =
+            idx.iter().map(|&i| marked[i].take().expect("duplicate index")).collect();
+        self.pending = marked.into_iter().flatten().collect();
+        group
+    }
+
+    fn execute_group(&mut self, device: usize, template: &str, group: Vec<KernelRequest>) {
+        // Coordination between the participating frontends (host side).
+        let refs: Vec<&KernelRequest> = group.iter().collect();
+        let coord = self.coordinator.plan(&refs);
+        self.stats.messages += coord.messages;
+        self.stats.coordination_s += coord.cost_s;
+        self.host_clock += coord.cost_s;
+
+        // Model the alternatives.
+        let mut plan = ewc_models::ConsolidationPlan::new();
+        let mut cpu_tasks = Vec::with_capacity(group.len());
+        for req in &group {
+            plan.push(ewc_models::KernelSpec::new(req.workload.desc(), req.workload.blocks()));
+            cpu_tasks.push(req.workload.cpu_task());
+        }
+        let mut assessment = self.decision.assess(&plan, &cpu_tasks);
+        if self.cfg.force_gpu && assessment.choice == Choice::Cpu {
+            assessment.choice = if assessment.consolidated.system_energy_j
+                <= assessment.serial.system_energy_j
+            {
+                Choice::Consolidate
+            } else {
+                Choice::SerialGpu
+            };
+        }
+
+        // Kernel launches are asynchronous: the device clock runs ahead
+        // of the host clock, so other devices' groups can overlap.
+        self.catch_up(device);
+        let t0 = self.gpus[device].now_s();
+        match assessment.choice {
+            Choice::Consolidate => {
+                let mut grid = Grid::new();
+                for req in &group {
+                    grid.push(
+                        GridSegment::bare(req.workload.desc(), req.workload.blocks())
+                            .with_args(req.args.clone())
+                            .with_body(req.workload.body())
+                            .with_tag(req.ctx),
+                    );
+                }
+                self.gpus[device]
+                    .launch(&LaunchConfig::from_grid(grid))
+                    .expect("registered kernels are schedulable");
+                self.stats.launches += 1;
+                if group.len() >= 2 {
+                    self.stats.consolidated_launches += 1;
+                }
+            }
+            Choice::SerialGpu => {
+                for req in &group {
+                    let mut grid = Grid::new();
+                    grid.push(
+                        GridSegment::bare(req.workload.desc(), req.workload.blocks())
+                            .with_args(req.args.clone())
+                            .with_body(req.workload.body())
+                            .with_tag(req.ctx),
+                    );
+                    self.gpus[device]
+                        .launch(&LaunchConfig::from_grid(grid))
+                        .expect("registered kernels are schedulable");
+                    self.stats.launches += 1;
+                }
+            }
+            Choice::Cpu => {
+                // The instances run on the host; results must still
+                // materialise in the (backend-owned) device buffers the
+                // frontends will read back.
+                let (makespan, _energy) = self.decision.run_on_cpu(&cpu_tasks);
+                for req in &group {
+                    let body = req.workload.body();
+                    for b in 0..req.workload.blocks() {
+                        let ctx = BlockCtx {
+                            block_idx: b,
+                            num_blocks: req.workload.blocks(),
+                            threads_per_block: req.workload.desc().threads_per_block,
+                            args: &req.args,
+                        };
+                        body(&ctx, self.gpus[device].memory_mut());
+                    }
+                }
+                // CPU work occupies the host timeline; the device just
+                // waits for the results to land.
+                self.host_clock += makespan;
+                self.gpus[device].idle(makespan.max(0.0));
+                self.stats.cpu_executions += group.len() as u64;
+                self.stats.cpu_time_s += makespan;
+            }
+        }
+
+        let completed_at_s = self.gpus[device].now_s();
+        for req in &group {
+            self.stats.kernel_outcomes.push(KernelOutcome {
+                ctx: req.ctx,
+                seq: req.seq,
+                name: req.name.clone(),
+                submitted_at_s: req.submitted_at_s,
+                completed_at_s,
+                choice: assessment.choice,
+            });
+        }
+        self.stats.records.push(ConsolidationRecord {
+            template: template.to_string(),
+            kernels: group.iter().map(|r| r.name.clone()).collect(),
+            choice: assessment.choice,
+            predicted_time_s: assessment.chosen_time_s(),
+            predicted_energy_j: assessment.chosen_energy_j(),
+            actual_time_s: completed_at_s - t0,
+        });
+    }
+}

@@ -1,0 +1,227 @@
+//! The energy-aware decision engine (Section VII, Figure 6).
+//!
+//! For a candidate group the backend predicts three alternatives and
+//! picks the lowest whole-system energy:
+//!
+//! * **Consolidate** — one merged kernel, time/power from the Section
+//!   V/VI models;
+//! * **SerialGpu** — the kernels one after another on the GPU (how GPUs
+//!   are conventionally shared);
+//! * **Cpu** — the instances on the multicore CPU under the OS scheduler
+//!   (the paper assumes CPU performance and energy profiles are known;
+//!   ours come from the per-workload [`ewc_cpu::CpuTask`] profiles).
+
+use ewc_cpu::{CpuEngine, CpuPowerModel, CpuTask};
+use ewc_models::{ConsolidationPlan, EnergyModel, Prediction};
+
+/// The chosen execution alternative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Choice {
+    /// Merge into one kernel on the GPU.
+    Consolidate,
+    /// Run each kernel individually on the GPU.
+    SerialGpu,
+    /// Run the instances on the CPU.
+    Cpu,
+}
+
+/// Predictions for all alternatives plus the verdict.
+#[derive(Debug, Clone)]
+pub struct Assessment {
+    /// The verdict.
+    pub choice: Choice,
+    /// Consolidated-GPU prediction.
+    pub consolidated: Prediction,
+    /// Serial-GPU prediction.
+    pub serial: Prediction,
+    /// CPU makespan prediction, seconds.
+    pub cpu_time_s: f64,
+    /// CPU whole-system energy prediction, joules.
+    pub cpu_energy_j: f64,
+}
+
+impl Assessment {
+    /// Predicted time of the chosen alternative.
+    pub fn chosen_time_s(&self) -> f64 {
+        match self.choice {
+            Choice::Consolidate => self.consolidated.time_s,
+            Choice::SerialGpu => self.serial.time_s,
+            Choice::Cpu => self.cpu_time_s,
+        }
+    }
+
+    /// Predicted whole-system energy of the chosen alternative.
+    pub fn chosen_energy_j(&self) -> f64 {
+        match self.choice {
+            Choice::Consolidate => self.consolidated.system_energy_j,
+            Choice::SerialGpu => self.serial.system_energy_j,
+            Choice::Cpu => self.cpu_energy_j,
+        }
+    }
+}
+
+/// The decision engine.
+pub struct DecisionEngine {
+    energy: EnergyModel,
+    cpu: CpuEngine,
+    cpu_power: CpuPowerModel,
+    margin: f64,
+}
+
+impl DecisionEngine {
+    /// Compose from the GPU energy model and CPU simulator + power model.
+    /// Consolidation must beat the alternatives by the default margin of
+    /// 2% predicted energy — merging kernels has real coordination and
+    /// contention costs the models cannot see, so a predicted tie is not
+    /// worth taking (the scenario-1 lesson).
+    pub fn new(energy: EnergyModel, cpu: CpuEngine, cpu_power: CpuPowerModel) -> Self {
+        DecisionEngine { energy, cpu, cpu_power, margin: 0.02 }
+    }
+
+    /// Override the required consolidation benefit margin (fraction of
+    /// predicted energy).
+    pub fn with_margin(mut self, margin: f64) -> Self {
+        assert!(margin >= 0.0, "margin must be non-negative");
+        self.margin = margin;
+        self
+    }
+
+    /// The GPU-side energy model.
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy
+    }
+
+    /// Assess a candidate group: `plan` describes the GPU side (template
+    /// layout order), `cpu_tasks` the same instances as CPU jobs.
+    pub fn assess(&self, plan: &ConsolidationPlan, cpu_tasks: &[CpuTask]) -> Assessment {
+        let consolidated = self.energy.predict(plan);
+        let serial = self.energy.predict_serial(plan);
+        let cpu_out = self.cpu.run(cpu_tasks);
+        let cpu_energy = self.cpu_power.energy_j(&cpu_out);
+
+        let candidates = [
+            // Consolidation pays a benefit margin: it must clearly win.
+            (Choice::Consolidate, consolidated.system_energy_j * (1.0 + self.margin)),
+            (Choice::SerialGpu, serial.system_energy_j),
+            (Choice::Cpu, cpu_energy),
+        ];
+        let choice = candidates
+            .into_iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("energies must not be NaN"))
+            .map(|(c, _)| c)
+            .expect("non-empty candidate list");
+
+        Assessment {
+            choice,
+            consolidated,
+            serial,
+            cpu_time_s: cpu_out.makespan_s,
+            cpu_energy_j: cpu_energy,
+        }
+    }
+
+    /// Simulate a CPU run (used when the verdict is [`Choice::Cpu`]).
+    pub fn run_on_cpu(&self, tasks: &[CpuTask]) -> (f64, f64) {
+        let out = self.cpu.run(tasks);
+        (out.makespan_s, self.cpu_power.energy_j(&out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ewc_cpu::CpuConfig;
+    use ewc_energy::{GpuPowerGroundTruth, PowerCoefficients, ThermalModel, TrainingBenchmark};
+    use ewc_gpu::{GpuConfig, KernelDesc};
+    use ewc_models::{KernelSpec, PowerModel};
+
+    fn engine() -> DecisionEngine {
+        let cfg = GpuConfig::tesla_c1060();
+        let coeffs = PowerCoefficients::train(
+            &cfg,
+            &GpuPowerGroundTruth::tesla_c1060(),
+            &TrainingBenchmark::rodinia_suite(),
+            42,
+        )
+        .unwrap();
+        let energy = EnergyModel::new(
+            cfg.clone(),
+            PowerModel::new(coeffs, ThermalModel::gt200(), cfg),
+            200.0,
+        );
+        DecisionEngine::new(
+            energy,
+            CpuEngine::new(CpuConfig::xeon_e5520_x2()),
+            CpuPowerModel::xeon_e5520_x2(),
+        )
+    }
+
+    fn compute(name: &str, secs: f64, blocks: u32) -> KernelSpec {
+        let c = GpuConfig::tesla_c1060();
+        KernelSpec::new(
+            KernelDesc::builder(name)
+                .threads_per_block(256)
+                .comp_insts(secs * c.clock_hz / (8.0 * c.warp_issue_cycles()))
+                .build(),
+            blocks,
+        )
+    }
+
+    #[test]
+    fn many_small_instances_choose_consolidation() {
+        let e = engine();
+        let mut plan = ConsolidationPlan::new();
+        let mut tasks = Vec::new();
+        for _ in 0..9 {
+            plan.push(compute("enc", 8.4, 3));
+            tasks.push(CpuTask::new("enc", 14.4, 2, 8 << 20));
+        }
+        let a = e.assess(&plan, &tasks);
+        assert_eq!(a.choice, Choice::Consolidate, "assessment: {a:?}");
+        assert!(a.consolidated.system_energy_j < a.cpu_energy_j);
+        assert!(a.consolidated.system_energy_j < a.serial.system_energy_j);
+    }
+
+    #[test]
+    fn single_cpu_friendly_instance_chooses_cpu() {
+        // One encryption instance: CPU is faster *and* the GPU system
+        // idles at a higher floor — CPU must win.
+        let e = engine();
+        let plan = ConsolidationPlan::new().with(compute("enc", 8.4, 3));
+        let tasks = [CpuTask::new("enc", 14.4, 2, 8 << 20)];
+        let a = e.assess(&plan, &tasks);
+        assert_eq!(a.choice, Choice::Cpu, "assessment: {a:?}");
+    }
+
+    #[test]
+    fn gpu_friendly_instance_prefers_gpu() {
+        // A MonteCarlo-like instance: 43 s GPU vs 306 s CPU.
+        let e = engine();
+        let plan = ConsolidationPlan::new().with(compute("mc", 43.2, 1));
+        let tasks = [CpuTask::new("mc", 306.0, 1, 12 << 20)];
+        let a = e.assess(&plan, &tasks);
+        assert_ne!(a.choice, Choice::Cpu, "assessment: {a:?}");
+    }
+
+    #[test]
+    fn chosen_accessors_track_choice() {
+        let e = engine();
+        let plan = ConsolidationPlan::new()
+            .with(compute("a", 5.0, 3))
+            .with(compute("b", 5.0, 3));
+        let tasks =
+            [CpuTask::new("a", 10.0, 2, 1 << 20), CpuTask::new("b", 10.0, 2, 1 << 20)];
+        let a = e.assess(&plan, &tasks);
+        let t = a.chosen_time_s();
+        let en = a.chosen_energy_j();
+        match a.choice {
+            Choice::Consolidate => {
+                assert_eq!(t, a.consolidated.time_s);
+                assert_eq!(en, a.consolidated.system_energy_j);
+            }
+            Choice::SerialGpu => assert_eq!(t, a.serial.time_s),
+            Choice::Cpu => assert_eq!(t, a.cpu_time_s),
+        }
+        assert!(en > 0.0);
+    }
+}

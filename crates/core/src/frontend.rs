@@ -1,0 +1,141 @@
+//! The frontend shim (Section IV).
+//!
+//! "The frontend is a shared library, loaded into applications to
+//! intercept specific CUDA Runtime API calls" — here, a handle each user
+//! "process" (thread) holds. Every call forwards to the backend daemon
+//! over the channel and blocks on the reply, matching the synchronous
+//! CUDA runtime API. With **argument batching** on, `setup_argument`
+//! values accumulate locally and ride along with `launch`, cutting the
+//! per-call round trips that dominate small-workload consolidation
+//! overhead.
+
+use crossbeam_channel::Sender;
+use ewc_gpu::kernel::KernelArg;
+use ewc_gpu::DevicePtr;
+
+use crate::protocol::{CoreError, ExecConfig, Request};
+
+/// A per-process frontend handle. Cloning is intentionally not provided:
+/// one frontend = one process context, as in the paper.
+pub struct Frontend {
+    ctx: u64,
+    tx: Sender<Request>,
+    batching: bool,
+    held_args: Vec<KernelArg>,
+}
+
+impl Frontend {
+    pub(crate) fn new(ctx: u64, tx: Sender<Request>, batching: bool) -> Self {
+        Frontend { ctx, tx, batching, held_args: Vec::new() }
+    }
+
+    /// This frontend's context id.
+    pub fn ctx(&self) -> u64 {
+        self.ctx
+    }
+
+    fn rpc<T>(
+        &self,
+        build: impl FnOnce(Sender<Result<T, CoreError>>) -> Request,
+    ) -> Result<T, CoreError>
+    where
+        T: Send,
+    {
+        let (reply_tx, reply_rx) = crossbeam_channel::bounded(1);
+        self.tx.send(build(reply_tx)).map_err(|_| CoreError::Disconnected)?;
+        reply_rx.recv().map_err(|_| CoreError::Disconnected)?
+    }
+
+    /// `cudaMalloc`.
+    pub fn malloc(&self, len: u64) -> Result<DevicePtr, CoreError> {
+        self.rpc(|reply| Request::Malloc { ctx: self.ctx, len, reply })
+    }
+
+    /// `cudaFree`.
+    pub fn free(&self, ptr: DevicePtr) -> Result<(), CoreError> {
+        self.rpc(|reply| Request::Free { ctx: self.ctx, ptr, reply })
+    }
+
+    /// `cudaMemcpyHostToDevice`.
+    pub fn memcpy_h2d(&self, dst: DevicePtr, offset: u64, data: &[u8]) -> Result<(), CoreError> {
+        let data = data.to_vec();
+        self.rpc(move |reply| Request::MemcpyH2D { ctx: self.ctx, dst, offset, data, reply })
+    }
+
+    /// `cudaMemcpyDeviceToHost`.
+    pub fn memcpy_d2h(&self, src: DevicePtr, offset: u64, len: u64) -> Result<Vec<u8>, CoreError> {
+        self.rpc(|reply| Request::MemcpyD2H { ctx: self.ctx, src, offset, len, reply })
+    }
+
+    /// `cudaConfigureCall`: capture the execution configuration.
+    pub fn configure_call(&self, grid_blocks: u32, threads_per_block: u32) -> Result<(), CoreError> {
+        self.tx
+            .send(Request::ConfigureCall {
+                ctx: self.ctx,
+                config: ExecConfig { grid_blocks, threads_per_block },
+            })
+            .map_err(|_| CoreError::Disconnected)
+    }
+
+    /// `cudaSetupArgument`: with batching on, held locally until
+    /// [`Frontend::launch`]; otherwise forwarded immediately.
+    pub fn setup_argument(&mut self, arg: KernelArg) -> Result<(), CoreError> {
+        if self.batching {
+            self.held_args.push(arg);
+            Ok(())
+        } else {
+            self.tx
+                .send(Request::SetupArgument { ctx: self.ctx, arg })
+                .map_err(|_| CoreError::Disconnected)
+        }
+    }
+
+    /// `cudaLaunch`: enqueue the kernel for (possible) consolidation.
+    /// Returns a ticket; completion is observed via [`Frontend::sync`].
+    pub fn launch(&mut self, kernel: &str) -> Result<u64, CoreError> {
+        let batched = if self.batching { Some(std::mem::take(&mut self.held_args)) } else { None };
+        let name = kernel.to_string();
+        let ctx = self.ctx;
+        self.rpc(move |reply| Request::Launch { ctx, name, batched_args: batched, reply })
+    }
+
+    /// Register load-once constant data (the Section IV backend API).
+    pub fn register_constant(&self, key: &str, data: &[u8]) -> Result<DevicePtr, CoreError> {
+        let key = key.to_string();
+        let data = data.to_vec();
+        self.rpc(move |reply| Request::RegisterConstant { ctx: self.ctx, key, data, reply })
+    }
+
+    /// Advance the simulated device clock to (at least) `to_s` — the
+    /// trace-driven harness's way of modelling request arrival times.
+    pub fn advance_clock(&self, to_s: f64) -> Result<(), CoreError> {
+        self.tx.send(Request::AdvanceClock { to_s }).map_err(|_| CoreError::Disconnected)
+    }
+
+    /// Block until all pending kernels (from every frontend) executed.
+    pub fn sync(&self) -> Result<(), CoreError> {
+        self.rpc(|reply| Request::Sync { ctx: self.ctx, reply })
+    }
+}
+
+impl ewc_gpu::DeviceAlloc for Frontend {
+    fn alloc_bytes(&mut self, len: u64) -> Result<DevicePtr, ewc_gpu::GpuError> {
+        self.malloc(len).map_err(core_to_gpu)
+    }
+    fn upload(&mut self, dst: DevicePtr, offset: u64, data: &[u8]) -> Result<(), ewc_gpu::GpuError> {
+        self.memcpy_h2d(dst, offset, data).map_err(core_to_gpu)
+    }
+}
+
+/// Flatten a frontend error into a device error for the [`ewc_gpu::DeviceAlloc`]
+/// abstraction (framework-level failures surface as configuration
+/// errors).
+fn core_to_gpu(e: CoreError) -> ewc_gpu::GpuError {
+    match e {
+        CoreError::Gpu(g) => g,
+        other => ewc_gpu::GpuError::BadConfig(other.to_string()),
+    }
+}
+
+// Further frontend tests live in `runtime.rs` and the crate's
+// integration tests, where a real backend answers the channel.

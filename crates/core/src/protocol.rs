@@ -1,0 +1,258 @@
+//! Frontend↔backend wire protocol.
+//!
+//! Each intercepted API call becomes one [`Request`] over the backend's
+//! channel, mirroring the paper's interception of `cudaMalloc`,
+//! `cudaMemcpy`, `cudaConfigureCall`, `cudaSetupArgument` and
+//! `cudaLaunch`. Requests that need an answer carry a one-shot reply
+//! sender; fire-and-forget requests (configure/setup-argument) rely on
+//! channel FIFO ordering, exactly like the real shim relies on API call
+//! order.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crossbeam_channel::Sender;
+use ewc_gpu::kernel::KernelArg;
+use ewc_gpu::{DevicePtr, GpuError};
+use ewc_workloads::Workload;
+
+use crate::stats::BackendStats;
+
+/// Errors surfaced to frontends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Device-side failure.
+    Gpu(GpuError),
+    /// `launch` was called for a kernel name the backend has no
+    /// precompiled template/registration for.
+    UnknownKernel(String),
+    /// `launch` without a preceding `configure_call`.
+    NotConfigured,
+    /// The execution configuration does not match the registered kernel.
+    BadConfiguration(String),
+    /// The backend is gone (channel disconnected).
+    Disconnected,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Gpu(e) => write!(f, "device error: {e}"),
+            CoreError::UnknownKernel(k) => write!(f, "unknown kernel '{k}'"),
+            CoreError::NotConfigured => write!(f, "launch without configure_call"),
+            CoreError::BadConfiguration(why) => write!(f, "bad execution configuration: {why}"),
+            CoreError::Disconnected => write!(f, "backend disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<GpuError> for CoreError {
+    fn from(e: GpuError) -> Self {
+        CoreError::Gpu(e)
+    }
+}
+
+/// Execution configuration captured by `configure_call`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Grid size in blocks.
+    pub grid_blocks: u32,
+    /// Block size in threads.
+    pub threads_per_block: u32,
+}
+
+/// A kernel launch waiting in the backend's pending queue.
+pub struct KernelRequest {
+    /// Submitting context (process) id.
+    pub ctx: u64,
+    /// Monotonic sequence number (arrival order).
+    pub seq: u64,
+    /// Registered kernel/workload name.
+    pub name: String,
+    /// Launch arguments (valid in the backend's context — all memory is
+    /// backend-allocated).
+    pub args: Vec<KernelArg>,
+    /// The registered workload implementation.
+    pub workload: Arc<dyn Workload>,
+    /// Device-clock time at which the launch was enqueued (for latency
+    /// accounting and staleness-triggered flushes).
+    pub submitted_at_s: f64,
+}
+
+impl fmt::Debug for KernelRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KernelRequest")
+            .field("ctx", &self.ctx)
+            .field("seq", &self.seq)
+            .field("name", &self.name)
+            .field("args", &self.args.len())
+            .finish()
+    }
+}
+
+/// Messages from frontends to the backend.
+pub enum Request {
+    /// `cudaMalloc`.
+    Malloc {
+        /// Context id.
+        ctx: u64,
+        /// Bytes requested.
+        len: u64,
+        /// Reply channel.
+        reply: Sender<Result<DevicePtr, CoreError>>,
+    },
+    /// `cudaFree`.
+    Free {
+        /// Context id.
+        ctx: u64,
+        /// Pointer to release.
+        ptr: DevicePtr,
+        /// Reply channel.
+        reply: Sender<Result<(), CoreError>>,
+    },
+    /// `cudaMemcpy` host→device: the data crosses process boundaries via
+    /// the backend's staging buffer.
+    MemcpyH2D {
+        /// Context id.
+        ctx: u64,
+        /// Destination device pointer.
+        dst: DevicePtr,
+        /// Byte offset within the allocation.
+        offset: u64,
+        /// Payload.
+        data: Vec<u8>,
+        /// Reply channel.
+        reply: Sender<Result<(), CoreError>>,
+    },
+    /// `cudaMemcpy` device→host.
+    MemcpyD2H {
+        /// Context id.
+        ctx: u64,
+        /// Source device pointer.
+        src: DevicePtr,
+        /// Byte offset within the allocation.
+        offset: u64,
+        /// Bytes to read.
+        len: u64,
+        /// Reply channel.
+        reply: Sender<Result<Vec<u8>, CoreError>>,
+    },
+    /// `cudaConfigureCall` (fire-and-forget; FIFO-ordered).
+    ConfigureCall {
+        /// Context id.
+        ctx: u64,
+        /// Captured configuration.
+        config: ExecConfig,
+    },
+    /// `cudaSetupArgument` (fire-and-forget; used when argument batching
+    /// is off).
+    SetupArgument {
+        /// Context id.
+        ctx: u64,
+        /// The argument value.
+        arg: KernelArg,
+    },
+    /// `cudaLaunch`: enqueue a kernel. With argument batching on, the
+    /// accumulated arguments ride along.
+    Launch {
+        /// Context id.
+        ctx: u64,
+        /// Registered kernel name.
+        name: String,
+        /// Batched arguments (None when shipped via `SetupArgument`).
+        batched_args: Option<Vec<KernelArg>>,
+        /// Reply channel: the assigned ticket (sequence number).
+        reply: Sender<Result<u64, CoreError>>,
+    },
+    /// Load-once constant data (the backend API of Section IV's
+    /// application-specific optimisation).
+    RegisterConstant {
+        /// Context id.
+        ctx: u64,
+        /// Cache key (e.g. `"aes_ttables"`).
+        key: String,
+        /// Constant bytes.
+        data: Vec<u8>,
+        /// Reply channel.
+        reply: Sender<Result<DevicePtr, CoreError>>,
+    },
+    /// Advance the simulated clock to (at least) `to_s` — used by
+    /// trace-driven harnesses to model request arrival times. Not an
+    /// intercepted API call, so it carries no channel cost.
+    AdvanceClock {
+        /// Target time in seconds (no-op if already past).
+        to_s: f64,
+    },
+    /// Block until every pending kernel has executed.
+    Sync {
+        /// Context id.
+        ctx: u64,
+        /// Reply channel.
+        reply: Sender<Result<(), CoreError>>,
+    },
+    /// Drain, stop the daemon and return statistics plus each device's
+    /// activity profile and the final clock.
+    Shutdown {
+        /// Reply channel.
+        reply: Sender<(BackendStats, Vec<Vec<ewc_gpu::counters::ActivityInterval>>, f64)>,
+    },
+}
+
+impl Request {
+    /// Context the request belongs to (None for shutdown).
+    pub fn ctx(&self) -> Option<u64> {
+        match self {
+            Request::Malloc { ctx, .. }
+            | Request::Free { ctx, .. }
+            | Request::MemcpyH2D { ctx, .. }
+            | Request::MemcpyD2H { ctx, .. }
+            | Request::ConfigureCall { ctx, .. }
+            | Request::SetupArgument { ctx, .. }
+            | Request::Launch { ctx, .. }
+            | Request::RegisterConstant { ctx, .. }
+            | Request::Sync { ctx, .. } => Some(*ctx),
+            Request::AdvanceClock { .. } | Request::Shutdown { .. } => None,
+        }
+    }
+
+    /// Short name for tracing.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Malloc { .. } => "malloc",
+            Request::Free { .. } => "free",
+            Request::MemcpyH2D { .. } => "memcpy_h2d",
+            Request::MemcpyD2H { .. } => "memcpy_d2h",
+            Request::ConfigureCall { .. } => "configure_call",
+            Request::SetupArgument { .. } => "setup_argument",
+            Request::Launch { .. } => "launch",
+            Request::RegisterConstant { .. } => "register_constant",
+            Request::AdvanceClock { .. } => "advance_clock",
+            Request::Sync { .. } => "sync",
+            Request::Shutdown { .. } => "shutdown",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(CoreError::UnknownKernel("x".into()).to_string().contains('x'));
+        assert!(CoreError::from(GpuError::EmptyGrid).to_string().contains("empty"));
+    }
+
+    #[test]
+    fn request_introspection() {
+        let (tx, _rx) = crossbeam_channel::bounded(1);
+        let r = Request::Malloc { ctx: 3, len: 10, reply: tx };
+        assert_eq!(r.ctx(), Some(3));
+        assert_eq!(r.kind(), "malloc");
+        let (tx, _rx) = crossbeam_channel::bounded(1);
+        let r = Request::Shutdown { reply: tx };
+        assert_eq!(r.ctx(), None);
+    }
+}

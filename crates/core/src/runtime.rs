@@ -1,0 +1,307 @@
+//! The runtime façade: builds the backend, hands out frontends, and
+//! integrates energy at shutdown.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ewc_cpu::{CpuConfig, CpuEngine, CpuPowerModel};
+use ewc_energy::{GpuSystemPower, PowerCoefficients, ThermalModel, TrainingBenchmark};
+use ewc_gpu::{GpuConfig, GpuDevice};
+use ewc_models::{EnergyModel, PowerModel};
+use ewc_workloads::Workload;
+
+use crate::backend::{self, BackendHandles};
+use crate::config::RuntimeConfig;
+use crate::decision::DecisionEngine;
+use crate::frontend::Frontend;
+use crate::protocol::Request;
+use crate::stats::BackendStats;
+use crate::template::{Template, TemplateRegistry};
+
+/// Builder for a [`Runtime`]. Workloads and templates must be registered
+/// before the backend starts (they are the "precompiled" artefacts of
+/// Section IV).
+pub struct RuntimeBuilder {
+    cfg: RuntimeConfig,
+    gpu_cfg: GpuConfig,
+    cpu_cfg: CpuConfig,
+    idle_w: f64,
+    training_seed: u64,
+    workloads: HashMap<String, Arc<dyn Workload>>,
+    templates: TemplateRegistry,
+}
+
+impl RuntimeBuilder {
+    /// Start a builder with the given runtime configuration.
+    pub fn new(cfg: RuntimeConfig) -> Self {
+        RuntimeBuilder {
+            cfg,
+            gpu_cfg: GpuConfig::tesla_c1060(),
+            cpu_cfg: CpuConfig::xeon_e5520_x2(),
+            idle_w: 200.0,
+            training_seed: 42,
+            workloads: HashMap::new(),
+            templates: TemplateRegistry::new(),
+        }
+    }
+
+    /// Override the GPU configuration.
+    pub fn gpu_config(mut self, cfg: GpuConfig) -> Self {
+        self.gpu_cfg = cfg;
+        self
+    }
+
+    /// Override the CPU configuration.
+    pub fn cpu_config(mut self, cfg: CpuConfig) -> Self {
+        self.cpu_cfg = cfg;
+        self
+    }
+
+    /// Register a workload under its registry name.
+    pub fn workload(mut self, name: &str, w: Arc<dyn Workload>) -> Self {
+        self.workloads.insert(name.to_string(), w);
+        self
+    }
+
+    /// Register a consolidation template.
+    pub fn template(mut self, t: Template) -> Self {
+        self.templates.register(t);
+        self
+    }
+
+    /// Build: trains the power model, spawns the backend, returns the
+    /// runtime.
+    pub fn build(self) -> Runtime {
+        let gpus: Vec<GpuDevice> =
+            (0..self.cfg.num_gpus.max(1)).map(|_| GpuDevice::new(self.gpu_cfg.clone())).collect();
+        let system = GpuSystemPower {
+            idle_w: self.idle_w,
+            ..GpuSystemPower::tesla_system()
+        };
+        let coeffs = PowerCoefficients::train(
+            &self.gpu_cfg,
+            &system.truth,
+            &TrainingBenchmark::rodinia_suite(),
+            self.training_seed,
+        )
+        .expect("power-model training must converge");
+        let energy = EnergyModel::new(
+            self.gpu_cfg.clone(),
+            PowerModel::new(coeffs, ThermalModel::gt200(), self.gpu_cfg.clone()),
+            self.idle_w,
+        );
+        let decision = DecisionEngine::new(
+            energy,
+            CpuEngine::new(self.cpu_cfg),
+            CpuPowerModel::xeon_e5520_x2(),
+        );
+        let noise_seed = self.cfg.noise_seed;
+        let batching = self.cfg.argument_batching;
+        let handles = backend::spawn(self.cfg, gpus, self.workloads, self.templates, decision);
+        Runtime {
+            handles: Some(handles),
+            next_ctx: AtomicU64::new(1),
+            batching,
+            system,
+            noise_seed,
+        }
+    }
+}
+
+/// Final report of a runtime session.
+#[derive(Debug, Clone)]
+pub struct RuntimeReport {
+    /// Backend statistics.
+    pub stats: BackendStats,
+    /// Total device time elapsed (first call to shutdown), seconds.
+    pub elapsed_s: f64,
+    /// Whole-system energy over the session, joules.
+    pub energy: ewc_energy::system::SystemEnergy,
+}
+
+/// A running consolidation runtime.
+pub struct Runtime {
+    handles: Option<BackendHandles>,
+    next_ctx: AtomicU64,
+    batching: bool,
+    system: GpuSystemPower,
+    noise_seed: Option<u64>,
+}
+
+impl Runtime {
+    /// Build a runtime.
+    pub fn builder(cfg: RuntimeConfig) -> RuntimeBuilder {
+        RuntimeBuilder::new(cfg)
+    }
+
+    /// Connect a new user process; returns its frontend shim.
+    pub fn connect(&self) -> Frontend {
+        let ctx = self.next_ctx.fetch_add(1, Ordering::Relaxed);
+        let tx = self.handles.as_ref().expect("runtime is live").sender.clone();
+        Frontend::new(ctx, tx, self.batching)
+    }
+
+    /// The system power composition used for energy integration.
+    pub fn system_power(&self) -> &GpuSystemPower {
+        &self.system
+    }
+
+    /// Drain everything, stop the backend, and report.
+    pub fn shutdown(mut self) -> RuntimeReport {
+        let handles = self.handles.take().expect("runtime is live");
+        let (reply_tx, reply_rx) = crossbeam_channel::bounded(1);
+        handles
+            .sender
+            .send(Request::Shutdown { reply: reply_tx })
+            .expect("backend alive at shutdown");
+        let (stats, activities, elapsed_s) =
+            reply_rx.recv().expect("backend replies to shutdown");
+        handles.join.join().expect("backend thread exits cleanly");
+        let energy = self.system.integrate_many(&activities, elapsed_s, self.noise_seed);
+        RuntimeReport { stats, elapsed_s, energy }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        if let Some(handles) = self.handles.take() {
+            let (reply_tx, reply_rx) = crossbeam_channel::bounded(1);
+            if handles.sender.send(Request::Shutdown { reply: reply_tx }).is_ok() {
+                let _ = reply_rx.recv();
+            }
+            let _ = handles.join.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::Choice;
+    use ewc_gpu::kernel::KernelArg;
+    use ewc_workloads::{AesWorkload, Workload};
+
+    fn runtime(threshold: u32) -> Runtime {
+        let gpu_cfg = GpuConfig::tesla_c1060();
+        let cfg = RuntimeConfig { threshold_factor: threshold, ..RuntimeConfig::default() };
+        Runtime::builder(cfg)
+            .workload("encryption", Arc::new(AesWorkload::fig7(&gpu_cfg)))
+            .template(Template::homogeneous("encryption"))
+            .build()
+    }
+
+    /// Submit one AES instance through the frontend API; returns
+    /// (frontend, output ptr, expected bytes).
+    fn submit_aes(rt: &Runtime, seed: u64) -> (Frontend, ewc_gpu::DevicePtr, Vec<u8>) {
+        let gpu_cfg = GpuConfig::tesla_c1060();
+        let w = AesWorkload::fig7(&gpu_cfg);
+        let mut fe = rt.connect();
+        let n = w.data_bytes() as u64;
+        let input = fe.malloc(n).unwrap();
+        let output = fe.malloc(n).unwrap();
+        fe.memcpy_h2d(input, 0, &ewc_workloads::data::bytes(seed, n as usize)).unwrap();
+        fe.configure_call(w.blocks(), w.desc().threads_per_block).unwrap();
+        fe.setup_argument(KernelArg::Ptr(input)).unwrap();
+        fe.setup_argument(KernelArg::Ptr(output)).unwrap();
+        fe.setup_argument(KernelArg::U32(n as u32)).unwrap();
+        fe.launch("encryption").unwrap();
+        (fe, output, w.expected_output(seed))
+    }
+
+    #[test]
+    fn end_to_end_single_instance() {
+        let rt = runtime(10);
+        let (fe, out_ptr, expect) = submit_aes(&rt, 5);
+        fe.sync().unwrap();
+        let got = fe.memcpy_d2h(out_ptr, 0, expect.len() as u64).unwrap();
+        assert_eq!(got, expect, "framework execution must match host AES");
+        let report = rt.shutdown();
+        assert_eq!(report.stats.records.len(), 1);
+        assert!(report.elapsed_s > 0.0);
+        assert!(report.energy.energy_j > 0.0);
+    }
+
+    #[test]
+    fn threshold_triggers_consolidation() {
+        let rt = runtime(3);
+        let mut outs = Vec::new();
+        for seed in 0..3 {
+            outs.push(submit_aes(&rt, seed));
+        }
+        // Threshold (3) reached on the last launch: everything should
+        // already have executed as one consolidated group.
+        for (fe, out_ptr, expect) in &outs {
+            let got = fe.memcpy_d2h(*out_ptr, 0, expect.len() as u64).unwrap();
+            assert_eq!(&got, expect);
+        }
+        let report = rt.shutdown();
+        assert_eq!(report.stats.consolidated_launches, 1);
+        let rec = &report.stats.records[0];
+        assert_eq!(rec.choice, Choice::Consolidate);
+        assert_eq!(rec.kernels.len(), 3);
+    }
+
+    #[test]
+    fn below_threshold_waits_until_sync() {
+        let rt = runtime(10);
+        let (fe1, out1, expect1) = submit_aes(&rt, 1);
+        let (fe2, out2, expect2) = submit_aes(&rt, 2);
+        fe1.sync().unwrap();
+        // Results must be correct regardless of which alternative the
+        // decision engine picked (two CPU-friendly AES instances may
+        // legitimately be routed to the CPU).
+        assert_eq!(fe1.memcpy_d2h(out1, 0, expect1.len() as u64).unwrap(), expect1);
+        assert_eq!(fe2.memcpy_d2h(out2, 0, expect2.len() as u64).unwrap(), expect2);
+        let report = rt.shutdown();
+        // Both instances were handled as one group at sync time.
+        assert_eq!(report.stats.records.len(), 1);
+        assert_eq!(report.stats.records[0].kernels.len(), 2);
+    }
+
+    #[test]
+    fn unknown_kernel_rejected() {
+        let rt = runtime(10);
+        let mut fe = rt.connect();
+        fe.configure_call(1, 32).unwrap();
+        let err = fe.launch("nonexistent").unwrap_err();
+        assert!(matches!(err, crate::protocol::CoreError::UnknownKernel(_)));
+        drop(rt);
+    }
+
+    #[test]
+    fn launch_without_configure_rejected() {
+        let rt = runtime(10);
+        let mut fe = rt.connect();
+        let err = fe.launch("encryption").unwrap_err();
+        assert!(matches!(err, crate::protocol::CoreError::NotConfigured));
+    }
+
+    #[test]
+    fn bad_configuration_rejected() {
+        let rt = runtime(10);
+        let mut fe = rt.connect();
+        fe.configure_call(99, 64).unwrap();
+        let err = fe.launch("encryption").unwrap_err();
+        assert!(matches!(err, crate::protocol::CoreError::BadConfiguration(_)));
+    }
+
+    #[test]
+    fn distinct_contexts_per_frontend() {
+        let rt = runtime(10);
+        let a = rt.connect();
+        let b = rt.connect();
+        assert_ne!(a.ctx(), b.ctx());
+    }
+
+    #[test]
+    fn overheads_accumulate_in_stats() {
+        let rt = runtime(10);
+        let (fe, ..) = submit_aes(&rt, 3);
+        fe.sync().unwrap();
+        let report = rt.shutdown();
+        assert!(report.stats.messages > 5);
+        assert!(report.stats.staged_bytes > 0);
+        assert!(report.stats.overhead_s() > 0.0);
+    }
+}

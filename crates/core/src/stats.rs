@@ -1,0 +1,147 @@
+//! Backend statistics and consolidation records.
+
+use crate::decision::Choice;
+
+/// Lifecycle record of one kernel request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelOutcome {
+    /// Submitting context.
+    pub ctx: u64,
+    /// Request sequence number.
+    pub seq: u64,
+    /// Workload name.
+    pub name: String,
+    /// Device-clock time of `launch`.
+    pub submitted_at_s: f64,
+    /// Device-clock time its group finished executing.
+    pub completed_at_s: f64,
+    /// Where it ran.
+    pub choice: Choice,
+}
+
+impl KernelOutcome {
+    /// Queueing + execution latency of this request.
+    pub fn latency_s(&self) -> f64 {
+        self.completed_at_s - self.submitted_at_s
+    }
+}
+
+/// One consolidation (or fallback) decision the backend took.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConsolidationRecord {
+    /// Template used (or `"<individual>"` for single-kernel fallbacks).
+    pub template: String,
+    /// Names of the member kernels, in template layout order.
+    pub kernels: Vec<String>,
+    /// What the decision engine chose.
+    pub choice: Choice,
+    /// Model-predicted execution time for the chosen alternative.
+    pub predicted_time_s: f64,
+    /// Model-predicted whole-system energy for the chosen alternative.
+    pub predicted_energy_j: f64,
+    /// Actually simulated execution time.
+    pub actual_time_s: f64,
+}
+
+/// Cumulative backend statistics, returned at shutdown.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BackendStats {
+    /// Messages received from frontends.
+    pub messages: u64,
+    /// Bytes copied through the staging buffer (both directions).
+    pub staged_bytes: u64,
+    /// Time spent on staging copies, seconds.
+    pub staging_s: f64,
+    /// Time spent on channel round trips, seconds.
+    pub channel_s: f64,
+    /// Time spent coordinating consolidation groups, seconds.
+    pub coordination_s: f64,
+    /// Kernel launches issued to the device.
+    pub launches: u64,
+    /// Of which consolidated (≥ 2 member kernels).
+    pub consolidated_launches: u64,
+    /// Kernels executed on the CPU instead.
+    pub cpu_executions: u64,
+    /// Simulated CPU busy time from CPU-offloaded groups, seconds.
+    pub cpu_time_s: f64,
+    /// Constant-cache hits (uploads avoided).
+    pub constant_hits: u64,
+    /// Constant-cache misses (uploads performed).
+    pub constant_misses: u64,
+    /// Per-group decision records in execution order.
+    pub records: Vec<ConsolidationRecord>,
+    /// Per-request lifecycle records in completion order.
+    pub kernel_outcomes: Vec<KernelOutcome>,
+}
+
+impl BackendStats {
+    /// Total framework overhead in seconds (everything that is not
+    /// device compute or PCIe transfer).
+    pub fn overhead_s(&self) -> f64 {
+        self.staging_s + self.channel_s + self.coordination_s
+    }
+
+    /// Request latencies sorted ascending (for percentile queries).
+    pub fn latencies_sorted(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = self.kernel_outcomes.iter().map(KernelOutcome::latency_s).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        v
+    }
+
+    /// A latency percentile in `[0, 100]`; `None` if no requests ran.
+    pub fn latency_percentile(&self, p: f64) -> Option<f64> {
+        let v = self.latencies_sorted();
+        if v.is_empty() {
+            return None;
+        }
+        let idx = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
+        Some(v[idx.min(v.len() - 1)])
+    }
+
+    /// How many kernels went through consolidated launches.
+    pub fn kernels_consolidated(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.choice == Choice::Consolidate)
+            .map(|r| r.kernels.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_sums_components() {
+        let s = BackendStats {
+            staging_s: 1.0,
+            channel_s: 0.25,
+            coordination_s: 0.5,
+            ..Default::default()
+        };
+        assert!((s.overhead_s() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernels_consolidated_counts_members() {
+        let mut s = BackendStats::default();
+        s.records.push(ConsolidationRecord {
+            template: "enc".into(),
+            kernels: vec!["encryption".into(); 4],
+            choice: Choice::Consolidate,
+            predicted_time_s: 1.0,
+            predicted_energy_j: 10.0,
+            actual_time_s: 1.1,
+        });
+        s.records.push(ConsolidationRecord {
+            template: "<individual>".into(),
+            kernels: vec!["search".into()],
+            choice: Choice::SerialGpu,
+            predicted_time_s: 1.0,
+            predicted_energy_j: 10.0,
+            actual_time_s: 1.0,
+        });
+        assert_eq!(s.kernels_consolidated(), 4);
+    }
+}

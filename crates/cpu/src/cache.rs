@@ -1,0 +1,80 @@
+//! Shared-cache contention model.
+//!
+//! The paper attributes the CPU's poor consolidation behaviour partly to
+//! "contention for shared resources such as L2 and L3 cache memories".
+//! We model it with a piecewise-linear slowdown: while the aggregate
+//! working set of co-running tasks fits in L3 there is no penalty; past
+//! capacity the slowdown grows linearly with the overcommit ratio, capped
+//! to keep the model sane for absurd inputs.
+
+use crate::config::CpuConfig;
+
+/// Computes the multiplicative slowdown from cache pressure.
+#[derive(Debug, Clone)]
+pub struct CacheModel {
+    l3_bytes: f64,
+    slope: f64,
+    cap: f64,
+}
+
+impl CacheModel {
+    /// Build from a CPU configuration.
+    pub fn new(cfg: &CpuConfig) -> Self {
+        CacheModel {
+            l3_bytes: cfg.l3_bytes as f64,
+            slope: cfg.cache_pressure_slope,
+            cap: cfg.cache_pressure_cap,
+        }
+    }
+
+    /// Slowdown factor (≥ 1) for a set of co-running tasks with the given
+    /// aggregate working set.
+    pub fn slowdown(&self, total_working_set: u64) -> f64 {
+        let ratio = total_working_set as f64 / self.l3_bytes;
+        if ratio <= 1.0 {
+            1.0
+        } else {
+            (1.0 + self.slope * (ratio - 1.0)).min(self.cap)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CacheModel {
+        CacheModel::new(&CpuConfig::tiny(2)) // 1 MiB L3, slope 0.5, cap 2.0
+    }
+
+    #[test]
+    fn no_penalty_within_capacity() {
+        let m = model();
+        assert_eq!(m.slowdown(0), 1.0);
+        assert_eq!(m.slowdown(1 << 20), 1.0);
+    }
+
+    #[test]
+    fn linear_penalty_past_capacity() {
+        let m = model();
+        // 2 MiB = 2× capacity → 1 + 0.5 × 1 = 1.5.
+        assert!((m.slowdown(2 << 20) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn penalty_saturates_at_cap() {
+        let m = model();
+        assert_eq!(m.slowdown(100 << 20), 2.0);
+    }
+
+    #[test]
+    fn monotone_in_working_set() {
+        let m = model();
+        let mut last = 0.0;
+        for ws in (0..50).map(|i| (i as u64) << 18) {
+            let s = m.slowdown(ws);
+            assert!(s >= last);
+            last = s;
+        }
+    }
+}

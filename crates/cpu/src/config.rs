@@ -1,0 +1,97 @@
+//! CPU configuration.
+
+/// Parameters of the simulated multicore machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuConfig {
+    /// Number of physical cores.
+    pub cores: u32,
+    /// Core clock in Hz (informational; task work is expressed in
+    /// core-seconds, so the clock only matters for derived metrics).
+    pub clock_hz: f64,
+    /// Total last-level cache in bytes (both sockets).
+    pub l3_bytes: u64,
+    /// OS scheduling quantum in seconds.
+    pub quantum_s: f64,
+    /// Cost of one context switch in seconds.
+    pub context_switch_s: f64,
+    /// Cache-contention sensitivity: fractional slowdown per unit of
+    /// working-set overcommit beyond L3 capacity.
+    pub cache_pressure_slope: f64,
+    /// Upper bound on the cache-contention slowdown factor.
+    pub cache_pressure_cap: f64,
+}
+
+impl CpuConfig {
+    /// Dual-socket Intel Xeon E5520 preset (2 × 4 cores @ 2.26 GHz,
+    /// 2 × 8 MB L3), the paper's host machine.
+    pub fn xeon_e5520_x2() -> Self {
+        CpuConfig {
+            cores: 8,
+            clock_hz: 2.26e9,
+            l3_bytes: 16 << 20,
+            quantum_s: 6e-3,
+            context_switch_s: 12e-6,
+            cache_pressure_slope: 1.1,
+            cache_pressure_cap: 2.0,
+        }
+    }
+
+    /// A small 2-core machine for hand-checkable unit tests.
+    pub fn tiny(cores: u32) -> Self {
+        CpuConfig {
+            cores,
+            clock_hz: 1.0e9,
+            l3_bytes: 1 << 20,
+            quantum_s: 10e-3,
+            context_switch_s: 100e-6,
+            cache_pressure_slope: 0.5,
+            cache_pressure_cap: 2.0,
+        }
+    }
+
+    /// Sanity checks for user-provided configurations.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores == 0 {
+            return Err("cores must be > 0".into());
+        }
+        if self.quantum_s <= 0.0 || self.context_switch_s < 0.0 {
+            return Err("quantum must be > 0 and switch cost >= 0".into());
+        }
+        if self.cache_pressure_cap < 1.0 {
+            return Err("cache pressure cap must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        Self::xeon_e5520_x2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_matches_testbed() {
+        let c = CpuConfig::xeon_e5520_x2();
+        assert_eq!(c.cores, 8);
+        assert_eq!(c.l3_bytes, 16 << 20);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = CpuConfig::tiny(2);
+        c.cores = 0;
+        assert!(c.validate().is_err());
+        let mut c = CpuConfig::tiny(2);
+        c.quantum_s = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = CpuConfig::tiny(2);
+        c.cache_pressure_cap = 0.5;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,349 @@
+//! Fluid event-driven CPU engine.
+//!
+//! At every instant the OS divides the machine's cores among runnable
+//! tasks by *water-filling*: each task is capped at its own
+//! `max_parallelism`; spare capacity left by narrow tasks flows to wider
+//! ones. When the total thread demand exceeds the core count, every
+//! quantum pays a context-switch toll, and the aggregate working set
+//! determines a cache-contention slowdown. Events are task arrivals and
+//! completions; between events all rates are constant, so the simulation
+//! advances in closed form exactly like the GPU engine.
+
+use crate::cache::CacheModel;
+use crate::config::CpuConfig;
+use crate::task::CpuTask;
+
+/// Core utilisation during one interval, for power integration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilInterval {
+    /// Interval start, seconds.
+    pub start_s: f64,
+    /// Interval duration, seconds.
+    pub dur_s: f64,
+    /// Busy cores (fractional, ≤ total cores).
+    pub busy_cores: f64,
+}
+
+/// Result of simulating a batch of tasks.
+#[derive(Debug, Clone)]
+pub struct CpuOutcome {
+    /// Time until the last task finished (the paper's "execution time of
+    /// concurrently running multiple instances").
+    pub makespan_s: f64,
+    /// Per-task completion times, same order as submitted.
+    pub finish_s: Vec<f64>,
+    /// Per-task start-to-finish durations (completion − arrival).
+    pub turnaround_s: Vec<f64>,
+    /// Core-utilisation profile for energy integration.
+    pub intervals: Vec<UtilInterval>,
+}
+
+/// The CPU simulator.
+#[derive(Debug, Clone)]
+pub struct CpuEngine {
+    cfg: CpuConfig,
+    cache: CacheModel,
+}
+
+#[derive(Debug)]
+struct Running {
+    idx: usize,
+    remaining_core_s: f64,
+    cap: f64,
+    working_set: u64,
+    alloc: f64,
+}
+
+impl CpuEngine {
+    /// Create an engine.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration (programmer error).
+    pub fn new(cfg: CpuConfig) -> Self {
+        cfg.validate().expect("invalid CPU configuration");
+        let cache = CacheModel::new(&cfg);
+        CpuEngine { cfg, cache }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CpuConfig {
+        &self.cfg
+    }
+
+    /// Simulate `tasks` to completion.
+    pub fn run(&self, tasks: &[CpuTask]) -> CpuOutcome {
+        let n = tasks.len();
+        let mut finish = vec![0.0_f64; n];
+        let mut intervals = Vec::new();
+        if n == 0 {
+            return CpuOutcome {
+                makespan_s: 0.0,
+                finish_s: finish,
+                turnaround_s: Vec::new(),
+                intervals,
+            };
+        }
+
+        // Arrival order (stable by submission order for equal times).
+        let mut arrivals: Vec<usize> = (0..n).collect();
+        arrivals.sort_by(|&a, &b| {
+            tasks[a]
+                .arrival_s
+                .partial_cmp(&tasks[b].arrival_s)
+                .expect("arrival times must not be NaN")
+        });
+        let mut next_arrival = 0usize;
+        let mut running: Vec<Running> = Vec::new();
+        let mut now = 0.0_f64;
+
+        loop {
+            // Admit everything that has arrived.
+            while next_arrival < n && tasks[arrivals[next_arrival]].arrival_s <= now + 1e-15 {
+                let idx = arrivals[next_arrival];
+                let t = &tasks[idx];
+                running.push(Running {
+                    idx,
+                    remaining_core_s: t.work_core_s,
+                    cap: f64::from(t.max_parallelism.min(self.cfg.cores)),
+                    working_set: t.working_set_bytes,
+                    alloc: 0.0,
+                });
+                next_arrival += 1;
+            }
+
+            if running.is_empty() {
+                if next_arrival >= n {
+                    break;
+                }
+                // Idle gap until the next arrival.
+                let t_next = tasks[arrivals[next_arrival]].arrival_s;
+                intervals.push(UtilInterval { start_s: now, dur_s: t_next - now, busy_cores: 0.0 });
+                now = t_next;
+                continue;
+            }
+
+            // Water-fill core allocations.
+            let efficiency = self.efficiency(&running);
+            self.water_fill(&mut running);
+            let busy: f64 = running.iter().map(|r| r.alloc).sum();
+
+            // Rate per task = cores × scheduling efficiency / cache slowdown.
+            let ws: u64 = running.iter().map(|r| r.working_set).sum();
+            let slow = self.cache.slowdown(ws);
+            let dt_complete = running
+                .iter()
+                .map(|r| r.remaining_core_s / (r.alloc * efficiency / slow))
+                .fold(f64::INFINITY, f64::min);
+            let dt_arrival = if next_arrival < n {
+                tasks[arrivals[next_arrival]].arrival_s - now
+            } else {
+                f64::INFINITY
+            };
+            let dt = dt_complete.min(dt_arrival).max(0.0);
+
+            intervals.push(UtilInterval { start_s: now, dur_s: dt, busy_cores: busy });
+            now += dt;
+
+            for r in running.iter_mut() {
+                r.remaining_core_s -= r.alloc * efficiency / slow * dt;
+            }
+            running.retain(|r| {
+                if r.remaining_core_s <= tasks[r.idx].work_core_s * 1e-12 {
+                    finish[r.idx] = now;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+
+        let turnaround: Vec<f64> =
+            (0..n).map(|i| finish[i] - tasks[i].arrival_s).collect();
+        CpuOutcome { makespan_s: now, finish_s: finish, turnaround_s: turnaround, intervals }
+    }
+
+    /// Convenience: makespan of running `n` copies of `task` concurrently.
+    pub fn makespan_of_copies(&self, task: &CpuTask, copies: u32) -> f64 {
+        let tasks: Vec<CpuTask> = (0..copies).map(|_| task.clone()).collect();
+        self.run(&tasks).makespan_s
+    }
+
+    /// Scheduling efficiency: 1 when the machine is not oversubscribed;
+    /// otherwise each quantum pays one context switch per extra runnable
+    /// thread per core.
+    fn efficiency(&self, running: &[Running]) -> f64 {
+        let demand: f64 = running.iter().map(|r| r.cap).sum();
+        let cores = f64::from(self.cfg.cores);
+        if demand <= cores {
+            1.0
+        } else {
+            let over = demand / cores - 1.0;
+            let toll = self.cfg.context_switch_s / self.cfg.quantum_s * over;
+            1.0 / (1.0 + toll)
+        }
+    }
+
+    /// Divide `cores` among tasks: equal share, capped by per-task
+    /// parallelism, spare capacity redistributed.
+    fn water_fill(&self, running: &mut [Running]) {
+        let mut capacity = f64::from(self.cfg.cores);
+        for r in running.iter_mut() {
+            r.alloc = 0.0;
+        }
+        let mut unsat: Vec<usize> = (0..running.len()).collect();
+        while capacity > 1e-12 && !unsat.is_empty() {
+            let share = capacity / unsat.len() as f64;
+            let mut still = Vec::with_capacity(unsat.len());
+            let mut used = 0.0;
+            for &i in &unsat {
+                let want = running[i].cap - running[i].alloc;
+                if want <= share + 1e-12 {
+                    running[i].alloc = running[i].cap;
+                    used += want;
+                } else {
+                    running[i].alloc += share;
+                    used += share;
+                    still.push(i);
+                }
+            }
+            capacity -= used;
+            if still.len() == unsat.len() {
+                // Everyone took a full share; capacity is exhausted.
+                break;
+            }
+            unsat = still;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(cores: u32) -> CpuEngine {
+        let mut cfg = CpuConfig::tiny(cores);
+        cfg.context_switch_s = 0.0; // exact arithmetic in most tests
+        CpuEngine::new(cfg)
+    }
+
+    #[test]
+    fn empty_batch() {
+        let e = engine(2);
+        let out = e.run(&[]);
+        assert_eq!(out.makespan_s, 0.0);
+        assert!(out.finish_s.is_empty());
+    }
+
+    #[test]
+    fn single_sequential_task() {
+        let e = engine(4);
+        let out = e.run(&[CpuTask::new("seq", 8.0, 1, 0)]);
+        assert!((out.makespan_s - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_parallel_task_uses_all_cores() {
+        let e = engine(4);
+        let out = e.run(&[CpuTask::new("par", 8.0, 8, 0)]);
+        // Capped at 4 cores → 2 s.
+        assert!((out.makespan_s - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fair_share_between_two_wide_tasks() {
+        let e = engine(4);
+        let t = CpuTask::new("w", 8.0, 4, 0);
+        let out = e.run(&[t.clone(), t]);
+        // Each gets 2 cores → both finish at 4 s.
+        assert!((out.makespan_s - 4.0).abs() < 1e-9);
+        assert!((out.finish_s[0] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn narrow_task_leaves_capacity_to_wide_task() {
+        let e = engine(4);
+        let narrow = CpuTask::new("n", 6.0, 1, 0);
+        let wide = CpuTask::new("w", 9.0, 4, 0);
+        let out = e.run(&[narrow, wide]);
+        // Water-fill: narrow 1 core, wide 3 cores. Wide finishes at 3 s;
+        // then narrow (3 core-s left) continues alone → 6 s total.
+        assert!((out.finish_s[1] - 3.0).abs() < 1e-9, "wide {}", out.finish_s[1]);
+        assert!((out.finish_s[0] - 6.0).abs() < 1e-9, "narrow {}", out.finish_s[0]);
+    }
+
+    #[test]
+    fn saturation_scales_makespan_linearly() {
+        let e = engine(2);
+        let t = CpuTask::new("t", 2.0, 1, 0);
+        // 2 cores: 1 task → 2 s; 2 tasks → 2 s; 4 tasks → 4 s; 8 → 8 s.
+        assert!((e.makespan_of_copies(&t, 1) - 2.0).abs() < 1e-9);
+        assert!((e.makespan_of_copies(&t, 2) - 2.0).abs() < 1e-9);
+        assert!((e.makespan_of_copies(&t, 4) - 4.0).abs() < 1e-9);
+        assert!((e.makespan_of_copies(&t, 8) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn context_switch_overhead_slows_oversubscription() {
+        let mut cfg = CpuConfig::tiny(2);
+        cfg.context_switch_s = 1e-3; // 10% of the 10 ms quantum
+        let e = CpuEngine::new(cfg);
+        let t = CpuTask::new("t", 2.0, 2, 0);
+        let base = engine(2).makespan_of_copies(&t, 4);
+        let with_overhead = e.makespan_of_copies(&t, 4);
+        assert!(with_overhead > base * 1.1, "{} vs {}", with_overhead, base);
+    }
+
+    #[test]
+    fn cache_contention_slows_heavy_working_sets() {
+        let e = engine(2); // 1 MiB L3
+        let light = CpuTask::new("light", 2.0, 1, 64 << 10);
+        let heavy = CpuTask::new("heavy", 2.0, 1, 1 << 20);
+        let t_light = e.run(&[light.clone(), light]).makespan_s;
+        let t_heavy = e.run(&[heavy.clone(), heavy]).makespan_s;
+        assert!((t_light - 2.0).abs() < 1e-9);
+        // 2 MiB aggregate on a 1 MiB L3 → 1.5× slowdown.
+        assert!((t_heavy - 3.0).abs() < 1e-9, "heavy {}", t_heavy);
+    }
+
+    #[test]
+    fn arrivals_are_honoured() {
+        let e = engine(1);
+        let a = CpuTask::new("a", 1.0, 1, 0);
+        let b = CpuTask::new("b", 1.0, 1, 0).arriving_at(5.0);
+        let out = e.run(&[a, b]);
+        assert!((out.finish_s[0] - 1.0).abs() < 1e-9);
+        assert!((out.finish_s[1] - 6.0).abs() < 1e-9);
+        assert!((out.turnaround_s[1] - 1.0).abs() < 1e-9);
+        // The idle gap appears in the utilisation profile.
+        assert!(out
+            .intervals
+            .iter()
+            .any(|iv| iv.busy_cores == 0.0 && iv.dur_s > 3.9));
+    }
+
+    #[test]
+    fn utilisation_profile_is_contiguous_and_bounded() {
+        let e = engine(2);
+        let t = CpuTask::new("t", 1.0, 2, 0);
+        let out = e.run(&[t.clone(), t.clone(), t]);
+        let mut clock = 0.0;
+        for iv in &out.intervals {
+            assert!((iv.start_s - clock).abs() < 1e-9);
+            assert!(iv.busy_cores <= 2.0 + 1e-9);
+            clock += iv.dur_s;
+        }
+        assert!((clock - out.makespan_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn determinism() {
+        let e = CpuEngine::new(CpuConfig::xeon_e5520_x2());
+        let tasks: Vec<CpuTask> = (0..10)
+            .map(|i| CpuTask::new("t", 1.0 + i as f64 * 0.3, 1 + (i % 4), (i as u64) << 20))
+            .collect();
+        let a = e.run(&tasks);
+        let b = e.run(&tasks);
+        assert_eq!(a.makespan_s, b.makespan_s);
+        assert_eq!(a.finish_s, b.finish_s);
+    }
+}

@@ -1,0 +1,52 @@
+//! # ewc-cpu — a multicore CPU simulator
+//!
+//! The baseline side of every experiment in the paper: a dual-socket
+//! Xeon-E5520-class machine (8 cores) running OpenMP-parallelised
+//! workload instances under an OS scheduler. The simulator reproduces the
+//! effects the paper attributes to the CPU baseline:
+//!
+//! * **Fair-share scheduling with limited per-task parallelism** — each
+//!   instance can use at most its `max_parallelism` cores (OpenMP
+//!   scalability limit); the OS divides cores fairly among runnable
+//!   instances (water-filling), so throughput saturates once the machine
+//!   is full.
+//! * **Time-slicing overhead** — when more runnable threads than cores
+//!   exist, context switches eat a fraction of every quantum ("the CPU
+//!   suffers from large context switch overhead due to operating system's
+//!   time slicing", Section III).
+//! * **Shared-cache contention** — the aggregate working set of
+//!   co-running instances pressures the L3; past capacity every task
+//!   slows down ("contention for shared resources such as L2 and L3
+//!   cache memories").
+//!
+//! The engine is a fluid event-driven simulation (events are task
+//! completions and arrivals), mirroring the GPU engine in `ewc-gpu`, so
+//! both sides of the comparison share measurement semantics.
+//!
+//! ```
+//! use ewc_cpu::{CpuConfig, CpuEngine, CpuPowerModel, CpuTask};
+//!
+//! let engine = CpuEngine::new(CpuConfig::xeon_e5520_x2());
+//! // Nine 2-wide encryption instances on 8 cores: the machine saturates.
+//! let tasks: Vec<CpuTask> =
+//!     (0..9).map(|_| CpuTask::new("enc", 14.4, 2, 8 << 20)).collect();
+//! let out = engine.run(&tasks);
+//! assert!(out.makespan_s > 14.4 / 2.0, "oversubscription stretches the batch");
+//! let energy = CpuPowerModel::xeon_e5520_x2().energy_j(&out);
+//! assert!(energy > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod engine;
+pub mod power;
+pub mod task;
+
+pub use cache::CacheModel;
+pub use config::CpuConfig;
+pub use engine::{CpuEngine, CpuOutcome, UtilInterval};
+pub use power::CpuPowerModel;
+pub use task::CpuTask;

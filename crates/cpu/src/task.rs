@@ -1,0 +1,79 @@
+//! CPU task descriptors.
+
+use std::sync::Arc;
+
+/// One workload instance as seen by the OS: an OpenMP-parallelised
+/// process with a fixed amount of work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuTask {
+    /// Human-readable name.
+    pub name: Arc<str>,
+    /// Total work in core-seconds (time on one core at solo speed).
+    pub work_core_s: f64,
+    /// Maximum cores the instance can exploit concurrently (OpenMP
+    /// scalability limit; enterprise kernels with small inputs often
+    /// cannot use the whole machine).
+    pub max_parallelism: u32,
+    /// Resident working-set size in bytes (drives L3 contention).
+    pub working_set_bytes: u64,
+    /// Arrival time in seconds (0 = present at simulation start).
+    pub arrival_s: f64,
+}
+
+impl CpuTask {
+    /// Create a task arriving at time zero.
+    pub fn new(name: &str, work_core_s: f64, max_parallelism: u32, working_set_bytes: u64) -> Self {
+        assert!(work_core_s > 0.0, "work must be positive");
+        assert!(max_parallelism > 0, "parallelism must be >= 1");
+        CpuTask {
+            name: Arc::from(name),
+            work_core_s,
+            max_parallelism,
+            working_set_bytes,
+            arrival_s: 0.0,
+        }
+    }
+
+    /// Set a non-zero arrival time.
+    pub fn arriving_at(mut self, t: f64) -> Self {
+        assert!(t >= 0.0, "arrival must be non-negative");
+        self.arrival_s = t;
+        self
+    }
+
+    /// Solo execution time on an otherwise idle machine with `cores`
+    /// available: work divided across usable cores.
+    pub fn solo_time_s(&self, cores: u32) -> f64 {
+        self.work_core_s / f64::from(self.max_parallelism.min(cores))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solo_time_uses_min_of_parallelism_and_cores() {
+        let t = CpuTask::new("t", 16.0, 4, 0);
+        assert_eq!(t.solo_time_s(8), 4.0);
+        assert_eq!(t.solo_time_s(2), 8.0);
+    }
+
+    #[test]
+    fn arrival_builder() {
+        let t = CpuTask::new("t", 1.0, 1, 0).arriving_at(2.5);
+        assert_eq!(t.arrival_s, 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "work must be positive")]
+    fn zero_work_rejected() {
+        let _ = CpuTask::new("t", 0.0, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallelism")]
+    fn zero_parallelism_rejected() {
+        let _ = CpuTask::new("t", 1.0, 0, 0);
+    }
+}

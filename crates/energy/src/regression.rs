@@ -1,0 +1,170 @@
+//! Ordinary least squares, small and dependency-free.
+//!
+//! The paper fits the dynamic-power coefficients `aᵢ` and the intercept
+//! `λ` of Eq. 11 by linear regression over training benchmarks. Feature
+//! dimensionality is tiny (two event rates), so normal equations with
+//! Gaussian elimination are exact and numerically comfortable.
+
+/// A fitted linear model `y ≈ Σ coeffs[i]·x[i] + intercept`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegression {
+    /// Per-feature coefficients.
+    pub coeffs: Vec<f64>,
+    /// Intercept term.
+    pub intercept: f64,
+    /// Coefficient of determination on the training data.
+    pub r2: f64,
+}
+
+impl LinearRegression {
+    /// Fit by OLS. `xs` holds one feature vector per observation; all
+    /// must share a length; `ys` must match `xs` in count and there must
+    /// be more observations than parameters.
+    ///
+    /// Returns `None` if the system is degenerate (singular normal
+    /// matrix, e.g. constant features).
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64]) -> Option<LinearRegression> {
+        let n = xs.len();
+        if n == 0 || n != ys.len() {
+            return None;
+        }
+        let d = xs[0].len();
+        if xs.iter().any(|x| x.len() != d) || n <= d {
+            return None;
+        }
+        // Augmented design matrix column for the intercept.
+        let p = d + 1;
+        // Normal matrix A = XᵀX (p×p) and vector b = Xᵀy.
+        let mut a = vec![vec![0.0_f64; p]; p];
+        let mut b = vec![0.0_f64; p];
+        for (x, &y) in xs.iter().zip(ys) {
+            let row = |j: usize| if j < d { x[j] } else { 1.0 };
+            #[allow(clippy::needless_range_loop)] // dense matrix indexing
+            for i in 0..p {
+                b[i] += row(i) * y;
+                for j in 0..p {
+                    a[i][j] += row(i) * row(j);
+                }
+            }
+        }
+        let sol = solve(&mut a, &mut b)?;
+        let coeffs = sol[..d].to_vec();
+        let intercept = sol[d];
+
+        // R² on the training data.
+        let mean_y: f64 = ys.iter().sum::<f64>() / n as f64;
+        let mut ss_res = 0.0;
+        let mut ss_tot = 0.0;
+        for (x, &y) in xs.iter().zip(ys) {
+            let pred: f64 =
+                coeffs.iter().zip(x).map(|(c, v)| c * v).sum::<f64>() + intercept;
+            ss_res += (y - pred) * (y - pred);
+            ss_tot += (y - mean_y) * (y - mean_y);
+        }
+        let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+        Some(LinearRegression { coeffs, intercept, r2 })
+    }
+
+    /// Predict for one feature vector.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.coeffs.len(), "feature dimension mismatch");
+        self.coeffs.iter().zip(x).map(|(c, v)| c * v).sum::<f64>() + self.intercept
+    }
+}
+
+/// Gaussian elimination with partial pivoting; consumes its inputs.
+fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("non-NaN matrix")
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            #[allow(clippy::needless_range_loop)] // in-place elimination
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut v = b[col];
+        for k in col + 1..n {
+            v -= a[col][k] * x[k];
+        }
+        x[col] = v / a[col][col];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fit_on_noiseless_data() {
+        // y = 2x₀ − 3x₁ + 5.
+        let xs: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![i as f64, (i * i) as f64 * 0.1])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] - 3.0 * x[1] + 5.0).collect();
+        let m = LinearRegression::fit(&xs, &ys).unwrap();
+        assert!((m.coeffs[0] - 2.0).abs() < 1e-9);
+        assert!((m.coeffs[1] + 3.0).abs() < 1e-9);
+        assert!((m.intercept - 5.0).abs() < 1e-9);
+        assert!(m.r2 > 0.999999);
+        assert!((m.predict(&[1.0, 1.0]) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_feature_slope() {
+        let xs: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let ys = vec![1.0, 3.0, 5.0, 7.0, 9.0];
+        let m = LinearRegression::fit(&xs, &ys).unwrap();
+        assert!((m.coeffs[0] - 2.0).abs() < 1e-9);
+        assert!((m.intercept - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(LinearRegression::fit(&[], &[]).is_none());
+        // Fewer observations than parameters.
+        assert!(LinearRegression::fit(&[vec![1.0, 2.0]], &[1.0]).is_none());
+        // Constant feature → collinear with the intercept → singular.
+        let xs = vec![vec![3.0], vec![3.0], vec![3.0]];
+        assert!(LinearRegression::fit(&xs, &[1.0, 2.0, 3.0]).is_none());
+        // Mismatched lengths.
+        assert!(LinearRegression::fit(&[vec![1.0]], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn noisy_fit_recovers_approximate_coefficients() {
+        // Deterministic pseudo-noise.
+        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 * 0.2]).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 4.0 * x[0] + 1.0 + 0.05 * ((i * 2654435761) % 100) as f64 / 100.0)
+            .collect();
+        let m = LinearRegression::fit(&xs, &ys).unwrap();
+        assert!((m.coeffs[0] - 4.0).abs() < 0.05);
+        assert!(m.r2 > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn predict_checks_dimension() {
+        let m = LinearRegression { coeffs: vec![1.0, 2.0], intercept: 0.0, r2: 1.0 };
+        let _ = m.predict(&[1.0]);
+    }
+}

@@ -1,0 +1,276 @@
+//! Whole-system power composition over a device activity profile.
+//!
+//! `P_sys(t) = P_idle + P_T(ΔT(t)) + P_dyn(t)` — the decomposition of
+//! Section VI, with `P_idle` covering the CPU-side floor *and* the GPU's
+//! static power (the paper measures idle with the GPU installed and
+//! attributes `P_sys − P_idle` to the GPU). The timeline walks a
+//! [`ewc_gpu::counters::ActivityInterval`] profile, advances the thermal
+//! state through busy and idle stretches, and yields either a direct
+//! energy integral or a [`PowerSource`] a meter can sample.
+
+use ewc_gpu::counters::ActivityInterval;
+use ewc_gpu::EventRates;
+
+use crate::ground_truth::GpuPowerGroundTruth;
+use crate::meter::PowerSource;
+use crate::thermal::ThermalModel;
+
+/// System-level power composition for GPU-side runs.
+#[derive(Debug, Clone)]
+pub struct GpuSystemPower {
+    /// Whole-system idle power (CPU floor + one GPU's static), watts.
+    pub idle_w: f64,
+    /// Additional static watts per GPU beyond the first (multi-GPU
+    /// nodes pay the extra cards' leakage in the idle floor too).
+    pub extra_gpu_static_w: f64,
+    /// The GPU dynamic-power ground truth.
+    pub truth: GpuPowerGroundTruth,
+    /// Thermal model for the leakage term.
+    pub thermal: ThermalModel,
+}
+
+/// Result of integrating system power over a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemEnergy {
+    /// Whole-system energy in joules.
+    pub energy_j: f64,
+    /// GPU-attributed energy (`∫ (P_sys − P_idle)`), joules.
+    pub gpu_energy_j: f64,
+    /// Average system power, watts.
+    pub avg_power_w: f64,
+    /// Duration integrated over, seconds.
+    pub duration_s: f64,
+}
+
+/// A precomputed piecewise-constant system power trace.
+#[derive(Debug, Clone)]
+pub struct SystemPowerTimeline {
+    segments: Vec<(f64, f64, f64)>, // (start, end, watts)
+    idle_w: f64,
+}
+
+impl GpuSystemPower {
+    /// Preset for the paper's testbed: Xeon host idle plus C1060 static.
+    pub fn tesla_system() -> Self {
+        GpuSystemPower {
+            idle_w: 200.0,
+            extra_gpu_static_w: 45.0,
+            truth: GpuPowerGroundTruth::tesla_c1060(),
+            thermal: ThermalModel::gt200(),
+        }
+    }
+
+    /// Integrate a multi-GPU node: the idle floor is paid once (plus the
+    /// extra cards' static draw), each device contributes its own
+    /// dynamic + thermal energy.
+    pub fn integrate_many(
+        &self,
+        per_device: &[Vec<ActivityInterval>],
+        t_end: f64,
+        seed: Option<u64>,
+    ) -> SystemEnergy {
+        let duration = t_end.max(0.0);
+        let extra = self.extra_gpu_static_w * per_device.len().saturating_sub(1) as f64;
+        let mut gpu_energy = 0.0;
+        for (d, acts) in per_device.iter().enumerate() {
+            let e = self.integrate(acts, t_end, seed.map(|s| s + d as u64));
+            gpu_energy += e.gpu_energy_j;
+        }
+        let energy = (self.idle_w + extra) * duration + gpu_energy;
+        SystemEnergy {
+            energy_j: energy,
+            gpu_energy_j: gpu_energy + extra * duration,
+            avg_power_w: if duration > 0.0 { energy / duration } else { self.idle_w },
+            duration_s: duration,
+        }
+    }
+
+    /// Integrate system energy over `[0, t_end]` given the device's
+    /// activity profile (intervals may leave gaps — the device idles in
+    /// them, cooling down).
+    ///
+    /// `seed` drives measurement noise; the same seed reproduces the
+    /// same "measurement". Pass `None` for the noise-free truth.
+    pub fn integrate(
+        &self,
+        intervals: &[ActivityInterval],
+        t_end: f64,
+        seed: Option<u64>,
+    ) -> SystemEnergy {
+        let timeline = self.timeline(intervals, t_end, seed);
+        let mut energy = 0.0;
+        for &(a, b, w) in &timeline.segments {
+            energy += w * (b - a);
+        }
+        let duration = t_end.max(0.0);
+        SystemEnergy {
+            energy_j: energy,
+            gpu_energy_j: energy - self.idle_w * duration,
+            avg_power_w: if duration > 0.0 { energy / duration } else { self.idle_w },
+            duration_s: duration,
+        }
+    }
+
+    /// Build the piecewise power trace for `[0, t_end]`.
+    pub fn timeline(
+        &self,
+        intervals: &[ActivityInterval],
+        t_end: f64,
+        seed: Option<u64>,
+    ) -> SystemPowerTimeline {
+        let mut rng = seed.map(GpuPowerGroundTruth::rng);
+        let mut segments = Vec::with_capacity(intervals.len() * 2 + 1);
+        let mut cursor = 0.0_f64;
+        let mut dt_c = 0.0_f64; // temperature rise
+        let idle_rates = EventRates::default();
+
+        let mut sorted: Vec<&ActivityInterval> = intervals.iter().collect();
+        sorted.sort_by(|a, b| a.start_s.partial_cmp(&b.start_s).expect("non-NaN times"));
+
+        let mut emit = |from: f64, to: f64, rates: &EventRates, dt_c: &mut f64, rng: &mut Option<rand::rngs::StdRng>| {
+            if to <= from {
+                return;
+            }
+            let dur = to - from;
+            let p_dyn = match rng {
+                Some(r) => self.truth.measured_power_w(rates, r),
+                None => self.truth.dyn_power_w(rates),
+            };
+            let p_leak = self.thermal.avg_leakage_w(*dt_c, p_dyn, dur);
+            *dt_c = self.thermal.step(*dt_c, p_dyn, dur);
+            segments.push((from, to, self.idle_w + p_leak + p_dyn));
+        };
+
+        for iv in sorted {
+            let s = iv.start_s.min(t_end);
+            let e = (iv.start_s + iv.dur_s).min(t_end);
+            if s > cursor {
+                emit(cursor, s, &idle_rates, &mut dt_c, &mut rng);
+            }
+            emit(s.max(cursor), e, &iv.rates, &mut dt_c, &mut rng);
+            cursor = cursor.max(e);
+            if cursor >= t_end {
+                break;
+            }
+        }
+        if cursor < t_end {
+            emit(cursor, t_end, &idle_rates, &mut dt_c, &mut rng);
+        }
+        SystemPowerTimeline { segments, idle_w: self.idle_w }
+    }
+}
+
+impl SystemPowerTimeline {
+    /// The piecewise segments `(start, end, watts)`.
+    pub fn segments(&self) -> &[(f64, f64, f64)] {
+        &self.segments
+    }
+}
+
+impl PowerSource for SystemPowerTimeline {
+    fn power_w(&self, t: f64) -> f64 {
+        for &(a, b, w) in &self.segments {
+            if t >= a && t < b {
+                return w;
+            }
+        }
+        self.idle_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meter::PowerMeter;
+
+    fn busy_interval(start: f64, dur: f64, comp_frac: f64) -> ActivityInterval {
+        let truth = GpuPowerGroundTruth::tesla_c1060();
+        ActivityInterval {
+            start_s: start,
+            dur_s: dur,
+            rates: EventRates {
+                comp_ops_per_s: truth.ref_comp_rate * comp_frac,
+                mem_txn_per_s: 0.0,
+                bytes_per_s: 0.0,
+                active_sm_frac: comp_frac.min(1.0),
+                resident_warps: 0.0,
+            },
+        }
+    }
+
+    #[test]
+    fn idle_run_costs_idle_power() {
+        let sys = GpuSystemPower::tesla_system();
+        let e = sys.integrate(&[], 10.0, None);
+        assert!((e.energy_j - 2000.0).abs() < 1e-6);
+        assert!((e.gpu_energy_j).abs() < 1e-6);
+        assert_eq!(e.avg_power_w, 200.0);
+    }
+
+    #[test]
+    fn busy_run_adds_dynamic_and_leakage_power() {
+        let sys = GpuSystemPower::tesla_system();
+        let e = sys.integrate(&[busy_interval(0.0, 10.0, 0.5)], 10.0, None);
+        assert!(e.gpu_energy_j > 0.0);
+        assert!(e.avg_power_w > 200.0);
+        // Dynamic alone at 50% tilt ≈ 8 + 45 + 30 = 83 W; leakage adds a
+        // little more as the die warms.
+        let dyn_only = sys.truth.dyn_power_w(&busy_interval(0.0, 10.0, 0.5).rates);
+        assert!(e.gpu_energy_j > dyn_only * 10.0);
+        assert!(e.gpu_energy_j < (dyn_only + 30.0) * 10.0);
+    }
+
+    #[test]
+    fn gaps_between_launches_cool_the_die() {
+        let sys = GpuSystemPower::tesla_system();
+        let back_to_back = sys.timeline(
+            &[busy_interval(0.0, 30.0, 1.0), busy_interval(30.0, 30.0, 1.0)],
+            60.0,
+            None,
+        );
+        let gapped = sys.timeline(
+            &[busy_interval(0.0, 30.0, 1.0), busy_interval(90.0, 30.0, 1.0)],
+            120.0,
+            None,
+        );
+        // The second launch draws less power early on when it starts
+        // from a cooled-down die (leakage term is smaller).
+        let p_hot = back_to_back.power_w(30.1);
+        let p_cool = gapped.power_w(90.1);
+        assert!(
+            p_cool < p_hot,
+            "cooled launch should draw less: {p_cool} vs {p_hot}"
+        );
+    }
+
+    #[test]
+    fn timeline_is_sampleable_by_the_meter() {
+        let sys = GpuSystemPower::tesla_system();
+        let tl = sys.timeline(&[busy_interval(1.0, 5.0, 1.0)], 8.0, None);
+        let meter = PowerMeter::new(50.0);
+        let m = meter.measure(&tl, 0.0, 8.0);
+        let direct = sys.integrate(&[busy_interval(1.0, 5.0, 1.0)], 8.0, None);
+        let rel = (m.energy_j - direct.energy_j).abs() / direct.energy_j;
+        assert!(rel < 0.02, "meter vs integral differ by {:.2}%", rel * 100.0);
+    }
+
+    #[test]
+    fn noise_is_reproducible_by_seed() {
+        let sys = GpuSystemPower::tesla_system();
+        let ivs = [busy_interval(0.0, 4.0, 0.7)];
+        let a = sys.integrate(&ivs, 4.0, Some(3));
+        let b = sys.integrate(&ivs, 4.0, Some(3));
+        let c = sys.integrate(&ivs, 4.0, Some(4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let truth = sys.integrate(&ivs, 4.0, None);
+        assert!((a.energy_j - truth.energy_j).abs() / truth.energy_j < 0.05);
+    }
+
+    #[test]
+    fn out_of_range_sample_returns_idle() {
+        let sys = GpuSystemPower::tesla_system();
+        let tl = sys.timeline(&[busy_interval(0.0, 1.0, 1.0)], 1.0, None);
+        assert_eq!(tl.power_w(100.0), sys.idle_w);
+    }
+}

@@ -1,0 +1,114 @@
+//! Chip thermal dynamics and leakage power.
+//!
+//! Section VI: "Chip temperature has an impact on power (P_T). The
+//! leakage current and thermal voltages for a transistor vary as
+//! temperature changes". We model die temperature above ambient with a
+//! first-order RC system driven by dynamic power, and the leakage term
+//! `P_T(ΔT)` as linear in the temperature rise — the same linear
+//! relationship the paper fits from training runs.
+
+/// First-order thermal model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalModel {
+    /// Thermal resistance: steady-state °C of rise per watt of dynamic
+    /// power.
+    pub r_c_per_w: f64,
+    /// Thermal time constant in seconds.
+    pub tau_s: f64,
+    /// Leakage sensitivity: watts per °C of rise.
+    pub leakage_w_per_c: f64,
+}
+
+impl ThermalModel {
+    /// Preset roughly matching a GT200-class die with a fixed-speed fan
+    /// (the paper fixes fan speed to remove its power from the picture).
+    pub fn gt200() -> Self {
+        ThermalModel { r_c_per_w: 0.22, tau_s: 18.0, leakage_w_per_c: 0.16 }
+    }
+
+    /// A thermal model with no effect (for ablations).
+    pub fn disabled() -> Self {
+        ThermalModel { r_c_per_w: 0.0, tau_s: 1.0, leakage_w_per_c: 0.0 }
+    }
+
+    /// Steady-state temperature rise for a constant dynamic power.
+    pub fn steady_state_dt(&self, p_dyn_w: f64) -> f64 {
+        self.r_c_per_w * p_dyn_w
+    }
+
+    /// Advance the temperature rise `dt_c` over `dur_s` seconds of
+    /// constant dynamic power, returning the new rise (exact exponential
+    /// solution of the RC equation).
+    pub fn step(&self, dt_c: f64, p_dyn_w: f64, dur_s: f64) -> f64 {
+        let target = self.steady_state_dt(p_dyn_w);
+        target + (dt_c - target) * (-dur_s / self.tau_s).exp()
+    }
+
+    /// Leakage power at a given temperature rise.
+    pub fn leakage_w(&self, dt_c: f64) -> f64 {
+        self.leakage_w_per_c * dt_c
+    }
+
+    /// Average leakage power over an interval of constant dynamic power,
+    /// starting from rise `dt_c` (analytic mean of the exponential).
+    pub fn avg_leakage_w(&self, dt_c: f64, p_dyn_w: f64, dur_s: f64) -> f64 {
+        if dur_s <= 0.0 {
+            return self.leakage_w(dt_c);
+        }
+        let target = self.steady_state_dt(p_dyn_w);
+        // Mean of target + (dt0 - target) e^{-t/τ} over [0, dur].
+        let decay = self.tau_s / dur_s * (1.0 - (-dur_s / self.tau_s).exp());
+        self.leakage_w(target + (dt_c - target) * decay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_is_linear() {
+        let t = ThermalModel::gt200();
+        assert!((t.steady_state_dt(100.0) - 22.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_converges_to_steady_state() {
+        let t = ThermalModel::gt200();
+        let mut dt = 0.0;
+        for _ in 0..100 {
+            dt = t.step(dt, 100.0, 5.0);
+        }
+        assert!((dt - 22.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn step_is_monotone_toward_target() {
+        let t = ThermalModel::gt200();
+        let warm = t.step(0.0, 100.0, 2.0);
+        assert!(warm > 0.0 && warm < 22.0);
+        let cooling = t.step(30.0, 0.0, 2.0);
+        assert!(cooling < 30.0 && cooling > 0.0);
+    }
+
+    #[test]
+    fn avg_leakage_between_endpoints() {
+        let t = ThermalModel::gt200();
+        let avg = t.avg_leakage_w(0.0, 100.0, 10.0);
+        let end = t.leakage_w(t.step(0.0, 100.0, 10.0));
+        assert!(avg > 0.0 && avg < end, "avg {avg} end {end}");
+    }
+
+    #[test]
+    fn disabled_model_contributes_nothing() {
+        let t = ThermalModel::disabled();
+        assert_eq!(t.steady_state_dt(500.0), 0.0);
+        assert_eq!(t.avg_leakage_w(0.0, 500.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn zero_duration_avg_is_instantaneous() {
+        let t = ThermalModel::gt200();
+        assert_eq!(t.avg_leakage_w(10.0, 50.0, 0.0), t.leakage_w(10.0));
+    }
+}

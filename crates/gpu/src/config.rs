@@ -1,0 +1,242 @@
+//! Device configuration.
+//!
+//! [`GpuConfig`] captures the architectural parameters the timing model
+//! needs. The default preset models an NVIDIA Tesla C1060 (GT200), the
+//! device used throughout the paper; smaller presets are provided for unit
+//! tests so that scheduling corner cases are easy to construct by hand.
+
+/// Architectural parameters of the simulated device.
+///
+/// All rates are in base SI units (Hz, bytes/second); latencies that the
+/// hardware specifies in core cycles are kept in cycles and converted at
+/// use sites via [`GpuConfig::cycle_s`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// SM core clock in Hz.
+    pub clock_hz: f64,
+    /// Threads per warp (SIMD width).
+    pub warp_size: u32,
+    /// Scalar processors (lanes) per SM; a warp instruction occupies the
+    /// issue stage for `warp_size / sp_per_sm` cycles (4 on GT200).
+    pub sp_per_sm: u32,
+    /// Maximum threads co-resident on one SM.
+    pub max_threads_per_sm: u32,
+    /// Hardware limit on co-resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// 32-bit registers per SM.
+    pub registers_per_sm: u32,
+    /// Shared memory per SM in bytes.
+    pub shared_mem_per_sm: u32,
+    /// Total device (global) memory in bytes.
+    pub global_mem_bytes: u64,
+    /// Constant memory in bytes.
+    pub constant_mem_bytes: u64,
+    /// Aggregate DRAM bandwidth in bytes/second.
+    pub dram_bandwidth: f64,
+    /// DRAM access latency in core cycles.
+    pub dram_latency_cycles: f64,
+    /// Issue-stage departure delay of a coalesced warp access, in cycles.
+    pub coalesced_delay_cycles: f64,
+    /// Issue-stage departure delay of an uncoalesced warp access, in
+    /// cycles (the warp serialises into per-thread transactions).
+    pub uncoalesced_delay_cycles: f64,
+    /// Bytes moved by one coalesced warp transaction.
+    pub coalesced_bytes: u32,
+    /// Bytes moved by each transaction of an uncoalesced warp access
+    /// (one per thread).
+    pub uncoalesced_bytes: u32,
+    /// Host↔device link bandwidth in bytes/second (PCIe x16 gen2-ish).
+    pub pcie_bandwidth: f64,
+    /// Fixed per-transfer latency in seconds (driver + DMA setup).
+    pub pcie_latency_s: f64,
+    /// Fixed kernel-launch overhead in seconds.
+    pub launch_overhead_s: f64,
+}
+
+impl GpuConfig {
+    /// The Tesla C1060 preset used by the paper: 30 SMs at 1.296 GHz,
+    /// 4 GB of GDDR3 at 102 GB/s, 16 K registers and 16 KiB of shared
+    /// memory per SM.
+    pub fn tesla_c1060() -> Self {
+        GpuConfig {
+            num_sms: 30,
+            clock_hz: 1.296e9,
+            warp_size: 32,
+            sp_per_sm: 8,
+            max_threads_per_sm: 1024,
+            max_blocks_per_sm: 8,
+            registers_per_sm: 16_384,
+            shared_mem_per_sm: 16_384,
+            global_mem_bytes: 4 << 30,
+            constant_mem_bytes: 64 << 10,
+            dram_bandwidth: 102.0e9,
+            dram_latency_cycles: 450.0,
+            coalesced_delay_cycles: 4.0,
+            uncoalesced_delay_cycles: 40.0,
+            coalesced_bytes: 64,
+            uncoalesced_bytes: 32,
+            pcie_bandwidth: 5.2e9,
+            pcie_latency_s: 15e-6,
+            launch_overhead_s: 8e-6,
+        }
+    }
+
+    /// A Fermi-generation Tesla C2050 preset: fewer but fatter SMs (14 ×
+    /// 32 lanes), a bigger register file, more shared memory, ECC GDDR5.
+    /// Used by the future-hardware study — the paper's conclusion argues
+    /// process-level consolidation "can complement future GPU
+    /// architectures".
+    pub fn tesla_c2050() -> Self {
+        GpuConfig {
+            num_sms: 14,
+            clock_hz: 1.15e9,
+            warp_size: 32,
+            sp_per_sm: 32,
+            max_threads_per_sm: 1536,
+            max_blocks_per_sm: 8,
+            registers_per_sm: 32_768,
+            shared_mem_per_sm: 49_152,
+            global_mem_bytes: 3 << 30,
+            constant_mem_bytes: 64 << 10,
+            dram_bandwidth: 144.0e9,
+            dram_latency_cycles: 400.0,
+            coalesced_delay_cycles: 2.0,
+            uncoalesced_delay_cycles: 20.0,
+            coalesced_bytes: 128,
+            uncoalesced_bytes: 32,
+            pcie_bandwidth: 6.0e9,
+            pcie_latency_s: 10e-6,
+            launch_overhead_s: 5e-6,
+        }
+    }
+
+    /// A deliberately tiny device (2 SMs, small limits) for unit tests
+    /// where hand-computing schedules must stay tractable.
+    pub fn tiny(num_sms: u32) -> Self {
+        GpuConfig {
+            num_sms,
+            clock_hz: 1.0e9,
+            warp_size: 32,
+            sp_per_sm: 8,
+            max_threads_per_sm: 256,
+            max_blocks_per_sm: 2,
+            registers_per_sm: 8192,
+            shared_mem_per_sm: 8192,
+            global_mem_bytes: 64 << 20,
+            constant_mem_bytes: 16 << 10,
+            dram_bandwidth: 10.0e9,
+            dram_latency_cycles: 400.0,
+            coalesced_delay_cycles: 4.0,
+            uncoalesced_delay_cycles: 40.0,
+            coalesced_bytes: 64,
+            uncoalesced_bytes: 32,
+            pcie_bandwidth: 4.0e9,
+            pcie_latency_s: 10e-6,
+            launch_overhead_s: 5e-6,
+        }
+    }
+
+    /// Duration of one core cycle in seconds.
+    #[inline]
+    pub fn cycle_s(&self) -> f64 {
+        1.0 / self.clock_hz
+    }
+
+    /// Number of cycles a warp instruction occupies the issue stage
+    /// (warp width over lane count: 4 on GT200).
+    #[inline]
+    pub fn warp_issue_cycles(&self) -> f64 {
+        f64::from(self.warp_size) / f64::from(self.sp_per_sm)
+    }
+
+    /// DRAM bandwidth available to a single SM when all SMs stream
+    /// concurrently (fair share).
+    #[inline]
+    pub fn bandwidth_per_sm(&self) -> f64 {
+        self.dram_bandwidth / f64::from(self.num_sms)
+    }
+
+    /// Basic sanity checks; used by constructors that accept user configs.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_sms == 0 {
+            return Err("num_sms must be > 0".into());
+        }
+        if self.clock_hz <= 0.0 {
+            return Err("clock_hz must be > 0".into());
+        }
+        if self.warp_size == 0 || self.sp_per_sm == 0 {
+            return Err("warp_size and sp_per_sm must be > 0".into());
+        }
+        if self.max_blocks_per_sm == 0 || self.max_threads_per_sm == 0 {
+            return Err("per-SM residency limits must be > 0".into());
+        }
+        if self.dram_bandwidth <= 0.0 || self.pcie_bandwidth <= 0.0 {
+            return Err("bandwidths must be > 0".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self::tesla_c1060()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c1060_preset_matches_datasheet() {
+        let c = GpuConfig::tesla_c1060();
+        assert_eq!(c.num_sms, 30);
+        assert_eq!(c.warp_size, 32);
+        assert_eq!(c.max_blocks_per_sm, 8);
+        assert_eq!(c.global_mem_bytes, 4 << 30);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn warp_issue_is_four_cycles_on_gt200() {
+        let c = GpuConfig::tesla_c1060();
+        assert_eq!(c.warp_issue_cycles(), 4.0);
+    }
+
+    #[test]
+    fn fermi_preset_issues_full_warps() {
+        let c = GpuConfig::tesla_c2050();
+        assert_eq!(c.warp_issue_cycles(), 1.0, "32 lanes issue a warp per cycle");
+        assert!(c.validate().is_ok());
+        assert!(c.registers_per_sm > GpuConfig::tesla_c1060().registers_per_sm);
+    }
+
+    #[test]
+    fn cycle_duration_inverse_of_clock() {
+        let c = GpuConfig::tiny(2);
+        assert!((c.cycle_s() - 1e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn bandwidth_share_splits_evenly() {
+        let c = GpuConfig::tesla_c1060();
+        let per = c.bandwidth_per_sm();
+        assert!((per * 30.0 - c.dram_bandwidth).abs() < 1.0);
+    }
+
+    #[test]
+    fn validate_rejects_zero_sms() {
+        let mut c = GpuConfig::tiny(1);
+        c.num_sms = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_nonpositive_clock() {
+        let mut c = GpuConfig::tiny(1);
+        c.clock_hz = 0.0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! Hardware event counters.
+//!
+//! The power ground truth (crate `ewc-energy`) and the paper's power model
+//! (Eq. 11: `P_dyn = Σ aᵢ·eᵢ + λ`) are both driven by *event rates* — how
+//! often each hardware component is exercised per unit time. The engine
+//! records a piecewise-constant activity profile: one
+//! [`ActivityInterval`] per fluid step, each carrying the device-wide
+//! rates during that step, plus cumulative totals in [`DeviceCounters`].
+
+/// Device-wide event rates during one interval (aggregated over all SMs).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EventRates {
+    /// Scalar compute operations per second.
+    pub comp_ops_per_s: f64,
+    /// DRAM transactions per second.
+    pub mem_txn_per_s: f64,
+    /// DRAM bytes per second.
+    pub bytes_per_s: f64,
+    /// Fraction of SMs with at least one resident block.
+    pub active_sm_frac: f64,
+    /// Total resident warps across the device.
+    pub resident_warps: f64,
+}
+
+impl EventRates {
+    /// Rates normalised to a single "virtual SM" by dividing by the SM
+    /// count — the averaging trick of Section VI.
+    pub fn per_sm(&self, num_sms: u32) -> EventRates {
+        let n = f64::from(num_sms);
+        EventRates {
+            comp_ops_per_s: self.comp_ops_per_s / n,
+            mem_txn_per_s: self.mem_txn_per_s / n,
+            bytes_per_s: self.bytes_per_s / n,
+            active_sm_frac: self.active_sm_frac,
+            resident_warps: self.resident_warps / n,
+        }
+    }
+}
+
+/// One piece of the piecewise-constant activity profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActivityInterval {
+    /// Start time (seconds since launch).
+    pub start_s: f64,
+    /// Duration in seconds.
+    pub dur_s: f64,
+    /// Rates during the interval.
+    pub rates: EventRates,
+}
+
+/// Per-SM cumulative counters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SmCounters {
+    /// Seconds this SM had at least one resident block.
+    pub busy_s: f64,
+    /// Blocks retired on this SM.
+    pub blocks: u32,
+    /// Issue-stage cycles consumed.
+    pub issue_cycles: f64,
+    /// Compute operations executed.
+    pub comp_ops: f64,
+    /// DRAM transactions issued.
+    pub mem_requests: f64,
+}
+
+/// Device-wide cumulative counters for one launch.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DeviceCounters {
+    /// One entry per SM.
+    pub per_sm: Vec<SmCounters>,
+    /// Total compute operations.
+    pub comp_ops: f64,
+    /// Total DRAM transactions.
+    pub mem_requests: f64,
+    /// Total DRAM bytes.
+    pub mem_bytes: f64,
+    /// Wall time of the launch in seconds.
+    pub elapsed_s: f64,
+}
+
+impl DeviceCounters {
+    /// Fresh counters for a device with `num_sms` SMs.
+    pub fn new(num_sms: u32) -> Self {
+        DeviceCounters {
+            per_sm: vec![SmCounters::default(); num_sms as usize],
+            ..Default::default()
+        }
+    }
+
+    /// Average event rates over the whole launch (totals / elapsed).
+    pub fn avg_rates(&self) -> EventRates {
+        if self.elapsed_s <= 0.0 {
+            return EventRates::default();
+        }
+        let busy: f64 = self.per_sm.iter().map(|s| s.busy_s).sum();
+        EventRates {
+            comp_ops_per_s: self.comp_ops / self.elapsed_s,
+            mem_txn_per_s: self.mem_requests / self.elapsed_s,
+            bytes_per_s: self.mem_bytes / self.elapsed_s,
+            active_sm_frac: (busy / self.elapsed_s / self.per_sm.len() as f64).min(1.0),
+            resident_warps: 0.0,
+        }
+    }
+
+    /// Number of SMs that retired at least one block.
+    pub fn sms_used(&self) -> usize {
+        self.per_sm.iter().filter(|s| s.blocks > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_sm_normalisation() {
+        let r = EventRates {
+            comp_ops_per_s: 300.0,
+            mem_txn_per_s: 60.0,
+            bytes_per_s: 3000.0,
+            active_sm_frac: 0.5,
+            resident_warps: 90.0,
+        };
+        let v = r.per_sm(30);
+        assert!((v.comp_ops_per_s - 10.0).abs() < 1e-12);
+        assert!((v.mem_txn_per_s - 2.0).abs() < 1e-12);
+        assert!((v.resident_warps - 3.0).abs() < 1e-12);
+        assert_eq!(v.active_sm_frac, 0.5);
+    }
+
+    #[test]
+    fn avg_rates_zero_when_no_time() {
+        let c = DeviceCounters::new(4);
+        assert_eq!(c.avg_rates(), EventRates::default());
+    }
+
+    #[test]
+    fn avg_rates_divide_totals() {
+        let mut c = DeviceCounters::new(2);
+        c.comp_ops = 100.0;
+        c.mem_requests = 10.0;
+        c.mem_bytes = 640.0;
+        c.elapsed_s = 2.0;
+        c.per_sm[0].busy_s = 2.0;
+        c.per_sm[0].blocks = 1;
+        let r = c.avg_rates();
+        assert!((r.comp_ops_per_s - 50.0).abs() < 1e-12);
+        assert!((r.active_sm_frac - 0.5).abs() < 1e-12);
+        assert_eq!(c.sms_used(), 1);
+    }
+}

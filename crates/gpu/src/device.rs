@@ -1,0 +1,316 @@
+#![allow(clippy::items_after_test_module)] // DeviceAlloc trait appended below tests
+//! The simulated device: memory + DMA + execution engine + clock.
+//!
+//! [`GpuDevice`] is the single stateful façade the consolidation backend
+//! talks to. Every operation advances the device clock by its simulated
+//! duration, so "wall time" measurements taken by the energy meter are
+//! consistent with the engine's timing model. Launches execute functional
+//! kernel bodies against real device memory *and* simulate timing, so
+//! callers get both answers and durations.
+
+pub use crate::memory::DevicePtr;
+
+use crate::config::GpuConfig;
+use crate::counters::ActivityInterval;
+use crate::engine::{ExecutionEngine, SimOutcome};
+use crate::error::GpuError;
+use crate::kernel::{BlockCtx, LaunchConfig};
+use crate::memory::GlobalMemory;
+
+use crate::transfer::{Direction, DmaEngine, DmaStats};
+
+/// Outcome of one kernel launch.
+#[derive(Debug, Clone)]
+pub struct LaunchReport {
+    /// Total launch duration in seconds (fixed launch overhead + kernel
+    /// execution).
+    pub elapsed_s: f64,
+    /// Device time at which the launch started.
+    pub started_at_s: f64,
+    /// Detailed simulation outcome (trace, counters, activity profile).
+    pub sim: SimOutcome,
+}
+
+/// The simulated GPU.
+pub struct GpuDevice {
+    cfg: GpuConfig,
+    mem: GlobalMemory,
+    engine: ExecutionEngine,
+    dma: DmaEngine,
+    clock_s: f64,
+    launches: u64,
+    /// Activity profile of the whole device lifetime, for power replay:
+    /// launches contribute their intervals offset by their start time.
+    activity: Vec<ActivityInterval>,
+}
+
+impl GpuDevice {
+    /// Create a device.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration; configurations are static test
+    /// or preset data, so this is a programmer error.
+    pub fn new(cfg: GpuConfig) -> Self {
+        cfg.validate().expect("invalid GPU configuration");
+        GpuDevice {
+            mem: GlobalMemory::new(cfg.global_mem_bytes, cfg.constant_mem_bytes),
+            engine: ExecutionEngine::new(cfg.clone()),
+            dma: DmaEngine::new(cfg.pcie_bandwidth, cfg.pcie_latency_s),
+            cfg,
+            clock_s: 0.0,
+            launches: 0,
+            activity: Vec::new(),
+        }
+    }
+
+    /// Device configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Current device time in seconds.
+    pub fn now_s(&self) -> f64 {
+        self.clock_s
+    }
+
+    /// Advance the device clock by `dt` without doing work (e.g. host-side
+    /// think time between calls).
+    pub fn idle(&mut self, dt: f64) {
+        assert!(dt >= 0.0, "cannot idle for negative time");
+        self.clock_s += dt;
+    }
+
+    /// Number of launches executed.
+    pub fn launch_count(&self) -> u64 {
+        self.launches
+    }
+
+    /// Immutable view of device memory.
+    pub fn memory(&self) -> &GlobalMemory {
+        &self.mem
+    }
+
+    /// Mutable view of device memory (host-side initialisation in tests).
+    pub fn memory_mut(&mut self) -> &mut GlobalMemory {
+        &mut self.mem
+    }
+
+    /// Activity profile over the device lifetime (device-time offsets).
+    pub fn activity(&self) -> &[ActivityInterval] {
+        &self.activity
+    }
+
+    /// Cumulative DMA statistics.
+    pub fn dma_stats(&self) -> DmaStats {
+        self.dma.stats()
+    }
+
+    /// Allocate device memory (`cudaMalloc`).
+    pub fn malloc(&mut self, len: u64) -> Result<DevicePtr, GpuError> {
+        self.mem.alloc(len)
+    }
+
+    /// Free device memory (`cudaFree`).
+    pub fn free(&mut self, ptr: DevicePtr) -> Result<(), GpuError> {
+        self.mem.free(ptr)
+    }
+
+    /// Load constant data once for the device lifetime; returns its
+    /// device pointer.
+    pub fn load_constant(&mut self, data: &[u8]) -> Result<DevicePtr, GpuError> {
+        self.mem.alloc_constant(data)
+    }
+
+    /// Copy host data to device (`cudaMemcpyHostToDevice`). Returns the
+    /// transfer duration; the clock advances by it.
+    pub fn memcpy_h2d(
+        &mut self,
+        dst: DevicePtr,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<f64, GpuError> {
+        self.mem.write(dst, offset, data)?;
+        let t = self.dma.transfer(data.len() as u64, Direction::HostToDevice);
+        self.clock_s += t;
+        Ok(t)
+    }
+
+    /// Copy device data to host (`cudaMemcpyDeviceToHost`). Returns the
+    /// bytes and the transfer duration; the clock advances by it.
+    pub fn memcpy_d2h(
+        &mut self,
+        src: DevicePtr,
+        offset: u64,
+        len: u64,
+    ) -> Result<(Vec<u8>, f64), GpuError> {
+        let bytes = self.mem.read(src, offset, len)?.to_vec();
+        let t = self.dma.transfer(len, Direction::DeviceToHost);
+        self.clock_s += t;
+        Ok((bytes, t))
+    }
+
+    /// Launch a (possibly consolidated) grid: run every functional body,
+    /// simulate timing, advance the clock, and report.
+    pub fn launch(&mut self, launch: &LaunchConfig) -> Result<LaunchReport, GpuError> {
+        let policy = launch.policy.unwrap_or_default();
+        // Timing first (validates the grid), then functional execution.
+        let sim = self.engine.run(&launch.grid, policy)?;
+
+        for seg in launch.grid.segments() {
+            if let Some(body) = &seg.body {
+                for b in 0..seg.blocks {
+                    let ctx = BlockCtx {
+                        block_idx: b,
+                        num_blocks: seg.blocks,
+                        threads_per_block: seg.desc.threads_per_block,
+                        args: &seg.args,
+                    };
+                    body(&ctx, &mut self.mem);
+                }
+            }
+        }
+
+        let started_at_s = self.clock_s;
+        let elapsed = self.cfg.launch_overhead_s + sim.elapsed_s;
+        for iv in &sim.intervals {
+            self.activity.push(ActivityInterval {
+                start_s: started_at_s + self.cfg.launch_overhead_s + iv.start_s,
+                ..*iv
+            });
+        }
+        self.clock_s += elapsed;
+        self.launches += 1;
+        Ok(LaunchReport { elapsed_s: elapsed, started_at_s, sim })
+    }
+}
+
+impl std::fmt::Debug for GpuDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GpuDevice")
+            .field("sms", &self.cfg.num_sms)
+            .field("clock_s", &self.clock_s)
+            .field("launches", &self.launches)
+            .field("mem_used", &self.mem.used_bytes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{Grid, GridSegment};
+    use crate::kernel::{KernelArg, KernelDesc};
+    use std::sync::Arc;
+
+    fn device() -> GpuDevice {
+        GpuDevice::new(GpuConfig::tesla_c1060())
+    }
+
+    #[test]
+    fn clock_advances_with_transfers_and_launches() {
+        let mut gpu = device();
+        let p = gpu.malloc(1 << 20).unwrap();
+        let t0 = gpu.now_s();
+        let t = gpu.memcpy_h2d(p, 0, &vec![0u8; 1 << 20]).unwrap();
+        assert!(t > 0.0);
+        assert!((gpu.now_s() - t0 - t).abs() < 1e-15);
+
+        let k = KernelDesc::builder("k").threads_per_block(64).comp_insts(1000.0).build();
+        let r = gpu.launch(&LaunchConfig::single(k, 4)).unwrap();
+        assert!(r.elapsed_s > 0.0);
+        assert_eq!(gpu.launch_count(), 1);
+        assert!((gpu.now_s() - (t0 + t + r.elapsed_s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn functional_body_computes_into_device_memory() {
+        let mut gpu = device();
+        let n = 1024usize;
+        let src = gpu.malloc((n * 4) as u64).unwrap();
+        let dst = gpu.malloc((n * 4) as u64).unwrap();
+        let input: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        gpu.memory_mut().write_f32s(src, 0, &input).unwrap();
+
+        let desc = KernelDesc::builder("double")
+            .threads_per_block(256)
+            .comp_insts(2.0)
+            .coalesced_mem(2.0)
+            .build();
+        let blocks = 4;
+        let body: crate::kernel::BlockFn = Arc::new(move |ctx: &BlockCtx<'_>, mem| {
+            let src = ctx.args[0].as_ptr().unwrap();
+            let dst = ctx.args[1].as_ptr().unwrap();
+            let per = 1024 / ctx.num_blocks as usize;
+            let base = ctx.block_idx as usize * per;
+            let vals = mem.read_f32s(src, base as u64, per).unwrap();
+            let out: Vec<f32> = vals.iter().map(|v| v * 2.0).collect();
+            mem.write_f32s(dst, base as u64, &out).unwrap();
+        });
+        let mut grid = Grid::new();
+        grid.push(
+            GridSegment::bare(desc, blocks)
+                .with_args(vec![KernelArg::Ptr(src), KernelArg::Ptr(dst)])
+                .with_body(body),
+        );
+        gpu.launch(&LaunchConfig::from_grid(grid)).unwrap();
+        let (out, _) = gpu.memcpy_d2h(dst, 0, (n * 4) as u64).unwrap();
+        let got: Vec<f32> =
+            out.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
+        for (i, v) in got.iter().enumerate() {
+            assert_eq!(*v, i as f32 * 2.0);
+        }
+    }
+
+    #[test]
+    fn activity_profile_offsets_by_start_time() {
+        let mut gpu = device();
+        let k = KernelDesc::builder("k").threads_per_block(64).comp_insts(10_000.0).build();
+        gpu.idle(1.0);
+        gpu.launch(&LaunchConfig::single(k, 2)).unwrap();
+        let acts = gpu.activity();
+        assert!(!acts.is_empty());
+        assert!(acts[0].start_s >= 1.0);
+    }
+
+    #[test]
+    fn launch_overhead_included() {
+        let mut gpu = device();
+        let k = KernelDesc::builder("k").threads_per_block(64).comp_insts(1.0).build();
+        let r = gpu.launch(&LaunchConfig::single(k, 1)).unwrap();
+        assert!(r.elapsed_s >= gpu.config().launch_overhead_s);
+    }
+
+    #[test]
+    fn constant_load_and_dma_stats() {
+        let mut gpu = device();
+        let c = gpu.load_constant(&[1u8; 256]).unwrap();
+        assert_eq!(gpu.memory().read(c, 0, 256).unwrap(), &[1u8; 256][..]);
+        let p = gpu.malloc(128).unwrap();
+        gpu.memcpy_h2d(p, 0, &[2u8; 128]).unwrap();
+        let (back, _) = gpu.memcpy_d2h(p, 0, 128).unwrap();
+        assert_eq!(back, vec![2u8; 128]);
+        let s = gpu.dma_stats();
+        assert_eq!(s.h2d_bytes, 128);
+        assert_eq!(s.d2h_bytes, 128);
+        assert_eq!(s.transfers, 2);
+    }
+}
+
+/// Device-side allocation + upload, abstracted so workload instance
+/// builders can target either the raw device or a consolidation-framework
+/// frontend (which proxies these calls to its backend).
+pub trait DeviceAlloc {
+    /// Allocate `len` bytes of device memory.
+    fn alloc_bytes(&mut self, len: u64) -> Result<DevicePtr, GpuError>;
+    /// Copy host bytes into device memory.
+    fn upload(&mut self, dst: DevicePtr, offset: u64, data: &[u8]) -> Result<(), GpuError>;
+}
+
+impl DeviceAlloc for GpuDevice {
+    fn alloc_bytes(&mut self, len: u64) -> Result<DevicePtr, GpuError> {
+        self.malloc(len)
+    }
+    fn upload(&mut self, dst: DevicePtr, offset: u64, data: &[u8]) -> Result<(), GpuError> {
+        self.memcpy_h2d(dst, offset, data).map(|_| ())
+    }
+}

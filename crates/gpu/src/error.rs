@@ -1,0 +1,82 @@
+//! Error types for device operations.
+
+use std::fmt;
+
+/// Errors raised by the simulated device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpuError {
+    /// Global-memory allocation failed (fragmentation or exhaustion).
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes currently free (possibly fragmented).
+        free: u64,
+    },
+    /// A device pointer did not refer to a live allocation.
+    InvalidPointer(u64),
+    /// An access ran past the end of its allocation.
+    OutOfBounds {
+        /// Offending pointer address.
+        addr: u64,
+        /// Requested length of the access.
+        len: u64,
+        /// Size of the underlying allocation.
+        alloc: u64,
+    },
+    /// The kernel requests more of a per-SM resource than the device has,
+    /// so not even one block can be resident.
+    Unschedulable(String),
+    /// Constant-memory capacity exceeded.
+    ConstantOverflow {
+        /// Bytes requested.
+        requested: u64,
+        /// Constant-memory capacity.
+        capacity: u64,
+    },
+    /// A launch was attempted with an empty grid.
+    EmptyGrid,
+    /// Invalid device configuration.
+    BadConfig(String),
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::OutOfMemory { requested, free } => {
+                write!(f, "out of device memory: requested {requested} B, free {free} B")
+            }
+            GpuError::InvalidPointer(p) => write!(f, "invalid device pointer {p:#x}"),
+            GpuError::OutOfBounds { addr, len, alloc } => write!(
+                f,
+                "device access out of bounds: {len} B at {addr:#x} in {alloc} B allocation"
+            ),
+            GpuError::Unschedulable(why) => write!(f, "kernel cannot be scheduled: {why}"),
+            GpuError::ConstantOverflow { requested, capacity } => {
+                write!(f, "constant memory overflow: {requested} B > {capacity} B")
+            }
+            GpuError::EmptyGrid => write!(f, "launch with empty grid"),
+            GpuError::BadConfig(why) => write!(f, "bad device configuration: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GpuError::OutOfMemory { requested: 10, free: 4 };
+        let s = e.to_string();
+        assert!(s.contains("10") && s.contains('4'));
+        assert!(GpuError::EmptyGrid.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(GpuError::InvalidPointer(1), GpuError::InvalidPointer(1));
+        assert_ne!(GpuError::InvalidPointer(1), GpuError::InvalidPointer(2));
+    }
+}

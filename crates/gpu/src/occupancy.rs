@@ -1,0 +1,259 @@
+//! Occupancy: how many thread blocks fit on one SM.
+//!
+//! Residency is bounded by four per-SM resources: the hardware block-slot
+//! limit, the thread limit, the register file and shared memory. A
+//! consolidated grid can mix kernels with different footprints, so besides
+//! the classic per-kernel occupancy calculation ([`Occupancy::of`]) the
+//! engine uses an incremental tracker ([`SmResources`]) that admits blocks
+//! from *different* kernels onto the same SM as long as everything fits —
+//! this is precisely what makes warp interleaving between workloads
+//! possible (Section V, second consolidation type).
+
+use crate::config::GpuConfig;
+use crate::error::GpuError;
+use crate::kernel::KernelDesc;
+
+/// Static occupancy of a single kernel on one SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occupancy {
+    /// Maximum co-resident blocks of this kernel on one SM.
+    pub blocks_per_sm: u32,
+    /// Which resource is the binding constraint.
+    pub limiter: Limiter,
+}
+
+/// The resource that limits occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limiter {
+    /// Hardware block-slot limit.
+    BlockSlots,
+    /// Per-SM thread limit.
+    Threads,
+    /// Register file capacity.
+    Registers,
+    /// Shared memory capacity.
+    SharedMem,
+}
+
+impl Occupancy {
+    /// Compute the occupancy of `desc` on a device `cfg`.
+    ///
+    /// Returns [`GpuError::Unschedulable`] if not even a single block fits.
+    pub fn of(desc: &KernelDesc, cfg: &GpuConfig) -> Result<Occupancy, GpuError> {
+        let regs_per_block = desc.regs_per_thread.saturating_mul(desc.threads_per_block);
+
+        let by_threads = cfg.max_threads_per_sm / desc.threads_per_block.max(1);
+        let by_regs =
+            cfg.registers_per_sm.checked_div(regs_per_block).unwrap_or(u32::MAX);
+        let by_smem = cfg
+            .shared_mem_per_sm
+            .checked_div(desc.shared_mem_per_block)
+            .unwrap_or(u32::MAX);
+
+        let candidates = [
+            (cfg.max_blocks_per_sm, Limiter::BlockSlots),
+            (by_threads, Limiter::Threads),
+            (by_regs, Limiter::Registers),
+            (by_smem, Limiter::SharedMem),
+        ];
+        let (blocks, limiter) = candidates
+            .into_iter()
+            .min_by_key(|(n, _)| *n)
+            .expect("non-empty candidate list");
+
+        if blocks == 0 {
+            let why = match limiter {
+                Limiter::Threads => format!(
+                    "block needs {} threads, SM supports {}",
+                    desc.threads_per_block, cfg.max_threads_per_sm
+                ),
+                Limiter::Registers => format!(
+                    "block needs {} registers, SM has {}",
+                    regs_per_block, cfg.registers_per_sm
+                ),
+                Limiter::SharedMem => format!(
+                    "block needs {} B shared memory, SM has {} B",
+                    desc.shared_mem_per_block, cfg.shared_mem_per_sm
+                ),
+                Limiter::BlockSlots => "device has zero block slots".to_string(),
+            };
+            return Err(GpuError::Unschedulable(why));
+        }
+        Ok(Occupancy { blocks_per_sm: blocks, limiter })
+    }
+}
+
+/// Incremental per-SM resource tracker used by the execution engine to
+/// admit blocks of arbitrary (mixed) kernels.
+#[derive(Debug, Clone)]
+pub struct SmResources {
+    max_blocks: u32,
+    max_threads: u32,
+    max_regs: u32,
+    max_smem: u32,
+    blocks: u32,
+    threads: u32,
+    regs: u32,
+    smem: u32,
+}
+
+impl SmResources {
+    /// A fresh, empty SM for the given device.
+    pub fn new(cfg: &GpuConfig) -> Self {
+        SmResources {
+            max_blocks: cfg.max_blocks_per_sm,
+            max_threads: cfg.max_threads_per_sm,
+            max_regs: cfg.registers_per_sm,
+            max_smem: cfg.shared_mem_per_sm,
+            blocks: 0,
+            threads: 0,
+            regs: 0,
+            smem: 0,
+        }
+    }
+
+    /// Would a block of `desc` fit right now?
+    pub fn fits(&self, desc: &KernelDesc) -> bool {
+        let regs = desc.regs_per_thread.saturating_mul(desc.threads_per_block);
+        self.blocks < self.max_blocks
+            && self.threads + desc.threads_per_block <= self.max_threads
+            && self.regs + regs <= self.max_regs
+            && self.smem + desc.shared_mem_per_block <= self.max_smem
+    }
+
+    /// Admit a block of `desc`. Returns false (and changes nothing) if it
+    /// does not fit.
+    pub fn admit(&mut self, desc: &KernelDesc) -> bool {
+        if !self.fits(desc) {
+            return false;
+        }
+        self.blocks += 1;
+        self.threads += desc.threads_per_block;
+        self.regs += desc.regs_per_thread.saturating_mul(desc.threads_per_block);
+        self.smem += desc.shared_mem_per_block;
+        true
+    }
+
+    /// Release the resources of a completed block of `desc`.
+    ///
+    /// # Panics
+    /// Panics if releasing more than was admitted (an engine bug).
+    pub fn release(&mut self, desc: &KernelDesc) {
+        assert!(self.blocks > 0, "releasing a block from an empty SM");
+        self.blocks -= 1;
+        self.threads = self
+            .threads
+            .checked_sub(desc.threads_per_block)
+            .expect("thread accounting underflow");
+        self.regs = self
+            .regs
+            .checked_sub(desc.regs_per_thread.saturating_mul(desc.threads_per_block))
+            .expect("register accounting underflow");
+        self.smem = self
+            .smem
+            .checked_sub(desc.shared_mem_per_block)
+            .expect("shared-memory accounting underflow");
+    }
+
+    /// Number of currently resident blocks.
+    pub fn resident_blocks(&self) -> u32 {
+        self.blocks
+    }
+
+    /// Number of currently resident threads.
+    pub fn resident_threads(&self) -> u32 {
+        self.threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::tesla_c1060()
+    }
+
+    fn desc(tpb: u32, regs: u32, smem: u32) -> KernelDesc {
+        KernelDesc::builder("k")
+            .threads_per_block(tpb)
+            .regs_per_thread(regs)
+            .shared_mem_per_block(smem)
+            .build()
+    }
+
+    #[test]
+    fn thread_limited_occupancy() {
+        // 512-thread blocks with modest registers: limited by the
+        // 1024-thread SM to 2 blocks.
+        let o = Occupancy::of(&desc(512, 8, 0), &cfg()).unwrap();
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.limiter, Limiter::Threads);
+    }
+
+    #[test]
+    fn register_limited_occupancy() {
+        // 256 threads × 32 regs = 8192 regs/block → 2 blocks in 16K.
+        let o = Occupancy::of(&desc(256, 32, 0), &cfg()).unwrap();
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.limiter, Limiter::Registers);
+    }
+
+    #[test]
+    fn shared_mem_limited_occupancy() {
+        let o = Occupancy::of(&desc(64, 4, 9000), &cfg()).unwrap();
+        assert_eq!(o.blocks_per_sm, 1);
+        assert_eq!(o.limiter, Limiter::SharedMem);
+    }
+
+    #[test]
+    fn block_slot_limited_occupancy() {
+        let o = Occupancy::of(&desc(32, 1, 0), &cfg()).unwrap();
+        assert_eq!(o.blocks_per_sm, 8);
+        assert_eq!(o.limiter, Limiter::BlockSlots);
+    }
+
+    #[test]
+    fn unschedulable_when_block_too_large() {
+        let err = Occupancy::of(&desc(2048, 4, 0), &cfg()).unwrap_err();
+        assert!(matches!(err, GpuError::Unschedulable(_)));
+        let err = Occupancy::of(&desc(64, 4, 20_000), &cfg()).unwrap_err();
+        assert!(matches!(err, GpuError::Unschedulable(_)));
+    }
+
+    #[test]
+    fn tracker_admits_heterogeneous_mix_until_full() {
+        let c = cfg();
+        let mut sm = SmResources::new(&c);
+        let big = desc(512, 16, 8192); // half the SM in threads/regs/smem
+        let small = desc(128, 8, 1024);
+        assert!(sm.admit(&big));
+        assert!(sm.admit(&small));
+        assert_eq!(sm.resident_blocks(), 2);
+        // A second big block no longer fits (smem: 8192+8192+1024 > 16384).
+        assert!(!sm.admit(&big));
+        sm.release(&big);
+        assert!(sm.admit(&big));
+    }
+
+    #[test]
+    fn tracker_release_restores_capacity() {
+        let c = cfg();
+        let mut sm = SmResources::new(&c);
+        let d = desc(512, 8, 0);
+        assert!(sm.admit(&d));
+        assert!(sm.admit(&d));
+        assert!(!sm.admit(&d)); // thread-limited at 1024
+        sm.release(&d);
+        assert!(sm.admit(&d));
+        assert_eq!(sm.resident_threads(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty SM")]
+    fn tracker_release_on_empty_panics() {
+        let c = cfg();
+        let mut sm = SmResources::new(&c);
+        sm.release(&desc(32, 1, 0));
+    }
+}

@@ -1,0 +1,224 @@
+//! Block dispatch policies.
+//!
+//! The paper reverse-engineers the C1060's dispatcher (Section V): thread
+//! blocks are initially handed to SMs round-robin in block-index order,
+//! wave by wave, as long as occupancy allows; blocks that do not fit stay
+//! *untouched*. When SMs drain and go idle, the scheduler "balances
+//! workload between SMs" by **redistributing all untouched blocks
+//! round-robin among the idle SMs** — which is how, in the paper's
+//! scenario 1, the 15 SMs that finish the short encryption kernel first
+//! end up owning *all* 30 remaining Monte-Carlo blocks (1 encryption + 2
+//! MC blocks each), making them the critical SMs.
+//! [`DispatchPolicy::PaperRedistribution`] models exactly that and is the
+//! default.
+//!
+//! Two ablation policies are provided: [`DispatchPolicy::StaticRoundRobin`]
+//! pre-assigns block `i` to SM `i mod num_sms` with no redistribution, and
+//! [`DispatchPolicy::GreedyGlobal`] is an idealised work-conserving
+//! dispatcher (one global queue, any free slot pulls), which erases the
+//! critical-SM imbalance.
+
+use std::collections::VecDeque;
+
+use crate::grid::{BlockCoord, Grid};
+
+/// How pending blocks are matched to SMs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchPolicy {
+    /// Observed hardware behaviour: round-robin waves at launch, then
+    /// bulk redistribution of untouched blocks to idle SMs. Default.
+    #[default]
+    PaperRedistribution,
+    /// Block `i` is pinned to SM `i mod num_sms`; each SM drains its own
+    /// FIFO. No redistribution.
+    StaticRoundRobin,
+    /// One global FIFO; any SM with free occupancy pulls the head block.
+    GreedyGlobal,
+}
+
+/// Pending-block bookkeeping for one launch.
+///
+/// * `per_sm` holds blocks *committed* to a specific SM (static policy
+///   assignment, or paper-policy redistribution). Committed blocks do not
+///   migrate.
+/// * `pool` holds uncommitted blocks: the untouched pool under the paper
+///   policy, or the single global queue under the greedy policy.
+#[derive(Debug)]
+pub struct BlockDispatcher {
+    policy: DispatchPolicy,
+    per_sm: Vec<VecDeque<BlockCoord>>,
+    pool: VecDeque<BlockCoord>,
+    remaining: usize,
+}
+
+impl BlockDispatcher {
+    /// Distribute the grid's blocks according to `policy` on a device
+    /// with `num_sms` SMs.
+    pub fn new(grid: &Grid, num_sms: u32, policy: DispatchPolicy) -> Self {
+        let mut d = BlockDispatcher {
+            policy,
+            per_sm: vec![VecDeque::new(); num_sms as usize],
+            pool: VecDeque::new(),
+            remaining: grid.total_blocks() as usize,
+        };
+        for coord in grid.blocks() {
+            match policy {
+                DispatchPolicy::StaticRoundRobin => {
+                    let sm = (coord.global % num_sms) as usize;
+                    d.per_sm[sm].push_back(coord);
+                }
+                DispatchPolicy::PaperRedistribution | DispatchPolicy::GreedyGlobal => {
+                    d.pool.push_back(coord)
+                }
+            }
+        }
+        d
+    }
+
+    /// Peek the next block committed (or, for the greedy policy,
+    /// available) to `sm`, if any.
+    pub fn peek(&self, sm: usize) -> Option<&BlockCoord> {
+        match self.policy {
+            DispatchPolicy::GreedyGlobal => self.pool.front(),
+            _ => self.per_sm[sm].front(),
+        }
+    }
+
+    /// Pop the block returned by the last [`Self::peek`] for `sm`.
+    pub fn pop(&mut self, sm: usize) -> Option<BlockCoord> {
+        let b = match self.policy {
+            DispatchPolicy::GreedyGlobal => self.pool.pop_front(),
+            _ => self.per_sm[sm].pop_front(),
+        };
+        if b.is_some() {
+            self.remaining -= 1;
+        }
+        b
+    }
+
+    /// Peek the head of the untouched pool (paper policy initial waves).
+    pub fn peek_pool(&self) -> Option<&BlockCoord> {
+        self.pool.front()
+    }
+
+    /// Pop the head of the untouched pool (paper policy initial waves).
+    pub fn pop_pool(&mut self) -> Option<BlockCoord> {
+        let b = self.pool.pop_front();
+        if b.is_some() {
+            self.remaining -= 1;
+        }
+        b
+    }
+
+    /// Paper policy: commit **all** untouched blocks round-robin to the
+    /// given idle SMs. Returns how many blocks were committed.
+    pub fn redistribute(&mut self, idle_sms: &[usize]) -> usize {
+        if idle_sms.is_empty() {
+            return 0;
+        }
+        let mut n = 0;
+        let mut next = 0usize;
+        while let Some(b) = self.pool.pop_front() {
+            self.per_sm[idle_sms[next % idle_sms.len()]].push_back(b);
+            next += 1;
+            n += 1;
+        }
+        n
+    }
+
+    /// Blocks not yet handed to the engine (committed or pooled).
+    pub fn pending(&self) -> usize {
+        self.remaining
+    }
+
+    /// Blocks still in the untouched pool.
+    pub fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// The dispatch policy in effect.
+    pub fn policy(&self) -> DispatchPolicy {
+        self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelDesc;
+
+    fn grid(blocks: u32) -> Grid {
+        Grid::single(
+            KernelDesc::builder("k").threads_per_block(64).comp_insts(1.0).build(),
+            blocks,
+        )
+    }
+
+    #[test]
+    fn static_round_robin_pins_by_index() {
+        let g = grid(7);
+        let mut d = BlockDispatcher::new(&g, 3, DispatchPolicy::StaticRoundRobin);
+        // SM0 gets blocks 0, 3, 6; SM1 gets 1, 4; SM2 gets 2, 5.
+        assert_eq!(d.peek(0).unwrap().global, 0);
+        assert_eq!(d.pop(0).unwrap().global, 0);
+        assert_eq!(d.pop(0).unwrap().global, 3);
+        assert_eq!(d.pop(0).unwrap().global, 6);
+        assert!(d.pop(0).is_none());
+        assert_eq!(d.pop(1).unwrap().global, 1);
+        assert_eq!(d.pop(2).unwrap().global, 2);
+        assert_eq!(d.pending(), 2);
+    }
+
+    #[test]
+    fn greedy_serves_any_sm_from_one_queue() {
+        let g = grid(4);
+        let mut d = BlockDispatcher::new(&g, 3, DispatchPolicy::GreedyGlobal);
+        assert_eq!(d.pop(2).unwrap().global, 0);
+        assert_eq!(d.pop(0).unwrap().global, 1);
+        assert_eq!(d.peek(1).unwrap().global, 2);
+        assert_eq!(d.pending(), 2);
+    }
+
+    #[test]
+    fn paper_policy_starts_with_everything_pooled() {
+        let g = grid(5);
+        let d = BlockDispatcher::new(&g, 2, DispatchPolicy::PaperRedistribution);
+        assert_eq!(d.pool_len(), 5);
+        assert!(d.peek(0).is_none(), "nothing committed before waves run");
+    }
+
+    #[test]
+    fn redistribution_deals_round_robin_to_idle_sms() {
+        let g = grid(5);
+        let mut d = BlockDispatcher::new(&g, 4, DispatchPolicy::PaperRedistribution);
+        let n = d.redistribute(&[1, 3]);
+        assert_eq!(n, 5);
+        assert_eq!(d.pool_len(), 0);
+        // SM1 gets blocks 0, 2, 4; SM3 gets 1, 3.
+        assert_eq!(d.pop(1).unwrap().global, 0);
+        assert_eq!(d.pop(1).unwrap().global, 2);
+        assert_eq!(d.pop(1).unwrap().global, 4);
+        assert_eq!(d.pop(3).unwrap().global, 1);
+        assert_eq!(d.pop(3).unwrap().global, 3);
+        assert!(d.pop(0).is_none());
+        assert_eq!(d.pending(), 0);
+    }
+
+    #[test]
+    fn redistribution_with_no_idle_sms_is_a_no_op() {
+        let g = grid(3);
+        let mut d = BlockDispatcher::new(&g, 2, DispatchPolicy::PaperRedistribution);
+        assert_eq!(d.redistribute(&[]), 0);
+        assert_eq!(d.pool_len(), 3);
+    }
+
+    #[test]
+    fn pool_pops_preserve_block_order() {
+        let g = grid(3);
+        let mut d = BlockDispatcher::new(&g, 2, DispatchPolicy::PaperRedistribution);
+        assert_eq!(d.peek_pool().unwrap().global, 0);
+        assert_eq!(d.pop_pool().unwrap().global, 0);
+        assert_eq!(d.pop_pool().unwrap().global, 1);
+        assert_eq!(d.pending(), 1);
+    }
+}

@@ -1,0 +1,240 @@
+//! Solo-block cost model (Hong–Kim flavoured).
+//!
+//! Each thread block is reduced to a small set of fluid quantities that
+//! the execution engine and the analytical models share:
+//!
+//! * `issue_cycles` — cycles the block needs on the SM issue stage
+//!   (compute, memory-departure and sync instructions, per warp);
+//! * `mem_requests` / `mem_bytes` — DRAM transactions and traffic;
+//! * `t_solo_s` — execution time of the block *alone* on one SM with a
+//!   fair share of DRAM bandwidth, assuming compute/memory overlap;
+//! * `issue_demand d = issue_time / t_solo` — the fraction of issue slots
+//!   the block needs to progress at solo speed. A latency-bound kernel has
+//!   small `d` (its warps mostly wait on DRAM), which is exactly the slack
+//!   a co-resident compute-bound kernel can absorb — the paper's
+//!   "interleaving warps" effect;
+//! * `mem_fraction m = mem_time / t_solo` — how memory-bound the block
+//!   is, used to scale it by global bandwidth pressure;
+//! * `bw_solo` — DRAM bandwidth the block consumes at solo speed.
+//!
+//! Memory time respects an MWP-style in-flight cap: a block with few warps
+//! cannot keep enough requests outstanding to hide the ~450-cycle DRAM
+//! latency, which is why small enterprise kernels underuse the GPU in the
+//! first place (Table 1).
+
+use crate::config::GpuConfig;
+use crate::kernel::KernelDesc;
+
+/// Fluid cost of one thread block. See module docs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockCost {
+    /// Warps in the block.
+    pub warps: u32,
+    /// Total issue-stage cycles (all warps).
+    pub issue_cycles: f64,
+    /// Total DRAM transactions issued by the block.
+    pub mem_requests: f64,
+    /// Total DRAM bytes moved by the block.
+    pub mem_bytes: f64,
+    /// Memory-side time in cycles (latency-of-requests under the MWP cap).
+    pub mem_cycles: f64,
+    /// Solo execution time in seconds.
+    pub t_solo_s: f64,
+    /// Issue demand `d ∈ (0, 1]`.
+    pub issue_demand: f64,
+    /// Memory-bound fraction `m ∈ [0, 1]`.
+    pub mem_fraction: f64,
+    /// Bandwidth consumed at solo speed, bytes/second.
+    pub bw_solo: f64,
+    /// Total scalar compute operations (per-thread count × threads);
+    /// feeds the power ground truth and models.
+    pub comp_ops: f64,
+    /// Memory warps in parallel sustained by this block alone (the MWP
+    /// cap actually applied).
+    pub mwp: f64,
+}
+
+impl BlockCost {
+    /// Derive the cost of one block of `desc` on device `cfg`.
+    ///
+    /// The result is deterministic and cheap to compute; the engine calls
+    /// it once per grid segment, the analytical models call it directly.
+    pub fn derive(desc: &KernelDesc, cfg: &GpuConfig) -> BlockCost {
+        let warps = desc.warps_per_block(cfg.warp_size);
+        let wf = f64::from(warps);
+        let issue_per_warp = desc.comp_insts * cfg.warp_issue_cycles()
+            + desc.coalesced_mem * cfg.coalesced_delay_cycles
+            + desc.uncoalesced_mem * cfg.uncoalesced_delay_cycles
+            + desc.sync_insts * cfg.warp_issue_cycles();
+        let issue_cycles = issue_per_warp * wf;
+
+        // Transactions: a coalesced warp access is one wide transaction;
+        // an uncoalesced access serialises into one narrow transaction
+        // per thread.
+        let req_per_warp =
+            desc.coalesced_mem + desc.uncoalesced_mem * f64::from(cfg.warp_size);
+        let mem_requests = req_per_warp * wf;
+        let bytes_per_warp = desc.coalesced_mem * f64::from(cfg.coalesced_bytes)
+            + desc.uncoalesced_mem
+                * f64::from(cfg.warp_size)
+                * f64::from(cfg.uncoalesced_bytes);
+        let mem_bytes = bytes_per_warp * wf;
+
+        let mem_cycles;
+        let mwp;
+        if mem_requests > 0.0 {
+            // Average departure delay per transaction bounds how fast one
+            // warp can emit requests; the warp count bounds concurrency;
+            // the SM's fair bandwidth share bounds sustainable in-flight
+            // transactions.
+            let departure_cycles = desc.coalesced_mem * cfg.coalesced_delay_cycles
+                + desc.uncoalesced_mem * cfg.uncoalesced_delay_cycles;
+            let delay_per_req = departure_cycles / req_per_warp;
+            let mwp_no_bw = cfg.dram_latency_cycles / delay_per_req.max(1e-9);
+            let bytes_per_req = bytes_per_warp / req_per_warp;
+            let latency_s = cfg.dram_latency_cycles * cfg.cycle_s();
+            let mwp_bw = cfg.bandwidth_per_sm() * latency_s / bytes_per_req.max(1e-9);
+            mwp = wf.min(mwp_no_bw).min(mwp_bw).max(1.0);
+            mem_cycles = mem_requests * cfg.dram_latency_cycles / mwp;
+        } else {
+            mwp = 0.0;
+            mem_cycles = 0.0;
+        }
+
+        let solo_cycles = issue_cycles.max(mem_cycles).max(1.0);
+        let t_solo_s = solo_cycles * cfg.cycle_s();
+        BlockCost {
+            warps,
+            issue_cycles,
+            mem_requests,
+            mem_bytes,
+            mem_cycles,
+            t_solo_s,
+            issue_demand: (issue_cycles / solo_cycles).clamp(1e-6, 1.0),
+            mem_fraction: (mem_cycles / solo_cycles).clamp(0.0, 1.0),
+            bw_solo: mem_bytes / t_solo_s,
+            comp_ops: desc.comp_insts * f64::from(desc.threads_per_block),
+            mwp,
+        }
+    }
+
+    /// Is this block compute-bound (issue side dominates)?
+    pub fn is_compute_bound(&self) -> bool {
+        self.issue_demand >= self.mem_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::tesla_c1060()
+    }
+
+    #[test]
+    fn pure_compute_block_has_full_issue_demand() {
+        let d = KernelDesc::builder("comp")
+            .threads_per_block(256)
+            .comp_insts(1e6)
+            .build();
+        let c = BlockCost::derive(&d, &cfg());
+        assert!((c.issue_demand - 1.0).abs() < 1e-9);
+        assert_eq!(c.mem_fraction, 0.0);
+        assert_eq!(c.mem_bytes, 0.0);
+        assert!(c.is_compute_bound());
+        // 8 warps × 1e6 insts × 4 cycles at 1.296 GHz ≈ 24.7 ms.
+        let expect = 8.0 * 1e6 * 4.0 / 1.296e9;
+        assert!((c.t_solo_s - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn latency_bound_block_has_small_issue_demand() {
+        // Few warps, mostly memory: d should be well below 1 so a
+        // co-resident compute kernel could interleave.
+        let d = KernelDesc::builder("mem")
+            .threads_per_block(64)
+            .comp_insts(10.0)
+            .coalesced_mem(1000.0)
+            .build();
+        let c = BlockCost::derive(&d, &cfg());
+        assert!(c.issue_demand < 0.5, "d = {}", c.issue_demand);
+        assert!(c.mem_fraction > 0.9);
+        assert!(!c.is_compute_bound());
+    }
+
+    #[test]
+    fn mwp_capped_by_warp_count() {
+        let d = KernelDesc::builder("w1")
+            .threads_per_block(32) // a single warp cannot hide latency
+            .coalesced_mem(100.0)
+            .build();
+        let c = BlockCost::derive(&d, &cfg());
+        assert!((c.mwp - 1.0).abs() < 1e-9);
+        // 100 requests × 450 cycles, nothing hidden.
+        assert!((c.mem_cycles - 45_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn more_warps_hide_more_latency() {
+        let mk = |tpb: u32| {
+            let d = KernelDesc::builder("m")
+                .threads_per_block(tpb)
+                .coalesced_mem(100.0)
+                .build();
+            BlockCost::derive(&d, &cfg()).t_solo_s / f64::from(tpb / 32)
+        };
+        // Per-warp time shrinks as warps are added (until another cap
+        // binds): latency hiding at work.
+        assert!(mk(64) < mk(32));
+        assert!(mk(256) < mk(64));
+    }
+
+    #[test]
+    fn uncoalesced_access_is_much_more_expensive() {
+        let co = KernelDesc::builder("c")
+            .threads_per_block(256)
+            .coalesced_mem(100.0)
+            .build();
+        let un = KernelDesc::builder("u")
+            .threads_per_block(256)
+            .uncoalesced_mem(100.0)
+            .build();
+        let cc = BlockCost::derive(&co, &cfg());
+        let cu = BlockCost::derive(&un, &cfg());
+        assert!(cu.t_solo_s > 5.0 * cc.t_solo_s);
+        assert!(cu.mem_requests > 30.0 * cc.mem_requests);
+    }
+
+    #[test]
+    fn bandwidth_consumption_consistent() {
+        let d = KernelDesc::builder("bw")
+            .threads_per_block(512)
+            .coalesced_mem(10_000.0)
+            .build();
+        let c = BlockCost::derive(&d, &cfg());
+        assert!((c.bw_solo - c.mem_bytes / c.t_solo_s).abs() < 1e-6);
+        // A single block must not exceed its per-SM fair share by much
+        // (the MWP bandwidth cap enforces this).
+        assert!(c.bw_solo <= cfg().bandwidth_per_sm() * 1.01);
+    }
+
+    #[test]
+    fn overlap_model_takes_max_side() {
+        let d = KernelDesc::builder("bal")
+            .threads_per_block(256)
+            .comp_insts(1000.0)
+            .coalesced_mem(100.0)
+            .build();
+        let c = BlockCost::derive(&d, &cfg());
+        let solo_cycles = c.t_solo_s * cfg().clock_hz;
+        assert!((solo_cycles - c.issue_cycles.max(c.mem_cycles)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_kernel_still_positive_time() {
+        let d = KernelDesc::builder("nop").threads_per_block(32).build();
+        let c = BlockCost::derive(&d, &cfg());
+        assert!(c.t_solo_s > 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Per-block execution traces.
+//!
+//! The engine records when each block started and finished and on which
+//! SM it ran. Traces let tests assert scheduling properties directly
+//! (round-robin placement, critical-SM identification, redistribution)
+//! and are the "measured" side the analytical models are validated
+//! against in Figures 3 and 4.
+
+use crate::grid::BlockCoord;
+
+/// Lifetime of one thread block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockEvent {
+    /// Which block.
+    pub coord: BlockCoord,
+    /// SM it executed on.
+    pub sm: u32,
+    /// Start time, seconds since launch.
+    pub start_s: f64,
+    /// Finish time, seconds since launch.
+    pub end_s: f64,
+}
+
+/// Trace of a whole launch.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionTrace {
+    events: Vec<BlockEvent>,
+}
+
+impl ExecutionTrace {
+    /// Record a completed block.
+    pub fn push(&mut self, ev: BlockEvent) {
+        self.events.push(ev);
+    }
+
+    /// All events, in completion order.
+    pub fn events(&self) -> &[BlockEvent] {
+        &self.events
+    }
+
+    /// The makespan: latest finish time (0 for an empty trace).
+    pub fn makespan(&self) -> f64 {
+        self.events.iter().map(|e| e.end_s).fold(0.0, f64::max)
+    }
+
+    /// Finish time per SM; index = SM id. SMs that ran nothing report 0.
+    pub fn finish_per_sm(&self, num_sms: u32) -> Vec<f64> {
+        let mut out = vec![0.0; num_sms as usize];
+        for e in &self.events {
+            let slot = &mut out[e.sm as usize];
+            *slot = f64::max(*slot, e.end_s);
+        }
+        out
+    }
+
+    /// The SM(s) that finish last — the paper's *critical SMs*.
+    pub fn critical_sms(&self, num_sms: u32, tol: f64) -> Vec<u32> {
+        let per = self.finish_per_sm(num_sms);
+        let max = per.iter().copied().fold(0.0, f64::max);
+        per.iter()
+            .enumerate()
+            .filter(|(_, &t)| t > 0.0 && (max - t) <= tol)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Events belonging to one grid segment.
+    pub fn segment_events(&self, segment: usize) -> impl Iterator<Item = &BlockEvent> {
+        self.events.iter().filter(move |e| e.coord.segment == segment)
+    }
+
+    /// Completion time of one segment (all of its blocks finished).
+    pub fn segment_finish(&self, segment: usize) -> f64 {
+        self.segment_events(segment).map(|e| e.end_s).fold(0.0, f64::max)
+    }
+
+    /// Render an ASCII Gantt chart: one row per SM, `width` columns over
+    /// `[0, makespan]`; each cell shows the segment index (mod 10) of a
+    /// block running there, `.` when idle, `#` when blocks of several
+    /// segments overlap in that cell.
+    pub fn ascii_gantt(&self, num_sms: u32, width: usize) -> String {
+        let makespan = self.makespan();
+        if makespan <= 0.0 || width == 0 {
+            return String::new();
+        }
+        let mut rows = vec![vec![' '; width]; num_sms as usize];
+        for row in &mut rows {
+            for c in row.iter_mut() {
+                *c = '.';
+            }
+        }
+        for ev in &self.events {
+            let lo = ((ev.start_s / makespan) * width as f64).floor() as usize;
+            let hi = ((ev.end_s / makespan) * width as f64).ceil() as usize;
+            let glyph = char::from_digit((ev.coord.segment % 10) as u32, 10).unwrap_or('?');
+            for c in rows[ev.sm as usize]
+                .iter_mut()
+                .take(hi.min(width))
+                .skip(lo.min(width.saturating_sub(1)))
+            {
+                *c = if *c == '.' || *c == glyph { glyph } else { '#' };
+            }
+        }
+        let mut out = String::new();
+        for (sm, row) in rows.iter().enumerate() {
+            out.push_str(&format!("SM{sm:02} |"));
+            out.extend(row.iter());
+            out.push_str("|\n");
+        }
+        out.push_str(&format!(
+            "      0{:>width$.1}s\n",
+            makespan,
+            width = width + 1
+        ));
+        out
+    }
+
+    /// How many distinct SMs executed at least one block.
+    pub fn sms_touched(&self) -> usize {
+        let mut sms: Vec<u32> = self.events.iter().map(|e| e.sm).collect();
+        sms.sort_unstable();
+        sms.dedup();
+        sms.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seg: usize, within: u32, sm: u32, start: f64, end: f64) -> BlockEvent {
+        BlockEvent {
+            coord: BlockCoord { global: within, segment: seg, within },
+            sm,
+            start_s: start,
+            end_s: end,
+        }
+    }
+
+    #[test]
+    fn makespan_and_per_sm_finish() {
+        let mut t = ExecutionTrace::default();
+        t.push(ev(0, 0, 0, 0.0, 1.0));
+        t.push(ev(0, 1, 1, 0.0, 3.0));
+        t.push(ev(1, 0, 0, 1.0, 2.5));
+        assert_eq!(t.makespan(), 3.0);
+        assert_eq!(t.finish_per_sm(3), vec![2.5, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn critical_sm_detection() {
+        let mut t = ExecutionTrace::default();
+        t.push(ev(0, 0, 0, 0.0, 2.0));
+        t.push(ev(0, 1, 1, 0.0, 2.0));
+        t.push(ev(0, 2, 2, 0.0, 1.0));
+        assert_eq!(t.critical_sms(3, 1e-9), vec![0, 1]);
+    }
+
+    #[test]
+    fn segment_queries() {
+        let mut t = ExecutionTrace::default();
+        t.push(ev(0, 0, 0, 0.0, 1.0));
+        t.push(ev(1, 0, 1, 0.0, 4.0));
+        t.push(ev(1, 1, 2, 0.0, 2.0));
+        assert_eq!(t.segment_finish(0), 1.0);
+        assert_eq!(t.segment_finish(1), 4.0);
+        assert_eq!(t.segment_events(1).count(), 2);
+        assert_eq!(t.sms_touched(), 3);
+    }
+
+    #[test]
+    fn gantt_renders_rows_and_overlap() {
+        let mut t = ExecutionTrace::default();
+        t.push(ev(0, 0, 0, 0.0, 2.0));
+        t.push(ev(1, 0, 0, 1.0, 2.0)); // overlaps segment 0 on SM0
+        t.push(ev(1, 1, 1, 0.0, 1.0));
+        let g = t.ascii_gantt(2, 10);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3, "2 SM rows + axis: {g}");
+        assert!(lines[0].starts_with("SM00 |"));
+        assert!(lines[0].contains('#'), "overlap cell: {g}");
+        assert!(lines[1].contains('1'), "segment digit: {g}");
+        assert!(lines[1].contains('.'), "idle tail: {g}");
+    }
+
+    #[test]
+    fn gantt_empty_trace_is_empty() {
+        let t = ExecutionTrace::default();
+        assert!(t.ascii_gantt(4, 20).is_empty());
+    }
+
+    #[test]
+    fn empty_trace_defaults() {
+        let t = ExecutionTrace::default();
+        assert_eq!(t.makespan(), 0.0);
+        assert!(t.critical_sms(4, 1e-9).is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! Host↔device DMA timing.
+//!
+//! The paper includes data-transfer time in every GPU measurement ("The
+//! performance of GPU includes the GPU computation time and data transfer
+//! time between host memory and GPU device memory"), and its Figure 7
+//! discussion shows transfer overhead dominating beyond ~9 consolidated
+//! encryption instances. The DMA engine models a PCIe-like link: a fixed
+//! per-transfer setup latency plus bytes over bandwidth.
+
+/// Transfer direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Host to device.
+    HostToDevice,
+    /// Device to host.
+    DeviceToHost,
+}
+
+/// Cumulative DMA statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DmaStats {
+    /// Bytes moved host→device.
+    pub h2d_bytes: u64,
+    /// Bytes moved device→host.
+    pub d2h_bytes: u64,
+    /// Number of transfers.
+    pub transfers: u64,
+    /// Total link-busy time in seconds.
+    pub busy_s: f64,
+}
+
+/// The DMA engine: computes transfer times and keeps statistics.
+#[derive(Debug, Clone)]
+pub struct DmaEngine {
+    bandwidth: f64,
+    latency_s: f64,
+    stats: DmaStats,
+}
+
+impl DmaEngine {
+    /// Create an engine with the given link bandwidth (bytes/second) and
+    /// per-transfer setup latency (seconds).
+    pub fn new(bandwidth: f64, latency_s: f64) -> Self {
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        DmaEngine { bandwidth, latency_s, stats: DmaStats::default() }
+    }
+
+    /// Time for a transfer of `bytes` in either direction, without
+    /// recording it.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth
+    }
+
+    /// Record a transfer and return its duration.
+    pub fn transfer(&mut self, bytes: u64, dir: Direction) -> f64 {
+        let t = self.transfer_time(bytes);
+        match dir {
+            Direction::HostToDevice => self.stats.h2d_bytes += bytes,
+            Direction::DeviceToHost => self.stats.d2h_bytes += bytes,
+        }
+        self.stats.transfers += 1;
+        self.stats.busy_s += t;
+        t
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> DmaStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_is_latency_plus_bandwidth_term() {
+        let d = DmaEngine::new(1e9, 10e-6);
+        let t = d.transfer_time(1_000_000);
+        assert!((t - (10e-6 + 1e-3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_transfers_are_latency_dominated() {
+        let d = DmaEngine::new(5.2e9, 15e-6);
+        let t = d.transfer_time(64);
+        assert!(t > 0.9 * 15e-6 && t < 2.0 * 15e-6);
+    }
+
+    #[test]
+    fn stats_accumulate_per_direction() {
+        let mut d = DmaEngine::new(1e9, 0.0);
+        d.transfer(100, Direction::HostToDevice);
+        d.transfer(50, Direction::DeviceToHost);
+        d.transfer(25, Direction::HostToDevice);
+        let s = d.stats();
+        assert_eq!(s.h2d_bytes, 125);
+        assert_eq!(s.d2h_bytes, 50);
+        assert_eq!(s.transfers, 3);
+        assert!((s.busy_s - 175e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_rejected() {
+        let _ = DmaEngine::new(0.0, 0.0);
+    }
+}

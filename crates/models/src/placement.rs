@@ -1,0 +1,240 @@
+//! Static reconstruction of the GPU block dispatcher (Section V).
+//!
+//! "To identify the critical SMs, we need to know how the GPU schedules
+//! thread blocks to SMs... We can determine critical SMs based on
+//! analyzing execution time of a workload and thread block distribution."
+//!
+//! The analysis replays the dispatcher's logic without running anything:
+//! round-robin waves under occupancy limits place the initial blocks;
+//! whatever does not fit stays *untouched*; the untouched pool is then
+//! redistributed round-robin to the SMs that finish their initial
+//! allocation first (estimated from solo block times with the
+//! interleaving-aware per-SM formula). The result is a two-phase per-SM
+//! block assignment from which the performance model reads off the
+//! critical SMs.
+
+use ewc_gpu::occupancy::SmResources;
+use ewc_gpu::{BlockCost, GpuConfig};
+
+use crate::plan::ConsolidationPlan;
+
+/// A block placed on an SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacedBlock {
+    /// Index into the plan's members.
+    pub member: usize,
+    /// 0 = initial wave placement, 1 = redistributed after first idle.
+    pub phase: u8,
+}
+
+/// The static placement of a plan.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Per-SM block lists.
+    pub per_sm: Vec<Vec<PlacedBlock>>,
+    /// Per-member solo block costs, aligned with the plan.
+    pub costs: Vec<BlockCost>,
+    /// Whether a redistribution phase occurred.
+    pub redistributed: bool,
+}
+
+impl Placement {
+    /// SMs with at least one block.
+    pub fn sms_used(&self) -> usize {
+        self.per_sm.iter().filter(|b| !b.is_empty()).count()
+    }
+
+    /// Largest number of blocks any SM holds.
+    pub fn max_blocks_per_sm(&self) -> usize {
+        self.per_sm.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The paper's *type 1* consolidations: at most one block per SM.
+    pub fn is_type1(&self) -> bool {
+        self.max_blocks_per_sm() <= 1
+    }
+}
+
+/// Interleaving-aware elapsed-time estimate for a set of co-scheduled
+/// blocks on one SM: `max(Σ dᵢ·tᵢ, max tᵢ)` — treat them "as one single
+/// big workload" (Section V).
+pub fn sm_phase_time(blocks: &[&BlockCost]) -> f64 {
+    let issue: f64 = blocks.iter().map(|c| c.issue_demand * c.t_solo_s).sum();
+    let longest = blocks.iter().map(|c| c.t_solo_s).fold(0.0, f64::max);
+    issue.max(longest)
+}
+
+/// Statically place a plan on the device.
+pub fn analyze(plan: &ConsolidationPlan, cfg: &GpuConfig) -> Placement {
+    let n_sms = cfg.num_sms as usize;
+    let costs: Vec<BlockCost> =
+        plan.members.iter().map(|m| BlockCost::derive(&m.desc, cfg)).collect();
+
+    // Expand to the global block list in template order.
+    let order: Vec<usize> = plan
+        .members
+        .iter()
+        .enumerate()
+        .flat_map(|(mi, m)| std::iter::repeat_n(mi, m.blocks as usize))
+        .collect();
+
+    let mut per_sm: Vec<Vec<PlacedBlock>> = vec![Vec::new(); n_sms];
+    let mut res: Vec<SmResources> = (0..n_sms).map(|_| SmResources::new(cfg)).collect();
+    let mut pool = std::collections::VecDeque::from(order);
+
+    // Round-robin waves: each pass admits at most one block per SM.
+    loop {
+        let mut progress = false;
+        for sm in 0..n_sms {
+            let Some(&mi) = pool.front() else { break };
+            if res[sm].admit(&plan.members[mi].desc) {
+                per_sm[sm].push(PlacedBlock { member: mi, phase: 0 });
+                pool.pop_front();
+                progress = true;
+            }
+        }
+        if !progress || pool.is_empty() {
+            break;
+        }
+    }
+
+    let mut redistributed = false;
+    if !pool.is_empty() {
+        // Phase-1 finish estimate per busy SM.
+        let finish: Vec<f64> = per_sm
+            .iter()
+            .map(|blocks| {
+                let refs: Vec<&BlockCost> =
+                    blocks.iter().map(|b| &costs[b.member]).collect();
+                if refs.is_empty() {
+                    0.0
+                } else {
+                    sm_phase_time(&refs)
+                }
+            })
+            .collect();
+        let min_busy = finish
+            .iter()
+            .filter(|&&t| t > 0.0)
+            .fold(f64::INFINITY, |a, &b| a.min(b));
+        let idle: Vec<usize> = (0..n_sms)
+            .filter(|&sm| finish[sm] > 0.0 && finish[sm] <= min_busy * (1.0 + 1e-9))
+            .collect();
+        if !idle.is_empty() {
+            let mut next = 0usize;
+            while let Some(mi) = pool.pop_front() {
+                per_sm[idle[next % idle.len()]].push(PlacedBlock { member: mi, phase: 1 });
+                next += 1;
+            }
+            redistributed = true;
+        }
+    }
+
+    Placement { per_sm, costs, redistributed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::KernelSpec;
+    use ewc_gpu::KernelDesc;
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::tesla_c1060()
+    }
+
+    fn compute(name: &str, tpb: u32, regs: u32, secs: f64) -> KernelDesc {
+        let c = cfg();
+        let warps = f64::from(tpb.div_ceil(32));
+        KernelDesc::builder(name)
+            .threads_per_block(tpb)
+            .regs_per_thread(regs)
+            .comp_insts(secs * c.clock_hz / (warps * c.warp_issue_cycles()))
+            .build()
+    }
+
+    #[test]
+    fn single_wave_is_type1() {
+        let plan =
+            ConsolidationPlan::new().with(KernelSpec::new(compute("k", 256, 16, 1.0), 27));
+        let p = analyze(&plan, &cfg());
+        assert!(p.is_type1());
+        assert_eq!(p.sms_used(), 27);
+        assert!(!p.redistributed);
+    }
+
+    #[test]
+    fn scenario1_shape_redistributes_onto_short_kernel_sms() {
+        // 15 short register-heavy blocks + 45 long occupancy-1 blocks:
+        // SMs 0–14 end up with 1 short + 2 long (the critical SMs).
+        let short = compute("enc", 256, 40, 19.5);
+        let long = compute("mc", 128, 68, 31.2);
+        let plan = ConsolidationPlan::new()
+            .with(KernelSpec::new(short, 15))
+            .with(KernelSpec::new(long, 45));
+        let p = analyze(&plan, &cfg());
+        assert!(p.redistributed);
+        assert!(!p.is_type1());
+        for sm in 0..15 {
+            let members: Vec<usize> = p.per_sm[sm].iter().map(|b| b.member).collect();
+            assert_eq!(members, vec![0, 1, 1], "SM{sm} should hold 1 enc + 2 mc");
+            assert_eq!(p.per_sm[sm][1].phase, 1);
+        }
+        for sm in 15..30 {
+            let members: Vec<usize> = p.per_sm[sm].iter().map(|b| b.member).collect();
+            assert_eq!(members, vec![1], "SM{sm} should hold a single mc block");
+        }
+    }
+
+    #[test]
+    fn scenario2_shape_coresides_search_and_bs() {
+        let search = {
+            let mut d = compute("search", 256, 16, 10.0);
+            // Make it latency-bound: little issue demand.
+            d.comp_insts = 0.0;
+            d.uncoalesced_mem = 4.0e6;
+            d
+        };
+        let bs = compute("bs", 256, 28, 13.2);
+        let plan = ConsolidationPlan::new()
+            .with(KernelSpec::new(search, 15))
+            .with(KernelSpec::new(bs, 45));
+        let p = analyze(&plan, &cfg());
+        // 60 blocks fill exactly two waves: SMs 0–14 hold 1 search + 1
+        // BS (the paper's critical-SM placement), SMs 15–29 hold 2 BS.
+        // Nothing is left untouched, so no redistribution occurs.
+        for sm in 0..15 {
+            let members: Vec<usize> = p.per_sm[sm].iter().map(|b| b.member).collect();
+            assert_eq!(members, vec![0, 1], "SM{sm} should hold search + BS");
+        }
+        for sm in 15..30 {
+            let members: Vec<usize> = p.per_sm[sm].iter().map(|b| b.member).collect();
+            assert_eq!(members, vec![1, 1], "SM{sm} should hold 2 BS");
+        }
+        assert!(!p.redistributed);
+    }
+
+    #[test]
+    fn phase_time_interleaves_below_saturation() {
+        let c = cfg();
+        let mem = {
+            let mut d = KernelDesc::builder("m").threads_per_block(64).build();
+            d.uncoalesced_mem = 1e5;
+            BlockCost::derive(&d, &c)
+        };
+        let comp = BlockCost::derive(&compute("c", 64, 16, mem.t_solo_s * 0.4), &c);
+        let t = sm_phase_time(&[&mem, &comp]);
+        // Σd·t small; the long memory block dominates.
+        assert!((t - mem.t_solo_s).abs() / mem.t_solo_s < 0.2);
+        // Two compute blocks serialise.
+        let t2 = sm_phase_time(&[&comp, &comp]);
+        assert!((t2 - 2.0 * comp.t_solo_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_plan_places_nothing() {
+        let p = analyze(&ConsolidationPlan::new(), &cfg());
+        assert_eq!(p.sms_used(), 0);
+        assert!(p.is_type1());
+    }
+}

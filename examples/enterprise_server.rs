@@ -1,0 +1,91 @@
+//! Enterprise scenario: many concurrent users firing small mixed
+//! requests at a shared GPU node. The backend's threshold logic batches
+//! them; the decision engine routes each batch to the GPU (consolidated
+//! or serial) or the CPU, whichever costs the least energy — the full
+//! Figure 6 flow, with nothing forced.
+//!
+//! ```text
+//! cargo run -p ewc-bench --release --example enterprise_server
+//! ```
+
+use std::sync::Arc;
+use std::thread;
+
+use ewc_core::{Runtime, RuntimeConfig, Template};
+use ewc_gpu::GpuConfig;
+use ewc_workloads::{AesWorkload, BlackScholesWorkload, SearchWorkload, Workload};
+
+fn main() {
+    let cfg = GpuConfig::tesla_c1060();
+    let aes: Arc<dyn Workload> = Arc::new(AesWorkload::fig7(&cfg));
+    let search: Arc<dyn Workload> = Arc::new(SearchWorkload::tables56(&cfg));
+    let bs: Arc<dyn Workload> = Arc::new(BlackScholesWorkload::tables56(&cfg));
+
+    let rt = Arc::new(
+        Runtime::builder(RuntimeConfig {
+            threshold_factor: 8, // consider consolidation at 8 pending requests
+            ..RuntimeConfig::default()
+        })
+        .workload("encryption", Arc::clone(&aes))
+        .workload("search", Arc::clone(&search))
+        .workload("blackscholes", Arc::clone(&bs))
+        .template(Template::heterogeneous("search+bs", &["search", "blackscholes"]))
+        .template(Template::homogeneous("encryption"))
+        .template(Template::homogeneous("blackscholes"))
+        .template(Template::homogeneous("search"))
+        .build(),
+    );
+
+    // 24 users in three bursts; each burst's requests arrive while the
+    // previous ones are still pending, so the backend sees real groups.
+    let mut threads = Vec::new();
+    for user in 0..24u64 {
+        let rt = Arc::clone(&rt);
+        let w: Arc<dyn Workload> = match user % 3 {
+            0 => Arc::clone(&aes),
+            1 => Arc::clone(&search),
+            _ => Arc::clone(&bs),
+        };
+        let name = match user % 3 {
+            0 => "encryption",
+            1 => "search",
+            _ => "blackscholes",
+        };
+        threads.push(thread::spawn(move || {
+            let mut fe = rt.connect();
+            let (args, bufs) = w.build_args(&mut fe, user).expect("upload");
+            fe.configure_call(w.blocks(), w.desc().threads_per_block).unwrap();
+            for a in &args {
+                fe.setup_argument(*a).unwrap();
+            }
+            fe.launch(name).expect("queue");
+            fe.sync().expect("drain");
+            let out = fe.memcpy_d2h(bufs.output, 0, bufs.output_len).expect("download");
+            assert_eq!(out, w.expected_output(user), "user {user} result");
+            (user, name)
+        }));
+    }
+    for t in threads {
+        let (user, name) = t.join().expect("user thread");
+        println!("user {user:2} ({name}) verified");
+    }
+
+    let rt = Arc::into_inner(rt).expect("all users done");
+    let report = rt.shutdown();
+    println!("\n== backend report ==");
+    println!("wall time:  {:.2} s, energy {:.1} kJ", report.elapsed_s, report.energy.energy_j / 1e3);
+    println!(
+        "launches: {} ({} consolidated), cpu-offloaded kernels: {}",
+        report.stats.launches, report.stats.consolidated_launches, report.stats.cpu_executions
+    );
+    for rec in &report.stats.records {
+        println!(
+            "  {:?}: {} kernels via '{}' — predicted {:.1} s, actual {:.1} s",
+            rec.choice,
+            rec.kernels.len(),
+            rec.template,
+            rec.predicted_time_s,
+            rec.actual_time_s
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: consolidate a handful of encryption requests from
+//! separate "user processes" and compare against running them on the CPU.
+//!
+//! ```text
+//! cargo run -p ewc-bench --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use ewc_core::{Runtime, RuntimeConfig, Template};
+use ewc_gpu::GpuConfig;
+use ewc_workloads::{AesWorkload, Workload};
+
+fn main() {
+    let gpu_cfg = GpuConfig::tesla_c1060();
+    let aes = Arc::new(AesWorkload::fig7(&gpu_cfg));
+
+    // 1. Stand up the runtime: register the workload the data centre
+    //    serves and the template that can consolidate it. Building the
+    //    runtime trains the power model on the Rodinia-like suite.
+    let rt = Runtime::builder(RuntimeConfig::default())
+        .workload("encryption", Arc::clone(&aes) as Arc<dyn Workload>)
+        .template(Template::homogeneous("encryption"))
+        .build();
+
+    // 2. Each user request gets its own frontend (process context).
+    //    The frontend speaks the intercepted CUDA-style API: malloc,
+    //    memcpy, configure_call, setup_argument, launch.
+    let mut sessions = Vec::new();
+    for user in 0..6u64 {
+        let mut fe = rt.connect();
+        let (key, tables) = aes.constant_data().expect("AES ships constant tables");
+        fe.register_constant(key, &tables).expect("constant upload");
+        let (args, bufs) = aes.build_args(&mut fe, user).expect("upload input");
+        fe.configure_call(aes.blocks(), aes.desc().threads_per_block).unwrap();
+        for a in &args {
+            fe.setup_argument(*a).unwrap();
+        }
+        let ticket = fe.launch("encryption").expect("queue kernel");
+        println!("user {user}: queued kernel, ticket {ticket}");
+        sessions.push((fe, bufs, user));
+    }
+
+    // 3. Wait for the batch and read results back.
+    sessions[0].0.sync().expect("drain");
+    for (fe, bufs, user) in &sessions {
+        let out = fe.memcpy_d2h(bufs.output, 0, bufs.output_len).expect("download");
+        let ok = out == aes.expected_output(*user);
+        println!("user {user}: {} bytes encrypted, verified = {ok}", out.len());
+        assert!(ok);
+    }
+
+    // 4. Shut down and inspect what the framework decided and spent.
+    let report = rt.shutdown();
+    println!("\n== runtime report ==");
+    println!("elapsed:        {:.2} s", report.elapsed_s);
+    println!("system energy:  {:.0} J (avg {:.0} W)", report.energy.energy_j, report.energy.avg_power_w);
+    println!("messages:       {}", report.stats.messages);
+    println!("overhead:       {:.3} s (staging {:.3}, channel {:.3}, coordination {:.3})",
+        report.stats.overhead_s(), report.stats.staging_s, report.stats.channel_s,
+        report.stats.coordination_s);
+    for rec in &report.stats.records {
+        println!(
+            "decision: {:?} via '{}' over {} kernels — predicted {:.2} s / {:.0} J, actual {:.2} s",
+            rec.choice, rec.template, rec.kernels.len(), rec.predicted_time_s,
+            rec.predicted_energy_j, rec.actual_time_s
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Scheduling lab: watch the block dispatcher produce the paper's
+//! critical-SM placements, and compare dispatch policies on the two
+//! Section III scenarios.
+//!
+//! ```text
+//! cargo run -p ewc-bench --release --example scheduling_lab
+//! ```
+
+use ewc_gpu::{ConsolidatedGrid, DispatchPolicy, ExecutionEngine, GpuConfig, Grid};
+use ewc_workloads::{
+    AesWorkload, BlackScholesWorkload, MonteCarloWorkload, SearchWorkload, Workload,
+};
+
+fn show(label: &str, grid: &Grid, policy: DispatchPolicy) {
+    let engine = ExecutionEngine::new(GpuConfig::tesla_c1060());
+    let out = engine.run(grid, policy).expect("runnable grid");
+    let per_sm = out.trace.finish_per_sm(30);
+    let critical = out.trace.critical_sms(30, 1e-6);
+    println!("\n{label} [{policy:?}]");
+    println!("  makespan: {:.2} s", out.elapsed_s);
+    println!(
+        "  critical SMs: {} (first: SM{})",
+        critical.len(),
+        critical.first().copied().unwrap_or(0)
+    );
+    // Coarse per-SM load picture: blocks retired and finish time.
+    let mut blocks_per_sm = vec![0u32; 30];
+    for ev in out.trace.events() {
+        blocks_per_sm[ev.sm as usize] += 1;
+    }
+    print!("  blocks/SM:  ");
+    for b in &blocks_per_sm {
+        print!("{b}");
+    }
+    println!();
+    print!("  finish (s): ");
+    for t in per_sm.iter().step_by(5) {
+        print!("{t:>7.1}");
+    }
+    println!("  (every 5th SM)");
+    println!("  gantt (rows = SMs, digits = workload segment, # = overlap):");
+    for line in out.trace.ascii_gantt(30, 60).lines().step_by(3) {
+        println!("  {line}");
+    }
+}
+
+fn main() {
+    let cfg = GpuConfig::tesla_c1060();
+
+    // Scenario 1: encryption (15 blocks, occupancy-blocking registers)
+    // + MonteCarlo (45 occupancy-1 blocks). Under the observed hardware
+    // policy the 30 untouched MC blocks pile onto the SMs that finish
+    // encryption first — 1 enc + 2 MC on SMs 0-14.
+    let enc = AesWorkload::scenario1(&cfg);
+    let mc = MonteCarloWorkload::scenario1(&cfg);
+    let s1 = ConsolidatedGrid::new()
+        .add(Grid::single(enc.desc(), enc.blocks()))
+        .add(Grid::single(mc.desc(), mc.blocks()))
+        .build();
+    show("scenario 1: encryption + MonteCarlo", &s1, DispatchPolicy::PaperRedistribution);
+    show("scenario 1: encryption + MonteCarlo", &s1, DispatchPolicy::GreedyGlobal);
+
+    // Scenario 2: search (latency-bound) + BlackScholes (compute-bound)
+    // co-reside: BS warps fill search's stall cycles.
+    let search = SearchWorkload::scenario2(&cfg);
+    let bs = BlackScholesWorkload::scenario2(&cfg);
+    let s2 = ConsolidatedGrid::new()
+        .add(Grid::single(search.desc(), search.blocks()))
+        .add(Grid::single(bs.desc(), bs.blocks()))
+        .build();
+    show("scenario 2: search + BlackScholes", &s2, DispatchPolicy::PaperRedistribution);
+    show("scenario 2: search + BlackScholes", &s2, DispatchPolicy::GreedyGlobal);
+
+    println!(
+        "\nTakeaway: the idealised greedy dispatcher erases scenario 1's\n\
+         critical-SM pile-up (and with it the paper's bad-consolidation\n\
+         case), while scenario 2's interleaving win survives either way."
+    );
+}

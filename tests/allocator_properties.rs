@@ -1,0 +1,118 @@
+//! Model-based property tests for the device memory allocator: random
+//! alloc/free/write/read sequences are mirrored against a trivially
+//! correct reference model (a map of id → bytes); the real allocator
+//! must agree on every observable.
+
+use std::collections::HashMap;
+
+use ewc_gpu::memory::GlobalMemory;
+use ewc_gpu::DevicePtr;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { id: u16, len: u16 },
+    Free { id: u16 },
+    Write { id: u16, offset: u16, byte: u8, len: u16 },
+    Read { id: u16 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u16>(), 1u16..2048).prop_map(|(id, len)| Op::Alloc { id, len }),
+        any::<u16>().prop_map(|id| Op::Free { id }),
+        (any::<u16>(), any::<u16>(), any::<u8>(), 1u16..512)
+            .prop_map(|(id, offset, byte, len)| Op::Write { id, offset, byte, len }),
+        any::<u16>().prop_map(|id| Op::Read { id }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn allocator_agrees_with_reference_model(ops in proptest::collection::vec(arb_op(), 1..120)) {
+        let mut mem = GlobalMemory::new(1 << 20, 4 << 10);
+        let mut live: HashMap<u16, (DevicePtr, Vec<u8>)> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc { id, len } => {
+                    if live.contains_key(&id) {
+                        continue;
+                    }
+                    match mem.alloc(u64::from(len)) {
+                        Ok(ptr) => {
+                            // Fresh allocations are zeroed.
+                            let got = mem.read(ptr, 0, u64::from(len)).unwrap();
+                            prop_assert!(got.iter().all(|&b| b == 0));
+                            live.insert(id, (ptr, vec![0u8; len as usize]));
+                        }
+                        Err(_) => {
+                            // Only legitimate when capacity is exhausted
+                            // (fragmentation counts — compare to free
+                            // bytes, not the raw sum).
+                            prop_assert!(mem.free_bytes() < (1 << 20));
+                        }
+                    }
+                }
+                Op::Free { id } => {
+                    if let Some((ptr, _)) = live.remove(&id) {
+                        prop_assert!(mem.free(ptr).is_ok());
+                        // Double free must fail.
+                        prop_assert!(mem.free(ptr).is_err());
+                    }
+                }
+                Op::Write { id, offset, byte, len } => {
+                    if let Some((ptr, shadow)) = live.get_mut(&id) {
+                        let data = vec![byte; len as usize];
+                        let fits =
+                            (offset as usize).saturating_add(len as usize) <= shadow.len();
+                        let res = mem.write(*ptr, u64::from(offset), &data);
+                        prop_assert_eq!(res.is_ok(), fits, "bounds check mismatch");
+                        if fits {
+                            shadow[offset as usize..(offset + len) as usize]
+                                .copy_from_slice(&data);
+                        }
+                    }
+                }
+                Op::Read { id } => {
+                    if let Some((ptr, shadow)) = live.get(&id) {
+                        let got = mem.read(*ptr, 0, shadow.len() as u64).unwrap();
+                        prop_assert_eq!(got, &shadow[..], "contents diverged");
+                    }
+                }
+            }
+            // Used-byte accounting matches the model at every step.
+            let expect: u64 = live.values().map(|(_, v)| v.len() as u64).sum();
+            prop_assert_eq!(mem.used_bytes(), expect);
+        }
+
+        // Every surviving allocation still reads back its shadow.
+        for (ptr, shadow) in live.values() {
+            let got = mem.read(*ptr, 0, shadow.len() as u64).unwrap();
+            prop_assert_eq!(got, &shadow[..]);
+        }
+    }
+
+    /// Allocations never overlap, whatever the alloc/free interleaving.
+    #[test]
+    fn allocations_are_disjoint(lens in proptest::collection::vec(1u64..4096, 1..40)) {
+        let mut mem = GlobalMemory::new(1 << 22, 0);
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for (i, len) in lens.iter().enumerate() {
+            let ptr = mem.alloc(*len).unwrap();
+            spans.push((ptr.0, ptr.0 + len));
+            // Free every third allocation to churn the free list.
+            if i % 3 == 2 {
+                let (base, end) = spans.remove(i / 3 % spans.len().max(1));
+                mem.free(DevicePtr(base)).unwrap();
+                let _ = end;
+            }
+        }
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "overlap: {:?} vs {:?}", w[0], w[1]);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Cross-crate energy accounting: the meter, the integrator, the thermal
+//! model and the device activity profile must agree with each other.
+
+use ewc_bench::{run_manual, run_serial, Mix};
+use ewc_energy::{GpuSystemPower, PowerMeter};
+use ewc_gpu::kernel::LaunchConfig;
+use ewc_gpu::{GpuConfig, GpuDevice, KernelDesc};
+
+fn compute_kernel(secs: f64) -> KernelDesc {
+    let cfg = GpuConfig::tesla_c1060();
+    KernelDesc::builder("k")
+        .threads_per_block(256)
+        .comp_insts(secs * cfg.clock_hz / (8.0 * cfg.warp_issue_cycles()))
+        .build()
+}
+
+#[test]
+fn meter_sampling_agrees_with_direct_integration() {
+    let mut gpu = GpuDevice::new(GpuConfig::tesla_c1060());
+    gpu.launch(&LaunchConfig::single(compute_kernel(5.0), 20)).unwrap();
+    gpu.idle(1.0);
+    gpu.launch(&LaunchConfig::single(compute_kernel(2.0), 40)).unwrap();
+
+    let sys = GpuSystemPower::tesla_system();
+    let direct = sys.integrate(gpu.activity(), gpu.now_s(), None);
+    let timeline = sys.timeline(gpu.activity(), gpu.now_s(), None);
+    let meter = PowerMeter::new(100.0);
+    let sampled = meter.measure(&timeline, 0.0, gpu.now_s());
+    let rel = (sampled.energy_j - direct.energy_j).abs() / direct.energy_j;
+    assert!(rel < 0.02, "meter vs integral differ by {:.2}%", rel * 100.0);
+
+    // The 1 Hz WattsUp is coarser but still lands within a few percent
+    // on this multi-second window.
+    let wattsup = PowerMeter::watts_up_pro().measure(&timeline, 0.0, gpu.now_s());
+    let rel = (wattsup.energy_j - direct.energy_j).abs() / direct.energy_j;
+    assert!(rel < 0.05, "WattsUp error {:.2}%", rel * 100.0);
+}
+
+#[test]
+fn noise_seed_reproduces_measurements_exactly() {
+    let cfg = GpuConfig::tesla_c1060();
+    let mix = Mix::encryption(&cfg, 4);
+    let a = run_manual(&mix);
+    let b = run_manual(&mix);
+    assert_eq!(a.time_s, b.time_s);
+    assert_eq!(a.energy_j, b.energy_j, "same seed, same measurement");
+}
+
+#[test]
+fn consolidated_power_higher_but_energy_lower() {
+    // Consolidation raises average power (more SMs busy) yet lowers
+    // total energy (far less time at the idle floor): the paper's core
+    // energy argument.
+    let cfg = GpuConfig::tesla_c1060();
+    let mix = Mix::encryption(&cfg, 8);
+    let serial = run_serial(&mix);
+    let manual = run_manual(&mix);
+    assert!(manual.avg_power_w > serial.avg_power_w, "consolidation packs more power");
+    assert!(manual.energy_j < 0.5 * serial.energy_j, "…but wins on energy");
+}
+
+#[test]
+fn energy_grows_with_serial_instance_count() {
+    let cfg = GpuConfig::tesla_c1060();
+    let mut last = 0.0;
+    for n in [1u32, 2, 4, 8] {
+        let r = run_serial(&Mix::encryption(&cfg, n));
+        assert!(r.energy_j > last, "serial energy must grow with n");
+        last = r.energy_j;
+    }
+}
+
+#[test]
+fn idle_gaps_cost_idle_energy() {
+    let mut gpu = GpuDevice::new(GpuConfig::tesla_c1060());
+    gpu.launch(&LaunchConfig::single(compute_kernel(1.0), 10)).unwrap();
+    let busy_end = gpu.now_s();
+    let sys = GpuSystemPower::tesla_system();
+    let before = sys.integrate(gpu.activity(), busy_end, None);
+    gpu.idle(10.0);
+    let after = sys.integrate(gpu.activity(), gpu.now_s(), None);
+    let delta = after.energy_j - before.energy_j;
+    // Ten idle seconds ≈ 10 × idle power (plus residual leakage decay).
+    assert!(delta >= 10.0 * sys.idle_w, "idle energy missing: {delta}");
+    assert!(delta < 10.5 * sys.idle_w + 50.0, "idle energy overcharged: {delta}");
+}

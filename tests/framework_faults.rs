@@ -1,0 +1,123 @@
+//! Fault injection: the framework must surface device and protocol
+//! errors to the offending frontend without corrupting other users or
+//! wedging the daemon.
+
+use std::sync::Arc;
+
+use ewc_core::{CoreError, Runtime, RuntimeConfig, Template};
+use ewc_gpu::{GpuConfig, GpuError};
+use ewc_workloads::{AesWorkload, Workload};
+
+fn runtime() -> (Runtime, Arc<dyn Workload>) {
+    let cfg = GpuConfig::tesla_c1060();
+    let aes: Arc<dyn Workload> = Arc::new(AesWorkload::fig7(&cfg));
+    let rt = Runtime::builder(RuntimeConfig { force_gpu: true, ..RuntimeConfig::default() })
+        .workload("encryption", Arc::clone(&aes))
+        .template(Template::homogeneous("encryption"))
+        .build();
+    (rt, aes)
+}
+
+#[test]
+fn device_oom_is_reported_and_survivable() {
+    let (rt, aes) = runtime();
+    let fe = rt.connect();
+    // 8 GiB on a 4 GiB card.
+    let err = fe.malloc(8 << 30).unwrap_err();
+    assert!(
+        matches!(err, CoreError::Gpu(GpuError::OutOfMemory { .. })),
+        "got {err:?}"
+    );
+    // The daemon is still healthy: a normal user proceeds end to end.
+    let mut fe2 = rt.connect();
+    let (args, bufs) = aes.build_args(&mut fe2, 1).unwrap();
+    fe2.configure_call(aes.blocks(), aes.desc().threads_per_block).unwrap();
+    for a in &args {
+        fe2.setup_argument(*a).unwrap();
+    }
+    fe2.launch("encryption").unwrap();
+    fe2.sync().unwrap();
+    let out = fe2.memcpy_d2h(bufs.output, 0, bufs.output_len).unwrap();
+    assert_eq!(out, aes.expected_output(1));
+}
+
+#[test]
+fn invalid_pointer_operations_are_rejected() {
+    let (rt, _) = runtime();
+    let fe = rt.connect();
+    let bogus = ewc_gpu::DevicePtr(0xdead_0000);
+    assert!(matches!(
+        fe.memcpy_h2d(bogus, 0, &[1, 2, 3]).unwrap_err(),
+        CoreError::Gpu(GpuError::InvalidPointer(_))
+    ));
+    assert!(matches!(
+        fe.memcpy_d2h(bogus, 0, 4).unwrap_err(),
+        CoreError::Gpu(GpuError::InvalidPointer(_))
+    ));
+    assert!(matches!(
+        fe.free(bogus).unwrap_err(),
+        CoreError::Gpu(GpuError::InvalidPointer(_))
+    ));
+}
+
+#[test]
+fn out_of_bounds_copies_are_rejected() {
+    let (rt, _) = runtime();
+    let fe = rt.connect();
+    let p = fe.malloc(16).unwrap();
+    assert!(matches!(
+        fe.memcpy_h2d(p, 8, &[0u8; 16]).unwrap_err(),
+        CoreError::Gpu(GpuError::OutOfBounds { .. })
+    ));
+    assert!(matches!(
+        fe.memcpy_d2h(p, 0, 17).unwrap_err(),
+        CoreError::Gpu(GpuError::OutOfBounds { .. })
+    ));
+    // In-bounds copies still work afterwards.
+    fe.memcpy_h2d(p, 0, &[7u8; 16]).unwrap();
+    assert_eq!(fe.memcpy_d2h(p, 0, 16).unwrap(), vec![7u8; 16]);
+}
+
+#[test]
+fn double_free_is_an_error_not_a_crash() {
+    let (rt, _) = runtime();
+    let fe = rt.connect();
+    let p = fe.malloc(64).unwrap();
+    fe.free(p).unwrap();
+    assert!(fe.free(p).is_err());
+}
+
+#[test]
+fn frontends_outliving_the_runtime_fail_gracefully() {
+    let (rt, _) = runtime();
+    let fe = rt.connect();
+    drop(rt); // shuts the backend down
+    assert!(matches!(fe.malloc(16).unwrap_err(), CoreError::Disconnected));
+    assert!(matches!(fe.sync().unwrap_err(), CoreError::Disconnected));
+}
+
+#[test]
+fn failed_launch_does_not_leave_stale_pending_state() {
+    let (rt, aes) = runtime();
+    let mut fe = rt.connect();
+    // Bad configuration → rejected launch.
+    fe.configure_call(1, 1).unwrap();
+    assert!(matches!(
+        fe.launch("encryption").unwrap_err(),
+        CoreError::BadConfiguration(_)
+    ));
+    // A correct launch from the same context then succeeds and the sync
+    // completes without the rejected kernel haunting the queue.
+    let (args, bufs) = aes.build_args(&mut fe, 9).unwrap();
+    fe.configure_call(aes.blocks(), aes.desc().threads_per_block).unwrap();
+    for a in &args {
+        fe.setup_argument(*a).unwrap();
+    }
+    fe.launch("encryption").unwrap();
+    fe.sync().unwrap();
+    let out = fe.memcpy_d2h(bufs.output, 0, bufs.output_len).unwrap();
+    assert_eq!(out, aes.expected_output(9));
+    let report = rt.shutdown();
+    let total: usize = report.stats.records.iter().map(|r| r.kernels.len()).sum();
+    assert_eq!(total, 1, "only the valid launch executed");
+}
