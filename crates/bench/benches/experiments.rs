@@ -1,12 +1,14 @@
-//! Criterion benches: time the regeneration of each table/figure.
-//! (`cargo run -p ewc-bench --release --bin <id>` prints the tables; these
-//! benches measure how long each experiment's simulation pipeline takes.)
+//! Benches: time the regeneration of each table/figure.
+//! (`cargo run -p ewc-bench --release --bin <id>` prints the tables;
+//! these benches measure how long each experiment's simulation pipeline
+//! takes, using the in-workspace `ewc_bench::harness`.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ewc_bench::experiments as ex;
+use ewc_bench::harness::Harness;
 
-fn bench_experiments(c: &mut Criterion) {
-    let mut g = c.benchmark_group("experiments");
+fn main() {
+    let mut h = Harness::from_args();
+    let mut g = h.benchmark_group("experiments");
     g.sample_size(10);
     g.bench_function("table1", |b| b.iter(ex::table1::run));
     g.bench_function("fig1_n4", |b| b.iter(|| ex::fig1::run(4)));
@@ -20,6 +22,3 @@ fn bench_experiments(c: &mut Criterion) {
     g.bench_function("tables78", |b| b.iter(ex::tables78::run));
     g.finish();
 }
-
-criterion_group!(benches, bench_experiments);
-criterion_main!(benches);

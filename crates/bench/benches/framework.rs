@@ -1,14 +1,18 @@
-//! Criterion benches for the consolidation framework end to end, plus
-//! the optimisation ablations (leader election, argument batching,
-//! constant reuse).
+//! Benches for the consolidation framework end to end, plus the
+//! optimisation ablations (leader election, argument batching, constant
+//! reuse). Driven by the in-workspace `ewc_bench::harness`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ewc_bench::harness::Harness;
 use ewc_bench::{run_dynamic_with, Mix};
 use ewc_core::RuntimeConfig;
 use ewc_gpu::GpuConfig;
 
 fn cfgs() -> (RuntimeConfig, RuntimeConfig) {
-    let on = RuntimeConfig { force_gpu: true, threshold_factor: 30, ..RuntimeConfig::default() };
+    let on = RuntimeConfig {
+        force_gpu: true,
+        threshold_factor: 30,
+        ..RuntimeConfig::default()
+    };
     let off = RuntimeConfig {
         leader_election: false,
         argument_batching: false,
@@ -18,9 +22,10 @@ fn cfgs() -> (RuntimeConfig, RuntimeConfig) {
     (on, off)
 }
 
-fn bench_framework(c: &mut Criterion) {
+fn main() {
     let gpu = GpuConfig::tesla_c1060();
-    let mut g = c.benchmark_group("framework");
+    let mut h = Harness::from_args();
+    let mut g = h.benchmark_group("framework");
     g.sample_size(10);
     let (on, off) = cfgs();
     for n in [2u32, 6] {
@@ -38,6 +43,3 @@ fn bench_framework(c: &mut Criterion) {
     });
     g.finish();
 }
-
-criterion_group!(benches, bench_framework);
-criterion_main!(benches);

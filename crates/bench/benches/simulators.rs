@@ -1,7 +1,8 @@
-//! Criterion benches for the substrate simulators: raw engine throughput,
-//! CPU scheduler, power training and model evaluation.
+//! Benches for the substrate simulators: raw engine throughput, CPU
+//! scheduler, power training and model evaluation. Driven by the
+//! in-workspace `ewc_bench::harness`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ewc_bench::harness::Harness;
 use ewc_cpu::{CpuConfig, CpuEngine, CpuTask};
 use ewc_energy::{GpuPowerGroundTruth, PowerCoefficients, TrainingBenchmark};
 use ewc_gpu::{DispatchPolicy, ExecutionEngine, GpuConfig, Grid, KernelDesc};
@@ -16,9 +17,9 @@ fn compute_kernel(secs: f64) -> KernelDesc {
         .build()
 }
 
-fn bench_gpu_engine(c: &mut Criterion) {
+fn bench_gpu_engine(h: &mut Harness) {
     let engine = ExecutionEngine::new(GpuConfig::tesla_c1060());
-    let mut g = c.benchmark_group("gpu_engine");
+    let mut g = h.benchmark_group("gpu_engine");
     for blocks in [30u32, 120, 480] {
         let grid = Grid::single(compute_kernel(1.0), blocks);
         g.bench_function(format!("blocks_{blocks}"), |b| {
@@ -28,42 +29,45 @@ fn bench_gpu_engine(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_cpu_engine(c: &mut Criterion) {
+fn bench_cpu_engine(h: &mut Harness) {
     let engine = CpuEngine::new(CpuConfig::xeon_e5520_x2());
-    let mut g = c.benchmark_group("cpu_engine");
+    let mut g = h.benchmark_group("cpu_engine");
     for n in [8usize, 64, 256] {
         let tasks: Vec<CpuTask> = (0..n)
-            .map(|i| CpuTask::new("t", 1.0 + (i % 7) as f64, 1 + (i as u32 % 4), (i as u64) << 18))
+            .map(|i| {
+                CpuTask::new(
+                    "t",
+                    1.0 + (i % 7) as f64,
+                    1 + (i as u32 % 4),
+                    (i as u64) << 18,
+                )
+            })
             .collect();
         g.bench_function(format!("tasks_{n}"), |b| b.iter(|| engine.run(&tasks)));
     }
     g.finish();
 }
 
-fn bench_models(c: &mut Criterion) {
+fn bench_models(h: &mut Harness) {
     let cfg = GpuConfig::tesla_c1060();
-    let mut g = c.benchmark_group("models");
+    let mut g = h.benchmark_group("models");
     g.sample_size(20);
     g.bench_function("power_training", |b| {
-        b.iter_batched(
-            TrainingBenchmark::rodinia_suite,
-            |suite| {
-                PowerCoefficients::train(
-                    &cfg,
-                    &GpuPowerGroundTruth::tesla_c1060(),
-                    &suite,
-                    42,
-                )
-                .unwrap()
-            },
-            BatchSize::SmallInput,
-        )
+        b.iter_batched(TrainingBenchmark::rodinia_suite, |suite| {
+            PowerCoefficients::train(&cfg, &GpuPowerGroundTruth::tesla_c1060(), &suite, 42).unwrap()
+        })
     });
     let model = PerfModel::new(cfg.clone());
     let plan = ConsolidationPlan::homogeneous(compute_kernel(1.0), 3, 15);
-    g.bench_function("perf_predict_45_blocks", |b| b.iter(|| model.predict(&plan)));
+    g.bench_function("perf_predict_45_blocks", |b| {
+        b.iter(|| model.predict(&plan))
+    });
     g.finish();
 }
 
-criterion_group!(benches, bench_gpu_engine, bench_cpu_engine, bench_models);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_gpu_engine(&mut h);
+    bench_cpu_engine(&mut h);
+    bench_models(&mut h);
+}

@@ -1,6 +1,9 @@
 //! Regenerate Figure 7 (encryption sweep, four setups).
 fn main() {
-    let n = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(12);
+    let n = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(12);
     let rows = ewc_bench::experiments::fig7::run(n);
     println!("{}", ewc_bench::experiments::fig7::render(&rows));
 }

@@ -1,6 +1,9 @@
 //! Regenerate Figure 8 (sorting sweep, four setups).
 fn main() {
-    let n = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(9);
+    let n = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(9);
     let rows = ewc_bench::experiments::fig8::run(n);
     println!("{}", ewc_bench::experiments::fig8::render(&rows));
 }

@@ -11,8 +11,8 @@
 //! 5. **Virtual-SM power averaging** vs per-SM summation (also visible in
 //!    Figure 5's last column).
 
-use ewc_gpu::{DispatchPolicy, ExecutionEngine, GpuConfig};
 use ewc_core::RuntimeConfig;
+use ewc_gpu::{DispatchPolicy, ExecutionEngine, GpuConfig};
 
 use crate::mix::Mix;
 use crate::report::Table;
@@ -32,7 +32,10 @@ pub struct Row {
 }
 
 fn base_cfg() -> RuntimeConfig {
-    RuntimeConfig { force_gpu: true, ..RuntimeConfig::default() }
+    RuntimeConfig {
+        force_gpu: true,
+        ..RuntimeConfig::default()
+    }
 }
 
 /// Leader election: messages and coordination seconds on 9 homogeneous
@@ -41,7 +44,13 @@ pub fn leader_election() -> Vec<Row> {
     let cfg = GpuConfig::tesla_c1060();
     let mix = Mix::encryption(&cfg, 9);
     let on = run_dynamic_with(&mix, base_cfg());
-    let off = run_dynamic_with(&mix, RuntimeConfig { leader_election: false, ..base_cfg() });
+    let off = run_dynamic_with(
+        &mix,
+        RuntimeConfig {
+            leader_election: false,
+            ..base_cfg()
+        },
+    );
     let (s_on, s_off) = (on.stats.unwrap(), off.stats.unwrap());
     vec![
         Row {
@@ -64,7 +73,13 @@ pub fn argument_batching() -> Vec<Row> {
     let cfg = GpuConfig::tesla_c1060();
     let mix = Mix::encryption(&cfg, 6);
     let on = run_dynamic_with(&mix, base_cfg());
-    let off = run_dynamic_with(&mix, RuntimeConfig { argument_batching: false, ..base_cfg() });
+    let off = run_dynamic_with(
+        &mix,
+        RuntimeConfig {
+            argument_batching: false,
+            ..base_cfg()
+        },
+    );
     vec![Row {
         name: "argument batching",
         metric: "messages",
@@ -79,7 +94,13 @@ pub fn constant_reuse() -> Vec<Row> {
     let cfg = GpuConfig::tesla_c1060();
     let mix = Mix::encryption(&cfg, 8);
     let on = run_dynamic_with(&mix, base_cfg());
-    let off = run_dynamic_with(&mix, RuntimeConfig { constant_reuse: false, ..base_cfg() });
+    let off = run_dynamic_with(
+        &mix,
+        RuntimeConfig {
+            constant_reuse: false,
+            ..base_cfg()
+        },
+    );
     let (s_on, s_off) = (on.stats.unwrap(), off.stats.unwrap());
     vec![
         Row {
@@ -105,12 +126,16 @@ pub fn dispatch_policy() -> Vec<Row> {
     let engine = ExecutionEngine::new(cfg.clone());
     let mut grid = ewc_gpu::Grid::new();
     for (i, (_, w)) in mix.instances.iter().enumerate() {
-        grid.push(
-            ewc_gpu::grid::GridSegment::bare(w.desc(), w.blocks()).with_tag(i as u64),
-        );
+        grid.push(ewc_gpu::grid::GridSegment::bare(w.desc(), w.blocks()).with_tag(i as u64));
     }
-    let paper = engine.run(&grid, DispatchPolicy::PaperRedistribution).unwrap().elapsed_s;
-    let greedy = engine.run(&grid, DispatchPolicy::GreedyGlobal).unwrap().elapsed_s;
+    let paper = engine
+        .run(&grid, DispatchPolicy::PaperRedistribution)
+        .unwrap()
+        .elapsed_s;
+    let greedy = engine
+        .run(&grid, DispatchPolicy::GreedyGlobal)
+        .unwrap()
+        .elapsed_s;
     vec![Row {
         name: "dispatch policy (scenario 1)",
         metric: "time paper vs greedy (s)",

@@ -52,7 +52,9 @@ pub fn study(processes: u32, kernels_per_process: u32) -> Row {
     let kernel_grid = || Grid::single(aes.desc(), aes.blocks());
 
     let energy_of = |gpu: &GpuDevice, seed: u64| {
-        GpuSystemPower::tesla_system().integrate(gpu.activity(), gpu.now_s(), Some(seed)).energy_j
+        GpuSystemPower::tesla_system()
+            .integrate(gpu.activity(), gpu.now_s(), Some(seed))
+            .energy_j
     };
 
     // Serial: M·K individual launches.
@@ -97,13 +99,22 @@ pub fn study(processes: u32, kernels_per_process: u32) -> Row {
 
 /// Sweep process counts at 2 kernels per process.
 pub fn run() -> Vec<Row> {
-    [1u32, 2, 3, 4, 5].into_iter().map(|m| study(m, 2)).collect()
+    [1u32, 2, 3, 4, 5]
+        .into_iter()
+        .map(|m| study(m, 2))
+        .collect()
 }
 
 /// Render the study.
 pub fn render(rows: &[Row]) -> String {
     let mut t = Table::new(&[
-        "processes", "kernels", "serial (s)", "fermi (s)", "consol (s)", "serial", "fermi",
+        "processes",
+        "kernels",
+        "serial (s)",
+        "fermi (s)",
+        "consol (s)",
+        "serial",
+        "fermi",
         "consol",
     ]);
     for r in rows {
@@ -142,7 +153,12 @@ mod tests {
         let m1 = &rows[0];
         let m5 = &rows[4];
         // Fermi grows ~linearly in M (processes serialise)…
-        assert!(m5.fermi_s > 4.0 * m1.fermi_s, "{} vs {}", m5.fermi_s, m1.fermi_s);
+        assert!(
+            m5.fermi_s > 4.0 * m1.fermi_s,
+            "{} vs {}",
+            m5.fermi_s,
+            m1.fermi_s
+        );
         // …while consolidation stays flat (30 blocks fit the 30 SMs).
         assert!(m5.consolidated_s < 1.2 * m1.consolidated_s);
         // And consolidation dominates Fermi on energy for many processes.

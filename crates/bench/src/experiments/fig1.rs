@@ -52,7 +52,13 @@ pub fn run(max_n: u32) -> Vec<Row> {
 /// Render the figure's two panels as one table.
 pub fn render(rows: &[Row]) -> String {
     let mut t = Table::new(&[
-        "n", "CPU (s)", "serial (s)", "consol (s)", "CPU (J)", "serial (J)", "consol (J)",
+        "n",
+        "CPU (s)",
+        "serial (s)",
+        "consol (s)",
+        "CPU (J)",
+        "serial (J)",
+        "consol (J)",
     ]);
     for r in rows {
         t.row(vec![
@@ -65,7 +71,10 @@ pub fn render(rows: &[Row]) -> String {
             joules(r.consolidated_j),
         ]);
     }
-    format!("Figure 1: consolidating N encryption instances (motivation)\n{}", t.render())
+    format!(
+        "Figure 1: consolidating N encryption instances (motivation)\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]

@@ -34,8 +34,10 @@ fn validate(label: &str, plan: &ConsolidationPlan) -> Row {
     let pred = model.predict(plan);
     assert!(pred.is_type1, "{label}: must be a type-1 consolidation");
     let engine = ExecutionEngine::new(cfg);
-    let measured =
-        engine.run(&plan.to_grid(), DispatchPolicy::default()).expect("runnable plan").elapsed_s;
+    let measured = engine
+        .run(&plan.to_grid(), DispatchPolicy::default())
+        .expect("runnable plan")
+        .elapsed_s;
     Row {
         label: label.to_string(),
         blocks: plan.total_blocks(),
@@ -60,70 +62,61 @@ pub fn run() -> Vec<Row> {
         "enc x2",
         &ConsolidationPlan::new().with(spec(&enc)).with(spec(&enc)),
     ));
-    rows.push(validate(
-        "enc x4 + sort x2",
-        &{
-            let mut p = ConsolidationPlan::new();
-            for _ in 0..4 {
-                p.push(spec(&enc));
-            }
-            for _ in 0..2 {
-                p.push(spec(&sort));
-            }
-            p
-        },
-    ));
-    rows.push(validate(
-        "sort x3 + search",
-        &{
-            let mut p = ConsolidationPlan::new();
-            for _ in 0..3 {
-                p.push(spec(&sort));
-            }
-            p.push(spec(&search));
-            p
-        },
-    ));
-    rows.push(validate(
-        "search + bs x5",
-        &{
-            let mut p = ConsolidationPlan::new();
-            p.push(spec(&search));
-            for _ in 0..5 {
-                p.push(spec(&bs));
-            }
-            p
-        },
-    ));
-    rows.push(validate(
-        "enc x3 + mc x12",
-        &{
-            let mut p = ConsolidationPlan::new();
-            for _ in 0..3 {
-                p.push(spec(&enc));
-            }
-            for _ in 0..12 {
-                p.push(spec(&mc));
-            }
-            p
-        },
-    ));
-    rows.push(validate(
-        "mc x30",
-        &{
-            let mut p = ConsolidationPlan::new();
-            for _ in 0..30 {
-                p.push(spec(&mc));
-            }
-            p
-        },
-    ));
+    rows.push(validate("enc x4 + sort x2", &{
+        let mut p = ConsolidationPlan::new();
+        for _ in 0..4 {
+            p.push(spec(&enc));
+        }
+        for _ in 0..2 {
+            p.push(spec(&sort));
+        }
+        p
+    }));
+    rows.push(validate("sort x3 + search", &{
+        let mut p = ConsolidationPlan::new();
+        for _ in 0..3 {
+            p.push(spec(&sort));
+        }
+        p.push(spec(&search));
+        p
+    }));
+    rows.push(validate("search + bs x5", &{
+        let mut p = ConsolidationPlan::new();
+        p.push(spec(&search));
+        for _ in 0..5 {
+            p.push(spec(&bs));
+        }
+        p
+    }));
+    rows.push(validate("enc x3 + mc x12", &{
+        let mut p = ConsolidationPlan::new();
+        for _ in 0..3 {
+            p.push(spec(&enc));
+        }
+        for _ in 0..12 {
+            p.push(spec(&mc));
+        }
+        p
+    }));
+    rows.push(validate("mc x30", &{
+        let mut p = ConsolidationPlan::new();
+        for _ in 0..30 {
+            p.push(spec(&mc));
+        }
+        p
+    }));
     rows
 }
 
 /// Render the table.
 pub fn render(rows: &[Row]) -> String {
-    let mut t = Table::new(&["combination", "blocks", "predicted (s)", "measured (s)", "error"]);
+    let mut t = Table::new(&[
+        "combination",
+        "blocks",
+        "predicted (s)",
+        "measured (s)",
+        "error",
+    ]);
     for r in rows {
         t.row(vec![
             r.label.clone(),
@@ -133,7 +126,10 @@ pub fn render(rows: &[Row]) -> String {
             pct(r.error),
         ]);
     }
-    format!("Figure 3: type-1 performance prediction (≤ 1 block per SM)\n{}", t.render())
+    format!(
+        "Figure 3: type-1 performance prediction (≤ 1 block per SM)\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]

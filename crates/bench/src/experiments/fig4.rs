@@ -36,8 +36,10 @@ fn validate(label: &str, plan: &ConsolidationPlan) -> Row {
     let pred = model.predict(plan);
     assert!(!pred.is_type1, "{label}: must be a type-2 consolidation");
     let engine = ExecutionEngine::new(cfg);
-    let measured =
-        engine.run(&plan.to_grid(), DispatchPolicy::default()).expect("runnable plan").elapsed_s;
+    let measured = engine
+        .run(&plan.to_grid(), DispatchPolicy::default())
+        .expect("runnable plan")
+        .elapsed_s;
     Row {
         label: label.to_string(),
         blocks: plan.total_blocks(),
@@ -70,7 +72,9 @@ pub fn run() -> Vec<Row> {
     ));
     rows.push(validate(
         "scenario2: search + bs",
-        &ConsolidationPlan::new().with(spec(&search2)).with(spec(&bs2)),
+        &ConsolidationPlan::new()
+            .with(spec(&search2))
+            .with(spec(&bs2)),
     ));
     rows.push(validate("enc x11 (wraps)", &{
         let mut p = ConsolidationPlan::new();
@@ -102,7 +106,12 @@ pub fn run() -> Vec<Row> {
 /// Render the table.
 pub fn render(rows: &[Row]) -> String {
     let mut t = Table::new(&[
-        "combination", "blocks", "predicted (s)", "measured (s)", "error", "critical SMs",
+        "combination",
+        "blocks",
+        "predicted (s)",
+        "measured (s)",
+        "error",
+        "critical SMs",
     ]);
     for r in rows {
         t.row(vec![

@@ -69,7 +69,10 @@ pub fn run() -> Vec<Row> {
         ("search x2".into(), homo(&search, 2)),
         ("bs x2".into(), homo(&bs, 2)),
         ("enc+mc (scenario1)".into(), homo(&enc1, 1).with(spec(&mc1))),
-        ("search+bs (scenario2)".into(), homo(&search2, 1).with(spec(&bs2))),
+        (
+            "search+bs (scenario2)".into(),
+            homo(&search2, 1).with(spec(&bs2)),
+        ),
         ("search + bs x10".into(), {
             let mut p = homo(&search, 1);
             for _ in 0..10 {
@@ -99,7 +102,9 @@ pub fn run() -> Vec<Row> {
             let per_sm_sum = power.predict_per_sm_sum_w(&plan, &placement, &pp.per_sm_finish);
 
             // Measurement: engine run + noisy ground truth.
-            let out = engine.run(&plan.to_grid(), DispatchPolicy::default()).expect("runnable");
+            let out = engine
+                .run(&plan.to_grid(), DispatchPolicy::default())
+                .expect("runnable");
             let mut rng = GpuPowerGroundTruth::rng(1000 + i as u64);
             let mut e = 0.0;
             for iv in &out.intervals {
@@ -124,8 +129,13 @@ pub fn mean_error(rows: &[Row]) -> f64 {
 
 /// Render the table.
 pub fn render(rows: &[Row]) -> String {
-    let mut t =
-        Table::new(&["variant", "predicted (W)", "measured (W)", "error", "per-SM-sum (W)"]);
+    let mut t = Table::new(&[
+        "variant",
+        "predicted (W)",
+        "measured (W)",
+        "error",
+        "per-SM-sum (W)",
+    ]);
     for r in rows {
         t.row(vec![
             r.label.clone(),

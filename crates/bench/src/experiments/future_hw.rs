@@ -48,7 +48,11 @@ fn study(device: &'static str, cfg: &GpuConfig, n: u32) -> Row {
 
     let mut gpu = GpuDevice::new(cfg.clone());
     for _ in 0..n {
-        gpu.launch(&LaunchConfig::from_grid(Grid::single(aes.desc(), aes.blocks()))).unwrap();
+        gpu.launch(&LaunchConfig::from_grid(Grid::single(
+            aes.desc(),
+            aes.blocks(),
+        )))
+        .unwrap();
     }
     let serial_s = gpu.now_s();
     let serial_j = sys.integrate(gpu.activity(), serial_s, Some(1)).energy_j;
@@ -60,7 +64,9 @@ fn study(device: &'static str, cfg: &GpuConfig, n: u32) -> Row {
     }
     gpu.launch(&LaunchConfig::from_grid(g.build())).unwrap();
     let consolidated_s = gpu.now_s();
-    let consolidated_j = sys.integrate(gpu.activity(), consolidated_s, Some(2)).energy_j;
+    let consolidated_j = sys
+        .integrate(gpu.activity(), consolidated_s, Some(2))
+        .energy_j;
 
     Row {
         device,
@@ -84,7 +90,13 @@ pub fn run(n: u32) -> Vec<Row> {
 /// Render the comparison.
 pub fn render(rows: &[Row]) -> String {
     let mut t = Table::new(&[
-        "device", "n", "serial (s)", "consol (s)", "serial E", "consol E", "saving",
+        "device",
+        "n",
+        "serial (s)",
+        "consol (s)",
+        "serial E",
+        "consol E",
+        "saving",
     ]);
     for r in rows {
         t.row(vec![

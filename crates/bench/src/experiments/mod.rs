@@ -19,6 +19,6 @@ pub mod future_hw;
 pub mod multigpu;
 pub mod scenarios;
 pub mod table1;
-pub mod trace;
 pub mod tables56;
 pub mod tables78;
+pub mod trace;

@@ -136,7 +136,10 @@ mod tests {
         if (four.elapsed_s - one.elapsed_s).abs() / one.elapsed_s < 0.05 {
             // No time win (batch fits one device) → the extra cards can
             // only cost energy.
-            assert!(four.energy_j > one.energy_j, "idle static draw must show up");
+            assert!(
+                four.energy_j > one.energy_j,
+                "idle static draw must show up"
+            );
         }
     }
 }

@@ -76,7 +76,10 @@ pub fn run() -> (Vec<Row>, Vec<Row>) {
     ];
 
     // Scenario 2.
-    let bs = single("blackscholes", Arc::new(BlackScholesWorkload::scenario2(&cfg)));
+    let bs = single(
+        "blackscholes",
+        Arc::new(BlackScholesWorkload::scenario2(&cfg)),
+    );
     let search = single("search", Arc::new(SearchWorkload::scenario2(&cfg)));
     let both2 = run_manual(&Mix::scenario2(&cfg));
     assert!(both2.correct);
@@ -107,7 +110,13 @@ pub fn run() -> (Vec<Row>, Vec<Row>) {
 }
 
 fn render_one(title: &str, rows: &[Row]) -> String {
-    let mut t = Table::new(&["workload", "time (s)", "energy", "paper time", "paper energy"]);
+    let mut t = Table::new(&[
+        "workload",
+        "time (s)",
+        "energy",
+        "paper time",
+        "paper energy",
+    ]);
     for r in rows {
         t.row(vec![
             r.label.clone(),
@@ -124,8 +133,14 @@ fn render_one(title: &str, rows: &[Row]) -> String {
 pub fn render(table2: &[Row], table3: &[Row]) -> String {
     format!(
         "{}\n{}",
-        render_one("Table 2: scenario 1 — MC + encryption (bad consolidation)", table2),
-        render_one("Table 3: scenario 2 — BlackScholes + search (good consolidation)", table3),
+        render_one(
+            "Table 2: scenario 1 — MC + encryption (bad consolidation)",
+            table2
+        ),
+        render_one(
+            "Table 3: scenario 2 — BlackScholes + search (good consolidation)",
+            table3
+        ),
     )
 }
 
@@ -162,6 +177,10 @@ mod tests {
         assert!(both.time_s > 0.95 * search.time_s);
         assert!(both.energy_j < 0.95 * (bs.energy_j + search.energy_j));
         assert!((bs.time_s - 26.4).abs() / 26.4 < 0.1, "bs {}", bs.time_s);
-        assert!((search.time_s - 49.2).abs() / 49.2 < 0.1, "search {}", search.time_s);
+        assert!(
+            (search.time_s - 49.2).abs() / 49.2 < 0.1,
+            "search {}",
+            search.time_s
+        );
     }
 }

@@ -37,11 +37,31 @@ pub fn run() -> Vec<Row> {
     let cfg = GpuConfig::tesla_c1060();
     let entries: Vec<(&'static str, &'static str, f64, Arc<dyn Workload>)> = vec![
         ("encryption", "12K", 0.84, Arc::new(AesWorkload::fig7(&cfg))),
-        ("encryption", "6K", 0.15, Arc::new(AesWorkload::table1_6k(&cfg))),
+        (
+            "encryption",
+            "6K",
+            0.15,
+            Arc::new(AesWorkload::table1_6k(&cfg)),
+        ),
         ("sorting", "6K", 1.45, Arc::new(SortWorkload::fig8(&cfg))),
-        ("search", "10K", 0.48, Arc::new(SearchWorkload::tables56(&cfg))),
-        ("blackscholes", "4096K", 1.68, Arc::new(BlackScholesWorkload::tables56(&cfg))),
-        ("montecarlo", "steps=500K", 7.0, Arc::new(MonteCarloWorkload::tables78(&cfg))),
+        (
+            "search",
+            "10K",
+            0.48,
+            Arc::new(SearchWorkload::tables56(&cfg)),
+        ),
+        (
+            "blackscholes",
+            "4096K",
+            1.68,
+            Arc::new(BlackScholesWorkload::tables56(&cfg)),
+        ),
+        (
+            "montecarlo",
+            "steps=500K",
+            7.0,
+            Arc::new(MonteCarloWorkload::tables78(&cfg)),
+        ),
     ];
     entries
         .into_iter()
@@ -83,7 +103,10 @@ pub fn render(rows: &[Row]) -> String {
             ratio(r.paper_speedup),
         ]);
     }
-    format!("Table 1: single-instance GPU speedup over multicore CPU\n{}", t.render())
+    format!(
+        "Table 1: single-instance GPU speedup over multicore CPU\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]
@@ -95,7 +118,9 @@ mod tests {
         let rows = run();
         assert_eq!(rows.len(), 6);
         let by = |n: &str, i: &str| {
-            rows.iter().find(|r| r.name == n && r.input == i).expect("row exists")
+            rows.iter()
+                .find(|r| r.name == n && r.input == i)
+                .expect("row exists")
         };
         // Who wins matches Table 1: encryption/search lose on GPU,
         // sorting/blackscholes/montecarlo win.

@@ -25,17 +25,43 @@ pub struct Row {
 pub fn run() -> Vec<Row> {
     let cfg = GpuConfig::tesla_c1060();
     let cases = [
-        (1u32, 1u32, [60.3, 36.6, 38.1, 69.4], [24_532.9, 13_572.6, 14_139.9, 25_730.3]),
-        (1, 10, [218.4, 37.4, 40.2, 377.2], [95_184.1, 15_061.7, 16_198.0, 151_902.1]),
-        (2, 10, [220.5, 38.1, 41.1, 412.5], [89_718.5, 15_568.4, 16_788.7, 168_271.2]),
-        (1, 20, [401.7, 38.4, 43.4, 719.2], [176_763.3, 15_736.9, 17_786.4, 294_683.6]),
+        (
+            1u32,
+            1u32,
+            [60.3, 36.6, 38.1, 69.4],
+            [24_532.9, 13_572.6, 14_139.9, 25_730.3],
+        ),
+        (
+            1,
+            10,
+            [218.4, 37.4, 40.2, 377.2],
+            [95_184.1, 15_061.7, 16_198.0, 151_902.1],
+        ),
+        (
+            2,
+            10,
+            [220.5, 38.1, 41.1, 412.5],
+            [89_718.5, 15_568.4, 16_788.7, 168_271.2],
+        ),
+        (
+            1,
+            20,
+            [401.7, 38.4, 43.4, 719.2],
+            [176_763.3, 15_736.9, 17_786.4, 294_683.6],
+        ),
     ];
     cases
         .into_iter()
         .map(|(s, b, paper_s, paper_j)| {
             let fw = four_way(&Mix::search_blackscholes(&cfg, s, b));
             assert!(fw.serial.correct && fw.manual.correct && fw.dynamic.correct);
-            Row { s, b, setups: fw, paper_s, paper_j }
+            Row {
+                s,
+                b,
+                setups: fw,
+                paper_s,
+                paper_j,
+            }
         })
         .collect()
 }
@@ -43,7 +69,13 @@ pub fn run() -> Vec<Row> {
 /// Render both tables.
 pub fn render(rows: &[Row]) -> String {
     let mut time = Table::new(&[
-        "mix", "CPU (s)", "manual (s)", "dynamic (s)", "serial (s)", "paper CPU", "paper dyn",
+        "mix",
+        "CPU (s)",
+        "manual (s)",
+        "dynamic (s)",
+        "serial (s)",
+        "paper CPU",
+        "paper dyn",
     ]);
     let mut energy = Table::new(&["mix", "CPU", "manual", "dynamic", "serial", "dyn saving"]);
     for r in rows {

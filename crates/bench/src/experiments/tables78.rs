@@ -25,17 +25,43 @@ pub struct Row {
 pub fn run() -> Vec<Row> {
     let cfg = GpuConfig::tesla_c1060();
     let cases = [
-        (1u32, 1u32, [387.7, 57.2, 57.2, 88.9], [162_443.0, 20_617.8, 20_648.0, 32_058.4]),
-        (3, 3, [605.5, 57.4, 57.5, 266.8], [263_853.8, 21_697.6, 21_746.5, 100_838.4]),
-        (4, 12, [976.6, 57.7, 57.8, 701.5], [427_091.8, 22_309.4, 22_380.2, 271_439.5]),
-        (5, 15, [1163.4, 57.8, 59.9, 876.9], [511_666.9, 22_451.4, 23_263.5, 340_546.2]),
+        (
+            1u32,
+            1u32,
+            [387.7, 57.2, 57.2, 88.9],
+            [162_443.0, 20_617.8, 20_648.0, 32_058.4],
+        ),
+        (
+            3,
+            3,
+            [605.5, 57.4, 57.5, 266.8],
+            [263_853.8, 21_697.6, 21_746.5, 100_838.4],
+        ),
+        (
+            4,
+            12,
+            [976.6, 57.7, 57.8, 701.5],
+            [427_091.8, 22_309.4, 22_380.2, 271_439.5],
+        ),
+        (
+            5,
+            15,
+            [1163.4, 57.8, 59.9, 876.9],
+            [511_666.9, 22_451.4, 23_263.5, 340_546.2],
+        ),
     ];
     cases
         .into_iter()
         .map(|(e, m, paper_s, paper_j)| {
             let fw = four_way(&Mix::encryption_montecarlo(&cfg, e, m));
             assert!(fw.serial.correct && fw.manual.correct && fw.dynamic.correct);
-            Row { e, m, setups: fw, paper_s, paper_j }
+            Row {
+                e,
+                m,
+                setups: fw,
+                paper_s,
+                paper_j,
+            }
         })
         .collect()
 }
@@ -43,7 +69,13 @@ pub fn run() -> Vec<Row> {
 /// Render both tables.
 pub fn render(rows: &[Row]) -> String {
     let mut time = Table::new(&[
-        "mix", "CPU (s)", "manual (s)", "dynamic (s)", "serial (s)", "paper CPU", "paper dyn",
+        "mix",
+        "CPU (s)",
+        "manual (s)",
+        "dynamic (s)",
+        "serial (s)",
+        "paper CPU",
+        "paper dyn",
     ]);
     let mut energy = Table::new(&["mix", "CPU", "manual", "dynamic", "serial", "dyn saving"]);
     for r in rows {

@@ -12,12 +12,11 @@
 use std::sync::Arc;
 
 use ewc_core::{Runtime, RuntimeConfig, Template};
-use ewc_gpu::GpuConfig;
+use ewc_gpu::{GpuConfig, SimRng};
+use ewc_telemetry::{TelemetrySink, TelemetrySnapshot};
 use ewc_workloads::{
     AesWorkload, BlackScholesWorkload, MatmulWorkload, SearchWorkload, SortWorkload, Workload,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::report::{joules, secs, Table};
 
@@ -34,7 +33,11 @@ pub struct TraceSpec {
 
 impl Default for TraceSpec {
     fn default() -> Self {
-        TraceSpec { requests: 40, mean_interarrival_s: 2.0, seed: 7 }
+        TraceSpec {
+            requests: 40,
+            mean_interarrival_s: 2.0,
+            seed: 7,
+        }
     }
 }
 
@@ -51,14 +54,14 @@ pub struct Arrival {
 /// (40% encryption, 20% search, 20% BlackScholes, 15% sorting,
 /// 5% matmul).
 pub fn generate(spec: &TraceSpec) -> Vec<Arrival> {
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = SimRng::seed_from_u64(spec.seed);
     let mut t = 0.0;
     (0..spec.requests)
         .map(|_| {
             // Exponential inter-arrival via inverse CDF.
-            let u: f64 = rng.gen_range(1e-12..1.0);
+            let u: f64 = rng.range_f64(1e-12, 1.0);
             t += -spec.mean_interarrival_s * u.ln();
-            let name = match rng.gen_range(0..100u32) {
+            let name = match rng.range_u32(0, 100) {
                 0..=39 => "encryption",
                 40..=59 => "search",
                 60..=79 => "blackscholes",
@@ -92,28 +95,60 @@ pub struct Row {
 }
 
 /// Replay `trace` at one threshold factor.
+///
+/// Latency statistics come from the telemetry histogram the backend
+/// fills as requests complete (log-bucketed, mergeable), not from
+/// sorting the raw latency list.
 pub fn replay(trace: &[Arrival], threshold_factor: u32, max_wait_s: f64) -> Row {
+    replay_with(
+        trace,
+        threshold_factor,
+        max_wait_s,
+        TelemetrySink::enabled(),
+    )
+    .0
+}
+
+/// Like [`replay`], but records into the caller's telemetry sink and
+/// returns the full snapshot alongside the row — the `ewc telemetry`
+/// subcommand exports a Chrome trace from it.
+pub fn replay_with(
+    trace: &[Arrival],
+    threshold_factor: u32,
+    max_wait_s: f64,
+    sink: TelemetrySink,
+) -> (Row, Option<TelemetrySnapshot>) {
     let cfg = GpuConfig::tesla_c1060();
     let workloads: Vec<(&'static str, Arc<dyn Workload>)> = vec![
         ("encryption", Arc::new(AesWorkload::fig7(&cfg))),
         ("search", Arc::new(SearchWorkload::tables56(&cfg))),
-        ("blackscholes", Arc::new(BlackScholesWorkload::tables56(&cfg))),
+        (
+            "blackscholes",
+            Arc::new(BlackScholesWorkload::tables56(&cfg)),
+        ),
         ("sorting", Arc::new(SortWorkload::fig8(&cfg))),
-        ("matmul", Arc::new(MatmulWorkload::scalability_limited(&cfg))),
+        (
+            "matmul",
+            Arc::new(MatmulWorkload::scalability_limited(&cfg)),
+        ),
     ];
     let mut builder = Runtime::builder(RuntimeConfig {
         threshold_factor,
         max_pending_wait_s: max_wait_s,
         noise_seed: Some(threshold_factor as u64),
         ..RuntimeConfig::default()
-    });
+    })
+    .telemetry(sink);
     for (name, w) in &workloads {
         builder = builder.workload(name, Arc::clone(w));
     }
     // Templates: the heterogeneous pairs the paper studies, plus
     // homogeneous fallbacks for everything.
     builder = builder
-        .template(Template::heterogeneous("search+bs", &["search", "blackscholes"]))
+        .template(Template::heterogeneous(
+            "search+bs",
+            &["search", "blackscholes"],
+        ))
         .template(Template::homogeneous("encryption"))
         .template(Template::homogeneous("sorting"))
         .template(Template::homogeneous("matmul"))
@@ -135,7 +170,8 @@ pub fn replay(trace: &[Arrival], threshold_factor: u32, max_wait_s: f64) -> Row 
         let mut fe = rt.connect();
         fe.advance_clock(arrival.at_s).expect("advance clock");
         let (args, bufs) = w.build_args(&mut fe, i as u64).expect("build");
-        fe.configure_call(w.blocks(), w.desc().threads_per_block).unwrap();
+        fe.configure_call(w.blocks(), w.desc().threads_per_block)
+            .unwrap();
         for a in &args {
             fe.setup_argument(*a).unwrap();
         }
@@ -144,21 +180,35 @@ pub fn replay(trace: &[Arrival], threshold_factor: u32, max_wait_s: f64) -> Row 
     }
     sessions[0].0.sync().expect("drain");
     for (fe, bufs, w, seed) in &sessions {
-        let out = fe.memcpy_d2h(bufs.output, 0, bufs.output_len).expect("readback");
+        let out = fe
+            .memcpy_d2h(bufs.output, 0, bufs.output_len)
+            .expect("readback");
         assert_eq!(out, w.expected_output(*seed), "request {seed} corrupted");
     }
     let report = rt.shutdown();
-    let lat = report.stats.latencies_sorted();
-    Row {
+    let (mean_latency_s, p95_latency_s) = match report
+        .telemetry
+        .as_ref()
+        .and_then(|t| t.metrics.histogram("request_latency_s"))
+    {
+        Some(h) => (h.mean(), h.percentile(95.0)),
+        // Disabled sink: fall back to the exact (hardened) stats path.
+        None => {
+            let lat = report.stats.latency_summary();
+            (lat.mean(), lat.percentile(95.0).unwrap_or(0.0))
+        }
+    };
+    let row = Row {
         threshold: threshold_factor,
         elapsed_s: report.elapsed_s,
         energy_j: report.energy.energy_j,
-        mean_latency_s: lat.iter().sum::<f64>() / lat.len() as f64,
-        p95_latency_s: report.stats.latency_percentile(95.0).expect("requests ran"),
+        mean_latency_s,
+        p95_latency_s,
         consolidated: report.stats.kernels_consolidated(),
         cpu_offloaded: report.stats.cpu_executions,
         launches: report.stats.launches,
-    }
+    };
+    (row, report.telemetry)
 }
 
 /// Sweep the threshold factor over the default trace.
@@ -173,8 +223,14 @@ pub fn run() -> Vec<Row> {
 /// Render the sweep.
 pub fn render(rows: &[Row]) -> String {
     let mut t = Table::new(&[
-        "threshold", "elapsed (s)", "energy", "mean lat (s)", "p95 lat (s)", "consolidated",
-        "cpu", "launches",
+        "threshold",
+        "elapsed (s)",
+        "energy",
+        "mean lat (s)",
+        "p95 lat (s)",
+        "consolidated",
+        "cpu",
+        "launches",
     ]);
     for r in rows {
         t.row(vec![
@@ -219,17 +275,27 @@ mod tests {
 
     #[test]
     fn replay_completes_every_request() {
-        let trace = generate(&TraceSpec { requests: 12, ..TraceSpec::default() });
+        let trace = generate(&TraceSpec {
+            requests: 12,
+            ..TraceSpec::default()
+        });
         let row = replay(&trace, 4, 60.0);
         assert!(row.mean_latency_s > 0.0);
         assert!(row.p95_latency_s >= row.mean_latency_s * 0.5);
-        assert!(row.launches > 0 || row.cpu_offloaded > 0, "work must have run somewhere");
+        assert!(
+            row.launches > 0 || row.cpu_offloaded > 0,
+            "work must have run somewhere"
+        );
         assert!(row.energy_j > 0.0);
     }
 
     #[test]
     fn higher_threshold_batches_more() {
-        let trace = generate(&TraceSpec { requests: 24, mean_interarrival_s: 1.0, seed: 3 });
+        let trace = generate(&TraceSpec {
+            requests: 24,
+            mean_interarrival_s: 1.0,
+            seed: 3,
+        });
         let low = replay(&trace, 1, 300.0);
         let high = replay(&trace, 8, 300.0);
         assert!(
@@ -245,7 +311,11 @@ mod tests {
         // Threshold far above the request count: only the max-wait flush
         // (and the final sync) can run kernels. With a tight bound the
         // p95 latency stays near it.
-        let trace = generate(&TraceSpec { requests: 10, mean_interarrival_s: 5.0, seed: 1 });
+        let trace = generate(&TraceSpec {
+            requests: 10,
+            mean_interarrival_s: 5.0,
+            seed: 1,
+        });
         let tight = replay(&trace, 100, 20.0);
         let loose = replay(&trace, 100, f64::INFINITY);
         assert!(

@@ -1,0 +1,213 @@
+//! Minimal wall-clock bench harness (in-workspace Criterion stand-in).
+//!
+//! The workspace builds offline with no external dependencies, so the
+//! benches under `benches/` (all `harness = false`) use this instead of
+//! Criterion. The API deliberately mirrors the subset of Criterion the
+//! benches need — groups, `bench_function`, `iter`, `iter_batched`,
+//! `sample_size` — so the bench sources read the same.
+//!
+//! Each sample times one closure invocation with [`std::time::Instant`];
+//! reported statistics are min / mean / max over the samples after one
+//! untimed warm-up call. A single positional CLI argument acts as a
+//! substring filter on `group/function` ids (Criterion convention), and
+//! `--list` prints the ids without running anything; other flags cargo
+//! passes (`--bench`, `--exact`, …) are ignored.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Default samples per benchmark (Criterion uses 100; simulations here
+/// are slow enough that benches lower it per group anyway).
+const DEFAULT_SAMPLES: usize = 20;
+
+/// Top-level harness: parses CLI args, owns the output.
+pub struct Harness {
+    filter: Option<String>,
+    list_only: bool,
+}
+
+impl Harness {
+    /// Build from `std::env::args`, honouring a positional substring
+    /// filter and `--list`.
+    pub fn from_args() -> Self {
+        let mut filter = None;
+        let mut list_only = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--list" => list_only = true,
+                // Flags cargo-bench forwards that we don't need.
+                "--bench" | "--exact" | "--nocapture" => {}
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Harness { filter, list_only }
+    }
+
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.to_string(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+
+    fn should_run(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// A group of related benchmarks sharing a sample count.
+pub struct Group<'a> {
+    harness: &'a Harness,
+    name: String,
+    samples: usize,
+}
+
+impl Group<'_> {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one benchmark: `f` receives a [`Bencher`] and must call one
+    /// of its `iter*` methods.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        if !self.harness.should_run(&full) {
+            return self;
+        }
+        if self.harness.list_only {
+            println!("{full}: bench");
+            return self;
+        }
+        let mut b = Bencher {
+            samples: self.samples,
+            durations: Vec::new(),
+        };
+        f(&mut b);
+        report(&full, &b.durations);
+        self
+    }
+
+    /// End the group (kept for Criterion source compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; collects timed samples.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` once per sample (plus one untimed warm-up).
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        black_box(routine());
+        self.durations = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(routine());
+                t0.elapsed()
+            })
+            .collect();
+    }
+
+    /// Like [`Bencher::iter`], but re-runs an untimed `setup` before
+    /// every timed invocation and hands its output to `routine`.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+    ) {
+        black_box(routine(setup()));
+        self.durations = (0..self.samples)
+            .map(|_| {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                t0.elapsed()
+            })
+            .collect();
+    }
+}
+
+fn report(id: &str, durations: &[Duration]) {
+    if durations.is_empty() {
+        println!("{id:<44} (no samples)");
+        return;
+    }
+    let mut sorted = durations.to_vec();
+    sorted.sort();
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!(
+        "{id:<44} time: [{} {} {}]  ({} samples)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        sorted.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher {
+            samples: 5,
+            durations: Vec::new(),
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(b.durations.len(), 5);
+        assert_eq!(calls, 6, "warm-up plus five samples");
+    }
+
+    #[test]
+    fn iter_batched_reruns_setup_per_sample() {
+        let mut b = Bencher {
+            samples: 3,
+            durations: Vec::new(),
+        };
+        let mut setups = 0u32;
+        b.iter_batched(
+            || {
+                setups += 1;
+                setups
+            },
+            |x| x * 2,
+        );
+        assert_eq!(setups, 4, "warm-up plus three samples");
+        assert_eq!(b.durations.len(), 3);
+    }
+
+    #[test]
+    fn duration_formatting_picks_sane_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500.0 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(42)), "42.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(3)), "3.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

@@ -3,20 +3,21 @@
 //! One module per table/figure of the paper's evaluation, each exposing a
 //! `run()` that produces typed rows, plus formatters that print the same
 //! tables the paper reports. Binaries under `src/bin/` wrap the modules;
-//! Criterion benches under `benches/` time the underlying simulations;
-//! the root `tests/` directory asserts the headline *shapes* (who wins,
-//! by roughly what factor, where the crossovers fall).
+//! benches under `benches/` (driven by the in-workspace [`harness`])
+//! time the underlying simulations; the root `tests/` directory asserts
+//! the headline *shapes* (who wins, by roughly what factor, where the
+//! crossovers fall).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
 pub mod mix;
 pub mod report;
 pub mod setups;
 
 pub use mix::Mix;
 pub use setups::{
-    four_way, run_cpu, run_dynamic, run_dynamic_with, run_manual, run_serial, FourWay,
-    SetupResult,
+    four_way, run_cpu, run_dynamic, run_dynamic_with, run_manual, run_serial, FourWay, SetupResult,
 };

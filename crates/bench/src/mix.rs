@@ -19,7 +19,9 @@ pub struct Mix {
 impl Mix {
     /// Empty mix.
     pub fn new() -> Self {
-        Mix { instances: Vec::new() }
+        Mix {
+            instances: Vec::new(),
+        }
     }
 
     /// Add `n` instances of a workload under `name`.
@@ -55,14 +57,22 @@ impl Mix {
     pub fn scenario1(cfg: &GpuConfig) -> Self {
         Mix::new()
             .add("encryption", Arc::new(AesWorkload::scenario1(cfg)), 1)
-            .add("montecarlo", Arc::new(MonteCarloWorkload::scenario1(cfg)), 1)
+            .add(
+                "montecarlo",
+                Arc::new(MonteCarloWorkload::scenario1(cfg)),
+                1,
+            )
     }
 
     /// Scenario 2 (Table 3): one search + one BlackScholes instance.
     pub fn scenario2(cfg: &GpuConfig) -> Self {
         Mix::new()
             .add("search", Arc::new(SearchWorkload::scenario2(cfg)), 1)
-            .add("blackscholes", Arc::new(BlackScholesWorkload::scenario2(cfg)), 1)
+            .add(
+                "blackscholes",
+                Arc::new(BlackScholesWorkload::scenario2(cfg)),
+                1,
+            )
     }
 
     /// `s` search + `b` BlackScholes instances (Tables 5/6; search
@@ -70,7 +80,11 @@ impl Mix {
     pub fn search_blackscholes(cfg: &GpuConfig, s: u32, b: u32) -> Self {
         Mix::new()
             .add("search", Arc::new(SearchWorkload::tables56(cfg)), s)
-            .add("blackscholes", Arc::new(BlackScholesWorkload::tables56(cfg)), b)
+            .add(
+                "blackscholes",
+                Arc::new(BlackScholesWorkload::tables56(cfg)),
+                b,
+            )
     }
 
     /// `e` encryption + `m` MonteCarlo instances (Tables 7/8).

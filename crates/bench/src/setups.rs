@@ -14,13 +14,13 @@
 
 use std::collections::BTreeSet;
 
+use ewc_core::{Runtime, RuntimeConfig, Template};
 use ewc_cpu::{CpuConfig, CpuEngine, CpuPowerModel};
 use ewc_energy::GpuSystemPower;
 use ewc_gpu::grid::Grid;
 use ewc_gpu::kernel::LaunchConfig;
 use ewc_gpu::{GpuConfig, GpuDevice};
 use ewc_workloads::instance_segment;
-use ewc_core::{Runtime, RuntimeConfig, Template};
 
 use crate::mix::Mix;
 
@@ -100,12 +100,20 @@ pub fn run_serial(mix: &Mix) -> SetupResult {
         outputs.push((bufs, seed));
     }
     for (i, (bufs, seed)) in outputs.iter().enumerate() {
-        let (got, _) = gpu.memcpy_d2h(bufs.output, 0, bufs.output_len).expect("readback");
+        let (got, _) = gpu
+            .memcpy_d2h(bufs.output, 0, bufs.output_len)
+            .expect("readback");
         correct &= got == mix.instances[i].1.expected_output(*seed);
     }
     let time = gpu.now_s();
     let (energy, power) = gpu_energy(&gpu, mix.len() as u64 + 1);
-    SetupResult { time_s: time, energy_j: energy, avg_power_w: power, correct, stats: None }
+    SetupResult {
+        time_s: time,
+        energy_j: energy,
+        avg_power_w: power,
+        correct,
+        stats: None,
+    }
 }
 
 /// Manual consolidation: all instances in one hand-built grid.
@@ -124,12 +132,20 @@ pub fn run_manual(mix: &Mix) -> SetupResult {
     }
     let mut correct = true;
     for (i, (bufs, seed)) in outputs.iter().enumerate() {
-        let (got, _) = gpu.memcpy_d2h(bufs.output, 0, bufs.output_len).expect("readback");
+        let (got, _) = gpu
+            .memcpy_d2h(bufs.output, 0, bufs.output_len)
+            .expect("readback");
         correct &= got == mix.instances[i].1.expected_output(*seed);
     }
     let time = gpu.now_s();
     let (energy, power) = gpu_energy(&gpu, mix.len() as u64 + 2);
-    SetupResult { time_s: time, energy_j: energy, avg_power_w: power, correct, stats: None }
+    SetupResult {
+        time_s: time,
+        energy_j: energy,
+        avg_power_w: power,
+        correct,
+        stats: None,
+    }
 }
 
 /// Dynamic consolidation through the runtime framework, with the default
@@ -142,7 +158,11 @@ pub fn run_dynamic(mix: &Mix) -> SetupResult {
     // integration tests.
     run_dynamic_with(
         mix,
-        RuntimeConfig { force_gpu: true, threshold_factor: 30, ..RuntimeConfig::default() },
+        RuntimeConfig {
+            force_gpu: true,
+            threshold_factor: 30,
+            ..RuntimeConfig::default()
+        },
     )
 }
 
@@ -186,10 +206,14 @@ pub fn run_dynamic_with(mix: &Mix, mut cfg: RuntimeConfig) -> SetupResult {
         let seed = i as u64;
         let mut fe = rt.connect();
         if let Some((key, data)) = w.constant_data() {
-            fe.register_constant(key, &data).expect("constant registration");
+            fe.register_constant(key, &data)
+                .expect("constant registration");
         }
-        let (args, bufs) = w.build_args(&mut fe, seed).expect("instance build via frontend");
-        fe.configure_call(w.blocks(), w.desc().threads_per_block).expect("configure");
+        let (args, bufs) = w
+            .build_args(&mut fe, seed)
+            .expect("instance build via frontend");
+        fe.configure_call(w.blocks(), w.desc().threads_per_block)
+            .expect("configure");
         for a in &args {
             fe.setup_argument(*a).expect("setup argument");
         }
@@ -200,7 +224,9 @@ pub fn run_dynamic_with(mix: &Mix, mut cfg: RuntimeConfig) -> SetupResult {
 
     let mut correct = true;
     for (i, (fe, bufs, seed)) in handles.iter().enumerate() {
-        let got = fe.memcpy_d2h(bufs.output, 0, bufs.output_len).expect("readback");
+        let got = fe
+            .memcpy_d2h(bufs.output, 0, bufs.output_len)
+            .expect("readback");
         correct &= got == mix.instances[i].1.expected_output(*seed);
     }
     let report = rt.shutdown();
@@ -224,8 +250,14 @@ mod tests {
         let mix = Mix::encryption(&cfg, 3);
         let fw = four_way(&mix);
         assert!(fw.cpu.correct && fw.serial.correct && fw.manual.correct && fw.dynamic.correct);
-        assert!(fw.serial.time_s > fw.manual.time_s, "serial must be slower than manual");
-        assert!(fw.dynamic.time_s >= fw.manual.time_s, "framework overhead is non-negative");
+        assert!(
+            fw.serial.time_s > fw.manual.time_s,
+            "serial must be slower than manual"
+        );
+        assert!(
+            fw.dynamic.time_s >= fw.manual.time_s,
+            "framework overhead is non-negative"
+        );
         assert!(fw.dynamic.stats.is_some());
     }
 

@@ -6,6 +6,7 @@ use ewc_bench::experiments as ex;
 use ewc_energy::{GpuPowerGroundTruth, PowerCoefficients, ThermalModel, TrainingBenchmark};
 use ewc_gpu::{ConsolidatedGrid, DispatchPolicy, ExecutionEngine, GpuConfig, Grid};
 use ewc_models::{ConsolidationPlan, EnergyModel, PowerModel};
+use ewc_telemetry::{export, TelemetrySink};
 use ewc_workloads::{
     AesWorkload, BlackScholesWorkload, MatmulWorkload, MonteCarloWorkload, SearchWorkload,
     SortWorkload, Workload,
@@ -14,8 +15,14 @@ use ewc_workloads::{
 /// Every runnable experiment id with a one-line description.
 pub const EXPERIMENTS: &[(&str, &str)] = &[
     ("table1", "single-instance GPU speedup over CPU (Table 1)"),
-    ("fig1", "motivation sweep: N encryption instances (Figure 1)"),
-    ("scenarios", "the good and bad consolidation scenarios (Tables 2-3)"),
+    (
+        "fig1",
+        "motivation sweep: N encryption instances (Figure 1)",
+    ),
+    (
+        "scenarios",
+        "the good and bad consolidation scenarios (Tables 2-3)",
+    ),
     ("fig3", "type-1 performance-model validation (Figure 3)"),
     ("fig4", "type-2 performance-model validation (Figure 4)"),
     ("fig5", "power-model validation, 14 variants (Figure 5)"),
@@ -24,10 +31,16 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     ("tables56", "Search+BlackScholes mixes (Tables 5-6)"),
     ("tables78", "Encryption+MonteCarlo mixes (Tables 7-8)"),
     ("ablations", "mechanism on/off studies"),
-    ("fermi", "Fermi concurrent kernels vs consolidation (extension)"),
+    (
+        "fermi",
+        "Fermi concurrent kernels vs consolidation (extension)",
+    ),
     ("multigpu", "multi-GPU scaling (extension)"),
     ("trace", "Poisson-trace threshold sweep (extension)"),
-    ("future-hw", "consolidation on Fermi-class silicon (extension)"),
+    (
+        "future-hw",
+        "consolidation on Fermi-class silicon (extension)",
+    ),
 ];
 
 /// Usage text.
@@ -41,10 +54,19 @@ pub fn usage() -> String {
          \x20 predict <w> <n>        predict consolidating n instances of workload w\n\
          \x20                        (w: enc | sort | search | bs | mc | matmul)\n\
          \x20 devices                show the simulated GPU presets\n\
-         \x20 gantt <1|2>            per-SM schedule of a paper scenario\n",
+         \x20 gantt <1|2>            per-SM schedule of a paper scenario\n\
+         \x20 telemetry [fmt] [path] replay the Poisson trace with telemetry on and\n\
+         \x20                        export it (fmt: summary | chrome | jsonl;\n\
+         \x20                        chrome output opens in Perfetto / chrome://tracing)\n",
     );
     s.push_str("\nexperiment ids: ");
-    s.push_str(&EXPERIMENTS.iter().map(|(id, _)| *id).collect::<Vec<_>>().join(", "));
+    s.push_str(
+        &EXPERIMENTS
+            .iter()
+            .map(|(id, _)| *id)
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
     s
 }
 
@@ -62,10 +84,16 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
                 return Err("predict: need <workload> <instances>".into());
             }
             let name = &args[1];
-            let n: u32 = args[2].parse().map_err(|_| "predict: instances must be a number")?;
+            let n: u32 = args[2]
+                .parse()
+                .map_err(|_| "predict: instances must be a number")?;
             predict(name, n)
         }
         Some("devices") => Ok(devices()),
+        Some("telemetry") => telemetry(
+            args.get(1).map(String::as_str),
+            args.get(2).map(String::as_str),
+        ),
         Some("gantt") => {
             let which = args.get(1).ok_or("gantt: need a scenario (1 or 2)")?;
             gantt(which)
@@ -117,7 +145,11 @@ fn workload(name: &str) -> Result<Arc<dyn Workload>, String> {
         "bs" | "blackscholes" => Arc::new(BlackScholesWorkload::tables56(&cfg)),
         "mc" | "montecarlo" => Arc::new(MonteCarloWorkload::tables78(&cfg)),
         "matmul" => Arc::new(MatmulWorkload::scalability_limited(&cfg)),
-        other => return Err(format!("unknown workload '{other}' (enc|sort|search|bs|mc|matmul)")),
+        other => {
+            return Err(format!(
+                "unknown workload '{other}' (enc|sort|search|bs|mc|matmul)"
+            ))
+        }
     })
 }
 
@@ -177,6 +209,40 @@ fn predict(name: &str, n: u32) -> Result<String, String> {
     ))
 }
 
+fn telemetry(format: Option<&str>, path: Option<&str>) -> Result<String, String> {
+    let format = format.unwrap_or("summary");
+    let trace = ex::trace::generate(&ex::trace::TraceSpec::default());
+    let (row, snap) = ex::trace::replay_with(&trace, 4, 120.0, TelemetrySink::enabled());
+    let snap = snap.ok_or("telemetry sink produced no snapshot")?;
+    let body = match format {
+        "summary" => export::summary::render(&snap),
+        "chrome" => export::chrome::render(&snap),
+        "jsonl" => export::jsonl::render(&snap),
+        other => {
+            return Err(format!(
+                "telemetry: unknown format '{other}' (summary|chrome|jsonl)"
+            ))
+        }
+    };
+    match path {
+        Some(p) => {
+            std::fs::write(p, &body).map_err(|e| format!("telemetry: writing {p}: {e}"))?;
+            Ok(format!(
+                "wrote {} bytes of {format} telemetry to {p}\n\
+                 (replayed {} requests: elapsed {:.2} s, energy {:.0} J, \
+                 {} spans, {} decisions)",
+                body.len(),
+                trace.len(),
+                row.elapsed_s,
+                row.energy_j,
+                snap.spans.len(),
+                snap.audit.len(),
+            ))
+        }
+        None => Ok(body),
+    }
+}
+
 fn devices() -> String {
     let mut out = String::from("simulated devices:\n");
     for (name, cfg) in [
@@ -226,11 +292,17 @@ fn gantt(which: &str) -> Result<String, String> {
         other => return Err(format!("gantt: unknown scenario '{other}' (1 or 2)")),
     };
     let engine = ExecutionEngine::new(cfg.clone());
-    let out = engine.run(&grid, DispatchPolicy::default()).map_err(|e| e.to_string())?;
+    let out = engine
+        .run(&grid, DispatchPolicy::default())
+        .map_err(|e| e.to_string())?;
     Ok(format!(
         "{label}\nmakespan {:.2} s, critical SMs start at SM{}\n\n{}",
         out.elapsed_s,
-        out.trace.critical_sms(cfg.num_sms, 1e-6).first().copied().unwrap_or(0),
+        out.trace
+            .critical_sms(cfg.num_sms, 1e-6)
+            .first()
+            .copied()
+            .unwrap_or(0),
         out.trace.ascii_gantt(cfg.num_sms, 72)
     ))
 }
@@ -261,6 +333,14 @@ mod tests {
         assert!(dispatch(&args(&["predict", "enc"])).is_err());
         assert!(dispatch(&args(&["predict", "nope", "3"])).is_err());
         assert!(dispatch(&args(&["gantt", "9"])).is_err());
+        assert!(dispatch(&args(&["telemetry", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn telemetry_summary_reports_decisions() {
+        let out = dispatch(&args(&["telemetry"])).unwrap();
+        assert!(out.contains("decisions"), "{out}");
+        assert!(out.contains("request_latency_s"), "{out}");
     }
 
     #[test]
@@ -274,9 +354,15 @@ mod tests {
     fn predict_renders_a_verdict() {
         let p = dispatch(&args(&["predict", "enc", "9"])).unwrap();
         assert!(p.contains("consolidated GPU"), "{p}");
-        assert!(p.contains("verdict: CONSOLIDATE"), "9 encs should consolidate: {p}");
+        assert!(
+            p.contains("verdict: CONSOLIDATE"),
+            "9 encs should consolidate: {p}"
+        );
         let p = dispatch(&args(&["predict", "enc", "1"])).unwrap();
-        assert!(p.contains("verdict: run on CPU"), "1 enc should go to CPU: {p}");
+        assert!(
+            p.contains("verdict: run on CPU"),
+            "1 enc should go to CPU: {p}"
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! ewc predict enc 9               model a homogeneous consolidation
 //! ewc devices                     show the simulated GPU presets
 //! ewc gantt <1|2>                 per-SM schedule of a paper scenario
+//! ewc telemetry chrome trace.json replay a trace, export a Perfetto trace
 //! ```
 
 mod commands;

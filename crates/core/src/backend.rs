@@ -25,13 +25,14 @@
 //! so groups dispatched to different GPUs genuinely overlap.
 
 use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam_channel::{Receiver, Sender};
 use ewc_gpu::grid::GridSegment;
 use ewc_gpu::kernel::{BlockCtx, LaunchConfig};
 use ewc_gpu::{GpuDevice, Grid};
+use ewc_telemetry::{DecisionRecord, TelemetrySink, Verdict};
 use ewc_workloads::Workload;
 
 use crate::config::RuntimeConfig;
@@ -57,11 +58,15 @@ pub fn spawn(
     registry: HashMap<String, Arc<dyn Workload>>,
     templates: TemplateRegistry,
     decision: DecisionEngine,
+    sink: TelemetrySink,
 ) -> BackendHandles {
     assert!(!gpus.is_empty(), "backend needs at least one GPU");
-    let (tx, rx) = crossbeam_channel::unbounded();
+    let (tx, rx) = std::sync::mpsc::channel();
     let coordinator = LeaderCoordinator::new(&cfg);
-    let constants = gpus.iter().map(|_| ConstantCache::new(cfg.constant_reuse)).collect();
+    let constants = gpus
+        .iter()
+        .map(|_| ConstantCache::new(cfg.constant_reuse))
+        .collect();
     let backend = Backend {
         cfg,
         gpus,
@@ -70,6 +75,7 @@ pub fn spawn(
         decision,
         coordinator,
         constants,
+        sink,
         stats: BackendStats::default(),
         pending: Vec::new(),
         ctx_state: HashMap::new(),
@@ -100,6 +106,8 @@ struct Backend {
     coordinator: LeaderCoordinator,
     /// One constant cache per device (constants live in device memory).
     constants: Vec<ConstantCache>,
+    /// Telemetry handle (no-op unless the runtime enabled it).
+    sink: TelemetrySink,
     stats: BackendStats,
     pending: Vec<KernelRequest>,
     ctx_state: HashMap<u64, CtxState>,
@@ -176,7 +184,26 @@ impl Backend {
             self.host_clock = self.host_clock.max(to_s);
             return false;
         }
+        let kind = req.kind();
+        let ctx = req.ctx();
+        let rpc_start_s = self.host_clock;
         self.charge_channel();
+        let shutdown = self.dispatch(req);
+        // One span per intercepted API call: the frontend blocked on this
+        // interval (channel round trip + backend-side handling).
+        if self.sink.is_enabled() {
+            let mut span = self
+                .sink
+                .span("host", "backend", kind, rpc_start_s, self.host_clock);
+            if let Some(ctx) = ctx {
+                span = span.attr("ctx", ctx);
+            }
+            span.emit();
+        }
+        shutdown
+    }
+
+    fn dispatch(&mut self, req: Request) -> bool {
         match req {
             Request::Malloc { ctx, len, reply } => {
                 let d = self.device_for(ctx);
@@ -188,7 +215,13 @@ impl Backend {
                 let r = self.gpus[d].free(ptr).map_err(CoreError::from);
                 let _ = reply.send(r);
             }
-            Request::MemcpyH2D { ctx, dst, offset, data, reply } => {
+            Request::MemcpyH2D {
+                ctx,
+                dst,
+                offset,
+                data,
+                reply,
+            } => {
                 self.charge_staging(data.len() as u64);
                 let d = self.device_for(ctx);
                 self.catch_up(d);
@@ -199,7 +232,13 @@ impl Backend {
                 self.host_joins(d);
                 let _ = reply.send(r);
             }
-            Request::MemcpyD2H { ctx, src, offset, len, reply } => {
+            Request::MemcpyD2H {
+                ctx,
+                src,
+                offset,
+                len,
+                reply,
+            } => {
                 let d = self.device_for(ctx);
                 self.catch_up(d);
                 let r = self.gpus[d]
@@ -216,11 +255,21 @@ impl Backend {
             Request::SetupArgument { ctx, arg } => {
                 self.ctx_state.entry(ctx).or_default().args.push(arg);
             }
-            Request::Launch { ctx, name, batched_args, reply } => {
+            Request::Launch {
+                ctx,
+                name,
+                batched_args,
+                reply,
+            } => {
                 let r = self.enqueue_launch(ctx, name, batched_args);
                 let _ = reply.send(r);
             }
-            Request::RegisterConstant { ctx, key, data, reply } => {
+            Request::RegisterConstant {
+                ctx,
+                key,
+                data,
+                reply,
+            } => {
                 self.charge_staging(data.len() as u64);
                 let d = self.device_for(ctx);
                 self.catch_up(d);
@@ -249,8 +298,7 @@ impl Backend {
                 }
                 let activities: Vec<Vec<ewc_gpu::counters::ActivityInterval>> =
                     self.gpus.iter().map(|g| g.activity().to_vec()).collect();
-                let _ =
-                    reply.send((std::mem::take(&mut self.stats), activities, self.host_clock));
+                let _ = reply.send((std::mem::take(&mut self.stats), activities, self.host_clock));
                 return true;
             }
         }
@@ -267,12 +315,20 @@ impl Backend {
     /// bytes over staging bandwidth, plus one extra channel round trip
     /// per buffer-sized chunk beyond the first.
     fn charge_staging(&mut self, bytes: u64) {
+        let start_s = self.host_clock;
         let copy_s = bytes as f64 / self.cfg.staging_bandwidth;
         let chunks = bytes.div_ceil(self.cfg.staging_buffer_bytes.max(1)).max(1);
         let extra = (chunks - 1) as f64 * self.cfg.channel_latency_s;
         self.stats.staged_bytes += bytes;
         self.stats.staging_s += copy_s + extra;
         self.host_clock += copy_s + extra;
+        if self.sink.is_enabled() {
+            self.sink
+                .span("host", "backend", "staging", start_s, self.host_clock)
+                .attr("bytes", bytes)
+                .emit();
+            self.sink.counter_add("staged_bytes", bytes as f64);
+        }
     }
 
     fn enqueue_launch(
@@ -308,7 +364,14 @@ impl Backend {
         let seq = self.next_seq;
         self.next_seq += 1;
         let submitted_at_s = self.host_clock;
-        self.pending.push(KernelRequest { ctx, seq, name, args, workload, submitted_at_s });
+        self.pending.push(KernelRequest {
+            ctx,
+            seq,
+            name,
+            args,
+            workload,
+            submitted_at_s,
+        });
         Ok(seq)
     }
 
@@ -331,8 +394,7 @@ impl Backend {
                 if local.is_empty() {
                     continue;
                 }
-                let refs: Vec<&KernelRequest> =
-                    local.iter().map(|&i| &self.pending[i]).collect();
+                let refs: Vec<&KernelRequest> = local.iter().map(|&i| &self.pending[i]).collect();
                 if let Some((t, sel)) = self.templates.best_match(&refs) {
                     let tname = t.name.clone();
                     let global: Vec<usize> = sel.into_iter().map(|i| local[i]).collect();
@@ -358,16 +420,18 @@ impl Backend {
     /// Remove the given indices from pending, preserving the order the
     /// indices are listed in (the template's layout order).
     fn extract(&mut self, idx: Vec<usize>) -> Vec<KernelRequest> {
-        let mut marked: Vec<Option<KernelRequest>> =
-            self.pending.drain(..).map(Some).collect();
-        let group: Vec<KernelRequest> =
-            idx.iter().map(|&i| marked[i].take().expect("duplicate index")).collect();
+        let mut marked: Vec<Option<KernelRequest>> = self.pending.drain(..).map(Some).collect();
+        let group: Vec<KernelRequest> = idx
+            .iter()
+            .map(|&i| marked[i].take().expect("duplicate index"))
+            .collect();
         self.pending = marked.into_iter().flatten().collect();
         group
     }
 
     fn execute_group(&mut self, device: usize, template: &str, group: Vec<KernelRequest>) {
         // Coordination between the participating frontends (host side).
+        let coord_start_s = self.host_clock;
         let refs: Vec<&KernelRequest> = group.iter().collect();
         let coord = self.coordinator.plan(&refs);
         self.stats.messages += coord.messages;
@@ -378,18 +442,36 @@ impl Backend {
         let mut plan = ewc_models::ConsolidationPlan::new();
         let mut cpu_tasks = Vec::with_capacity(group.len());
         for req in &group {
-            plan.push(ewc_models::KernelSpec::new(req.workload.desc(), req.workload.blocks()));
+            plan.push(ewc_models::KernelSpec::new(
+                req.workload.desc(),
+                req.workload.blocks(),
+            ));
             cpu_tasks.push(req.workload.cpu_task());
         }
         let mut assessment = self.decision.assess(&plan, &cpu_tasks);
+        let mut forced = false;
         if self.cfg.force_gpu && assessment.choice == Choice::Cpu {
-            assessment.choice = if assessment.consolidated.system_energy_j
-                <= assessment.serial.system_energy_j
-            {
-                Choice::Consolidate
-            } else {
-                Choice::SerialGpu
-            };
+            forced = true;
+            assessment.choice =
+                if assessment.consolidated.system_energy_j <= assessment.serial.system_energy_j {
+                    Choice::Consolidate
+                } else {
+                    Choice::SerialGpu
+                };
+        }
+        if self.sink.is_enabled() {
+            self.sink
+                .span(
+                    "host",
+                    "backend",
+                    "coordinate",
+                    coord_start_s,
+                    self.host_clock,
+                )
+                .attr("template", template)
+                .attr("group_size", group.len())
+                .emit();
+            self.audit_decision(&assessment, &group, forced);
         }
 
         // Kernel launches are asynchronous: the device clock runs ahead
@@ -475,5 +557,72 @@ impl Backend {
             predicted_energy_j: assessment.chosen_energy_j(),
             actual_time_s: completed_at_s - t0,
         });
+
+        if self.sink.is_enabled() {
+            let label = verdict_of(assessment.choice).label();
+            for req in &group {
+                // Full request lifecycle on the submitting context's lane:
+                // queued behind the threshold, then executing on the device
+                // (or host, for CPU verdicts).
+                let lane = format!("ctx{}", req.ctx);
+                let parent = self
+                    .sink
+                    .span("host", &lane, "request", req.submitted_at_s, completed_at_s)
+                    .attr("kernel", &req.name)
+                    .attr("seq", req.seq)
+                    .attr("choice", label)
+                    .emit();
+                self.sink
+                    .span("host", &lane, "queued", req.submitted_at_s, coord_start_s)
+                    .parent(parent)
+                    .emit();
+                self.sink
+                    .span("host", &lane, "execute", t0, completed_at_s)
+                    .parent(parent)
+                    .attr("device", device)
+                    .emit();
+                self.sink
+                    .histogram_record("request_latency_s", completed_at_s - req.submitted_at_s);
+            }
+            self.sink.counter_add("groups", 1.0);
+            self.sink.counter_add(&format!("verdict_{label}"), 1.0);
+        }
+    }
+
+    /// Record the verdict and the predictions that justified it.
+    fn audit_decision(
+        &self,
+        assessment: &crate::decision::Assessment,
+        group: &[KernelRequest],
+        forced: bool,
+    ) {
+        let reason = format!(
+            "predicted energy: consolidated {:.3} J (margin-adjusted), serial {:.3} J, cpu {:.3} J{}",
+            assessment.consolidated.system_energy_j,
+            assessment.serial.system_energy_j,
+            assessment.cpu_energy_j,
+            if forced { "; force_gpu overrode a CPU verdict" } else { "" }
+        );
+        self.sink.audit(DecisionRecord {
+            time_s: self.host_clock,
+            kernels: group.iter().map(|r| r.name.clone()).collect(),
+            verdict: verdict_of(assessment.choice),
+            consolidated: Some((
+                assessment.consolidated.time_s,
+                assessment.consolidated.system_energy_j,
+            )),
+            serial: Some((assessment.serial.time_s, assessment.serial.system_energy_j)),
+            cpu: Some((assessment.cpu_time_s, assessment.cpu_energy_j)),
+            reason,
+        });
+    }
+}
+
+/// Map the decision engine's [`Choice`] onto the telemetry [`Verdict`].
+fn verdict_of(choice: Choice) -> Verdict {
+    match choice {
+        Choice::Consolidate => Verdict::Consolidate,
+        Choice::SerialGpu => Verdict::SerialGpu,
+        Choice::Cpu => Verdict::Cpu,
     }
 }

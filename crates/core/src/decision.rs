@@ -75,7 +75,12 @@ impl DecisionEngine {
     /// contention costs the models cannot see, so a predicted tie is not
     /// worth taking (the scenario-1 lesson).
     pub fn new(energy: EnergyModel, cpu: CpuEngine, cpu_power: CpuPowerModel) -> Self {
-        DecisionEngine { energy, cpu, cpu_power, margin: 0.02 }
+        DecisionEngine {
+            energy,
+            cpu,
+            cpu_power,
+            margin: 0.02,
+        }
     }
 
     /// Override the required consolidation benefit margin (fraction of
@@ -101,7 +106,10 @@ impl DecisionEngine {
 
         let candidates = [
             // Consolidation pays a benefit margin: it must clearly win.
-            (Choice::Consolidate, consolidated.system_energy_j * (1.0 + self.margin)),
+            (
+                Choice::Consolidate,
+                consolidated.system_energy_j * (1.0 + self.margin),
+            ),
             (Choice::SerialGpu, serial.system_energy_j),
             (Choice::Cpu, cpu_energy),
         ];
@@ -209,8 +217,10 @@ mod tests {
         let plan = ConsolidationPlan::new()
             .with(compute("a", 5.0, 3))
             .with(compute("b", 5.0, 3));
-        let tasks =
-            [CpuTask::new("a", 10.0, 2, 1 << 20), CpuTask::new("b", 10.0, 2, 1 << 20)];
+        let tasks = [
+            CpuTask::new("a", 10.0, 2, 1 << 20),
+            CpuTask::new("b", 10.0, 2, 1 << 20),
+        ];
         let a = e.assess(&plan, &tasks);
         let t = a.chosen_time_s();
         let en = a.chosen_energy_j();

@@ -9,7 +9,8 @@
 //! per-call round trips that dominate small-workload consolidation
 //! overhead.
 
-use crossbeam_channel::Sender;
+use std::sync::mpsc::Sender;
+
 use ewc_gpu::kernel::KernelArg;
 use ewc_gpu::DevicePtr;
 
@@ -26,7 +27,12 @@ pub struct Frontend {
 
 impl Frontend {
     pub(crate) fn new(ctx: u64, tx: Sender<Request>, batching: bool) -> Self {
-        Frontend { ctx, tx, batching, held_args: Vec::new() }
+        Frontend {
+            ctx,
+            tx,
+            batching,
+            held_args: Vec::new(),
+        }
     }
 
     /// This frontend's context id.
@@ -41,38 +47,67 @@ impl Frontend {
     where
         T: Send,
     {
-        let (reply_tx, reply_rx) = crossbeam_channel::bounded(1);
-        self.tx.send(build(reply_tx)).map_err(|_| CoreError::Disconnected)?;
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        self.tx
+            .send(build(reply_tx))
+            .map_err(|_| CoreError::Disconnected)?;
         reply_rx.recv().map_err(|_| CoreError::Disconnected)?
     }
 
     /// `cudaMalloc`.
     pub fn malloc(&self, len: u64) -> Result<DevicePtr, CoreError> {
-        self.rpc(|reply| Request::Malloc { ctx: self.ctx, len, reply })
+        self.rpc(|reply| Request::Malloc {
+            ctx: self.ctx,
+            len,
+            reply,
+        })
     }
 
     /// `cudaFree`.
     pub fn free(&self, ptr: DevicePtr) -> Result<(), CoreError> {
-        self.rpc(|reply| Request::Free { ctx: self.ctx, ptr, reply })
+        self.rpc(|reply| Request::Free {
+            ctx: self.ctx,
+            ptr,
+            reply,
+        })
     }
 
     /// `cudaMemcpyHostToDevice`.
     pub fn memcpy_h2d(&self, dst: DevicePtr, offset: u64, data: &[u8]) -> Result<(), CoreError> {
         let data = data.to_vec();
-        self.rpc(move |reply| Request::MemcpyH2D { ctx: self.ctx, dst, offset, data, reply })
+        self.rpc(move |reply| Request::MemcpyH2D {
+            ctx: self.ctx,
+            dst,
+            offset,
+            data,
+            reply,
+        })
     }
 
     /// `cudaMemcpyDeviceToHost`.
     pub fn memcpy_d2h(&self, src: DevicePtr, offset: u64, len: u64) -> Result<Vec<u8>, CoreError> {
-        self.rpc(|reply| Request::MemcpyD2H { ctx: self.ctx, src, offset, len, reply })
+        self.rpc(|reply| Request::MemcpyD2H {
+            ctx: self.ctx,
+            src,
+            offset,
+            len,
+            reply,
+        })
     }
 
     /// `cudaConfigureCall`: capture the execution configuration.
-    pub fn configure_call(&self, grid_blocks: u32, threads_per_block: u32) -> Result<(), CoreError> {
+    pub fn configure_call(
+        &self,
+        grid_blocks: u32,
+        threads_per_block: u32,
+    ) -> Result<(), CoreError> {
         self.tx
             .send(Request::ConfigureCall {
                 ctx: self.ctx,
-                config: ExecConfig { grid_blocks, threads_per_block },
+                config: ExecConfig {
+                    grid_blocks,
+                    threads_per_block,
+                },
             })
             .map_err(|_| CoreError::Disconnected)
     }
@@ -93,28 +128,47 @@ impl Frontend {
     /// `cudaLaunch`: enqueue the kernel for (possible) consolidation.
     /// Returns a ticket; completion is observed via [`Frontend::sync`].
     pub fn launch(&mut self, kernel: &str) -> Result<u64, CoreError> {
-        let batched = if self.batching { Some(std::mem::take(&mut self.held_args)) } else { None };
+        let batched = if self.batching {
+            Some(std::mem::take(&mut self.held_args))
+        } else {
+            None
+        };
         let name = kernel.to_string();
         let ctx = self.ctx;
-        self.rpc(move |reply| Request::Launch { ctx, name, batched_args: batched, reply })
+        self.rpc(move |reply| Request::Launch {
+            ctx,
+            name,
+            batched_args: batched,
+            reply,
+        })
     }
 
     /// Register load-once constant data (the Section IV backend API).
     pub fn register_constant(&self, key: &str, data: &[u8]) -> Result<DevicePtr, CoreError> {
         let key = key.to_string();
         let data = data.to_vec();
-        self.rpc(move |reply| Request::RegisterConstant { ctx: self.ctx, key, data, reply })
+        self.rpc(move |reply| Request::RegisterConstant {
+            ctx: self.ctx,
+            key,
+            data,
+            reply,
+        })
     }
 
     /// Advance the simulated device clock to (at least) `to_s` — the
     /// trace-driven harness's way of modelling request arrival times.
     pub fn advance_clock(&self, to_s: f64) -> Result<(), CoreError> {
-        self.tx.send(Request::AdvanceClock { to_s }).map_err(|_| CoreError::Disconnected)
+        self.tx
+            .send(Request::AdvanceClock { to_s })
+            .map_err(|_| CoreError::Disconnected)
     }
 
     /// Block until all pending kernels (from every frontend) executed.
     pub fn sync(&self) -> Result<(), CoreError> {
-        self.rpc(|reply| Request::Sync { ctx: self.ctx, reply })
+        self.rpc(|reply| Request::Sync {
+            ctx: self.ctx,
+            reply,
+        })
     }
 }
 
@@ -122,7 +176,12 @@ impl ewc_gpu::DeviceAlloc for Frontend {
     fn alloc_bytes(&mut self, len: u64) -> Result<DevicePtr, ewc_gpu::GpuError> {
         self.malloc(len).map_err(core_to_gpu)
     }
-    fn upload(&mut self, dst: DevicePtr, offset: u64, data: &[u8]) -> Result<(), ewc_gpu::GpuError> {
+    fn upload(
+        &mut self,
+        dst: DevicePtr,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), ewc_gpu::GpuError> {
         self.memcpy_h2d(dst, offset, data).map_err(core_to_gpu)
     }
 }

@@ -52,7 +52,11 @@ impl LeaderCoordinator {
     pub fn plan(&self, group: &[&KernelRequest]) -> Coordination {
         let k = group.len() as u64;
         if k <= 1 {
-            return Coordination { leader_ctx: None, cost_s: 0.0, messages: 0 };
+            return Coordination {
+                leader_ctx: None,
+                cost_s: 0.0,
+                messages: 0,
+            };
         }
         if self.enabled && Self::is_homogeneous(group) {
             let leader = group.iter().map(|r| r.ctx).min().expect("non-empty group");
@@ -61,7 +65,8 @@ impl LeaderCoordinator {
             // with the backend.
             Coordination {
                 leader_ctx: Some(leader),
-                cost_s: self.coordination_s + self.channel_latency_s * 2.0
+                cost_s: self.coordination_s
+                    + self.channel_latency_s * 2.0
                     + 0.05 * self.coordination_s * (k - 1) as f64,
                 messages: 2,
             }
@@ -160,7 +165,12 @@ mod tests {
         let refs: Vec<&KernelRequest> = rs.iter().collect();
         let a = with.plan(&refs);
         let b = without.plan(&refs);
-        assert!(a.cost_s < b.cost_s / 3.0, "leader {} vs none {}", a.cost_s, b.cost_s);
+        assert!(
+            a.cost_s < b.cost_s / 3.0,
+            "leader {} vs none {}",
+            a.cost_s,
+            b.cost_s
+        );
         assert!(a.messages < b.messages);
     }
 

@@ -35,7 +35,10 @@ impl ConstantCache {
     /// Create a cache; `enabled = false` re-uploads every time (the
     /// unoptimised baseline).
     pub fn new(enabled: bool) -> Self {
-        ConstantCache { entries: HashMap::new(), enabled }
+        ConstantCache {
+            entries: HashMap::new(),
+            enabled,
+        }
     }
 
     /// Register constant data under `key`, uploading only when needed.
@@ -47,7 +50,12 @@ impl ConstantCache {
     ) -> Result<ConstantUpload, GpuError> {
         if self.enabled {
             if let Some(&ptr) = self.entries.get(key) {
-                return Ok(ConstantUpload { ptr, cache_hit: true, upload_s: 0.0, uploaded_bytes: 0 });
+                return Ok(ConstantUpload {
+                    ptr,
+                    cache_hit: true,
+                    upload_s: 0.0,
+                    uploaded_bytes: 0,
+                });
             }
         }
         let t0 = gpu.now_s();
@@ -59,7 +67,12 @@ impl ConstantCache {
         if self.enabled {
             self.entries.insert(key.to_string(), ptr);
         }
-        Ok(ConstantUpload { ptr, cache_hit: false, upload_s, uploaded_bytes: data.len() as u64 })
+        Ok(ConstantUpload {
+            ptr,
+            cache_hit: false,
+            upload_s,
+            uploaded_bytes: data.len() as u64,
+        })
     }
 
     /// Number of cached entries.

@@ -11,7 +11,8 @@
 use std::fmt;
 use std::sync::Arc;
 
-use crossbeam_channel::Sender;
+use std::sync::mpsc::Sender;
+
 use ewc_gpu::kernel::KernelArg;
 use ewc_gpu::{DevicePtr, GpuError};
 use ewc_workloads::Workload;
@@ -196,7 +197,11 @@ pub enum Request {
     /// activity profile and the final clock.
     Shutdown {
         /// Reply channel.
-        reply: Sender<(BackendStats, Vec<Vec<ewc_gpu::counters::ActivityInterval>>, f64)>,
+        reply: Sender<(
+            BackendStats,
+            Vec<Vec<ewc_gpu::counters::ActivityInterval>>,
+            f64,
+        )>,
     },
 }
 
@@ -241,17 +246,25 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(CoreError::UnknownKernel("x".into()).to_string().contains('x'));
-        assert!(CoreError::from(GpuError::EmptyGrid).to_string().contains("empty"));
+        assert!(CoreError::UnknownKernel("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(CoreError::from(GpuError::EmptyGrid)
+            .to_string()
+            .contains("empty"));
     }
 
     #[test]
     fn request_introspection() {
-        let (tx, _rx) = crossbeam_channel::bounded(1);
-        let r = Request::Malloc { ctx: 3, len: 10, reply: tx };
+        let (tx, _rx) = std::sync::mpsc::channel();
+        let r = Request::Malloc {
+            ctx: 3,
+            len: 10,
+            reply: tx,
+        };
         assert_eq!(r.ctx(), Some(3));
         assert_eq!(r.kind(), "malloc");
-        let (tx, _rx) = crossbeam_channel::bounded(1);
+        let (tx, _rx) = std::sync::mpsc::channel();
         let r = Request::Shutdown { reply: tx };
         assert_eq!(r.ctx(), None);
     }

@@ -9,6 +9,7 @@ use ewc_cpu::{CpuConfig, CpuEngine, CpuPowerModel};
 use ewc_energy::{GpuSystemPower, PowerCoefficients, ThermalModel, TrainingBenchmark};
 use ewc_gpu::{GpuConfig, GpuDevice};
 use ewc_models::{EnergyModel, PowerModel};
+use ewc_telemetry::{TelemetrySink, TelemetrySnapshot};
 use ewc_workloads::Workload;
 
 use crate::backend::{self, BackendHandles};
@@ -30,6 +31,7 @@ pub struct RuntimeBuilder {
     training_seed: u64,
     workloads: HashMap<String, Arc<dyn Workload>>,
     templates: TemplateRegistry,
+    telemetry: TelemetrySink,
 }
 
 impl RuntimeBuilder {
@@ -43,7 +45,16 @@ impl RuntimeBuilder {
             training_seed: 42,
             workloads: HashMap::new(),
             templates: TemplateRegistry::new(),
+            telemetry: TelemetrySink::disabled(),
         }
+    }
+
+    /// Attach a telemetry sink. The backend, every device and the energy
+    /// integration record into it; pass [`TelemetrySink::enabled`] and
+    /// snapshot it (or read [`RuntimeReport::telemetry`]) after shutdown.
+    pub fn telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.telemetry = sink;
+        self
     }
 
     /// Override the GPU configuration.
@@ -73,8 +84,12 @@ impl RuntimeBuilder {
     /// Build: trains the power model, spawns the backend, returns the
     /// runtime.
     pub fn build(self) -> Runtime {
-        let gpus: Vec<GpuDevice> =
-            (0..self.cfg.num_gpus.max(1)).map(|_| GpuDevice::new(self.gpu_cfg.clone())).collect();
+        let gpus: Vec<GpuDevice> = (0..self.cfg.num_gpus.max(1))
+            .map(|d| {
+                GpuDevice::new(self.gpu_cfg.clone())
+                    .with_telemetry(self.telemetry.clone(), d as usize)
+            })
+            .collect();
         let system = GpuSystemPower {
             idle_w: self.idle_w,
             ..GpuSystemPower::tesla_system()
@@ -98,13 +113,22 @@ impl RuntimeBuilder {
         );
         let noise_seed = self.cfg.noise_seed;
         let batching = self.cfg.argument_batching;
-        let handles = backend::spawn(self.cfg, gpus, self.workloads, self.templates, decision);
+        let sink = self.telemetry.clone();
+        let handles = backend::spawn(
+            self.cfg,
+            gpus,
+            self.workloads,
+            self.templates,
+            decision,
+            self.telemetry,
+        );
         Runtime {
             handles: Some(handles),
             next_ctx: AtomicU64::new(1),
             batching,
             system,
             noise_seed,
+            sink,
         }
     }
 }
@@ -118,6 +142,8 @@ pub struct RuntimeReport {
     pub elapsed_s: f64,
     /// Whole-system energy over the session, joules.
     pub energy: ewc_energy::system::SystemEnergy,
+    /// Everything telemetry collected, when a sink was attached.
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 /// A running consolidation runtime.
@@ -127,6 +153,7 @@ pub struct Runtime {
     batching: bool,
     system: GpuSystemPower,
     noise_seed: Option<u64>,
+    sink: TelemetrySink,
 }
 
 impl Runtime {
@@ -138,7 +165,12 @@ impl Runtime {
     /// Connect a new user process; returns its frontend shim.
     pub fn connect(&self) -> Frontend {
         let ctx = self.next_ctx.fetch_add(1, Ordering::Relaxed);
-        let tx = self.handles.as_ref().expect("runtime is live").sender.clone();
+        let tx = self
+            .handles
+            .as_ref()
+            .expect("runtime is live")
+            .sender
+            .clone();
         Frontend::new(ctx, tx, self.batching)
     }
 
@@ -147,27 +179,55 @@ impl Runtime {
         &self.system
     }
 
+    /// The telemetry sink attached at build time (disabled by default).
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.sink
+    }
+
     /// Drain everything, stop the backend, and report.
     pub fn shutdown(mut self) -> RuntimeReport {
         let handles = self.handles.take().expect("runtime is live");
-        let (reply_tx, reply_rx) = crossbeam_channel::bounded(1);
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
         handles
             .sender
             .send(Request::Shutdown { reply: reply_tx })
             .expect("backend alive at shutdown");
-        let (stats, activities, elapsed_s) =
-            reply_rx.recv().expect("backend replies to shutdown");
+        let (stats, activities, elapsed_s) = reply_rx.recv().expect("backend replies to shutdown");
         handles.join.join().expect("backend thread exits cleanly");
-        let energy = self.system.integrate_many(&activities, elapsed_s, self.noise_seed);
-        RuntimeReport { stats, elapsed_s, energy }
+        let energy = self
+            .system
+            .integrate_many(&activities, elapsed_s, self.noise_seed);
+        if self.sink.is_enabled() {
+            // Sample each device's system power trace into a counter
+            // series so the Chrome trace shows power under the spans.
+            let meter = ewc_energy::PowerMeter::new(10.0);
+            for (d, acts) in activities.iter().enumerate() {
+                let tl = self.system.timeline(acts, elapsed_s, self.noise_seed);
+                meter.measure_into(&tl, 0.0, elapsed_s, &self.sink, &format!("power_w/gpu{d}"));
+            }
+            self.sink.counter_add("energy_j", energy.energy_j);
+            self.sink.gauge_set("avg_power_w", energy.avg_power_w);
+            self.sink.gauge_set("elapsed_s", elapsed_s);
+        }
+        let telemetry = self.sink.snapshot();
+        RuntimeReport {
+            stats,
+            elapsed_s,
+            energy,
+            telemetry,
+        }
     }
 }
 
 impl Drop for Runtime {
     fn drop(&mut self) {
         if let Some(handles) = self.handles.take() {
-            let (reply_tx, reply_rx) = crossbeam_channel::bounded(1);
-            if handles.sender.send(Request::Shutdown { reply: reply_tx }).is_ok() {
+            let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+            if handles
+                .sender
+                .send(Request::Shutdown { reply: reply_tx })
+                .is_ok()
+            {
                 let _ = reply_rx.recv();
             }
             let _ = handles.join.join();
@@ -184,7 +244,10 @@ mod tests {
 
     fn runtime(threshold: u32) -> Runtime {
         let gpu_cfg = GpuConfig::tesla_c1060();
-        let cfg = RuntimeConfig { threshold_factor: threshold, ..RuntimeConfig::default() };
+        let cfg = RuntimeConfig {
+            threshold_factor: threshold,
+            ..RuntimeConfig::default()
+        };
         Runtime::builder(cfg)
             .workload("encryption", Arc::new(AesWorkload::fig7(&gpu_cfg)))
             .template(Template::homogeneous("encryption"))
@@ -200,8 +263,10 @@ mod tests {
         let n = w.data_bytes() as u64;
         let input = fe.malloc(n).unwrap();
         let output = fe.malloc(n).unwrap();
-        fe.memcpy_h2d(input, 0, &ewc_workloads::data::bytes(seed, n as usize)).unwrap();
-        fe.configure_call(w.blocks(), w.desc().threads_per_block).unwrap();
+        fe.memcpy_h2d(input, 0, &ewc_workloads::data::bytes(seed, n as usize))
+            .unwrap();
+        fe.configure_call(w.blocks(), w.desc().threads_per_block)
+            .unwrap();
         fe.setup_argument(KernelArg::Ptr(input)).unwrap();
         fe.setup_argument(KernelArg::Ptr(output)).unwrap();
         fe.setup_argument(KernelArg::U32(n as u32)).unwrap();
@@ -251,8 +316,14 @@ mod tests {
         // Results must be correct regardless of which alternative the
         // decision engine picked (two CPU-friendly AES instances may
         // legitimately be routed to the CPU).
-        assert_eq!(fe1.memcpy_d2h(out1, 0, expect1.len() as u64).unwrap(), expect1);
-        assert_eq!(fe2.memcpy_d2h(out2, 0, expect2.len() as u64).unwrap(), expect2);
+        assert_eq!(
+            fe1.memcpy_d2h(out1, 0, expect1.len() as u64).unwrap(),
+            expect1
+        );
+        assert_eq!(
+            fe2.memcpy_d2h(out2, 0, expect2.len() as u64).unwrap(),
+            expect2
+        );
         let report = rt.shutdown();
         // Both instances were handled as one group at sync time.
         assert_eq!(report.stats.records.len(), 1);
@@ -283,7 +354,10 @@ mod tests {
         let mut fe = rt.connect();
         fe.configure_call(99, 64).unwrap();
         let err = fe.launch("encryption").unwrap_err();
-        assert!(matches!(err, crate::protocol::CoreError::BadConfiguration(_)));
+        assert!(matches!(
+            err,
+            crate::protocol::CoreError::BadConfiguration(_)
+        ));
     }
 
     #[test]

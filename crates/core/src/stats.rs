@@ -83,19 +83,27 @@ impl BackendStats {
 
     /// Request latencies sorted ascending (for percentile queries).
     pub fn latencies_sorted(&self) -> Vec<f64> {
-        let mut v: Vec<f64> = self.kernel_outcomes.iter().map(KernelOutcome::latency_s).collect();
+        self.latency_summary().into_sorted()
+    }
+
+    /// Sort the latencies once and answer any number of percentile/mean
+    /// queries from the result. Prefer this over repeated
+    /// [`BackendStats::latency_percentile`] calls, which re-sort each time.
+    pub fn latency_summary(&self) -> LatencySummary {
+        let mut v: Vec<f64> = self
+            .kernel_outcomes
+            .iter()
+            .map(KernelOutcome::latency_s)
+            .collect();
         v.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        v
+        LatencySummary { sorted: v }
     }
 
     /// A latency percentile in `[0, 100]`; `None` if no requests ran.
+    /// Out-of-range `p` is clamped rather than panicking or indexing
+    /// past the end.
     pub fn latency_percentile(&self, p: f64) -> Option<f64> {
-        let v = self.latencies_sorted();
-        if v.is_empty() {
-            return None;
-        }
-        let idx = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
-        Some(v[idx.min(v.len() - 1)])
+        self.latency_summary().percentile(p)
     }
 
     /// How many kernels went through consolidated launches.
@@ -105,6 +113,55 @@ impl BackendStats {
             .filter(|r| r.choice == Choice::Consolidate)
             .map(|r| r.kernels.len())
             .sum()
+    }
+}
+
+/// Pre-sorted latency sample answering mean/percentile queries without
+/// re-sorting. Build one with [`BackendStats::latency_summary`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySummary {
+    sorted: Vec<f64>,
+}
+
+impl LatencySummary {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` when no requests completed.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Arithmetic mean; `0.0` for an empty sample.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            0.0
+        } else {
+            self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+        }
+    }
+
+    /// Nearest-rank percentile for `p` in `[0, 100]` (clamped); `None`
+    /// for an empty sample. `percentile(0.0)` is the minimum and
+    /// `percentile(100.0)` the maximum — the rank index is clamped so
+    /// neither end can run past the slice.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let n = self.sorted.len();
+        // Nearest-rank: ceil(p/100 · n), 1-based; clamp into [1, n] so
+        // p = 0 maps to the first sample rather than index -1.
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        Some(self.sorted[rank.clamp(1, n) - 1])
+    }
+
+    /// Consume the summary, yielding the ascending-sorted latencies.
+    pub fn into_sorted(self) -> Vec<f64> {
+        self.sorted
     }
 }
 
@@ -143,5 +200,53 @@ mod tests {
             actual_time_s: 1.0,
         });
         assert_eq!(s.kernels_consolidated(), 4);
+    }
+
+    fn stats_with_latencies(lat: &[f64]) -> BackendStats {
+        let mut s = BackendStats::default();
+        for (i, l) in lat.iter().enumerate() {
+            s.kernel_outcomes.push(KernelOutcome {
+                ctx: 1,
+                seq: i as u64,
+                name: "k".into(),
+                submitted_at_s: 0.0,
+                completed_at_s: *l,
+                choice: Choice::SerialGpu,
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn empty_latency_sample_is_guarded() {
+        let s = BackendStats::default();
+        assert_eq!(s.latency_percentile(50.0), None);
+        let sum = s.latency_summary();
+        assert!(sum.is_empty());
+        assert_eq!(sum.mean(), 0.0);
+        assert_eq!(sum.percentile(99.0), None);
+    }
+
+    #[test]
+    fn percentile_ranks_clamp_at_both_ends() {
+        let s = stats_with_latencies(&[3.0, 1.0, 2.0, 5.0, 4.0]);
+        let sum = s.latency_summary();
+        assert_eq!(sum.percentile(0.0), Some(1.0));
+        assert_eq!(sum.percentile(100.0), Some(5.0));
+        // Out-of-range p is clamped, not an index overflow.
+        assert_eq!(sum.percentile(-10.0), Some(1.0));
+        assert_eq!(sum.percentile(250.0), Some(5.0));
+        // Nearest rank: p50 of 5 samples is the 3rd (median).
+        assert_eq!(sum.percentile(50.0), Some(3.0));
+        // p99 of a small sample must clamp to the max, not round past it.
+        assert_eq!(sum.percentile(99.0), Some(5.0));
+        assert!((sum.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_matches_compat_accessors() {
+        let s = stats_with_latencies(&[0.5, 0.1, 0.9]);
+        assert_eq!(s.latencies_sorted(), vec![0.1, 0.5, 0.9]);
+        assert_eq!(s.latency_percentile(50.0), Some(0.5));
     }
 }

@@ -182,8 +182,15 @@ mod tests {
     fn heterogeneous_requires_every_member() {
         let t = Template::heterogeneous("s+b", &["search", "blackscholes"]);
         let only_bs = [req("blackscholes", 0), req("blackscholes", 1)];
-        assert!(t.match_pending(&refs(&only_bs)).is_none(), "missing search member");
-        let mixed = [req("blackscholes", 0), req("search", 1), req("blackscholes", 2)];
+        assert!(
+            t.match_pending(&refs(&only_bs)).is_none(),
+            "missing search member"
+        );
+        let mixed = [
+            req("blackscholes", 0),
+            req("search", 1),
+            req("blackscholes", 2),
+        ];
         // Layout order: search first (member order), then BS by arrival.
         assert_eq!(t.match_pending(&refs(&mixed)), Some(vec![1, 0, 2]));
     }
@@ -191,15 +198,24 @@ mod tests {
     #[test]
     fn registry_prefers_registration_order() {
         let mut reg = TemplateRegistry::new();
-        reg.register(Template::heterogeneous("e+m", &["encryption", "montecarlo"]));
+        reg.register(Template::heterogeneous(
+            "e+m",
+            &["encryption", "montecarlo"],
+        ));
         reg.register(Template::homogeneous("encryption"));
         let pending = [req("encryption", 0), req("encryption", 1)];
         let (t, idx) = reg.best_match(&refs(&pending)).unwrap();
-        assert_eq!(t.name, "encryption*N", "hetero template must not match without MC");
+        assert_eq!(
+            t.name, "encryption*N",
+            "hetero template must not match without MC"
+        );
         assert_eq!(idx, vec![0, 1]);
 
-        let pending =
-            [req("encryption", 0), req("montecarlo", 1), req("encryption", 2)];
+        let pending = [
+            req("encryption", 0),
+            req("montecarlo", 1),
+            req("encryption", 2),
+        ];
         let (t, idx) = reg.best_match(&refs(&pending)).unwrap();
         assert_eq!(t.name, "e+m");
         assert_eq!(idx, vec![0, 2, 1], "layout: all enc first, then mc");

@@ -117,7 +117,11 @@ impl CpuEngine {
                 }
                 // Idle gap until the next arrival.
                 let t_next = tasks[arrivals[next_arrival]].arrival_s;
-                intervals.push(UtilInterval { start_s: now, dur_s: t_next - now, busy_cores: 0.0 });
+                intervals.push(UtilInterval {
+                    start_s: now,
+                    dur_s: t_next - now,
+                    busy_cores: 0.0,
+                });
                 now = t_next;
                 continue;
             }
@@ -141,7 +145,11 @@ impl CpuEngine {
             };
             let dt = dt_complete.min(dt_arrival).max(0.0);
 
-            intervals.push(UtilInterval { start_s: now, dur_s: dt, busy_cores: busy });
+            intervals.push(UtilInterval {
+                start_s: now,
+                dur_s: dt,
+                busy_cores: busy,
+            });
             now += dt;
 
             for r in running.iter_mut() {
@@ -157,9 +165,13 @@ impl CpuEngine {
             });
         }
 
-        let turnaround: Vec<f64> =
-            (0..n).map(|i| finish[i] - tasks[i].arrival_s).collect();
-        CpuOutcome { makespan_s: now, finish_s: finish, turnaround_s: turnaround, intervals }
+        let turnaround: Vec<f64> = (0..n).map(|i| finish[i] - tasks[i].arrival_s).collect();
+        CpuOutcome {
+            makespan_s: now,
+            finish_s: finish,
+            turnaround_s: turnaround,
+            intervals,
+        }
     }
 
     /// Convenience: makespan of running `n` copies of `task` concurrently.
@@ -267,8 +279,16 @@ mod tests {
         let out = e.run(&[narrow, wide]);
         // Water-fill: narrow 1 core, wide 3 cores. Wide finishes at 3 s;
         // then narrow (3 core-s left) continues alone → 6 s total.
-        assert!((out.finish_s[1] - 3.0).abs() < 1e-9, "wide {}", out.finish_s[1]);
-        assert!((out.finish_s[0] - 6.0).abs() < 1e-9, "narrow {}", out.finish_s[0]);
+        assert!(
+            (out.finish_s[1] - 3.0).abs() < 1e-9,
+            "wide {}",
+            out.finish_s[1]
+        );
+        assert!(
+            (out.finish_s[0] - 6.0).abs() < 1e-9,
+            "narrow {}",
+            out.finish_s[0]
+        );
     }
 
     #[test]

@@ -22,7 +22,10 @@ impl CpuPowerModel {
     /// Preset for the paper's host: a dual-socket Nehalem-era server.
     /// Idle around 155 W; each busy core adds ~12 W.
     pub fn xeon_e5520_x2() -> Self {
-        CpuPowerModel { idle_w: 155.0, per_core_w: 12.0 }
+        CpuPowerModel {
+            idle_w: 155.0,
+            per_core_w: 12.0,
+        }
     }
 
     /// Instantaneous power at a given busy-core count.
@@ -69,7 +72,10 @@ mod tests {
         let mut cfg = CpuConfig::tiny(2);
         cfg.context_switch_s = 0.0;
         let e = CpuEngine::new(cfg);
-        let m = CpuPowerModel { idle_w: 100.0, per_core_w: 10.0 };
+        let m = CpuPowerModel {
+            idle_w: 100.0,
+            per_core_w: 10.0,
+        };
         // One 1-wide 2 core-second task: 2 s at 1 busy core → 220 J.
         let out = e.run(&[CpuTask::new("t", 2.0, 1, 0)]);
         assert!((m.energy_j(&out) - 220.0).abs() < 1e-9);
@@ -81,7 +87,10 @@ mod tests {
         let mut cfg = CpuConfig::tiny(4);
         cfg.context_switch_s = 0.0;
         let e = CpuEngine::new(cfg);
-        let m = CpuPowerModel { idle_w: 100.0, per_core_w: 10.0 };
+        let m = CpuPowerModel {
+            idle_w: 100.0,
+            per_core_w: 10.0,
+        };
         let seq = e.run(&[CpuTask::new("t", 8.0, 1, 0)]);
         let par = e.run(&[CpuTask::new("t", 8.0, 4, 0)]);
         assert!(par.makespan_s < seq.makespan_s);

@@ -14,9 +14,7 @@
 //! SM of clock/scheduler overhead, up to ~90 W of compute-rate power at
 //! full device tilt and ~60 W of DRAM-rate power at peak bandwidth.
 
-use ewc_gpu::EventRates;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ewc_gpu::{EventRates, SimRng};
 
 /// The simulator's true GPU dynamic-power behaviour.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,13 +45,7 @@ impl GpuPowerGroundTruth {
     pub fn tesla_c1060() -> Self {
         // Full tilt: 30 SMs × (1.296 GHz / 4 cycles per warp inst) × 32
         // lanes ≈ 3.11e11 scalar ops/s; 102 GB/s / 64 B ≈ 1.59e9 txn/s.
-        Self::for_device(
-            30,
-            30.0 * 1.296e9 / 4.0 * 32.0,
-            102.0e9 / 64.0,
-            90.0,
-            60.0,
-        )
+        Self::for_device(30, 30.0 * 1.296e9 / 4.0 * 32.0, 102.0e9 / 64.0, 90.0, 60.0)
     }
 
     /// Build a ground truth for an arbitrary device: peak compute and
@@ -104,22 +96,15 @@ impl GpuPowerGroundTruth {
 
     /// A "measured" sample of dynamic power: the true value perturbed by
     /// seeded Gaussian noise (Box–Muller on the provided RNG).
-    pub fn measured_power_w(&self, rates: &EventRates, rng: &mut StdRng) -> f64 {
+    pub fn measured_power_w(&self, rates: &EventRates, rng: &mut SimRng) -> f64 {
         let p = self.dyn_power_w(rates);
-        p * (1.0 + self.noise_rel_sigma * gaussian(rng))
+        p * (1.0 + self.noise_rel_sigma * rng.gaussian())
     }
 
     /// A deterministic RNG for a named measurement campaign.
-    pub fn rng(seed: u64) -> StdRng {
-        StdRng::seed_from_u64(seed)
+    pub fn rng(seed: u64) -> SimRng {
+        SimRng::seed_from_u64(seed)
     }
-}
-
-/// Standard normal via Box–Muller.
-fn gaussian(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen_range(1e-12..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
 #[cfg(test)]
@@ -175,9 +160,14 @@ mod tests {
         assert!((a - truth).abs() / truth < 0.10);
         // Across many samples the mean converges to truth.
         let mut rng = GpuPowerGroundTruth::rng(13);
-        let mean: f64 =
-            (0..2000).map(|_| gt.measured_power_w(&r, &mut rng)).sum::<f64>() / 2000.0;
-        assert!((mean - truth).abs() / truth < 0.005, "mean {mean} truth {truth}");
+        let mean: f64 = (0..2000)
+            .map(|_| gt.measured_power_w(&r, &mut rng))
+            .sum::<f64>()
+            / 2000.0;
+        assert!(
+            (mean - truth).abs() / truth < 0.005,
+            "mean {mean} truth {truth}"
+        );
     }
 
     #[test]

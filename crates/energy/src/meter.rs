@@ -73,10 +73,34 @@ impl PowerMeter {
         let duration = t1 - t0;
         Measurement {
             energy_j: energy,
-            avg_power_w: if duration > 0.0 { energy / duration } else { source.power_w(t0) },
+            avg_power_w: if duration > 0.0 {
+                energy / duration
+            } else {
+                source.power_w(t0)
+            },
             duration_s: duration,
             samples,
         }
+    }
+
+    /// Like [`PowerMeter::measure`], but also streams every sample into a
+    /// telemetry time series (exported as Chrome counter events), so the
+    /// power trace lines up with the spans of the run that produced it.
+    pub fn measure_into<S: PowerSource + ?Sized>(
+        &self,
+        source: &S,
+        t0: f64,
+        t1: f64,
+        sink: &ewc_telemetry::TelemetrySink,
+        series: &str,
+    ) -> Measurement {
+        let m = self.measure(source, t0, t1);
+        if sink.is_enabled() {
+            for &(t, w) in &m.samples {
+                sink.series_sample(series, t, w);
+            }
+        }
+        m
     }
 
     /// Measure a short workload by replaying it `repeats` times
@@ -98,7 +122,11 @@ impl PowerMeter {
             // Sample phase-shifted within the period so quantisation
             // noise averages out.
             let phase = period * f64::from(r) / f64::from(repeats) / self.sample_hz.max(1.0);
-            let m = self.measure(&|t: f64| source.power_w(t0 + (t - t0 + phase) % period.max(1e-12)), t0, t1);
+            let m = self.measure(
+                &|t: f64| source.power_w(t0 + (t - t0 + phase) % period.max(1e-12)),
+                t0,
+                t1,
+            );
             total_energy += m.energy_j;
             if r == 0 {
                 all_samples = m.samples;
@@ -107,7 +135,11 @@ impl PowerMeter {
         let energy = total_energy / f64::from(repeats);
         Measurement {
             energy_j: energy,
-            avg_power_w: if period > 0.0 { energy / period } else { source.power_w(t0) },
+            avg_power_w: if period > 0.0 {
+                energy / period
+            } else {
+                source.power_w(t0)
+            },
             duration_s: period,
             samples: all_samples,
         }
@@ -145,7 +177,13 @@ mod tests {
     #[test]
     fn repeated_measurement_approximates_true_average() {
         // A spiky periodic source a 1 Hz meter would alias badly.
-        let src = |t: f64| if (t * 10.0).fract() < 0.5 { 200.0 } else { 100.0 };
+        let src = |t: f64| {
+            if (t * 10.0).fract() < 0.5 {
+                200.0
+            } else {
+                100.0
+            }
+        };
         let m = PowerMeter::watts_up_pro();
         let meas = m.measure_repeated(&src, 0.0, 3.0, 16);
         // True average power = 150 W → 450 J per period.

@@ -56,13 +56,20 @@ impl LinearRegression {
         let mut ss_res = 0.0;
         let mut ss_tot = 0.0;
         for (x, &y) in xs.iter().zip(ys) {
-            let pred: f64 =
-                coeffs.iter().zip(x).map(|(c, v)| c * v).sum::<f64>() + intercept;
+            let pred: f64 = coeffs.iter().zip(x).map(|(c, v)| c * v).sum::<f64>() + intercept;
             ss_res += (y - pred) * (y - pred);
             ss_tot += (y - mean_y) * (y - mean_y);
         }
-        let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
-        Some(LinearRegression { coeffs, intercept, r2 })
+        let r2 = if ss_tot > 0.0 {
+            1.0 - ss_res / ss_tot
+        } else {
+            1.0
+        };
+        Some(LinearRegression {
+            coeffs,
+            intercept,
+            r2,
+        })
     }
 
     /// Predict for one feature vector.
@@ -78,7 +85,10 @@ fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
     for col in 0..n {
         // Pivot.
         let pivot = (col..n).max_by(|&i, &j| {
-            a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("non-NaN matrix")
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("non-NaN matrix")
         })?;
         if a[pivot][col].abs() < 1e-12 {
             return None;
@@ -164,7 +174,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "dimension mismatch")]
     fn predict_checks_dimension() {
-        let m = LinearRegression { coeffs: vec![1.0, 2.0], intercept: 0.0, r2: 1.0 };
+        let m = LinearRegression {
+            coeffs: vec![1.0, 2.0],
+            intercept: 0.0,
+            r2: 1.0,
+        };
         let _ = m.predict(&[1.0]);
     }
 }

@@ -80,7 +80,11 @@ impl GpuSystemPower {
         SystemEnergy {
             energy_j: energy,
             gpu_energy_j: gpu_energy + extra * duration,
-            avg_power_w: if duration > 0.0 { energy / duration } else { self.idle_w },
+            avg_power_w: if duration > 0.0 {
+                energy / duration
+            } else {
+                self.idle_w
+            },
             duration_s: duration,
         }
     }
@@ -106,7 +110,11 @@ impl GpuSystemPower {
         SystemEnergy {
             energy_j: energy,
             gpu_energy_j: energy - self.idle_w * duration,
-            avg_power_w: if duration > 0.0 { energy / duration } else { self.idle_w },
+            avg_power_w: if duration > 0.0 {
+                energy / duration
+            } else {
+                self.idle_w
+            },
             duration_s: duration,
         }
     }
@@ -127,7 +135,11 @@ impl GpuSystemPower {
         let mut sorted: Vec<&ActivityInterval> = intervals.iter().collect();
         sorted.sort_by(|a, b| a.start_s.partial_cmp(&b.start_s).expect("non-NaN times"));
 
-        let mut emit = |from: f64, to: f64, rates: &EventRates, dt_c: &mut f64, rng: &mut Option<rand::rngs::StdRng>| {
+        let mut emit = |from: f64,
+                        to: f64,
+                        rates: &EventRates,
+                        dt_c: &mut f64,
+                        rng: &mut Option<ewc_gpu::SimRng>| {
             if to <= from {
                 return;
             }
@@ -156,7 +168,10 @@ impl GpuSystemPower {
         if cursor < t_end {
             emit(cursor, t_end, &idle_rates, &mut dt_c, &mut rng);
         }
-        SystemPowerTimeline { segments, idle_w: self.idle_w }
+        SystemPowerTimeline {
+            segments,
+            idle_w: self.idle_w,
+        }
     }
 }
 
@@ -224,12 +239,18 @@ mod tests {
     fn gaps_between_launches_cool_the_die() {
         let sys = GpuSystemPower::tesla_system();
         let back_to_back = sys.timeline(
-            &[busy_interval(0.0, 30.0, 1.0), busy_interval(30.0, 30.0, 1.0)],
+            &[
+                busy_interval(0.0, 30.0, 1.0),
+                busy_interval(30.0, 30.0, 1.0),
+            ],
             60.0,
             None,
         );
         let gapped = sys.timeline(
-            &[busy_interval(0.0, 30.0, 1.0), busy_interval(90.0, 30.0, 1.0)],
+            &[
+                busy_interval(0.0, 30.0, 1.0),
+                busy_interval(90.0, 30.0, 1.0),
+            ],
             120.0,
             None,
         );
@@ -251,7 +272,11 @@ mod tests {
         let m = meter.measure(&tl, 0.0, 8.0);
         let direct = sys.integrate(&[busy_interval(1.0, 5.0, 1.0)], 8.0, None);
         let rel = (m.energy_j - direct.energy_j).abs() / direct.energy_j;
-        assert!(rel < 0.02, "meter vs integral differ by {:.2}%", rel * 100.0);
+        assert!(
+            rel < 0.02,
+            "meter vs integral differ by {:.2}%",
+            rel * 100.0
+        );
     }
 
     #[test]

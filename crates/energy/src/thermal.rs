@@ -23,12 +23,20 @@ impl ThermalModel {
     /// Preset roughly matching a GT200-class die with a fixed-speed fan
     /// (the paper fixes fan speed to remove its power from the picture).
     pub fn gt200() -> Self {
-        ThermalModel { r_c_per_w: 0.22, tau_s: 18.0, leakage_w_per_c: 0.16 }
+        ThermalModel {
+            r_c_per_w: 0.22,
+            tau_s: 18.0,
+            leakage_w_per_c: 0.16,
+        }
     }
 
     /// A thermal model with no effect (for ablations).
     pub fn disabled() -> Self {
-        ThermalModel { r_c_per_w: 0.0, tau_s: 1.0, leakage_w_per_c: 0.0 }
+        ThermalModel {
+            r_c_per_w: 0.0,
+            tau_s: 1.0,
+            leakage_w_per_c: 0.0,
+        }
     }
 
     /// Steady-state temperature rise for a constant dynamic power.

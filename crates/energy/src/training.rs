@@ -97,11 +97,18 @@ impl PowerCoefficients {
         let mut ys = Vec::with_capacity(suite.len());
         for bench in suite {
             let out = engine
-                .run(&Grid::single(bench.desc.clone(), bench.blocks), DispatchPolicy::default())
+                .run(
+                    &Grid::single(bench.desc.clone(), bench.blocks),
+                    DispatchPolicy::default(),
+                )
                 .ok()?;
             let rates = out.counters.avg_rates();
             let v = rates.per_sm(cfg.num_sms);
-            xs.push(vec![v.comp_ops_per_s, v.mem_txn_per_s, rates.active_sm_frac]);
+            xs.push(vec![
+                v.comp_ops_per_s,
+                v.mem_txn_per_s,
+                rates.active_sm_frac,
+            ]);
             // Duration-weighted measured power over the run's intervals.
             let mut e = 0.0;
             for iv in &out.intervals {
@@ -162,7 +169,10 @@ mod tests {
         let engine = ExecutionEngine::new(cfg.clone());
         for bench in TrainingBenchmark::rodinia_suite() {
             let out = engine
-                .run(&Grid::single(bench.desc.clone(), bench.blocks), DispatchPolicy::default())
+                .run(
+                    &Grid::single(bench.desc.clone(), bench.blocks),
+                    DispatchPolicy::default(),
+                )
                 .unwrap();
             let rates = out.counters.avg_rates();
             let predicted = c.predict_w(&rates);
@@ -183,8 +193,14 @@ mod tests {
     fn suite_spans_the_mix_space() {
         let suite = TrainingBenchmark::rodinia_suite();
         assert_eq!(suite.len(), 10);
-        let comp_heavy = suite.iter().filter(|b| b.desc.comp_insts > 10.0 * b.desc.mem_insts()).count();
-        let mem_heavy = suite.iter().filter(|b| b.desc.mem_insts() * 5.0 > b.desc.comp_insts).count();
+        let comp_heavy = suite
+            .iter()
+            .filter(|b| b.desc.comp_insts > 10.0 * b.desc.mem_insts())
+            .count();
+        let mem_heavy = suite
+            .iter()
+            .filter(|b| b.desc.mem_insts() * 5.0 > b.desc.comp_insts)
+            .count();
         assert!(comp_heavy >= 2 && mem_heavy >= 2);
     }
 }

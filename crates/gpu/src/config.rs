@@ -208,7 +208,11 @@ mod tests {
     #[test]
     fn fermi_preset_issues_full_warps() {
         let c = GpuConfig::tesla_c2050();
-        assert_eq!(c.warp_issue_cycles(), 1.0, "32 lanes issue a warp per cycle");
+        assert_eq!(
+            c.warp_issue_cycles(),
+            1.0,
+            "32 lanes issue a warp per cycle"
+        );
         assert!(c.validate().is_ok());
         assert!(c.registers_per_sm > GpuConfig::tesla_c1060().registers_per_sm);
     }

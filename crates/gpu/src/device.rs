@@ -42,6 +42,10 @@ pub struct GpuDevice {
     /// Activity profile of the whole device lifetime, for power replay:
     /// launches contribute their intervals offset by their start time.
     activity: Vec<ActivityInterval>,
+    /// Telemetry handle (no-op unless attached) and this device's index
+    /// in its node, used to name the trace process (`gpu0`, `gpu1`, ...).
+    sink: ewc_telemetry::TelemetrySink,
+    device_index: usize,
 }
 
 impl GpuDevice {
@@ -60,7 +64,17 @@ impl GpuDevice {
             clock_s: 0.0,
             launches: 0,
             activity: Vec::new(),
+            sink: ewc_telemetry::TelemetrySink::disabled(),
+            device_index: 0,
         }
+    }
+
+    /// Attach a telemetry sink: every launch then emits a kernel span and
+    /// per-SM block spans on the `gpu<index>` trace process.
+    pub fn with_telemetry(mut self, sink: ewc_telemetry::TelemetrySink, index: usize) -> Self {
+        self.sink = sink;
+        self.device_index = index;
+        self
     }
 
     /// Device configuration.
@@ -130,7 +144,9 @@ impl GpuDevice {
         data: &[u8],
     ) -> Result<f64, GpuError> {
         self.mem.write(dst, offset, data)?;
-        let t = self.dma.transfer(data.len() as u64, Direction::HostToDevice);
+        let t = self
+            .dma
+            .transfer(data.len() as u64, Direction::HostToDevice);
         self.clock_s += t;
         Ok(t)
     }
@@ -180,7 +196,54 @@ impl GpuDevice {
         }
         self.clock_s += elapsed;
         self.launches += 1;
-        Ok(LaunchReport { elapsed_s: elapsed, started_at_s, sim })
+        if self.sink.is_enabled() {
+            self.emit_launch_spans(&launch.grid, started_at_s, elapsed, &sim);
+        }
+        Ok(LaunchReport {
+            elapsed_s: elapsed,
+            started_at_s,
+            sim,
+        })
+    }
+
+    /// Emit one kernel span plus a span per executed block, placed on the
+    /// SM lane the scheduler actually chose (the trace.rs data).
+    fn emit_launch_spans(
+        &self,
+        grid: &crate::grid::Grid,
+        started_at_s: f64,
+        elapsed_s: f64,
+        sim: &SimOutcome,
+    ) {
+        let process = format!("gpu{}", self.device_index);
+        let names: Vec<&str> = grid.segments().iter().map(|s| &*s.desc.name).collect();
+        let kernel = self
+            .sink
+            .span(
+                &process,
+                "stream",
+                &names.join("+"),
+                started_at_s,
+                started_at_s + elapsed_s,
+            )
+            .attr("segments", names.len())
+            .attr("blocks", sim.trace.events().len())
+            .emit();
+        let t0 = started_at_s + self.cfg.launch_overhead_s;
+        for ev in sim.trace.events() {
+            self.sink
+                .span(
+                    &process,
+                    &format!("sm{}", ev.sm),
+                    names.get(ev.coord.segment).unwrap_or(&"block"),
+                    t0 + ev.start_s,
+                    t0 + ev.end_s,
+                )
+                .parent(kernel)
+                .attr("block", ev.coord.within)
+                .emit();
+        }
+        self.sink.counter_add("gpu_launches", 1.0);
     }
 }
 
@@ -215,7 +278,10 @@ mod tests {
         assert!(t > 0.0);
         assert!((gpu.now_s() - t0 - t).abs() < 1e-15);
 
-        let k = KernelDesc::builder("k").threads_per_block(64).comp_insts(1000.0).build();
+        let k = KernelDesc::builder("k")
+            .threads_per_block(64)
+            .comp_insts(1000.0)
+            .build();
         let r = gpu.launch(&LaunchConfig::single(k, 4)).unwrap();
         assert!(r.elapsed_s > 0.0);
         assert_eq!(gpu.launch_count(), 1);
@@ -254,8 +320,10 @@ mod tests {
         );
         gpu.launch(&LaunchConfig::from_grid(grid)).unwrap();
         let (out, _) = gpu.memcpy_d2h(dst, 0, (n * 4) as u64).unwrap();
-        let got: Vec<f32> =
-            out.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
+        let got: Vec<f32> = out
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
         for (i, v) in got.iter().enumerate() {
             assert_eq!(*v, i as f32 * 2.0);
         }
@@ -264,7 +332,10 @@ mod tests {
     #[test]
     fn activity_profile_offsets_by_start_time() {
         let mut gpu = device();
-        let k = KernelDesc::builder("k").threads_per_block(64).comp_insts(10_000.0).build();
+        let k = KernelDesc::builder("k")
+            .threads_per_block(64)
+            .comp_insts(10_000.0)
+            .build();
         gpu.idle(1.0);
         gpu.launch(&LaunchConfig::single(k, 2)).unwrap();
         let acts = gpu.activity();
@@ -275,7 +346,10 @@ mod tests {
     #[test]
     fn launch_overhead_included() {
         let mut gpu = device();
-        let k = KernelDesc::builder("k").threads_per_block(64).comp_insts(1.0).build();
+        let k = KernelDesc::builder("k")
+            .threads_per_block(64)
+            .comp_insts(1.0)
+            .build();
         let r = gpu.launch(&LaunchConfig::single(k, 1)).unwrap();
         assert!(r.elapsed_s >= gpu.config().launch_overhead_s);
     }

@@ -99,13 +99,15 @@ impl ExecutionEngine {
             Occupancy::of(&seg.desc, &self.cfg)?;
         }
 
-        let costs: Vec<BlockCost> =
-            grid.segments().iter().map(|s| BlockCost::derive(&s.desc, &self.cfg)).collect();
+        let costs: Vec<BlockCost> = grid
+            .segments()
+            .iter()
+            .map(|s| BlockCost::derive(&s.desc, &self.cfg))
+            .collect();
 
         let n_sms = self.cfg.num_sms as usize;
         let mut dispatcher = BlockDispatcher::new(grid, self.cfg.num_sms, policy);
-        let mut sms: Vec<SmResources> =
-            (0..n_sms).map(|_| SmResources::new(&self.cfg)).collect();
+        let mut sms: Vec<SmResources> = (0..n_sms).map(|_| SmResources::new(&self.cfg)).collect();
         let mut residents: Vec<Resident> = Vec::new();
         let mut trace = ExecutionTrace::default();
         let mut counters = DeviceCounters::new(self.cfg.num_sms);
@@ -151,7 +153,11 @@ impl ExecutionEngine {
                 ));
             }
 
-            intervals.push(ActivityInterval { start_s: now, dur_s: dt, rates: rates_snapshot });
+            intervals.push(ActivityInterval {
+                start_s: now,
+                dur_s: dt,
+                rates: rates_snapshot,
+            });
             now += dt;
 
             // Advance everyone, accumulate counters proportionally to the
@@ -204,9 +210,7 @@ impl ExecutionEngine {
             // Paper policy: redistribute untouched blocks to idle SMs.
             if policy == DispatchPolicy::PaperRedistribution && dispatcher.pool_len() > 0 {
                 let idle: Vec<usize> = (0..n_sms)
-                    .filter(|&sm| {
-                        sms[sm].resident_blocks() == 0 && dispatcher.peek(sm).is_none()
-                    })
+                    .filter(|&sm| sms[sm].resident_blocks() == 0 && dispatcher.peek(sm).is_none())
                     .collect();
                 if dispatcher.redistribute(&idle) > 0 {
                     for &sm in &idle {
@@ -226,7 +230,12 @@ impl ExecutionEngine {
 
         debug_assert_eq!(dispatcher.pending(), 0, "blocks left undispatched");
         counters.elapsed_s = now;
-        Ok(SimOutcome { elapsed_s: now, trace, counters, intervals })
+        Ok(SimOutcome {
+            elapsed_s: now,
+            trace,
+            counters,
+            intervals,
+        })
     }
 
     /// Admit pooled blocks in round-robin waves: each pass over the SMs
@@ -244,7 +253,9 @@ impl ExecutionEngine {
             let mut progress = false;
             #[allow(clippy::needless_range_loop)] // sm indexes two slices
             for sm in 0..sms.len() {
-                let Some(coord) = dispatcher.peek_pool() else { return };
+                let Some(coord) = dispatcher.peek_pool() else {
+                    return;
+                };
                 let seg = &grid.segments()[coord.segment];
                 if sms[sm].fits(&seg.desc) {
                     let coord = dispatcher.pop_pool().expect("peeked block vanished");
@@ -309,7 +320,11 @@ impl ExecutionEngine {
         // Bandwidth demand at issue-limited speed.
         let mut demand = 0.0;
         for r in residents.iter() {
-            let share = if sum_d[r.sm as usize] > 1.0 { 1.0 / sum_d[r.sm as usize] } else { 1.0 };
+            let share = if sum_d[r.sm as usize] > 1.0 {
+                1.0 / sum_d[r.sm as usize]
+            } else {
+                1.0
+            };
             demand += r.cost.bw_solo * share;
         }
         let bw_scale = if demand > self.cfg.dram_bandwidth {
@@ -321,8 +336,11 @@ impl ExecutionEngine {
         let mut rates = EventRates::default();
         let mut active = vec![false; n_sms];
         for r in residents.iter_mut() {
-            let issue_share =
-                if sum_d[r.sm as usize] > 1.0 { 1.0 / sum_d[r.sm as usize] } else { 1.0 };
+            let issue_share = if sum_d[r.sm as usize] > 1.0 {
+                1.0 / sum_d[r.sm as usize]
+            } else {
+                1.0
+            };
             let m = r.cost.mem_fraction;
             r.rate = issue_share * ((1.0 - m) + m * bw_scale);
             active[r.sm as usize] = true;
@@ -332,8 +350,7 @@ impl ExecutionEngine {
             rates.bytes_per_s += r.rate * r.cost.mem_bytes * inv_solo;
             rates.resident_warps += f64::from(r.cost.warps);
         }
-        rates.active_sm_frac =
-            active.iter().filter(|a| **a).count() as f64 / n_sms as f64;
+        rates.active_sm_frac = active.iter().filter(|a| **a).count() as f64 / n_sms as f64;
         rates
     }
 }
@@ -353,7 +370,10 @@ mod tests {
         let cfg = GpuConfig::tesla_c1060();
         let warps = f64::from(tpb.div_ceil(32));
         let insts = secs * cfg.clock_hz / (warps * cfg.warp_issue_cycles());
-        KernelDesc::builder(name).threads_per_block(tpb).comp_insts(insts).build()
+        KernelDesc::builder(name)
+            .threads_per_block(tpb)
+            .comp_insts(insts)
+            .build()
     }
 
     #[test]
@@ -369,7 +389,9 @@ mod tests {
     fn single_block_runs_at_solo_speed() {
         let e = engine();
         let k = compute_kernel("k", 256, 2.0);
-        let out = e.run(&Grid::single(k, 1), DispatchPolicy::default()).unwrap();
+        let out = e
+            .run(&Grid::single(k, 1), DispatchPolicy::default())
+            .unwrap();
         assert!((out.elapsed_s - 2.0).abs() / 2.0 < 1e-9);
         assert_eq!(out.trace.events().len(), 1);
         assert_eq!(out.trace.events()[0].sm, 0);
@@ -379,7 +401,9 @@ mod tests {
     fn one_block_per_sm_runs_fully_parallel() {
         let e = engine();
         let k = compute_kernel("k", 256, 1.0);
-        let out = e.run(&Grid::single(k, 30), DispatchPolicy::default()).unwrap();
+        let out = e
+            .run(&Grid::single(k, 30), DispatchPolicy::default())
+            .unwrap();
         assert!((out.elapsed_s - 1.0).abs() < 1e-6);
         assert_eq!(out.trace.sms_touched(), 30);
     }
@@ -390,8 +414,14 @@ mod tests {
         // at half speed, makespan = sum of solo times.
         let e = engine();
         let k = compute_kernel("k", 256, 1.0);
-        let out = e.run(&Grid::single(k, 31), DispatchPolicy::default()).unwrap();
-        assert!((out.elapsed_s - 2.0).abs() < 1e-6, "elapsed {}", out.elapsed_s);
+        let out = e
+            .run(&Grid::single(k, 31), DispatchPolicy::default())
+            .unwrap();
+        assert!(
+            (out.elapsed_s - 2.0).abs() < 1e-6,
+            "elapsed {}",
+            out.elapsed_s
+        );
         assert_eq!(out.trace.critical_sms(30, 1e-9), vec![0]);
     }
 
@@ -432,7 +462,9 @@ mod tests {
         // strict serialisation even though Σd would allow sharing.
         let e = engine();
         let k = compute_kernel("big", 1024, 0.5);
-        let out = e.run(&Grid::single(k, 60), DispatchPolicy::default()).unwrap();
+        let out = e
+            .run(&Grid::single(k, 60), DispatchPolicy::default())
+            .unwrap();
         assert!((out.elapsed_s - 1.0).abs() < 1e-6);
         // Every block's start is either 0 or 0.5.
         for ev in out.trace.events() {
@@ -466,7 +498,11 @@ mod tests {
         let out = e.run(&g, DispatchPolicy::PaperRedistribution).unwrap();
         // SM0-14: 1.0 (short) + 2 × 2.0 (serial long, occupancy 1) = 5.0.
         // SM15-29: one long block = 2.0.
-        assert!((out.elapsed_s - 5.0).abs() < 1e-6, "elapsed {}", out.elapsed_s);
+        assert!(
+            (out.elapsed_s - 5.0).abs() < 1e-6,
+            "elapsed {}",
+            out.elapsed_s
+        );
         let crit = out.trace.critical_sms(30, 1e-6);
         assert_eq!(crit, (0..15).collect::<Vec<u32>>());
         // The same mix under the idealised greedy dispatcher balances:
@@ -484,7 +520,10 @@ mod tests {
             .add(Grid::single(short, 30))
             .add(Grid::single(long, 1))
             .build();
-        let t_static = e.run(&g, DispatchPolicy::StaticRoundRobin).unwrap().elapsed_s;
+        let t_static = e
+            .run(&g, DispatchPolicy::StaticRoundRobin)
+            .unwrap()
+            .elapsed_s;
         let t_greedy = e.run(&g, DispatchPolicy::GreedyGlobal).unwrap().elapsed_s;
         // Both co-schedule the long block with a short one on SM0:
         // share until the short finishes (t=2), then the long runs alone
@@ -501,9 +540,13 @@ mod tests {
             .comp_insts(1000.0)
             .coalesced_mem(100.0)
             .build();
-        let out = e.run(&Grid::single(k.clone(), 10), DispatchPolicy::default()).unwrap();
+        let out = e
+            .run(&Grid::single(k.clone(), 10), DispatchPolicy::default())
+            .unwrap();
         let cost = BlockCost::derive(&k, &GpuConfig::tesla_c1060());
-        assert!((out.counters.comp_ops - 10.0 * cost.comp_ops).abs() / out.counters.comp_ops < 1e-6);
+        assert!(
+            (out.counters.comp_ops - 10.0 * cost.comp_ops).abs() / out.counters.comp_ops < 1e-6
+        );
         assert!(
             (out.counters.mem_requests - 10.0 * cost.mem_requests).abs()
                 / out.counters.mem_requests
@@ -517,7 +560,9 @@ mod tests {
     fn intervals_cover_elapsed_time() {
         let e = engine();
         let k = compute_kernel("k", 256, 0.25);
-        let out = e.run(&Grid::single(k, 45), DispatchPolicy::default()).unwrap();
+        let out = e
+            .run(&Grid::single(k, 45), DispatchPolicy::default())
+            .unwrap();
         let total: f64 = out.intervals.iter().map(|i| i.dur_s).sum();
         assert!((total - out.elapsed_s).abs() < 1e-9);
         // Intervals are contiguous.

@@ -43,7 +43,10 @@ impl fmt::Display for GpuError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GpuError::OutOfMemory { requested, free } => {
-                write!(f, "out of device memory: requested {requested} B, free {free} B")
+                write!(
+                    f,
+                    "out of device memory: requested {requested} B, free {free} B"
+                )
             }
             GpuError::InvalidPointer(p) => write!(f, "invalid device pointer {p:#x}"),
             GpuError::OutOfBounds { addr, len, alloc } => write!(
@@ -51,7 +54,10 @@ impl fmt::Display for GpuError {
                 "device access out of bounds: {len} B at {addr:#x} in {alloc} B allocation"
             ),
             GpuError::Unschedulable(why) => write!(f, "kernel cannot be scheduled: {why}"),
-            GpuError::ConstantOverflow { requested, capacity } => {
+            GpuError::ConstantOverflow {
+                requested,
+                capacity,
+            } => {
                 write!(f, "constant memory overflow: {requested} B > {capacity} B")
             }
             GpuError::EmptyGrid => write!(f, "launch with empty grid"),
@@ -68,7 +74,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = GpuError::OutOfMemory { requested: 10, free: 4 };
+        let e = GpuError::OutOfMemory {
+            requested: 10,
+            free: 4,
+        };
         let s = e.to_string();
         assert!(s.contains("10") && s.contains('4'));
         assert!(GpuError::EmptyGrid.to_string().contains("empty"));

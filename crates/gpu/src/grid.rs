@@ -35,7 +35,13 @@ pub struct GridSegment {
 impl GridSegment {
     /// Create a segment with no body, no args and tag 0.
     pub fn bare(desc: KernelDesc, blocks: u32) -> Self {
-        GridSegment { desc, blocks, args: Vec::new(), body: None, tag: 0 }
+        GridSegment {
+            desc,
+            blocks,
+            args: Vec::new(),
+            body: None,
+            tag: 0,
+        }
     }
 
     /// Attach a functional body.
@@ -90,7 +96,9 @@ pub struct Grid {
 impl Grid {
     /// Empty grid (not launchable until a segment is added).
     pub fn new() -> Self {
-        Grid { segments: Vec::new() }
+        Grid {
+            segments: Vec::new(),
+        }
     }
 
     /// Grid with a single bare segment.
@@ -131,14 +139,21 @@ impl Grid {
 
     /// Iterate over every block coordinate in global order.
     pub fn blocks(&self) -> impl Iterator<Item = BlockCoord> + '_ {
-        self.segments.iter().enumerate().flat_map(|(si, seg)| {
-            (0..seg.blocks).map(move |w| BlockCoord { global: 0, segment: si, within: w })
-        })
-        .enumerate()
-        .map(|(g, mut c)| {
-            c.global = g as u32;
-            c
-        })
+        self.segments
+            .iter()
+            .enumerate()
+            .flat_map(|(si, seg)| {
+                (0..seg.blocks).map(move |w| BlockCoord {
+                    global: 0,
+                    segment: si,
+                    within: w,
+                })
+            })
+            .enumerate()
+            .map(|(g, mut c)| {
+                c.global = g as u32;
+                c
+            })
     }
 
     /// Resolve a global block index to its coordinate.
@@ -146,7 +161,11 @@ impl Grid {
         let mut base = 0u32;
         for (si, seg) in self.segments.iter().enumerate() {
             if global < base + seg.blocks {
-                return Some(BlockCoord { global, segment: si, within: global - base });
+                return Some(BlockCoord {
+                    global,
+                    segment: si,
+                    within: global - base,
+                });
             }
             base += seg.blocks;
         }
@@ -156,7 +175,11 @@ impl Grid {
     /// Peak per-block resource requirements across segments; used for
     /// quick schedulability checks.
     pub fn max_shared_mem(&self) -> u32 {
-        self.segments.iter().map(|s| s.desc.shared_mem_per_block).max().unwrap_or(0)
+        self.segments
+            .iter()
+            .map(|s| s.desc.shared_mem_per_block)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -203,7 +226,10 @@ mod tests {
     use super::*;
 
     fn d(name: &str, tpb: u32) -> KernelDesc {
-        KernelDesc::builder(name).threads_per_block(tpb).comp_insts(1.0).build()
+        KernelDesc::builder(name)
+            .threads_per_block(tpb)
+            .comp_insts(1.0)
+            .build()
     }
 
     #[test]

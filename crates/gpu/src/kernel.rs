@@ -146,7 +146,10 @@ impl fmt::Display for KernelDesc {
         write!(
             f,
             "{}(tpb={}, comp={:.0}, coal={:.0}, uncoal={:.0})",
-            self.name, self.threads_per_block, self.comp_insts, self.coalesced_mem,
+            self.name,
+            self.threads_per_block,
+            self.comp_insts,
+            self.coalesced_mem,
             self.uncoalesced_mem
         )
     }

@@ -55,6 +55,7 @@ pub mod grid;
 pub mod kernel;
 pub mod memory;
 pub mod occupancy;
+pub mod rng;
 pub mod scheduler;
 pub mod timing;
 pub mod trace;
@@ -68,6 +69,7 @@ pub use error::GpuError;
 pub use grid::{BlockCoord, ConsolidatedGrid, Grid, GridSegment};
 pub use kernel::{KernelDesc, KernelDescBuilder, LaunchConfig};
 pub use occupancy::Occupancy;
+pub use rng::SimRng;
 pub use scheduler::DispatchPolicy;
 pub use timing::BlockCost;
 pub use trace::{BlockEvent, ExecutionTrace};

@@ -78,7 +78,10 @@ impl GlobalMemory {
     /// Allocate `len` bytes (zero-initialised), first-fit.
     pub fn alloc(&mut self, len: u64) -> Result<DevicePtr, GpuError> {
         if len == 0 || len > self.free_bytes() {
-            return Err(GpuError::OutOfMemory { requested: len, free: self.free_bytes() });
+            return Err(GpuError::OutOfMemory {
+                requested: len,
+                free: self.free_bytes(),
+            });
         }
         let padded = len.div_ceil(ALIGN) * ALIGN;
         let mut cursor = BASE;
@@ -89,9 +92,17 @@ impl GlobalMemory {
             cursor = base + (a.data.len() as u64).div_ceil(ALIGN) * ALIGN;
         }
         if cursor + len > BASE + self.capacity {
-            return Err(GpuError::OutOfMemory { requested: len, free: self.free_bytes() });
+            return Err(GpuError::OutOfMemory {
+                requested: len,
+                free: self.free_bytes(),
+            });
         }
-        self.allocs.insert(cursor, Alloc { data: vec![0u8; len as usize] });
+        self.allocs.insert(
+            cursor,
+            Alloc {
+                data: vec![0u8; len as usize],
+            },
+        );
         self.used += len;
         Ok(DevicePtr(cursor))
     }
@@ -126,7 +137,12 @@ impl GlobalMemory {
             }
             cursor = base + (a.data.len() as u64).div_ceil(ALIGN) * ALIGN;
         }
-        self.allocs.insert(cursor, Alloc { data: vec![0u8; len as usize] });
+        self.allocs.insert(
+            cursor,
+            Alloc {
+                data: vec![0u8; len as usize],
+            },
+        );
         Ok(DevicePtr(cursor))
     }
 
@@ -142,11 +158,15 @@ impl GlobalMemory {
     }
 
     fn alloc_of(&self, ptr: DevicePtr) -> Result<&Alloc, GpuError> {
-        self.allocs.get(&ptr.0).ok_or(GpuError::InvalidPointer(ptr.0))
+        self.allocs
+            .get(&ptr.0)
+            .ok_or(GpuError::InvalidPointer(ptr.0))
     }
 
     fn alloc_of_mut(&mut self, ptr: DevicePtr) -> Result<&mut Alloc, GpuError> {
-        self.allocs.get_mut(&ptr.0).ok_or(GpuError::InvalidPointer(ptr.0))
+        self.allocs
+            .get_mut(&ptr.0)
+            .ok_or(GpuError::InvalidPointer(ptr.0))
     }
 
     /// Size of the allocation behind `ptr`.
@@ -198,9 +218,17 @@ impl GlobalMemory {
     }
 
     /// Read `n` `f32` values starting at element `elem_offset`.
-    pub fn read_f32s(&self, ptr: DevicePtr, elem_offset: u64, n: usize) -> Result<Vec<f32>, GpuError> {
+    pub fn read_f32s(
+        &self,
+        ptr: DevicePtr,
+        elem_offset: u64,
+        n: usize,
+    ) -> Result<Vec<f32>, GpuError> {
         let raw = self.read(ptr, elem_offset * 4, n as u64 * 4)?;
-        Ok(raw.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
     }
 
     /// Write a slice of `u32` starting at element `elem_offset`.
@@ -218,9 +246,17 @@ impl GlobalMemory {
     }
 
     /// Read `n` `u32` values starting at element `elem_offset`.
-    pub fn read_u32s(&self, ptr: DevicePtr, elem_offset: u64, n: usize) -> Result<Vec<u32>, GpuError> {
+    pub fn read_u32s(
+        &self,
+        ptr: DevicePtr,
+        elem_offset: u64,
+        n: usize,
+    ) -> Result<Vec<u32>, GpuError> {
         let raw = self.read(ptr, elem_offset * 4, n as u64 * 4)?;
-        Ok(raw.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
     }
 }
 
@@ -257,7 +293,10 @@ mod tests {
     fn out_of_bounds_rejected() {
         let mut m = mem();
         let p = m.alloc(8).unwrap();
-        assert!(matches!(m.write(p, 4, &[0; 8]), Err(GpuError::OutOfBounds { .. })));
+        assert!(matches!(
+            m.write(p, 4, &[0; 8]),
+            Err(GpuError::OutOfBounds { .. })
+        ));
         assert!(matches!(m.read(p, 0, 9), Err(GpuError::OutOfBounds { .. })));
     }
 

@@ -43,8 +43,10 @@ impl Occupancy {
         let regs_per_block = desc.regs_per_thread.saturating_mul(desc.threads_per_block);
 
         let by_threads = cfg.max_threads_per_sm / desc.threads_per_block.max(1);
-        let by_regs =
-            cfg.registers_per_sm.checked_div(regs_per_block).unwrap_or(u32::MAX);
+        let by_regs = cfg
+            .registers_per_sm
+            .checked_div(regs_per_block)
+            .unwrap_or(u32::MAX);
         let by_smem = cfg
             .shared_mem_per_sm
             .checked_div(desc.shared_mem_per_block)
@@ -79,7 +81,10 @@ impl Occupancy {
             };
             return Err(GpuError::Unschedulable(why));
         }
-        Ok(Occupancy { blocks_per_sm: blocks, limiter })
+        Ok(Occupancy {
+            blocks_per_sm: blocks,
+            limiter,
+        })
     }
 }
 

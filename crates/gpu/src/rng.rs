@@ -1,0 +1,186 @@
+//! Deterministic pseudo-random numbers for the simulators.
+//!
+//! The workspace builds in fully offline environments, so instead of the
+//! `rand` crate every consumer (seeded workload inputs, measurement
+//! noise, trace generation, randomized tests) uses this xoshiro256++
+//! generator seeded through SplitMix64. The generator is deliberately
+//! boring: the simulators only need *reproducible, well-mixed* streams,
+//! not cryptographic strength.
+
+/// A seeded xoshiro256++ generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Expand a 64-bit seed into generator state (SplitMix64, the
+    /// reference seeding procedure for the xoshiro family).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        SimRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Next 32-bit output.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(hi > lo, "empty range [{lo}, {hi})");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(hi > lo, "empty range [{lo}, {hi})");
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Uniform `u64` in `[lo, hi)` (Lemire-style rejection-free mapping;
+    /// the tiny modulo bias is irrelevant at simulator range sizes).
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(hi > lo, "empty range [{lo}, {hi})");
+        let span = hi - lo;
+        lo + (((self.next_u64() as u128 * span as u128) >> 64) as u64)
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.range_u64(u64::from(lo), u64::from(hi)) as u32
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Fill a byte slice.
+    pub fn fill_bytes(&mut self, out: &mut [u8]) {
+        for chunk in out.chunks_mut(8) {
+            let b = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&b[..chunk.len()]);
+        }
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn gaussian(&mut self) -> f64 {
+        let u1 = self.range_f64(1e-12, 1.0);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        let mut c = SimRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn floats_stay_in_unit_interval() {
+        let mut r = SimRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f), "f64 out of range: {f}");
+            let g = r.next_f32();
+            assert!((0.0..1.0).contains(&g), "f32 out of range: {g}");
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = SimRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = r.range_u32(5, 12);
+            assert!((5..12).contains(&v));
+            let f = r.range_f64(-2.0, 3.5);
+            assert!((-2.0..3.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_u32_covers_all_values() {
+        let mut r = SimRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[r.range_usize(0, 8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn mean_of_uniform_converges() {
+        let mut r = SimRng::seed_from_u64(11);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = SimRng::seed_from_u64(5);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn fill_bytes_is_unbiased_and_exact_length() {
+        let mut r = SimRng::seed_from_u64(9);
+        let mut buf = vec![0u8; 1003];
+        r.fill_bytes(&mut buf);
+        let ones: u32 = buf.iter().map(|b| b.count_ones()).sum();
+        let frac = f64::from(ones) / (1003.0 * 8.0);
+        assert!((frac - 0.5).abs() < 0.03, "bit balance {frac}");
+    }
+}

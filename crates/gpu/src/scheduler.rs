@@ -149,7 +149,10 @@ mod tests {
 
     fn grid(blocks: u32) -> Grid {
         Grid::single(
-            KernelDesc::builder("k").threads_per_block(64).comp_insts(1.0).build(),
+            KernelDesc::builder("k")
+                .threads_per_block(64)
+                .comp_insts(1.0)
+                .build(),
             blocks,
         )
     }

@@ -71,13 +71,10 @@ impl BlockCost {
         // Transactions: a coalesced warp access is one wide transaction;
         // an uncoalesced access serialises into one narrow transaction
         // per thread.
-        let req_per_warp =
-            desc.coalesced_mem + desc.uncoalesced_mem * f64::from(cfg.warp_size);
+        let req_per_warp = desc.coalesced_mem + desc.uncoalesced_mem * f64::from(cfg.warp_size);
         let mem_requests = req_per_warp * wf;
         let bytes_per_warp = desc.coalesced_mem * f64::from(cfg.coalesced_bytes)
-            + desc.uncoalesced_mem
-                * f64::from(cfg.warp_size)
-                * f64::from(cfg.uncoalesced_bytes);
+            + desc.uncoalesced_mem * f64::from(cfg.warp_size) * f64::from(cfg.uncoalesced_bytes);
         let mem_bytes = bytes_per_warp * wf;
 
         let mem_cycles;

@@ -66,12 +66,16 @@ impl ExecutionTrace {
 
     /// Events belonging to one grid segment.
     pub fn segment_events(&self, segment: usize) -> impl Iterator<Item = &BlockEvent> {
-        self.events.iter().filter(move |e| e.coord.segment == segment)
+        self.events
+            .iter()
+            .filter(move |e| e.coord.segment == segment)
     }
 
     /// Completion time of one segment (all of its blocks finished).
     pub fn segment_finish(&self, segment: usize) -> f64 {
-        self.segment_events(segment).map(|e| e.end_s).fold(0.0, f64::max)
+        self.segment_events(segment)
+            .map(|e| e.end_s)
+            .fold(0.0, f64::max)
     }
 
     /// Render an ASCII Gantt chart: one row per SM, `width` columns over
@@ -130,7 +134,11 @@ mod tests {
 
     fn ev(seg: usize, within: u32, sm: u32, start: f64, end: f64) -> BlockEvent {
         BlockEvent {
-            coord: BlockCoord { global: within, segment: seg, within },
+            coord: BlockCoord {
+                global: within,
+                segment: seg,
+                within,
+            },
             sm,
             start_s: start,
             end_s: end,

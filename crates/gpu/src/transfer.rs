@@ -42,7 +42,11 @@ impl DmaEngine {
     /// per-transfer setup latency (seconds).
     pub fn new(bandwidth: f64, latency_s: f64) -> Self {
         assert!(bandwidth > 0.0, "bandwidth must be positive");
-        DmaEngine { bandwidth, latency_s, stats: DmaStats::default() }
+        DmaEngine {
+            bandwidth,
+            latency_s,
+            stats: DmaStats::default(),
+        }
     }
 
     /// Time for a transfer of `bytes` in either direction, without

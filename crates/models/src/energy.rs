@@ -58,7 +58,11 @@ pub struct EnergyModel {
 impl EnergyModel {
     /// Compose the models with the system idle power.
     pub fn new(cfg: GpuConfig, power: PowerModel, idle_w: f64) -> Self {
-        EnergyModel { perf: PerfModel::new(cfg), power, idle_w }
+        EnergyModel {
+            perf: PerfModel::new(cfg),
+            power,
+            idle_w,
+        }
     }
 
     /// The system idle power used for composition.
@@ -80,26 +84,34 @@ impl EnergyModel {
     pub fn predict(&self, plan: &ConsolidationPlan) -> Prediction {
         let placement = analyze(plan, self.perf.config());
         let perf = self.perf.predict_placed(plan, &placement);
-        let rates = self.power.predicted_rates(plan, &placement, perf.time_s, &perf.per_sm_finish);
+        let rates = self
+            .power
+            .predicted_rates(plan, &placement, perf.time_s, &perf.per_sm_finish);
         let dyn_power_w = self.power.predict_dyn_power_w(&rates);
         let thermal_w = self.power.predict_thermal_w(dyn_power_w);
         let gpu_energy_j = (dyn_power_w + thermal_w) * perf.time_s;
         let system_energy_j = gpu_energy_j + self.idle_w * perf.time_s;
-        Prediction { time_s: perf.time_s, dyn_power_w, thermal_w, gpu_energy_j, system_energy_j, perf }
+        Prediction {
+            time_s: perf.time_s,
+            dyn_power_w,
+            thermal_w,
+            gpu_energy_j,
+            system_energy_j,
+            perf,
+        }
     }
 
     /// Predict with a ±`eps` relative uncertainty on every member's
     /// dynamic instruction counts.
-    pub fn predict_with_uncertainty(
-        &self,
-        plan: &ConsolidationPlan,
-        eps: f64,
-    ) -> PredictionRange {
+    pub fn predict_with_uncertainty(&self, plan: &ConsolidationPlan, eps: f64) -> PredictionRange {
         assert!((0.0..1.0).contains(&eps), "eps must be in [0, 1)");
         let scaled = |factor: f64| {
             let mut p = ConsolidationPlan::new();
             for m in &plan.members {
-                p.push(crate::plan::KernelSpec::new(m.desc.scaled(factor), m.blocks));
+                p.push(crate::plan::KernelSpec::new(
+                    m.desc.scaled(factor),
+                    m.blocks,
+                ));
             }
             p
         };
@@ -156,7 +168,11 @@ mod tests {
             42,
         )
         .unwrap();
-        EnergyModel::new(cfg(), PowerModel::new(coeffs, ThermalModel::gt200(), cfg()), 200.0)
+        EnergyModel::new(
+            cfg(),
+            PowerModel::new(coeffs, ThermalModel::gt200(), cfg()),
+            200.0,
+        )
     }
 
     fn compute(name: &str, secs: f64) -> KernelDesc {

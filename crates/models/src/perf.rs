@@ -171,7 +171,10 @@ mod tests {
         let model = PerfModel::new(cfg());
         let predicted = model.predict(plan).time_s;
         let engine = ExecutionEngine::new(cfg());
-        let measured = engine.run(&plan.to_grid(), DispatchPolicy::default()).unwrap().elapsed_s;
+        let measured = engine
+            .run(&plan.to_grid(), DispatchPolicy::default())
+            .unwrap()
+            .elapsed_s;
         ((predicted - measured).abs() / measured, predicted, measured)
     }
 
@@ -241,7 +244,11 @@ mod tests {
         let plan = ConsolidationPlan::homogeneous(compute("enc", 256, 20, 8.4), 3, 9);
         let pred = model.predict(&plan);
         let serial = model.predict_serial(&plan);
-        assert!((pred.time_s - 8.4).abs() / 8.4 < 0.02, "consolidated {}", pred.time_s);
+        assert!(
+            (pred.time_s - 8.4).abs() / 8.4 < 0.02,
+            "consolidated {}",
+            pred.time_s
+        );
         assert!((serial - 9.0 * 8.4).abs() / (9.0 * 8.4) < 0.02);
     }
 
@@ -251,6 +258,9 @@ mod tests {
         k.coalesced_mem = 1e6;
         let plan = ConsolidationPlan::new().with(KernelSpec::new(k, 60));
         let pred = PerfModel::new(cfg()).predict(&plan);
-        assert!(pred.bw_stretch > 1.0, "60 streaming blocks must oversubscribe DRAM");
+        assert!(
+            pred.bw_stretch > 1.0,
+            "60 streaming blocks must oversubscribe DRAM"
+        );
     }
 }

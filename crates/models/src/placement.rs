@@ -67,8 +67,11 @@ pub fn sm_phase_time(blocks: &[&BlockCost]) -> f64 {
 /// Statically place a plan on the device.
 pub fn analyze(plan: &ConsolidationPlan, cfg: &GpuConfig) -> Placement {
     let n_sms = cfg.num_sms as usize;
-    let costs: Vec<BlockCost> =
-        plan.members.iter().map(|m| BlockCost::derive(&m.desc, cfg)).collect();
+    let costs: Vec<BlockCost> = plan
+        .members
+        .iter()
+        .map(|m| BlockCost::derive(&m.desc, cfg))
+        .collect();
 
     // Expand to the global block list in template order.
     let order: Vec<usize> = plan
@@ -88,7 +91,10 @@ pub fn analyze(plan: &ConsolidationPlan, cfg: &GpuConfig) -> Placement {
         for sm in 0..n_sms {
             let Some(&mi) = pool.front() else { break };
             if res[sm].admit(&plan.members[mi].desc) {
-                per_sm[sm].push(PlacedBlock { member: mi, phase: 0 });
+                per_sm[sm].push(PlacedBlock {
+                    member: mi,
+                    phase: 0,
+                });
                 pool.pop_front();
                 progress = true;
             }
@@ -104,8 +110,7 @@ pub fn analyze(plan: &ConsolidationPlan, cfg: &GpuConfig) -> Placement {
         let finish: Vec<f64> = per_sm
             .iter()
             .map(|blocks| {
-                let refs: Vec<&BlockCost> =
-                    blocks.iter().map(|b| &costs[b.member]).collect();
+                let refs: Vec<&BlockCost> = blocks.iter().map(|b| &costs[b.member]).collect();
                 if refs.is_empty() {
                     0.0
                 } else {
@@ -123,14 +128,21 @@ pub fn analyze(plan: &ConsolidationPlan, cfg: &GpuConfig) -> Placement {
         if !idle.is_empty() {
             let mut next = 0usize;
             while let Some(mi) = pool.pop_front() {
-                per_sm[idle[next % idle.len()]].push(PlacedBlock { member: mi, phase: 1 });
+                per_sm[idle[next % idle.len()]].push(PlacedBlock {
+                    member: mi,
+                    phase: 1,
+                });
                 next += 1;
             }
             redistributed = true;
         }
     }
 
-    Placement { per_sm, costs, redistributed }
+    Placement {
+        per_sm,
+        costs,
+        redistributed,
+    }
 }
 
 #[cfg(test)]
@@ -155,8 +167,7 @@ mod tests {
 
     #[test]
     fn single_wave_is_type1() {
-        let plan =
-            ConsolidationPlan::new().with(KernelSpec::new(compute("k", 256, 16, 1.0), 27));
+        let plan = ConsolidationPlan::new().with(KernelSpec::new(compute("k", 256, 16, 1.0), 27));
         let p = analyze(&plan, &cfg());
         assert!(p.is_type1());
         assert_eq!(p.sms_used(), 27);

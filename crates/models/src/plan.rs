@@ -83,7 +83,10 @@ mod tests {
     use super::*;
 
     fn desc(name: &str) -> KernelDesc {
-        KernelDesc::builder(name).threads_per_block(64).comp_insts(10.0).build()
+        KernelDesc::builder(name)
+            .threads_per_block(64)
+            .comp_insts(10.0)
+            .build()
     }
 
     #[test]

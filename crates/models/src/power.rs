@@ -25,7 +25,11 @@ pub struct PowerModel {
 impl PowerModel {
     /// Build from trained coefficients.
     pub fn new(coeffs: PowerCoefficients, thermal: ThermalModel, cfg: GpuConfig) -> Self {
-        PowerModel { coeffs, thermal, cfg }
+        PowerModel {
+            coeffs,
+            thermal,
+            cfg,
+        }
     }
 
     /// The trained coefficients.
@@ -76,7 +80,8 @@ impl PowerModel {
     /// Predicted thermal (leakage) power at the steady state the dynamic
     /// power would drive the die to.
     pub fn predict_thermal_w(&self, p_dyn_w: f64) -> f64 {
-        self.thermal.leakage_w(self.thermal.steady_state_dt(p_dyn_w))
+        self.thermal
+            .leakage_w(self.thermal.steady_state_dt(p_dyn_w))
     }
 
     /// The rejected per-SM-summation estimate: evaluate Eq. 11 per SM on
@@ -161,7 +166,9 @@ mod tests {
 
         // Ground truth from an actual engine run.
         let engine = ExecutionEngine::new(cfg());
-        let out = engine.run(&plan.to_grid(), DispatchPolicy::default()).unwrap();
+        let out = engine
+            .run(&plan.to_grid(), DispatchPolicy::default())
+            .unwrap();
         let truth_src = GpuPowerGroundTruth::tesla_c1060();
         let mut e = 0.0;
         for iv in &out.intervals {
@@ -176,7 +183,11 @@ mod tests {
             let plan = ConsolidationPlan::homogeneous(compute("enc", 256, 8.4), 3, n);
             let (pred, truth) = predicted_vs_truth(&plan);
             let err = (pred - truth).abs() / truth;
-            assert!(err < 0.10, "n={n}: pred {pred:.1} truth {truth:.1} ({:.1}%)", err * 100.0);
+            assert!(
+                err < 0.10,
+                "n={n}: pred {pred:.1} truth {truth:.1} ({:.1}%)",
+                err * 100.0
+            );
         }
     }
 
@@ -187,7 +198,11 @@ mod tests {
             .with(KernelSpec::new(compute("b", 128, 5.0), 18));
         let (pred, truth) = predicted_vs_truth(&plan);
         let err = (pred - truth).abs() / truth;
-        assert!(err < 0.10, "pred {pred:.1} truth {truth:.1} ({:.1}%)", err * 100.0);
+        assert!(
+            err < 0.10,
+            "pred {pred:.1} truth {truth:.1} ({:.1}%)",
+            err * 100.0
+        );
     }
 
     #[test]

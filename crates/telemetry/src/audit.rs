@@ -1,0 +1,63 @@
+//! Decision audit log.
+//!
+//! Every consolidate/serial/CPU verdict made by the decision engine is
+//! recorded together with the model predictions that justified it, so a
+//! surprising schedule can be explained after the fact (which prediction
+//! won, and by how much).
+
+/// The scheduling verdict for one kernel group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Space-share the GPU: launch the group as one consolidated kernel.
+    Consolidate,
+    /// Time-share the GPU: launch the kernels back-to-back.
+    SerialGpu,
+    /// Keep the work on the host CPU.
+    Cpu,
+}
+
+impl Verdict {
+    /// Stable lower-case label used by every exporter.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Consolidate => "consolidate",
+            Verdict::SerialGpu => "serial_gpu",
+            Verdict::Cpu => "cpu",
+        }
+    }
+}
+
+/// One audited decision: the verdict plus all candidate costs.
+///
+/// Times are simulated seconds, energies joules.  A candidate the engine
+/// did not evaluate (e.g. CPU execution for a group that cannot run on the
+/// host) is `None`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionRecord {
+    /// Simulated time at which the decision was taken.
+    pub time_s: f64,
+    /// Kernel names in the group, in submission order.
+    pub kernels: Vec<String>,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Predicted (time, energy) if the group is consolidated.
+    pub consolidated: Option<(f64, f64)>,
+    /// Predicted (time, energy) if the kernels run serially on the GPU.
+    pub serial: Option<(f64, f64)>,
+    /// Predicted (time, energy) if the work stays on the CPU.
+    pub cpu: Option<(f64, f64)>,
+    /// Short human-readable justification, e.g. `"consolidated energy
+    /// 12.3 J beats serial 15.9 J by >2% margin"`.
+    pub reason: String,
+}
+
+impl DecisionRecord {
+    /// Predicted (time, energy) of the chosen candidate, when evaluated.
+    pub fn chosen(&self) -> Option<(f64, f64)> {
+        match self.verdict {
+            Verdict::Consolidate => self.consolidated,
+            Verdict::SerialGpu => self.serial,
+            Verdict::Cpu => self.cpu,
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Chrome trace-event exporter.
+//!
+//! Emits the JSON object format (`{"traceEvents":[...]}`) understood by
+//! Perfetto and `chrome://tracing`.  Spans become complete (`"ph":"X"`)
+//! events with microsecond timestamps; each distinct span *process* becomes
+//! a trace pid and each `(process, lane)` pair a tid, both named via
+//! metadata (`"ph":"M"`) events.  Time series become counter (`"ph":"C"`)
+//! events on pid 0.
+
+use std::collections::BTreeMap;
+
+use crate::json::{write_number, write_string};
+use crate::sink::TelemetrySnapshot;
+
+const US_PER_S: f64 = 1e6;
+
+/// Renders `snap` as a Chrome trace-event JSON document.
+pub fn render(snap: &TelemetrySnapshot) -> String {
+    // Deterministic pid/tid assignment: sorted by name.
+    let mut pids: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut tids: BTreeMap<(&str, &str), u64> = BTreeMap::new();
+    for span in &snap.spans {
+        let next_pid = pids.len() as u64 + 1;
+        pids.entry(span.process.as_str()).or_insert(next_pid);
+        let next_tid = tids
+            .iter()
+            .filter(|((p, _), _)| *p == span.process.as_str())
+            .count() as u64
+            + 1;
+        tids.entry((span.process.as_str(), span.lane.as_str()))
+            .or_insert(next_tid);
+    }
+
+    let mut out = String::with_capacity(4096 + snap.spans.len() * 160);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push_event = |out: &mut String, body: &str| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(body);
+    };
+
+    // Process / thread naming metadata.
+    for (process, pid) in &pids {
+        let mut ev = String::new();
+        ev.push_str("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":");
+        write_number(&mut ev, *pid as f64);
+        ev.push_str(",\"tid\":0,\"args\":{\"name\":");
+        write_string(&mut ev, process);
+        ev.push_str("}}");
+        push_event(&mut out, &ev);
+    }
+    for ((process, lane), tid) in &tids {
+        let pid = pids[process];
+        let mut ev = String::new();
+        ev.push_str("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":");
+        write_number(&mut ev, pid as f64);
+        ev.push_str(",\"tid\":");
+        write_number(&mut ev, *tid as f64);
+        ev.push_str(",\"args\":{\"name\":");
+        write_string(&mut ev, lane);
+        ev.push_str("}}");
+        push_event(&mut out, &ev);
+    }
+
+    // Spans as complete events.
+    for span in &snap.spans {
+        let pid = pids[span.process.as_str()];
+        let tid = tids[&(span.process.as_str(), span.lane.as_str())];
+        let mut ev = String::new();
+        ev.push_str("{\"ph\":\"X\",\"name\":");
+        write_string(&mut ev, &span.name);
+        ev.push_str(",\"cat\":");
+        write_string(&mut ev, &span.process);
+        ev.push_str(",\"pid\":");
+        write_number(&mut ev, pid as f64);
+        ev.push_str(",\"tid\":");
+        write_number(&mut ev, tid as f64);
+        ev.push_str(",\"ts\":");
+        write_number(&mut ev, span.start_s * US_PER_S);
+        ev.push_str(",\"dur\":");
+        write_number(&mut ev, span.duration_s() * US_PER_S);
+        ev.push_str(",\"args\":{\"span_id\":");
+        write_number(&mut ev, span.id as f64);
+        if let Some(parent) = span.parent {
+            ev.push_str(",\"parent_id\":");
+            write_number(&mut ev, parent as f64);
+        }
+        for (k, v) in &span.attrs {
+            ev.push(',');
+            write_string(&mut ev, k);
+            ev.push(':');
+            write_string(&mut ev, v);
+        }
+        ev.push_str("}}");
+        push_event(&mut out, &ev);
+    }
+
+    // Time series as counter events on pid 0.
+    for (name, samples) in &snap.series {
+        for &(t, v) in samples {
+            let mut ev = String::new();
+            ev.push_str("{\"ph\":\"C\",\"name\":");
+            write_string(&mut ev, name);
+            ev.push_str(",\"pid\":0,\"tid\":0,\"ts\":");
+            write_number(&mut ev, t * US_PER_S);
+            ev.push_str(",\"args\":{\"value\":");
+            write_number(&mut ev, v);
+            ev.push_str("}}");
+            push_event(&mut out, &ev);
+        }
+    }
+
+    // Decision verdicts as instant events on pid 0, one lane for the
+    // decision engine so verdicts line up with the spans around them.
+    for rec in &snap.audit {
+        let mut ev = String::new();
+        ev.push_str("{\"ph\":\"i\",\"s\":\"g\",\"name\":");
+        write_string(&mut ev, &format!("decision:{}", rec.verdict.label()));
+        ev.push_str(",\"pid\":0,\"tid\":0,\"ts\":");
+        write_number(&mut ev, rec.time_s * US_PER_S);
+        ev.push_str(",\"args\":{\"kernels\":");
+        write_string(&mut ev, &rec.kernels.join("+"));
+        ev.push_str(",\"reason\":");
+        write_string(&mut ev, &rec.reason);
+        ev.push_str("}}");
+        push_event(&mut out, &ev);
+    }
+
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::sink::TelemetrySink;
+
+    #[test]
+    fn exports_valid_json_with_named_tracks() {
+        let sink = TelemetrySink::enabled();
+        let root = sink.span("host", "frontend0", "call", 0.0, 2.0).emit();
+        sink.span("host", "backend", "rpc", 0.1, 0.3)
+            .parent(root)
+            .emit();
+        sink.span("gpu0", "sm0", "block", 0.5, 1.5)
+            .parent(root)
+            .emit();
+        sink.series_sample("power_w", 0.0, 200.0);
+        let doc = render(&sink.snapshot().unwrap());
+        let v = json::parse(&doc).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        // 2 process_name + 3 thread_name + 3 X + 1 C = 9 events.
+        assert_eq!(events.len(), 9);
+        let x: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(json::Value::as_str) == Some("X"))
+            .collect();
+        assert_eq!(x.len(), 3);
+        for ev in &x {
+            assert!(ev.get("ts").unwrap().as_f64().is_some());
+            assert!(ev.get("dur").unwrap().as_f64().unwrap() >= 0.0);
+        }
+        // Distinct processes got distinct pids.
+        let pids: std::collections::BTreeSet<i64> = x
+            .iter()
+            .map(|e| e.get("pid").unwrap().as_f64().unwrap() as i64)
+            .collect();
+        assert_eq!(pids.len(), 2);
+    }
+}

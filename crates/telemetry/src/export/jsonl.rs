@@ -1,0 +1,168 @@
+//! JSON-lines exporter: one self-describing object per line.
+//!
+//! Every line is a complete JSON document with a `"type"` discriminator
+//! (`span`, `counter`, `gauge`, `histogram`, `sample`, `decision`), which
+//! makes the output trivially filterable with line-oriented tools.
+
+use crate::json::{write_number, write_string};
+use crate::sink::TelemetrySnapshot;
+
+/// Renders `snap` as JSON-lines text.
+pub fn render(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+
+    for span in &snap.spans {
+        out.push_str("{\"type\":\"span\",\"id\":");
+        write_number(&mut out, span.id as f64);
+        out.push_str(",\"parent\":");
+        match span.parent {
+            Some(p) => write_number(&mut out, p as f64),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"name\":");
+        write_string(&mut out, &span.name);
+        out.push_str(",\"process\":");
+        write_string(&mut out, &span.process);
+        out.push_str(",\"lane\":");
+        write_string(&mut out, &span.lane);
+        out.push_str(",\"start_s\":");
+        write_number(&mut out, span.start_s);
+        out.push_str(",\"end_s\":");
+        write_number(&mut out, span.end_s);
+        out.push_str(",\"attrs\":{");
+        for (i, (k, v)) in span.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_string(&mut out, k);
+            out.push(':');
+            write_string(&mut out, v);
+        }
+        out.push_str("}}\n");
+    }
+
+    for (name, value) in snap.metrics.counters() {
+        out.push_str("{\"type\":\"counter\",\"name\":");
+        write_string(&mut out, name);
+        out.push_str(",\"value\":");
+        write_number(&mut out, value);
+        out.push_str("}\n");
+    }
+
+    for (name, value) in snap.metrics.gauges() {
+        out.push_str("{\"type\":\"gauge\",\"name\":");
+        write_string(&mut out, name);
+        out.push_str(",\"value\":");
+        write_number(&mut out, value);
+        out.push_str("}\n");
+    }
+
+    for (name, hist) in snap.metrics.histograms() {
+        out.push_str("{\"type\":\"histogram\",\"name\":");
+        write_string(&mut out, name);
+        out.push_str(",\"count\":");
+        write_number(&mut out, hist.count() as f64);
+        out.push_str(",\"mean\":");
+        write_number(&mut out, hist.mean());
+        for (label, p) in [("p50", 50.0), ("p90", 90.0), ("p95", 95.0), ("p99", 99.0)] {
+            out.push_str(",\"");
+            out.push_str(label);
+            out.push_str("\":");
+            write_number(&mut out, hist.percentile(p));
+        }
+        out.push_str(",\"min\":");
+        write_number(&mut out, hist.min());
+        out.push_str(",\"max\":");
+        write_number(&mut out, hist.max());
+        out.push_str("}\n");
+    }
+
+    for (name, samples) in &snap.series {
+        for &(t, v) in samples {
+            out.push_str("{\"type\":\"sample\",\"series\":");
+            write_string(&mut out, name);
+            out.push_str(",\"time_s\":");
+            write_number(&mut out, t);
+            out.push_str(",\"value\":");
+            write_number(&mut out, v);
+            out.push_str("}\n");
+        }
+    }
+
+    for rec in &snap.audit {
+        out.push_str("{\"type\":\"decision\",\"time_s\":");
+        write_number(&mut out, rec.time_s);
+        out.push_str(",\"verdict\":");
+        write_string(&mut out, rec.verdict.label());
+        out.push_str(",\"kernels\":[");
+        for (i, k) in rec.kernels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_string(&mut out, k);
+        }
+        out.push(']');
+        for (label, cand) in [
+            ("consolidated", rec.consolidated),
+            ("serial", rec.serial),
+            ("cpu", rec.cpu),
+        ] {
+            out.push_str(",\"");
+            out.push_str(label);
+            out.push_str("\":");
+            match cand {
+                Some((t, e)) => {
+                    out.push_str("{\"time_s\":");
+                    write_number(&mut out, t);
+                    out.push_str(",\"energy_j\":");
+                    write_number(&mut out, e);
+                    out.push('}');
+                }
+                None => out.push_str("null"),
+            }
+        }
+        out.push_str(",\"reason\":");
+        write_string(&mut out, &rec.reason);
+        out.push_str("}\n");
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::{DecisionRecord, Verdict};
+    use crate::json;
+    use crate::sink::TelemetrySink;
+
+    #[test]
+    fn every_line_is_valid_json_with_a_type() {
+        let sink = TelemetrySink::enabled();
+        sink.span("host", "backend", "rpc", 0.0, 0.5)
+            .attr("bytes", 1024)
+            .emit();
+        sink.counter_add("launches", 3.0);
+        sink.gauge_set("queue", 2.0);
+        sink.histogram_record("latency_s", 0.25);
+        sink.series_sample("power_w", 0.1, 212.5);
+        sink.audit(DecisionRecord {
+            time_s: 0.2,
+            kernels: vec!["aes".into()],
+            verdict: Verdict::Cpu,
+            consolidated: None,
+            serial: Some((0.9, 11.0)),
+            cpu: Some((0.4, 3.0)),
+            reason: "cpu energy wins".into(),
+        });
+        let text = render(&sink.snapshot().unwrap());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 6);
+        for line in lines {
+            let v = json::parse(line).expect("line parses");
+            assert!(v.get("type").is_some(), "line {line} has a type");
+        }
+        assert!(text.contains("\"verdict\":\"cpu\""));
+        assert!(text.contains("\"cpu\":{\"time_s\":0.4"));
+    }
+}

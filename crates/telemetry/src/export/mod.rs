@@ -1,0 +1,11 @@
+//! Exporters for a [`TelemetrySnapshot`](crate::TelemetrySnapshot).
+//!
+//! * [`chrome`] — Chrome trace-event JSON; open the file at
+//!   <https://ui.perfetto.dev> or `chrome://tracing`.
+//! * [`jsonl`] — one self-describing JSON object per line, for ad-hoc
+//!   processing with `jq`/`grep`.
+//! * [`summary`] — a plain-text table for terminals and logs.
+
+pub mod chrome;
+pub mod jsonl;
+pub mod summary;

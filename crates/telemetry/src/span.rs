@@ -1,0 +1,68 @@
+//! Structured spans over simulated time.
+//!
+//! A span is a named interval `[start_s, end_s]` on some *track*.  Tracks
+//! are identified by a `(process, lane)` pair — e.g. `("host", "backend")`
+//! or `("gpu0", "sm3")` — and map onto Chrome trace-event pid/tid rows at
+//! export time.  Spans nest through explicit parent ids: the simulator
+//! knows the full lifetime of each phase when it records it (simulated
+//! clocks only move when the code advances them), so spans are recorded
+//! complete rather than via enter/exit guards.
+
+use crate::sink::TelemetrySink;
+
+/// One completed span on a simulated-time track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Unique id within one sink, assigned in emit order.
+    pub id: u64,
+    /// Id of the enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Event name, e.g. `"rpc"`, `"staging"`, `"block"`.
+    pub name: String,
+    /// Process-level track, e.g. `"host"` or `"gpu0"`.
+    pub process: String,
+    /// Lane within the process, e.g. `"backend"` or `"sm2"`.
+    pub lane: String,
+    /// Simulated start time in seconds.
+    pub start_s: f64,
+    /// Simulated end time in seconds (`>= start_s`).
+    pub end_s: f64,
+    /// Free-form key/value annotations.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl SpanRecord {
+    /// Span duration in simulated seconds (never negative).
+    pub fn duration_s(&self) -> f64 {
+        (self.end_s - self.start_s).max(0.0)
+    }
+}
+
+/// Fluent builder returned by [`TelemetrySink::span`].
+///
+/// Dropping the builder without calling [`emit`](Self::emit) records
+/// nothing; on a disabled sink `emit` is a no-op returning `None`.
+#[must_use = "call .emit() to record the span"]
+pub struct SpanBuilder<'a> {
+    pub(crate) sink: &'a TelemetrySink,
+    pub(crate) record: SpanRecord,
+}
+
+impl SpanBuilder<'_> {
+    /// Sets the parent span id (pass the value a previous `emit` returned).
+    pub fn parent(mut self, parent: Option<u64>) -> Self {
+        self.record.parent = parent;
+        self
+    }
+
+    /// Attaches a key/value attribute.
+    pub fn attr(mut self, key: &str, value: impl ToString) -> Self {
+        self.record.attrs.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Records the span, returning its id so children can reference it.
+    pub fn emit(self) -> Option<u64> {
+        self.sink.commit_span(self.record)
+    }
+}

@@ -43,8 +43,8 @@ pub fn cnd(d: f64) -> f64 {
 /// Price one European option; returns `(call, put)`.
 pub fn black_scholes(s: f64, k: f64, t: f64) -> (f64, f64) {
     let sqrt_t = t.sqrt();
-    let d1 = ((s / k).ln() + (RISK_FREE + 0.5 * VOLATILITY * VOLATILITY) * t)
-        / (VOLATILITY * sqrt_t);
+    let d1 =
+        ((s / k).ln() + (RISK_FREE + 0.5 * VOLATILITY * VOLATILITY) * t) / (VOLATILITY * sqrt_t);
     let d2 = d1 - VOLATILITY * sqrt_t;
     let cnd_d1 = cnd(d1);
     let cnd_d2 = cnd(d2);
@@ -59,7 +59,11 @@ pub fn black_scholes(s: f64, k: f64, t: f64) -> (f64, f64) {
 pub fn price_batch(spots: &[f32], strikes: &[f32], times: &[f32]) -> Vec<f32> {
     let mut out = Vec::with_capacity(spots.len() * 2);
     for i in 0..spots.len() {
-        let (c, p) = black_scholes(f64::from(spots[i]), f64::from(strikes[i]), f64::from(times[i]));
+        let (c, p) = black_scholes(
+            f64::from(spots[i]),
+            f64::from(strikes[i]),
+            f64::from(times[i]),
+        );
         out.push(c as f32);
         out.push(p as f32);
     }
@@ -200,8 +204,16 @@ impl Workload for BlackScholesWorkload {
         }
         gpu.upload(input, 0, &raw)?;
         Ok((
-            vec![KernelArg::Ptr(input), KernelArg::Ptr(output), KernelArg::U32(n as u32)],
-            DeviceBuffers { input, output, output_len: (n * 4 * 2) as u64 },
+            vec![
+                KernelArg::Ptr(input),
+                KernelArg::Ptr(output),
+                KernelArg::U32(n as u32),
+            ],
+            DeviceBuffers {
+                input,
+                output,
+                output_len: (n * 4 * 2) as u64,
+            },
         ))
     }
 
@@ -223,8 +235,8 @@ impl Workload for BlackScholesWorkload {
 mod tests {
     use super::*;
     use crate::registry::run_standalone;
-    use ewc_gpu::GpuDevice;
     use ewc_gpu::BlockCost;
+    use ewc_gpu::GpuDevice;
 
     #[test]
     fn cnd_is_a_cdf() {
@@ -282,7 +294,11 @@ mod tests {
                 ewc_gpu::DispatchPolicy::default(),
             )
             .unwrap();
-        assert!((out.elapsed_s - 26.4).abs() / 26.4 < 0.05, "instance {}", out.elapsed_s);
+        assert!(
+            (out.elapsed_s - 26.4).abs() / 26.4 < 0.05,
+            "instance {}",
+            out.elapsed_s
+        );
     }
 
     #[test]

@@ -112,7 +112,10 @@ mod tests {
         for target in [0.5, 5.0, 45.7] {
             let d = with_solo_time(base.clone(), target, &cfg());
             let got = BlockCost::derive(&d, &cfg()).t_solo_s;
-            assert!((got - target).abs() / target < 1e-9, "target {target}, got {got}");
+            assert!(
+                (got - target).abs() / target < 1e-9,
+                "target {target}, got {got}"
+            );
         }
     }
 
@@ -143,8 +146,16 @@ mod tests {
         let base = KernelDesc::builder("search").threads_per_block(256).build();
         let d = latency_bound(base, 49.2, 0.30, &cfg());
         let c = BlockCost::derive(&d, &cfg());
-        assert!((c.t_solo_s - 49.2).abs() / 49.2 < 1e-3, "time {}", c.t_solo_s);
-        assert!((c.issue_demand - 0.30).abs() < 0.02, "demand {}", c.issue_demand);
+        assert!(
+            (c.t_solo_s - 49.2).abs() / 49.2 < 1e-3,
+            "time {}",
+            c.t_solo_s
+        );
+        assert!(
+            (c.issue_demand - 0.30).abs() < 0.02,
+            "demand {}",
+            c.issue_demand
+        );
         assert!(c.mem_fraction > 0.99, "should be memory-bound");
     }
 

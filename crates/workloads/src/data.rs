@@ -5,32 +5,31 @@
 //! and the test oracle (which computes references on the host) all agree
 //! without sharing state.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ewc_gpu::SimRng;
 
 /// Seeded RNG for a workload instance.
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15)
+pub fn rng(seed: u64) -> SimRng {
+    SimRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15)
 }
 
 /// `n` pseudo-random bytes.
 pub fn bytes(seed: u64, n: usize) -> Vec<u8> {
     let mut r = rng(seed);
     let mut v = vec![0u8; n];
-    r.fill(&mut v[..]);
+    r.fill_bytes(&mut v[..]);
     v
 }
 
 /// `n` pseudo-random `u32`s.
 pub fn u32s(seed: u64, n: usize) -> Vec<u32> {
     let mut r = rng(seed);
-    (0..n).map(|_| r.gen()).collect()
+    (0..n).map(|_| r.next_u32()).collect()
 }
 
 /// `n` pseudo-random `f32`s uniform in `[lo, hi)`.
 pub fn f32s(seed: u64, n: usize, lo: f32, hi: f32) -> Vec<f32> {
     let mut r = rng(seed);
-    (0..n).map(|_| r.gen_range(lo..hi)).collect()
+    (0..n).map(|_| r.range_f32(lo, hi)).collect()
 }
 
 /// Lowercase ASCII text with spaces, for the search workload.
@@ -38,7 +37,7 @@ pub fn text(seed: u64, n: usize) -> Vec<u8> {
     let mut r = rng(seed);
     (0..n)
         .map(|_| {
-            let c = r.gen_range(0u8..27);
+            let c = r.range_u32(0, 27) as u8;
             if c == 26 {
                 b' '
             } else {

@@ -75,7 +75,14 @@ impl MatmulWorkload {
         cpu_parallelism: u32,
         cpu_working_set: u64,
     ) -> Self {
-        MatmulWorkload { n, desc, blocks, cpu_work_core_s, cpu_parallelism, cpu_working_set }
+        MatmulWorkload {
+            n,
+            desc,
+            blocks,
+            cpu_work_core_s,
+            cpu_parallelism,
+            cpu_working_set,
+        }
     }
 
     /// The scalability-limited preset: 8 blocks of 256 threads (8 of 30
@@ -115,7 +122,12 @@ impl Workload for MatmulWorkload {
     }
 
     fn cpu_task(&self) -> CpuTask {
-        CpuTask::new("matmul", self.cpu_work_core_s, self.cpu_parallelism, self.cpu_working_set)
+        CpuTask::new(
+            "matmul",
+            self.cpu_work_core_s,
+            self.cpu_parallelism,
+            self.cpu_working_set,
+        )
     }
 
     fn h2d_bytes(&self) -> u64 {
@@ -142,7 +154,8 @@ impl Workload for MatmulWorkload {
             let b = mem.read_f32s(input, (n * n) as u64, n * n).unwrap();
             let mut c = vec![0.0f32; n * n];
             matmul_band(&a, &b, &mut c, n, lo, hi);
-            mem.write_f32s(output, (lo * n) as u64, &c[lo * n..hi * n]).unwrap();
+            mem.write_f32s(output, (lo * n) as u64, &c[lo * n..hi * n])
+                .unwrap();
         })
     }
 
@@ -162,8 +175,16 @@ impl Workload for MatmulWorkload {
         }
         gpu.upload(input, 0, &raw)?;
         Ok((
-            vec![KernelArg::Ptr(input), KernelArg::Ptr(output), KernelArg::U32(n as u32)],
-            DeviceBuffers { input, output, output_len: (n * n * 4) as u64 },
+            vec![
+                KernelArg::Ptr(input),
+                KernelArg::Ptr(output),
+                KernelArg::U32(n as u32),
+            ],
+            DeviceBuffers {
+                input,
+                output,
+                output_len: (n * n * 4) as u64,
+            },
         ))
     }
 
@@ -251,13 +272,18 @@ mod tests {
         let w = MatmulWorkload::scalability_limited(&cfg);
         let engine = ExecutionEngine::new(cfg.clone());
         let one = engine
-            .run(&Grid::single(w.desc(), w.blocks()), DispatchPolicy::default())
+            .run(
+                &Grid::single(w.desc(), w.blocks()),
+                DispatchPolicy::default(),
+            )
             .unwrap();
         let mut grid = ewc_gpu::ConsolidatedGrid::new();
         for _ in 0..3 {
             grid = grid.add(Grid::single(w.desc(), w.blocks()));
         }
-        let three = engine.run(&grid.build(), DispatchPolicy::default()).unwrap();
+        let three = engine
+            .run(&grid.build(), DispatchPolicy::default())
+            .unwrap();
         assert!((three.elapsed_s - one.elapsed_s).abs() / one.elapsed_s < 0.02);
         assert_eq!(three.counters.sms_used(), 24);
     }

@@ -47,8 +47,7 @@ pub fn path_normal(path: u64) -> f64 {
 /// Discounted payoff of one simulated path.
 pub fn path_payoff(path: u64) -> f64 {
     let z = path_normal(path);
-    let st = SPOT
-        * ((RATE - 0.5 * SIGMA * SIGMA) * MATURITY + SIGMA * MATURITY.sqrt() * z).exp();
+    let st = SPOT * ((RATE - 0.5 * SIGMA * SIGMA) * MATURITY + SIGMA * MATURITY.sqrt() * z).exp();
     (st - STRIKE).max(0.0) * (-RATE * MATURITY).exp()
 }
 
@@ -84,7 +83,14 @@ impl MonteCarloWorkload {
         cpu_parallelism: u32,
         cpu_working_set: u64,
     ) -> Self {
-        MonteCarloWorkload { paths, desc, blocks, cpu_work_core_s, cpu_parallelism, cpu_working_set }
+        MonteCarloWorkload {
+            paths,
+            desc,
+            blocks,
+            cpu_work_core_s,
+            cpu_parallelism,
+            cpu_working_set,
+        }
     }
 
     fn base_desc() -> KernelDesc {
@@ -129,7 +135,12 @@ impl Workload for MonteCarloWorkload {
     }
 
     fn cpu_task(&self) -> CpuTask {
-        CpuTask::new("montecarlo", self.cpu_work_core_s, self.cpu_parallelism, self.cpu_working_set)
+        CpuTask::new(
+            "montecarlo",
+            self.cpu_work_core_s,
+            self.cpu_parallelism,
+            self.cpu_working_set,
+        )
     }
 
     fn h2d_bytes(&self) -> u64 {
@@ -150,7 +161,8 @@ impl Workload for MonteCarloWorkload {
             let hi = (lo + per).min(paths);
             let sum = if lo < hi { partial_sum(lo, hi) } else { 0.0 };
             let off = u64::from(ctx.block_idx) * 8;
-            mem.write(output, off, &sum.to_le_bytes()).expect("partial in bounds");
+            mem.write(output, off, &sum.to_le_bytes())
+                .expect("partial in bounds");
             // Final block reduces the partials into the price (the real
             // sample issues a second reduction kernel; our device runs
             // bodies in block order, so all partials are present).
@@ -161,7 +173,8 @@ impl Workload for MonteCarloWorkload {
                     total += f64::from_le_bytes(raw.try_into().unwrap());
                 }
                 let price = total / paths as f64;
-                mem.write(output, nb * 8, &price.to_le_bytes()).expect("price in bounds");
+                mem.write(output, nb * 8, &price.to_le_bytes())
+                    .expect("price in bounds");
             }
         })
     }
@@ -181,8 +194,16 @@ impl Workload for MonteCarloWorkload {
         let out_len = (u64::from(self.blocks) + 1) * 8;
         let output = gpu.alloc_bytes(out_len)?;
         Ok((
-            vec![KernelArg::Ptr(input), KernelArg::Ptr(output), KernelArg::U64(self.paths)],
-            DeviceBuffers { input, output, output_len: out_len },
+            vec![
+                KernelArg::Ptr(input),
+                KernelArg::Ptr(output),
+                KernelArg::U64(self.paths),
+            ],
+            DeviceBuffers {
+                input,
+                output,
+                output_len: out_len,
+            },
         ))
     }
 
@@ -235,14 +256,17 @@ mod tests {
         // The BS module uses the same rate/volatility constants only by
         // coincidence of defaults; recompute analytically here.
         let rel = (mc - bs_call).abs() / bs_call;
-        assert!(rel < 0.05, "MC {mc} vs BS {bs_call} ({:.1}% off)", rel * 100.0);
+        assert!(
+            rel < 0.05,
+            "MC {mc} vs BS {bs_call} ({:.1}% off)",
+            rel * 100.0
+        );
     }
 
     #[test]
     fn partial_sums_partition_total() {
         let total = partial_sum(0, 10_000);
-        let parts: f64 =
-            (0..10).map(|b| partial_sum(b * 1000, (b + 1) * 1000)).sum();
+        let parts: f64 = (0..10).map(|b| partial_sum(b * 1000, (b + 1) * 1000)).sum();
         assert!((total - parts).abs() < 1e-6);
     }
 
@@ -282,7 +306,11 @@ mod tests {
                 ewc_gpu::DispatchPolicy::default(),
             )
             .unwrap();
-        assert!((out.elapsed_s - 62.4).abs() / 62.4 < 0.02, "instance {}", out.elapsed_s);
+        assert!(
+            (out.elapsed_s - 62.4).abs() / 62.4 < 0.02,
+            "instance {}",
+            out.elapsed_s
+        );
     }
 
     #[test]

@@ -180,7 +180,11 @@ mod tests {
             gpu.upload(input, 0, &bytes)?;
             Ok((
                 vec![KernelArg::Ptr(input), KernelArg::Ptr(output)],
-                DeviceBuffers { input, output, output_len: self.d2h_bytes() },
+                DeviceBuffers {
+                    input,
+                    output,
+                    output_len: self.d2h_bytes(),
+                },
             ))
         }
         fn expected_output(&self, seed: u64) -> Vec<u8> {

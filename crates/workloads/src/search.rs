@@ -98,14 +98,30 @@ impl SearchWorkload {
     /// threads; GPU 35.2 s vs CPU 17 s (the 0.48 speedup row).
     pub fn tables56(cfg: &GpuConfig) -> Self {
         let desc = latency_bound(Self::base_desc(256), 35.2, 0.30, cfg);
-        SearchWorkload::new(10 * 1024, DEFAULT_PATTERN.to_vec(), desc, 10, 34.0, 2, 4 << 20)
+        SearchWorkload::new(
+            10 * 1024,
+            DEFAULT_PATTERN.to_vec(),
+            desc,
+            10,
+            34.0,
+            2,
+            4 << 20,
+        )
     }
 
     /// Scenario 2 (Table 3) instance: 15 blocks, 6e6 iterations → 49.2 s
     /// on the GPU.
     pub fn scenario2(cfg: &GpuConfig) -> Self {
         let desc = latency_bound(Self::base_desc(256), 49.2, 0.30, cfg);
-        SearchWorkload::new(10 * 1024, DEFAULT_PATTERN.to_vec(), desc, 15, 34.0, 2, 4 << 20)
+        SearchWorkload::new(
+            10 * 1024,
+            DEFAULT_PATTERN.to_vec(),
+            desc,
+            15,
+            34.0,
+            2,
+            4 << 20,
+        )
     }
 
     /// The pattern searched for.
@@ -128,7 +144,12 @@ impl Workload for SearchWorkload {
     }
 
     fn cpu_task(&self) -> CpuTask {
-        CpuTask::new("search", self.cpu_work_core_s, self.cpu_parallelism, self.cpu_working_set)
+        CpuTask::new(
+            "search",
+            self.cpu_work_core_s,
+            self.cpu_parallelism,
+            self.cpu_working_set,
+        )
     }
 
     fn h2d_bytes(&self) -> u64 {
@@ -149,13 +170,17 @@ impl Workload for SearchWorkload {
             let chunk = n.div_ceil(nb);
             let lo = ctx.block_idx as usize * chunk;
             let hi = (lo + chunk).min(n);
-            let text = mem.read(input, 0, n as u64).expect("text in bounds").to_vec();
+            let text = mem
+                .read(input, 0, n as u64)
+                .expect("text in bounds")
+                .to_vec();
             let count = if lo < hi {
                 count_matches_in_range(&text, &pattern, lo, hi)
             } else {
                 0
             };
-            mem.write_u32s(output, ctx.block_idx as u64, &[count]).expect("count in bounds");
+            mem.write_u32s(output, ctx.block_idx as u64, &[count])
+                .expect("count in bounds");
         })
     }
 
@@ -174,7 +199,11 @@ impl Workload for SearchWorkload {
                 KernelArg::Ptr(output),
                 KernelArg::U32(self.text_bytes as u32),
             ],
-            DeviceBuffers { input, output, output_len: u64::from(self.blocks) * 4 },
+            DeviceBuffers {
+                input,
+                output,
+                output_len: u64::from(self.blocks) * 4,
+            },
         ))
     }
 
@@ -200,13 +229,17 @@ impl Workload for SearchWorkload {
 mod tests {
     use super::*;
     use crate::registry::run_standalone;
-    use ewc_gpu::GpuDevice;
     use ewc_gpu::BlockCost;
+    use ewc_gpu::GpuDevice;
 
     #[test]
     fn count_matches_basic() {
         assert_eq!(count_matches(b"the cat the dog", b"the"), 2);
-        assert_eq!(count_matches(b"aaaa", b"aa"), 3, "overlapping matches count");
+        assert_eq!(
+            count_matches(b"aaaa", b"aa"),
+            3,
+            "overlapping matches count"
+        );
         assert_eq!(count_matches(b"abc", b"xyz"), 0);
         assert_eq!(count_matches(b"ab", b"abc"), 0, "pattern longer than text");
         assert_eq!(count_matches(b"abc", b""), 0);
@@ -221,7 +254,10 @@ mod tests {
             .map(|b| count_matches_in_range(&text, pat, b * 5000, (b + 1) * 5000))
             .sum();
         assert_eq!(total, sum, "chunk counts must partition the total");
-        assert!(total > 0, "two-letter pattern should occur in 20 K random chars");
+        assert!(
+            total > 0,
+            "two-letter pattern should occur in 20 K random chars"
+        );
     }
 
     #[test]

@@ -95,7 +95,14 @@ impl SortWorkload {
         cpu_parallelism: u32,
         cpu_working_set: u64,
     ) -> Self {
-        SortWorkload { elems, desc, blocks, cpu_work_core_s, cpu_parallelism, cpu_working_set }
+        SortWorkload {
+            elems,
+            desc,
+            blocks,
+            cpu_work_core_s,
+            cpu_parallelism,
+            cpu_working_set,
+        }
     }
 
     /// Table 1 / Figure 8 instance: 6 K elements, 6 blocks of 256
@@ -132,7 +139,12 @@ impl Workload for SortWorkload {
     }
 
     fn cpu_task(&self) -> CpuTask {
-        CpuTask::new("sorting", self.cpu_work_core_s, self.cpu_parallelism, self.cpu_working_set)
+        CpuTask::new(
+            "sorting",
+            self.cpu_work_core_s,
+            self.cpu_parallelism,
+            self.cpu_working_set,
+        )
     }
 
     fn h2d_bytes(&self) -> u64 {
@@ -187,8 +199,16 @@ impl Workload for SortWorkload {
         }
         gpu.upload(input, 0, &raw)?;
         Ok((
-            vec![KernelArg::Ptr(input), KernelArg::Ptr(output), KernelArg::U32(self.elems as u32)],
-            DeviceBuffers { input, output, output_len: bytes },
+            vec![
+                KernelArg::Ptr(input),
+                KernelArg::Ptr(output),
+                KernelArg::U32(self.elems as u32),
+            ],
+            DeviceBuffers {
+                input,
+                output,
+                output_len: bytes,
+            },
         ))
     }
 
@@ -207,8 +227,8 @@ impl Workload for SortWorkload {
 mod tests {
     use super::*;
     use crate::registry::run_standalone;
-    use ewc_gpu::GpuDevice;
     use ewc_gpu::BlockCost;
+    use ewc_gpu::GpuDevice;
 
     #[test]
     fn bitonic_sorts_arbitrary_lengths() {
@@ -268,7 +288,11 @@ mod tests {
         let w = SortWorkload::fig8(&cfg);
         let c = BlockCost::derive(&w.desc(), &cfg);
         assert!((c.t_solo_s - 2.0).abs() / 2.0 < 1e-3, "time {}", c.t_solo_s);
-        assert!((c.issue_demand - 0.45).abs() < 0.03, "demand {}", c.issue_demand);
+        assert!(
+            (c.issue_demand - 0.45).abs() < 0.03,
+            "demand {}",
+            c.issue_demand
+        );
         // Two co-resident sort blocks must fit and not contend (Σd < 1).
         assert!(2.0 * c.issue_demand < 1.0);
         let occ = ewc_gpu::Occupancy::of(&w.desc(), &cfg).unwrap();

@@ -4,6 +4,11 @@
 //! or serial) or the CPU, whichever costs the least energy — the full
 //! Figure 6 flow, with nothing forced.
 //!
+//! Telemetry is enabled for the run: alongside the textual report it
+//! writes `enterprise_trace.json`, a Chrome trace-event file — open it
+//! in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing` to see
+//! every request, staging copy and per-SM block on a timeline.
+//!
 //! ```text
 //! cargo run -p ewc-bench --release --example enterprise_server
 //! ```
@@ -13,6 +18,7 @@ use std::thread;
 
 use ewc_core::{Runtime, RuntimeConfig, Template};
 use ewc_gpu::GpuConfig;
+use ewc_telemetry::{export, TelemetrySink};
 use ewc_workloads::{AesWorkload, BlackScholesWorkload, SearchWorkload, Workload};
 
 fn main() {
@@ -29,10 +35,14 @@ fn main() {
         .workload("encryption", Arc::clone(&aes))
         .workload("search", Arc::clone(&search))
         .workload("blackscholes", Arc::clone(&bs))
-        .template(Template::heterogeneous("search+bs", &["search", "blackscholes"]))
+        .template(Template::heterogeneous(
+            "search+bs",
+            &["search", "blackscholes"],
+        ))
         .template(Template::homogeneous("encryption"))
         .template(Template::homogeneous("blackscholes"))
         .template(Template::homogeneous("search"))
+        .telemetry(TelemetrySink::enabled())
         .build(),
     );
 
@@ -54,13 +64,16 @@ fn main() {
         threads.push(thread::spawn(move || {
             let mut fe = rt.connect();
             let (args, bufs) = w.build_args(&mut fe, user).expect("upload");
-            fe.configure_call(w.blocks(), w.desc().threads_per_block).unwrap();
+            fe.configure_call(w.blocks(), w.desc().threads_per_block)
+                .unwrap();
             for a in &args {
                 fe.setup_argument(*a).unwrap();
             }
             fe.launch(name).expect("queue");
             fe.sync().expect("drain");
-            let out = fe.memcpy_d2h(bufs.output, 0, bufs.output_len).expect("download");
+            let out = fe
+                .memcpy_d2h(bufs.output, 0, bufs.output_len)
+                .expect("download");
             assert_eq!(out, w.expected_output(user), "user {user} result");
             (user, name)
         }));
@@ -73,7 +86,11 @@ fn main() {
     let rt = Arc::into_inner(rt).expect("all users done");
     let report = rt.shutdown();
     println!("\n== backend report ==");
-    println!("wall time:  {:.2} s, energy {:.1} kJ", report.elapsed_s, report.energy.energy_j / 1e3);
+    println!(
+        "wall time:  {:.2} s, energy {:.1} kJ",
+        report.elapsed_s,
+        report.energy.energy_j / 1e3
+    );
     println!(
         "launches: {} ({} consolidated), cpu-offloaded kernels: {}",
         report.stats.launches, report.stats.consolidated_launches, report.stats.cpu_executions
@@ -87,5 +104,18 @@ fn main() {
             rec.predicted_time_s,
             rec.actual_time_s
         );
+    }
+
+    let snap = report.telemetry.expect("telemetry was enabled");
+    println!("\n== telemetry ==");
+    print!("{}", export::summary::render(&snap));
+    let path = "enterprise_trace.json";
+    match std::fs::write(path, export::chrome::render(&snap)) {
+        Ok(()) => println!(
+            "\nwrote {path} ({} spans, {} decisions) — open it in https://ui.perfetto.dev",
+            snap.spans.len(),
+            snap.audit.len()
+        ),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
     }
 }

@@ -16,9 +16,8 @@ fn main() {
     let truth = GpuPowerGroundTruth::tesla_c1060();
 
     // Train the Eq. 11 coefficients exactly as the backend does.
-    let coeffs =
-        PowerCoefficients::train(&cfg, &truth, &TrainingBenchmark::rodinia_suite(), 42)
-            .expect("training converges");
+    let coeffs = PowerCoefficients::train(&cfg, &truth, &TrainingBenchmark::rodinia_suite(), 42)
+        .expect("training converges");
     println!(
         "trained power model: a_comp={:.3e} W/(op/s), a_mem={:.3e} W/(txn/s), a_active={:.1} W, λ={:.1} W (R²={:.4})\n",
         coeffs.a_comp, coeffs.a_mem, coeffs.a_active, coeffs.lambda, coeffs.r2
@@ -32,12 +31,17 @@ fn main() {
     let engine = ExecutionEngine::new(cfg.clone());
     let aes = AesWorkload::fig7(&cfg);
 
-    println!("{:>3}  {:>10} {:>10}  {:>9} {:>9}  {:>10} {:>10}", "n", "pred t(s)", "sim t(s)", "pred W", "true W", "pred E(J)", "true E(J)");
+    println!(
+        "{:>3}  {:>10} {:>10}  {:>9} {:>9}  {:>10} {:>10}",
+        "n", "pred t(s)", "sim t(s)", "pred W", "true W", "pred E(J)", "true E(J)"
+    );
     for n in [1u32, 2, 3, 6, 9, 12, 15] {
         let plan = ConsolidationPlan::homogeneous(aes.desc(), aes.blocks(), n);
         let pred = model.predict(&plan);
 
-        let out = engine.run(&plan.to_grid(), DispatchPolicy::default()).expect("run");
+        let out = engine
+            .run(&plan.to_grid(), DispatchPolicy::default())
+            .expect("run");
         let mut true_e = 0.0;
         for iv in &out.intervals {
             true_e += truth.dyn_power_w(&iv.rates) * iv.dur_s;
@@ -45,12 +49,7 @@ fn main() {
         let true_p = true_e / out.elapsed_s;
         println!(
             "{n:>3}  {:>10.2} {:>10.2}  {:>9.1} {:>9.1}  {:>10.0} {:>10.0}",
-            pred.time_s,
-            out.elapsed_s,
-            pred.dyn_power_w,
-            true_p,
-            pred.gpu_energy_j,
-            true_e
+            pred.time_s, out.elapsed_s, pred.dyn_power_w, true_p, pred.gpu_energy_j, true_e
         );
     }
 

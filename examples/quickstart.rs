@@ -32,7 +32,8 @@ fn main() {
         let (key, tables) = aes.constant_data().expect("AES ships constant tables");
         fe.register_constant(key, &tables).expect("constant upload");
         let (args, bufs) = aes.build_args(&mut fe, user).expect("upload input");
-        fe.configure_call(aes.blocks(), aes.desc().threads_per_block).unwrap();
+        fe.configure_call(aes.blocks(), aes.desc().threads_per_block)
+            .unwrap();
         for a in &args {
             fe.setup_argument(*a).unwrap();
         }
@@ -44,9 +45,14 @@ fn main() {
     // 3. Wait for the batch and read results back.
     sessions[0].0.sync().expect("drain");
     for (fe, bufs, user) in &sessions {
-        let out = fe.memcpy_d2h(bufs.output, 0, bufs.output_len).expect("download");
+        let out = fe
+            .memcpy_d2h(bufs.output, 0, bufs.output_len)
+            .expect("download");
         let ok = out == aes.expected_output(*user);
-        println!("user {user}: {} bytes encrypted, verified = {ok}", out.len());
+        println!(
+            "user {user}: {} bytes encrypted, verified = {ok}",
+            out.len()
+        );
         assert!(ok);
     }
 
@@ -54,16 +60,27 @@ fn main() {
     let report = rt.shutdown();
     println!("\n== runtime report ==");
     println!("elapsed:        {:.2} s", report.elapsed_s);
-    println!("system energy:  {:.0} J (avg {:.0} W)", report.energy.energy_j, report.energy.avg_power_w);
+    println!(
+        "system energy:  {:.0} J (avg {:.0} W)",
+        report.energy.energy_j, report.energy.avg_power_w
+    );
     println!("messages:       {}", report.stats.messages);
-    println!("overhead:       {:.3} s (staging {:.3}, channel {:.3}, coordination {:.3})",
-        report.stats.overhead_s(), report.stats.staging_s, report.stats.channel_s,
-        report.stats.coordination_s);
+    println!(
+        "overhead:       {:.3} s (staging {:.3}, channel {:.3}, coordination {:.3})",
+        report.stats.overhead_s(),
+        report.stats.staging_s,
+        report.stats.channel_s,
+        report.stats.coordination_s
+    );
     for rec in &report.stats.records {
         println!(
             "decision: {:?} via '{}' over {} kernels — predicted {:.2} s / {:.0} J, actual {:.2} s",
-            rec.choice, rec.template, rec.kernels.len(), rec.predicted_time_s,
-            rec.predicted_energy_j, rec.actual_time_s
+            rec.choice,
+            rec.template,
+            rec.kernels.len(),
+            rec.predicted_time_s,
+            rec.predicted_energy_j,
+            rec.actual_time_s
         );
     }
 }

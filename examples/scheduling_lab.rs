@@ -57,8 +57,16 @@ fn main() {
         .add(Grid::single(enc.desc(), enc.blocks()))
         .add(Grid::single(mc.desc(), mc.blocks()))
         .build();
-    show("scenario 1: encryption + MonteCarlo", &s1, DispatchPolicy::PaperRedistribution);
-    show("scenario 1: encryption + MonteCarlo", &s1, DispatchPolicy::GreedyGlobal);
+    show(
+        "scenario 1: encryption + MonteCarlo",
+        &s1,
+        DispatchPolicy::PaperRedistribution,
+    );
+    show(
+        "scenario 1: encryption + MonteCarlo",
+        &s1,
+        DispatchPolicy::GreedyGlobal,
+    );
 
     // Scenario 2: search (latency-bound) + BlackScholes (compute-bound)
     // co-reside: BS warps fill search's stall cycles.
@@ -68,8 +76,16 @@ fn main() {
         .add(Grid::single(search.desc(), search.blocks()))
         .add(Grid::single(bs.desc(), bs.blocks()))
         .build();
-    show("scenario 2: search + BlackScholes", &s2, DispatchPolicy::PaperRedistribution);
-    show("scenario 2: search + BlackScholes", &s2, DispatchPolicy::GreedyGlobal);
+    show(
+        "scenario 2: search + BlackScholes",
+        &s2,
+        DispatchPolicy::PaperRedistribution,
+    );
+    show(
+        "scenario 2: search + BlackScholes",
+        &s2,
+        DispatchPolicy::GreedyGlobal,
+    );
 
     println!(
         "\nTakeaway: the idealised greedy dispatcher erases scenario 1's\n\

@@ -1,37 +1,61 @@
 //! Model-based property tests for the device memory allocator: random
 //! alloc/free/write/read sequences are mirrored against a trivially
 //! correct reference model (a map of id → bytes); the real allocator
-//! must agree on every observable.
+//! must agree on every observable. Sequences are generated with the
+//! workspace's deterministic [`SimRng`], so every run replays the same
+//! seeded case set.
 
 use std::collections::HashMap;
 
 use ewc_gpu::memory::GlobalMemory;
-use ewc_gpu::DevicePtr;
-use proptest::prelude::*;
+use ewc_gpu::{DevicePtr, SimRng};
 
 #[derive(Debug, Clone)]
 enum Op {
-    Alloc { id: u16, len: u16 },
-    Free { id: u16 },
-    Write { id: u16, offset: u16, byte: u8, len: u16 },
-    Read { id: u16 },
+    Alloc {
+        id: u16,
+        len: u16,
+    },
+    Free {
+        id: u16,
+    },
+    Write {
+        id: u16,
+        offset: u16,
+        byte: u8,
+        len: u16,
+    },
+    Read {
+        id: u16,
+    },
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<u16>(), 1u16..2048).prop_map(|(id, len)| Op::Alloc { id, len }),
-        any::<u16>().prop_map(|id| Op::Free { id }),
-        (any::<u16>(), any::<u16>(), any::<u8>(), 1u16..512)
-            .prop_map(|(id, offset, byte, len)| Op::Write { id, offset, byte, len }),
-        any::<u16>().prop_map(|id| Op::Read { id }),
-    ]
+fn random_op(rng: &mut SimRng) -> Op {
+    // Small id space so alloc/free/write/read frequently hit the same
+    // buffer instead of missing the live map.
+    let id = rng.range_u32(0, 24) as u16;
+    match rng.range_u32(0, 4) {
+        0 => Op::Alloc {
+            id,
+            len: rng.range_u32(1, 2048) as u16,
+        },
+        1 => Op::Free { id },
+        2 => Op::Write {
+            id,
+            offset: rng.range_u32(0, 3000) as u16,
+            byte: rng.next_u32() as u8,
+            len: rng.range_u32(1, 512) as u16,
+        },
+        _ => Op::Read { id },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn allocator_agrees_with_reference_model(ops in proptest::collection::vec(arb_op(), 1..120)) {
+#[test]
+fn allocator_agrees_with_reference_model() {
+    let mut rng = SimRng::seed_from_u64(0xa110_c001);
+    for case in 0..128 {
+        let n_ops = rng.range_usize(1, 120);
+        let ops: Vec<Op> = (0..n_ops).map(|_| random_op(&mut rng)).collect();
         let mut mem = GlobalMemory::new(1 << 20, 4 << 10);
         let mut live: HashMap<u16, (DevicePtr, Vec<u8>)> = HashMap::new();
 
@@ -45,59 +69,67 @@ proptest! {
                         Ok(ptr) => {
                             // Fresh allocations are zeroed.
                             let got = mem.read(ptr, 0, u64::from(len)).unwrap();
-                            prop_assert!(got.iter().all(|&b| b == 0));
+                            assert!(got.iter().all(|&b| b == 0), "case {case}: dirty alloc");
                             live.insert(id, (ptr, vec![0u8; len as usize]));
                         }
                         Err(_) => {
                             // Only legitimate when capacity is exhausted
                             // (fragmentation counts — compare to free
                             // bytes, not the raw sum).
-                            prop_assert!(mem.free_bytes() < (1 << 20));
+                            assert!(mem.free_bytes() < (1 << 20), "case {case}: bogus OOM");
                         }
                     }
                 }
                 Op::Free { id } => {
                     if let Some((ptr, _)) = live.remove(&id) {
-                        prop_assert!(mem.free(ptr).is_ok());
+                        assert!(mem.free(ptr).is_ok(), "case {case}");
                         // Double free must fail.
-                        prop_assert!(mem.free(ptr).is_err());
+                        assert!(mem.free(ptr).is_err(), "case {case}: double free allowed");
                     }
                 }
-                Op::Write { id, offset, byte, len } => {
+                Op::Write {
+                    id,
+                    offset,
+                    byte,
+                    len,
+                } => {
                     if let Some((ptr, shadow)) = live.get_mut(&id) {
                         let data = vec![byte; len as usize];
-                        let fits =
-                            (offset as usize).saturating_add(len as usize) <= shadow.len();
+                        let fits = (offset as usize).saturating_add(len as usize) <= shadow.len();
                         let res = mem.write(*ptr, u64::from(offset), &data);
-                        prop_assert_eq!(res.is_ok(), fits, "bounds check mismatch");
+                        assert_eq!(res.is_ok(), fits, "case {case}: bounds check mismatch");
                         if fits {
-                            shadow[offset as usize..(offset + len) as usize]
-                                .copy_from_slice(&data);
+                            shadow[offset as usize..(offset + len) as usize].copy_from_slice(&data);
                         }
                     }
                 }
                 Op::Read { id } => {
                     if let Some((ptr, shadow)) = live.get(&id) {
                         let got = mem.read(*ptr, 0, shadow.len() as u64).unwrap();
-                        prop_assert_eq!(got, &shadow[..], "contents diverged");
+                        assert_eq!(&got, shadow, "case {case}: contents diverged");
                     }
                 }
             }
             // Used-byte accounting matches the model at every step.
             let expect: u64 = live.values().map(|(_, v)| v.len() as u64).sum();
-            prop_assert_eq!(mem.used_bytes(), expect);
+            assert_eq!(mem.used_bytes(), expect, "case {case}");
         }
 
         // Every surviving allocation still reads back its shadow.
         for (ptr, shadow) in live.values() {
             let got = mem.read(*ptr, 0, shadow.len() as u64).unwrap();
-            prop_assert_eq!(got, &shadow[..]);
+            assert_eq!(&got, shadow, "case {case}");
         }
     }
+}
 
-    /// Allocations never overlap, whatever the alloc/free interleaving.
-    #[test]
-    fn allocations_are_disjoint(lens in proptest::collection::vec(1u64..4096, 1..40)) {
+/// Allocations never overlap, whatever the alloc/free interleaving.
+#[test]
+fn allocations_are_disjoint() {
+    let mut rng = SimRng::seed_from_u64(0xa110_c002);
+    for case in 0..128 {
+        let n = rng.range_usize(1, 40);
+        let lens: Vec<u64> = (0..n).map(|_| rng.range_u64(1, 4096)).collect();
         let mut mem = GlobalMemory::new(1 << 22, 0);
         let mut spans: Vec<(u64, u64)> = Vec::new();
         for (i, len) in lens.iter().enumerate() {
@@ -112,7 +144,12 @@ proptest! {
         }
         spans.sort_unstable();
         for w in spans.windows(2) {
-            prop_assert!(w[0].1 <= w[1].0, "overlap: {:?} vs {:?}", w[0], w[1]);
+            assert!(
+                w[0].1 <= w[1].0,
+                "case {case}: overlap {:?} vs {:?}",
+                w[0],
+                w[1]
+            );
         }
     }
 }

@@ -9,9 +9,18 @@ fn assert_all_correct(mix: &Mix, label: &str) {
     let serial = run_serial(mix);
     let manual = run_manual(mix);
     let dynamic = run_dynamic(mix);
-    assert!(serial.correct, "{label}: serial outputs must match host references");
-    assert!(manual.correct, "{label}: manual consolidation corrupted outputs");
-    assert!(dynamic.correct, "{label}: framework consolidation corrupted outputs");
+    assert!(
+        serial.correct,
+        "{label}: serial outputs must match host references"
+    );
+    assert!(
+        manual.correct,
+        "{label}: manual consolidation corrupted outputs"
+    );
+    assert!(
+        dynamic.correct,
+        "{label}: framework consolidation corrupted outputs"
+    );
 }
 
 #[test]

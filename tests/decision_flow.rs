@@ -18,7 +18,8 @@ fn submit(
 ) -> (ewc_core::Frontend, ewc_workloads::registry::DeviceBuffers) {
     let mut fe = rt.connect();
     let (args, bufs) = w.build_args(&mut fe, seed).expect("build");
-    fe.configure_call(w.blocks(), w.desc().threads_per_block).unwrap();
+    fe.configure_call(w.blocks(), w.desc().threads_per_block)
+        .unwrap();
     for a in &args {
         fe.setup_argument(*a).unwrap();
     }
@@ -36,7 +37,10 @@ fn runtime(threshold: u32) -> (Runtime, Arc<dyn Workload>, Arc<dyn Workload>) {
     })
     .workload("encryption", Arc::clone(&aes))
     .workload("montecarlo", Arc::clone(&mc))
-    .template(Template::heterogeneous("e+m", &["encryption", "montecarlo"]))
+    .template(Template::heterogeneous(
+        "e+m",
+        &["encryption", "montecarlo"],
+    ))
     .template(Template::homogeneous("encryption"))
     .template(Template::homogeneous("montecarlo"))
     .build();
@@ -54,7 +58,12 @@ fn single_cpu_friendly_kernel_is_offloaded_to_cpu() {
     assert_eq!(out, aes.expected_output(0));
     let report = rt.shutdown();
     assert_eq!(report.stats.records.len(), 1);
-    assert_eq!(report.stats.records[0].choice, Choice::Cpu, "{:?}", report.stats.records);
+    assert_eq!(
+        report.stats.records[0].choice,
+        Choice::Cpu,
+        "{:?}",
+        report.stats.records
+    );
     assert_eq!(report.stats.cpu_executions, 1);
     assert_eq!(report.stats.launches, 0);
 }
@@ -87,7 +96,12 @@ fn large_enough_group_consolidates_on_gpu() {
     }
     let report = rt.shutdown();
     let rec = &report.stats.records[0];
-    assert_eq!(rec.choice, Choice::Consolidate, "records: {:?}", report.stats.records);
+    assert_eq!(
+        rec.choice,
+        Choice::Consolidate,
+        "records: {:?}",
+        report.stats.records
+    );
     assert_eq!(rec.kernels.len(), 9);
     assert_eq!(report.stats.consolidated_launches, 1);
 }
@@ -103,7 +117,15 @@ fn threshold_triggers_without_sync() {
     // launches themselves are synchronous RPCs, so by the time the third
     // ticket is issued the backend has seen all three.
     let report = rt.shutdown(); // shutdown flushes whatever is left
-    assert_eq!(report.stats.records.iter().map(|r| r.kernels.len()).sum::<usize>(), 3);
+    assert_eq!(
+        report
+            .stats
+            .records
+            .iter()
+            .map(|r| r.kernels.len())
+            .sum::<usize>(),
+        3
+    );
 }
 
 #[test]
@@ -151,7 +173,11 @@ fn unknown_kernels_fall_back_to_individual_execution() {
     assert_eq!(out_b, mc.expected_output(1));
     let report = rt.shutdown();
     assert_eq!(report.stats.records.len(), 2);
-    assert!(report.stats.records.iter().all(|r| r.template == "<individual>"));
+    assert!(report
+        .stats
+        .records
+        .iter()
+        .all(|r| r.template == "<individual>"));
     assert_eq!(report.stats.consolidated_launches, 0);
 }
 
@@ -162,11 +188,17 @@ fn scenario1_group_is_not_consolidated_by_the_models() {
     let cfg = GpuConfig::tesla_c1060();
     let enc: Arc<dyn Workload> = Arc::new(AesWorkload::scenario1(&cfg));
     let mc: Arc<dyn Workload> = Arc::new(MonteCarloWorkload::scenario1(&cfg));
-    let rt = Runtime::builder(RuntimeConfig { force_gpu: true, ..RuntimeConfig::default() })
-        .workload("encryption", Arc::clone(&enc))
-        .workload("montecarlo", Arc::clone(&mc))
-        .template(Template::heterogeneous("e+m", &["encryption", "montecarlo"]))
-        .build();
+    let rt = Runtime::builder(RuntimeConfig {
+        force_gpu: true,
+        ..RuntimeConfig::default()
+    })
+    .workload("encryption", Arc::clone(&enc))
+    .workload("montecarlo", Arc::clone(&mc))
+    .template(Template::heterogeneous(
+        "e+m",
+        &["encryption", "montecarlo"],
+    ))
+    .build();
     let a = submit(&rt, "encryption", &enc, 0);
     let _b = submit(&rt, "montecarlo", &mc, 1);
     a.0.sync().unwrap();

@@ -17,9 +17,11 @@ fn compute_kernel(secs: f64) -> KernelDesc {
 #[test]
 fn meter_sampling_agrees_with_direct_integration() {
     let mut gpu = GpuDevice::new(GpuConfig::tesla_c1060());
-    gpu.launch(&LaunchConfig::single(compute_kernel(5.0), 20)).unwrap();
+    gpu.launch(&LaunchConfig::single(compute_kernel(5.0), 20))
+        .unwrap();
     gpu.idle(1.0);
-    gpu.launch(&LaunchConfig::single(compute_kernel(2.0), 40)).unwrap();
+    gpu.launch(&LaunchConfig::single(compute_kernel(2.0), 40))
+        .unwrap();
 
     let sys = GpuSystemPower::tesla_system();
     let direct = sys.integrate(gpu.activity(), gpu.now_s(), None);
@@ -27,7 +29,11 @@ fn meter_sampling_agrees_with_direct_integration() {
     let meter = PowerMeter::new(100.0);
     let sampled = meter.measure(&timeline, 0.0, gpu.now_s());
     let rel = (sampled.energy_j - direct.energy_j).abs() / direct.energy_j;
-    assert!(rel < 0.02, "meter vs integral differ by {:.2}%", rel * 100.0);
+    assert!(
+        rel < 0.02,
+        "meter vs integral differ by {:.2}%",
+        rel * 100.0
+    );
 
     // The 1 Hz WattsUp is coarser but still lands within a few percent
     // on this multi-second window.
@@ -55,8 +61,14 @@ fn consolidated_power_higher_but_energy_lower() {
     let mix = Mix::encryption(&cfg, 8);
     let serial = run_serial(&mix);
     let manual = run_manual(&mix);
-    assert!(manual.avg_power_w > serial.avg_power_w, "consolidation packs more power");
-    assert!(manual.energy_j < 0.5 * serial.energy_j, "…but wins on energy");
+    assert!(
+        manual.avg_power_w > serial.avg_power_w,
+        "consolidation packs more power"
+    );
+    assert!(
+        manual.energy_j < 0.5 * serial.energy_j,
+        "…but wins on energy"
+    );
 }
 
 #[test]
@@ -73,7 +85,8 @@ fn energy_grows_with_serial_instance_count() {
 #[test]
 fn idle_gaps_cost_idle_energy() {
     let mut gpu = GpuDevice::new(GpuConfig::tesla_c1060());
-    gpu.launch(&LaunchConfig::single(compute_kernel(1.0), 10)).unwrap();
+    gpu.launch(&LaunchConfig::single(compute_kernel(1.0), 10))
+        .unwrap();
     let busy_end = gpu.now_s();
     let sys = GpuSystemPower::tesla_system();
     let before = sys.integrate(gpu.activity(), busy_end, None);
@@ -82,5 +95,8 @@ fn idle_gaps_cost_idle_energy() {
     let delta = after.energy_j - before.energy_j;
     // Ten idle seconds ≈ 10 × idle power (plus residual leakage decay).
     assert!(delta >= 10.0 * sys.idle_w, "idle energy missing: {delta}");
-    assert!(delta < 10.5 * sys.idle_w + 50.0, "idle energy overcharged: {delta}");
+    assert!(
+        delta < 10.5 * sys.idle_w + 50.0,
+        "idle energy overcharged: {delta}"
+    );
 }

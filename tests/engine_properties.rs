@@ -1,94 +1,118 @@
-//! Property-based invariants over the simulators (proptest).
+//! Randomized invariants over the simulators.
+//!
+//! These were proptest properties in spirit; offline we drive them with
+//! the workspace's own deterministic [`SimRng`] so every run explores
+//! the same seeded case set with zero external dependencies.
 
 use ewc_cpu::{CpuConfig, CpuEngine, CpuTask};
 use ewc_gpu::{
     BlockCost, ConsolidatedGrid, DispatchPolicy, ExecutionEngine, GpuConfig, Grid, KernelDesc,
+    SimRng,
 };
 use ewc_workloads::aes::{encrypt_ecb, DEMO_KEY};
 use ewc_workloads::sort::bitonic_sort;
-use proptest::prelude::*;
 
-fn arb_kernel() -> impl Strategy<Value = KernelDesc> {
-    (
-        prop_oneof![Just(32u32), Just(64), Just(128), Just(256), Just(512)],
-        8u32..40,
-        0u32..8192,
-        1e3..1e7f64,
-        0.0..1e4f64,
-        0.0..500.0f64,
-    )
-        .prop_map(|(tpb, regs, smem, comp, coal, uncoal)| {
-            // Keep the block schedulable: its register footprint must fit
-            // the 16 K register file.
-            let regs = regs.min(16_384 / tpb);
-            KernelDesc::builder("prop")
-                .threads_per_block(tpb)
-                .regs_per_thread(regs.max(1))
-                .shared_mem_per_block(smem)
-                .comp_insts(comp)
-                .coalesced_mem(coal)
-                .uncoalesced_mem(uncoal)
-                .build()
-        })
+const CASES: usize = 64;
+
+fn random_kernel(rng: &mut SimRng) -> KernelDesc {
+    let tpb = [32u32, 64, 128, 256, 512][rng.range_usize(0, 5)];
+    // Keep the block schedulable: its register footprint must fit the
+    // 16 K register file.
+    let regs = rng.range_u32(8, 40).min(16_384 / tpb).max(1);
+    KernelDesc::builder("prop")
+        .threads_per_block(tpb)
+        .regs_per_thread(regs)
+        .shared_mem_per_block(rng.range_u32(0, 8192))
+        .comp_insts(rng.range_f64(1e3, 1e7))
+        .coalesced_mem(rng.range_f64(0.0, 1e4))
+        .uncoalesced_mem(rng.range_f64(0.0, 500.0))
+        .build()
 }
 
-fn arb_grid() -> impl Strategy<Value = Grid> {
-    proptest::collection::vec((arb_kernel(), 1u32..40), 1..4).prop_map(|parts| {
-        let mut g = ConsolidatedGrid::new();
-        for (desc, blocks) in parts {
-            g = g.add(Grid::single(desc, blocks));
-        }
-        g.build()
-    })
+fn random_grid(rng: &mut SimRng) -> Grid {
+    let segments = rng.range_usize(1, 4);
+    let mut g = ConsolidatedGrid::new();
+    for _ in 0..segments {
+        let desc = random_kernel(rng);
+        let blocks = rng.range_u32(1, 40);
+        g = g.add(Grid::single(desc, blocks));
+    }
+    g.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const POLICIES: [DispatchPolicy; 3] = [
+    DispatchPolicy::PaperRedistribution,
+    DispatchPolicy::StaticRoundRobin,
+    DispatchPolicy::GreedyGlobal,
+];
 
-    /// Every block retires exactly once, whatever the policy.
-    #[test]
-    fn all_blocks_retire(grid in arb_grid(), policy_idx in 0usize..3) {
-        let policy = [
-            DispatchPolicy::PaperRedistribution,
-            DispatchPolicy::StaticRoundRobin,
-            DispatchPolicy::GreedyGlobal,
-        ][policy_idx];
-        let engine = ExecutionEngine::new(GpuConfig::tesla_c1060());
+/// Every block retires exactly once, whatever the policy.
+#[test]
+fn all_blocks_retire() {
+    let mut rng = SimRng::seed_from_u64(0x5eed_0001);
+    let engine = ExecutionEngine::new(GpuConfig::tesla_c1060());
+    for case in 0..CASES {
+        let grid = random_grid(&mut rng);
+        let policy = POLICIES[rng.range_usize(0, 3)];
         let out = engine.run(&grid, policy).unwrap();
-        prop_assert_eq!(out.trace.events().len() as u32, grid.total_blocks());
+        assert_eq!(
+            out.trace.events().len() as u32,
+            grid.total_blocks(),
+            "case {case}: every block must produce exactly one event"
+        );
         // Each block appears once.
         let mut seen: Vec<u32> = out.trace.events().iter().map(|e| e.coord.global).collect();
         seen.sort_unstable();
         seen.dedup();
-        prop_assert_eq!(seen.len() as u32, grid.total_blocks());
+        assert_eq!(
+            seen.len() as u32,
+            grid.total_blocks(),
+            "case {case}: duplicate blocks"
+        );
     }
+}
 
-    /// The makespan is bounded below by the longest solo block and above
-    /// by the strictly serial execution of everything on one SM.
-    #[test]
-    fn makespan_bounds(grid in arb_grid()) {
-        let cfg = GpuConfig::tesla_c1060();
-        let engine = ExecutionEngine::new(cfg.clone());
+fn longest_and_serial(grid: &Grid, cfg: &GpuConfig) -> (f64, f64) {
+    let longest = grid
+        .segments()
+        .iter()
+        .map(|s| BlockCost::derive(&s.desc, cfg).t_solo_s)
+        .fold(0.0, f64::max);
+    let serial_all: f64 = grid
+        .segments()
+        .iter()
+        .map(|s| f64::from(s.blocks) * BlockCost::derive(&s.desc, cfg).t_solo_s)
+        .sum();
+    (longest, serial_all)
+}
+
+/// The makespan is bounded below by the longest solo block and above by
+/// the strictly serial execution of everything on one SM.
+#[test]
+fn makespan_bounds() {
+    let cfg = GpuConfig::tesla_c1060();
+    let engine = ExecutionEngine::new(cfg.clone());
+    let mut rng = SimRng::seed_from_u64(0x5eed_0002);
+    for case in 0..CASES {
+        let grid = random_grid(&mut rng);
         let out = engine.run(&grid, DispatchPolicy::default()).unwrap();
-        let longest = grid
-            .segments()
-            .iter()
-            .map(|s| BlockCost::derive(&s.desc, &cfg).t_solo_s)
-            .fold(0.0, f64::max);
-        let serial_all: f64 = grid
-            .segments()
-            .iter()
-            .map(|s| f64::from(s.blocks) * BlockCost::derive(&s.desc, &cfg).t_solo_s)
-            .sum();
-        prop_assert!(out.elapsed_s >= longest * (1.0 - 1e-9));
-        prop_assert!(out.elapsed_s <= serial_all * (1.0 + 1e-9) + 1e-12);
+        let (longest, serial_all) = longest_and_serial(&grid, &cfg);
+        assert!(out.elapsed_s >= longest * (1.0 - 1e-9), "case {case}");
+        assert!(
+            out.elapsed_s <= serial_all * (1.0 + 1e-9) + 1e-12,
+            "case {case}"
+        );
     }
+}
 
-    /// Counter totals equal the sum of per-block costs (work conservation).
-    #[test]
-    fn counters_conserve_work(grid in arb_grid()) {
-        let cfg = GpuConfig::tesla_c1060();
-        let engine = ExecutionEngine::new(cfg.clone());
+/// Counter totals equal the sum of per-block costs (work conservation).
+#[test]
+fn counters_conserve_work() {
+    let cfg = GpuConfig::tesla_c1060();
+    let engine = ExecutionEngine::new(cfg.clone());
+    let mut rng = SimRng::seed_from_u64(0x5eed_0003);
+    for case in 0..CASES {
+        let grid = random_grid(&mut rng);
         let out = engine.run(&grid, DispatchPolicy::default()).unwrap();
         let expect_comp: f64 = grid
             .segments()
@@ -100,102 +124,145 @@ proptest! {
             .iter()
             .map(|s| f64::from(s.blocks) * BlockCost::derive(&s.desc, &cfg).mem_requests)
             .sum();
-        prop_assert!((out.counters.comp_ops - expect_comp).abs() <= expect_comp * 1e-6 + 1e-6);
-        prop_assert!((out.counters.mem_requests - expect_mem).abs() <= expect_mem * 1e-6 + 1e-6);
+        assert!(
+            (out.counters.comp_ops - expect_comp).abs() <= expect_comp * 1e-6 + 1e-6,
+            "case {case}: compute ops not conserved"
+        );
+        assert!(
+            (out.counters.mem_requests - expect_mem).abs() <= expect_mem * 1e-6 + 1e-6,
+            "case {case}: memory requests not conserved"
+        );
     }
+}
 
-    /// Every dispatch policy stays inside the physical envelope: no
-    /// faster than the longest solo block, no slower than running every
-    /// block back to back on one SM. (No ordering between the policies
-    /// themselves is asserted — greedy avoids the paper policy's
-    /// critical-SM pile-ups but can co-schedule a straggler into
-    /// contention the idle-only redistribution would have dodged; both
-    /// directions occur on adversarial grids.)
-    #[test]
-    fn all_policies_within_physical_envelope(grid in arb_grid()) {
-        let cfg = GpuConfig::tesla_c1060();
-        let engine = ExecutionEngine::new(cfg.clone());
-        let longest = grid
-            .segments()
-            .iter()
-            .map(|s| BlockCost::derive(&s.desc, &cfg).t_solo_s)
-            .fold(0.0, f64::max);
-        let serial_all: f64 = grid
-            .segments()
-            .iter()
-            .map(|s| f64::from(s.blocks) * BlockCost::derive(&s.desc, &cfg).t_solo_s)
-            .sum();
-        for policy in [
-            DispatchPolicy::PaperRedistribution,
-            DispatchPolicy::StaticRoundRobin,
-            DispatchPolicy::GreedyGlobal,
-        ] {
+/// Every dispatch policy stays inside the physical envelope: no faster
+/// than the longest solo block, no slower than running every block back
+/// to back on one SM. (No ordering between the policies themselves is
+/// asserted — greedy avoids the paper policy's critical-SM pile-ups but
+/// can co-schedule a straggler into contention the idle-only
+/// redistribution would have dodged; both directions occur on
+/// adversarial grids.)
+#[test]
+fn all_policies_within_physical_envelope() {
+    let cfg = GpuConfig::tesla_c1060();
+    let engine = ExecutionEngine::new(cfg.clone());
+    let mut rng = SimRng::seed_from_u64(0x5eed_0004);
+    for case in 0..CASES {
+        let grid = random_grid(&mut rng);
+        let (longest, serial_all) = longest_and_serial(&grid, &cfg);
+        for policy in POLICIES {
             let t = engine.run(&grid, policy).unwrap().elapsed_s;
-            prop_assert!(t >= longest * (1.0 - 1e-9), "{policy:?}: {t} < longest {longest}");
-            prop_assert!(
+            assert!(
+                t >= longest * (1.0 - 1e-9),
+                "case {case} {policy:?}: {t} < longest {longest}"
+            );
+            assert!(
                 t <= serial_all * (1.0 + 1e-9) + 1e-12,
-                "{policy:?}: {t} > serial {serial_all}"
+                "case {case} {policy:?}: {t} > serial {serial_all}"
             );
         }
     }
+}
 
-    /// The activity profile is contiguous and covers the makespan.
-    #[test]
-    fn activity_profile_is_contiguous(grid in arb_grid()) {
-        let engine = ExecutionEngine::new(GpuConfig::tesla_c1060());
+/// The activity profile is contiguous and covers the makespan.
+#[test]
+fn activity_profile_is_contiguous() {
+    let engine = ExecutionEngine::new(GpuConfig::tesla_c1060());
+    let mut rng = SimRng::seed_from_u64(0x5eed_0005);
+    for case in 0..CASES {
+        let grid = random_grid(&mut rng);
         let out = engine.run(&grid, DispatchPolicy::default()).unwrap();
         let mut t = 0.0;
         for iv in &out.intervals {
-            prop_assert!((iv.start_s - t).abs() < 1e-9);
-            prop_assert!(iv.dur_s >= 0.0);
+            assert!(
+                (iv.start_s - t).abs() < 1e-9,
+                "case {case}: gap in activity profile"
+            );
+            assert!(iv.dur_s >= 0.0, "case {case}: negative interval");
             t += iv.dur_s;
         }
-        prop_assert!((t - out.elapsed_s).abs() < 1e-9);
+        assert!(
+            (t - out.elapsed_s).abs() < 1e-9,
+            "case {case}: profile misses makespan"
+        );
     }
+}
 
-    /// CPU engine: makespan bounds under the water-filling scheduler.
-    #[test]
-    fn cpu_makespan_bounds(
-        works in proptest::collection::vec((0.1f64..20.0, 1u32..8, 0u64..(64 << 20)), 1..12),
-    ) {
-        let mut cfg = CpuConfig::xeon_e5520_x2();
-        cfg.context_switch_s = 0.0;
-        cfg.cache_pressure_slope = 0.0;
-        let engine = CpuEngine::new(cfg.clone());
-        let tasks: Vec<CpuTask> =
-            works.iter().map(|(w, p, ws)| CpuTask::new("t", *w, *p, *ws)).collect();
+/// CPU engine: makespan bounds under the water-filling scheduler.
+#[test]
+fn cpu_makespan_bounds() {
+    let mut cfg = CpuConfig::xeon_e5520_x2();
+    cfg.context_switch_s = 0.0;
+    cfg.cache_pressure_slope = 0.0;
+    let engine = CpuEngine::new(cfg.clone());
+    let mut rng = SimRng::seed_from_u64(0x5eed_0006);
+    for case in 0..CASES {
+        let n = rng.range_usize(1, 12);
+        let works: Vec<(f64, u32, u64)> = (0..n)
+            .map(|_| {
+                (
+                    rng.range_f64(0.1, 20.0),
+                    rng.range_u32(1, 8),
+                    rng.range_u64(0, 64 << 20),
+                )
+            })
+            .collect();
+        let tasks: Vec<CpuTask> = works
+            .iter()
+            .map(|(w, p, ws)| CpuTask::new("t", *w, *p, *ws))
+            .collect();
         let out = engine.run(&tasks);
         let total_work: f64 = works.iter().map(|(w, ..)| *w).sum();
         let longest = tasks
             .iter()
             .map(|t| t.solo_time_s(cfg.cores))
             .fold(0.0, f64::max);
-        prop_assert!(out.makespan_s >= total_work / f64::from(cfg.cores) - 1e-9);
-        prop_assert!(out.makespan_s >= longest - 1e-9);
-        prop_assert!(out.makespan_s <= total_work + 1e-9, "never worse than one core");
+        assert!(
+            out.makespan_s >= total_work / f64::from(cfg.cores) - 1e-9,
+            "case {case}"
+        );
+        assert!(out.makespan_s >= longest - 1e-9, "case {case}");
+        assert!(
+            out.makespan_s <= total_work + 1e-9,
+            "case {case}: worse than one core"
+        );
         // Every task finishes.
         for f in &out.finish_s {
-            prop_assert!(*f > 0.0 && *f <= out.makespan_s + 1e-9);
+            assert!(*f > 0.0 && *f <= out.makespan_s + 1e-9, "case {case}");
         }
     }
+}
 
-    /// AES-ECB is deterministic and block-local.
-    #[test]
-    fn aes_ecb_block_locality(blocks in proptest::collection::vec(any::<[u8; 16]>(), 1..16)) {
-        let flat: Vec<u8> = blocks.iter().flatten().copied().collect();
+/// AES-ECB is deterministic and block-local.
+#[test]
+fn aes_ecb_block_locality() {
+    let mut rng = SimRng::seed_from_u64(0x5eed_0007);
+    for case in 0..CASES {
+        let n = rng.range_usize(1, 16);
+        let mut flat = vec![0u8; n * 16];
+        rng.fill_bytes(&mut flat);
         let whole = encrypt_ecb(&flat, &DEMO_KEY);
-        for (i, b) in blocks.iter().enumerate() {
-            let alone = encrypt_ecb(b, &DEMO_KEY);
-            prop_assert_eq!(&whole[i * 16..(i + 1) * 16], &alone[..]);
+        for i in 0..n {
+            let alone = encrypt_ecb(&flat[i * 16..(i + 1) * 16], &DEMO_KEY);
+            assert_eq!(
+                &whole[i * 16..(i + 1) * 16],
+                &alone[..],
+                "case {case}: block {i} depends on its neighbours"
+            );
         }
     }
+}
 
-    /// Bitonic sort sorts (against the standard library).
-    #[test]
-    fn bitonic_matches_std_sort(mut v in proptest::collection::vec(any::<u32>(), 0..300)) {
+/// Bitonic sort sorts (against the standard library).
+#[test]
+fn bitonic_matches_std_sort() {
+    let mut rng = SimRng::seed_from_u64(0x5eed_0008);
+    for case in 0..CASES {
+        let n = rng.range_usize(0, 300);
+        let mut v: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
         let mut expect = v.clone();
         expect.sort_unstable();
         bitonic_sort(&mut v);
-        prop_assert_eq!(v, expect);
+        assert_eq!(v, expect, "case {case}");
     }
 }

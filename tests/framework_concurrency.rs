@@ -30,13 +30,16 @@ fn runtime(threshold: u32) -> (Arc<Runtime>, Arc<dyn Workload>, Arc<dyn Workload
 fn submit_and_verify(rt: &Runtime, name: &str, w: &Arc<dyn Workload>, seed: u64) {
     let mut fe = rt.connect();
     let (args, bufs) = w.build_args(&mut fe, seed).expect("build");
-    fe.configure_call(w.blocks(), w.desc().threads_per_block).unwrap();
+    fe.configure_call(w.blocks(), w.desc().threads_per_block)
+        .unwrap();
     for a in &args {
         fe.setup_argument(*a).unwrap();
     }
     fe.launch(name).expect("launch");
     fe.sync().expect("sync");
-    let out = fe.memcpy_d2h(bufs.output, 0, bufs.output_len).expect("readback");
+    let out = fe
+        .memcpy_d2h(bufs.output, 0, bufs.output_len)
+        .expect("readback");
     assert_eq!(out, w.expected_output(seed), "user {seed} result corrupted");
 }
 
@@ -51,7 +54,9 @@ fn sixteen_concurrent_users_all_verify() {
         } else {
             ("sorting", Arc::clone(&sort))
         };
-        threads.push(thread::spawn(move || submit_and_verify(&rt, name, &w, user)));
+        threads.push(thread::spawn(move || {
+            submit_and_verify(&rt, name, &w, user)
+        }));
     }
     for t in threads {
         t.join().expect("user thread");
@@ -70,7 +75,9 @@ fn concurrent_submissions_hit_the_threshold_path() {
     for user in 0..8u64 {
         let rt = Arc::clone(&rt);
         let w = Arc::clone(&aes);
-        threads.push(thread::spawn(move || submit_and_verify(&rt, "encryption", &w, user)));
+        threads.push(thread::spawn(move || {
+            submit_and_verify(&rt, "encryption", &w, user)
+        }));
     }
     for t in threads {
         t.join().expect("user thread");
@@ -97,8 +104,10 @@ fn frontends_can_interleave_api_calls() {
     let mut fe_b = rt.connect();
     let (args_a, bufs_a) = aes.build_args(&mut fe_a, 1).unwrap();
     let (args_b, bufs_b) = sort.build_args(&mut fe_b, 2).unwrap();
-    fe_a.configure_call(aes.blocks(), aes.desc().threads_per_block).unwrap();
-    fe_b.configure_call(sort.blocks(), sort.desc().threads_per_block).unwrap();
+    fe_a.configure_call(aes.blocks(), aes.desc().threads_per_block)
+        .unwrap();
+    fe_b.configure_call(sort.blocks(), sort.desc().threads_per_block)
+        .unwrap();
     for (a, b) in args_a.iter().zip(&args_b) {
         fe_a.setup_argument(*a).unwrap();
         fe_b.setup_argument(*b).unwrap();
@@ -106,8 +115,12 @@ fn frontends_can_interleave_api_calls() {
     fe_a.launch("encryption").unwrap();
     fe_b.launch("sorting").unwrap();
     fe_a.sync().unwrap();
-    let out_a = fe_a.memcpy_d2h(bufs_a.output, 0, bufs_a.output_len).unwrap();
-    let out_b = fe_b.memcpy_d2h(bufs_b.output, 0, bufs_b.output_len).unwrap();
+    let out_a = fe_a
+        .memcpy_d2h(bufs_a.output, 0, bufs_a.output_len)
+        .unwrap();
+    let out_b = fe_b
+        .memcpy_d2h(bufs_b.output, 0, bufs_b.output_len)
+        .unwrap();
     assert_eq!(out_a, aes.expected_output(1));
     assert_eq!(out_b, sort.expected_output(2));
     drop(rt);
@@ -132,8 +145,10 @@ fn interleaving_without_batching_still_routes_arguments_correctly() {
     let mut fe_b = rt.connect();
     let (args_a, bufs_a) = aes.build_args(&mut fe_a, 10).unwrap();
     let (args_b, bufs_b) = aes.build_args(&mut fe_b, 11).unwrap();
-    fe_a.configure_call(aes.blocks(), aes.desc().threads_per_block).unwrap();
-    fe_b.configure_call(aes.blocks(), aes.desc().threads_per_block).unwrap();
+    fe_a.configure_call(aes.blocks(), aes.desc().threads_per_block)
+        .unwrap();
+    fe_b.configure_call(aes.blocks(), aes.desc().threads_per_block)
+        .unwrap();
     for (a, b) in args_a.iter().zip(&args_b) {
         fe_b.setup_argument(*b).unwrap();
         fe_a.setup_argument(*a).unwrap();
@@ -141,8 +156,12 @@ fn interleaving_without_batching_still_routes_arguments_correctly() {
     fe_a.launch("encryption").unwrap();
     fe_b.launch("encryption").unwrap();
     fe_a.sync().unwrap();
-    let out_a = fe_a.memcpy_d2h(bufs_a.output, 0, bufs_a.output_len).unwrap();
-    let out_b = fe_b.memcpy_d2h(bufs_b.output, 0, bufs_b.output_len).unwrap();
+    let out_a = fe_a
+        .memcpy_d2h(bufs_a.output, 0, bufs_a.output_len)
+        .unwrap();
+    let out_b = fe_b
+        .memcpy_d2h(bufs_b.output, 0, bufs_b.output_len)
+        .unwrap();
     assert_eq!(out_a, aes.expected_output(10));
     assert_eq!(out_b, aes.expected_output(11));
 }

@@ -11,10 +11,13 @@ use ewc_workloads::{AesWorkload, Workload};
 fn runtime() -> (Runtime, Arc<dyn Workload>) {
     let cfg = GpuConfig::tesla_c1060();
     let aes: Arc<dyn Workload> = Arc::new(AesWorkload::fig7(&cfg));
-    let rt = Runtime::builder(RuntimeConfig { force_gpu: true, ..RuntimeConfig::default() })
-        .workload("encryption", Arc::clone(&aes))
-        .template(Template::homogeneous("encryption"))
-        .build();
+    let rt = Runtime::builder(RuntimeConfig {
+        force_gpu: true,
+        ..RuntimeConfig::default()
+    })
+    .workload("encryption", Arc::clone(&aes))
+    .template(Template::homogeneous("encryption"))
+    .build();
     (rt, aes)
 }
 
@@ -31,7 +34,8 @@ fn device_oom_is_reported_and_survivable() {
     // The daemon is still healthy: a normal user proceeds end to end.
     let mut fe2 = rt.connect();
     let (args, bufs) = aes.build_args(&mut fe2, 1).unwrap();
-    fe2.configure_call(aes.blocks(), aes.desc().threads_per_block).unwrap();
+    fe2.configure_call(aes.blocks(), aes.desc().threads_per_block)
+        .unwrap();
     for a in &args {
         fe2.setup_argument(*a).unwrap();
     }
@@ -92,7 +96,10 @@ fn frontends_outliving_the_runtime_fail_gracefully() {
     let (rt, _) = runtime();
     let fe = rt.connect();
     drop(rt); // shuts the backend down
-    assert!(matches!(fe.malloc(16).unwrap_err(), CoreError::Disconnected));
+    assert!(matches!(
+        fe.malloc(16).unwrap_err(),
+        CoreError::Disconnected
+    ));
     assert!(matches!(fe.sync().unwrap_err(), CoreError::Disconnected));
 }
 
@@ -109,7 +116,8 @@ fn failed_launch_does_not_leave_stale_pending_state() {
     // A correct launch from the same context then succeeds and the sync
     // completes without the rejected kernel haunting the queue.
     let (args, bufs) = aes.build_args(&mut fe, 9).unwrap();
-    fe.configure_call(aes.blocks(), aes.desc().threads_per_block).unwrap();
+    fe.configure_call(aes.blocks(), aes.desc().threads_per_block)
+        .unwrap();
     for a in &args {
         fe.setup_argument(*a).unwrap();
     }

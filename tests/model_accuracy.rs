@@ -4,43 +4,43 @@
 //! random consolidations.
 
 use ewc_energy::{GpuPowerGroundTruth, PowerCoefficients, ThermalModel, TrainingBenchmark};
-use ewc_gpu::{DispatchPolicy, ExecutionEngine, GpuConfig, KernelDesc};
+use ewc_gpu::{DispatchPolicy, ExecutionEngine, GpuConfig, KernelDesc, SimRng};
 use ewc_models::{analyze, ConsolidationPlan, KernelSpec, PerfModel, PowerModel};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn cfg() -> GpuConfig {
     GpuConfig::tesla_c1060()
 }
 
 /// A random but schedulable kernel spec.
-fn random_spec(rng: &mut StdRng) -> KernelSpec {
-    let tpb = *[64u32, 128, 256, 512].get(rng.gen_range(0..4)).unwrap();
+fn random_spec(rng: &mut SimRng) -> KernelSpec {
+    let tpb = [64u32, 128, 256, 512][rng.range_usize(0, 4)];
     let desc = KernelDesc::builder("rand")
         .threads_per_block(tpb)
-        .regs_per_thread(rng.gen_range(8..32))
-        .comp_insts(rng.gen_range(1e5..5e7))
-        .coalesced_mem(rng.gen_range(0.0..5e4))
-        .uncoalesced_mem(rng.gen_range(0.0..2e3))
+        .regs_per_thread(rng.range_u32(8, 32))
+        .comp_insts(rng.range_f64(1e5, 5e7))
+        .coalesced_mem(rng.range_f64(0.0, 5e4))
+        .uncoalesced_mem(rng.range_f64(0.0, 2e3))
         .build();
-    KernelSpec::new(desc, rng.gen_range(1..20))
+    KernelSpec::new(desc, rng.range_u32(1, 20))
 }
 
 #[test]
 fn perf_model_tracks_engine_on_random_plans() {
     let model = PerfModel::new(cfg());
     let engine = ExecutionEngine::new(cfg());
-    let mut rng = StdRng::seed_from_u64(2024);
+    let mut rng = SimRng::seed_from_u64(2024);
     let mut worst = 0.0_f64;
     for round in 0..40 {
-        let members = rng.gen_range(1..5);
+        let members = rng.range_u32(1, 5);
         let mut plan = ConsolidationPlan::new();
         for _ in 0..members {
             plan.push(random_spec(&mut rng));
         }
         let predicted = model.predict(&plan).time_s;
-        let measured =
-            engine.run(&plan.to_grid(), DispatchPolicy::default()).unwrap().elapsed_s;
+        let measured = engine
+            .run(&plan.to_grid(), DispatchPolicy::default())
+            .unwrap()
+            .elapsed_s;
         let err = (predicted - measured).abs() / measured;
         worst = worst.max(err);
         assert!(
@@ -56,10 +56,10 @@ fn perf_model_tracks_engine_on_random_plans() {
 #[test]
 fn perf_model_never_underestimates_the_longest_member() {
     let model = PerfModel::new(cfg());
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = SimRng::seed_from_u64(7);
     for _ in 0..25 {
         let mut plan = ConsolidationPlan::new();
-        for _ in 0..rng.gen_range(1..4) {
+        for _ in 0..rng.range_u32(1, 4) {
             plan.push(random_spec(&mut rng));
         }
         let pred = model.predict(&plan);
@@ -80,17 +80,17 @@ fn perf_model_never_underestimates_the_longest_member() {
 #[test]
 fn power_model_tracks_ground_truth_on_random_plans() {
     let truth = GpuPowerGroundTruth::tesla_c1060();
-    let coeffs = PowerCoefficients::train(&cfg(), &truth, &TrainingBenchmark::rodinia_suite(), 42)
-        .unwrap();
+    let coeffs =
+        PowerCoefficients::train(&cfg(), &truth, &TrainingBenchmark::rodinia_suite(), 42).unwrap();
     let power = PowerModel::new(coeffs, ThermalModel::gt200(), cfg());
     let perf = PerfModel::new(cfg());
     let engine = ExecutionEngine::new(cfg());
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = SimRng::seed_from_u64(99);
     let mut total_err = 0.0;
     let rounds = 25;
     for round in 0..rounds {
         let mut plan = ConsolidationPlan::new();
-        for _ in 0..rng.gen_range(1..4) {
+        for _ in 0..rng.range_u32(1, 4) {
             plan.push(random_spec(&mut rng));
         }
         let placement = analyze(&plan, &cfg());
@@ -98,7 +98,9 @@ fn power_model_tracks_ground_truth_on_random_plans() {
         let rates = power.predicted_rates(&plan, &placement, pp.time_s, &pp.per_sm_finish);
         let predicted = power.predict_dyn_power_w(&rates);
 
-        let out = engine.run(&plan.to_grid(), DispatchPolicy::default()).unwrap();
+        let out = engine
+            .run(&plan.to_grid(), DispatchPolicy::default())
+            .unwrap();
         let mut e = 0.0;
         for iv in &out.intervals {
             e += truth.dyn_power_w(&iv.rates) * iv.dur_s;
@@ -112,21 +114,28 @@ fn power_model_tracks_ground_truth_on_random_plans() {
         );
     }
     let mean = total_err / f64::from(rounds);
-    assert!(mean < 0.15, "mean power error {:.1}% too high", mean * 100.0);
+    assert!(
+        mean < 0.15,
+        "mean power error {:.1}% too high",
+        mean * 100.0
+    );
 }
 
 #[test]
 fn member_finish_respects_makespan() {
     let model = PerfModel::new(cfg());
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = SimRng::seed_from_u64(5);
     for _ in 0..20 {
         let mut plan = ConsolidationPlan::new();
-        for _ in 0..rng.gen_range(2..5) {
+        for _ in 0..rng.range_u32(2, 5) {
             plan.push(random_spec(&mut rng));
         }
         let pred = model.predict(&plan);
         for (i, f) in pred.member_finish.iter().enumerate() {
-            assert!(*f <= pred.time_s * (1.0 + 1e-9), "member {i} finishes after makespan");
+            assert!(
+                *f <= pred.time_s * (1.0 + 1e-9),
+                "member {i} finishes after makespan"
+            );
             assert!(*f > 0.0, "member {i} never finishes");
         }
     }

@@ -30,10 +30,15 @@ fn submit(
     name: &str,
     w: &Arc<dyn Workload>,
     seed: u64,
-) -> (ewc_core::Frontend, ewc_workloads::registry::DeviceBuffers, Vec<u8>) {
+) -> (
+    ewc_core::Frontend,
+    ewc_workloads::registry::DeviceBuffers,
+    Vec<u8>,
+) {
     let mut fe = rt.connect();
     let (args, bufs) = w.build_args(&mut fe, seed).expect("build");
-    fe.configure_call(w.blocks(), w.desc().threads_per_block).unwrap();
+    fe.configure_call(w.blocks(), w.desc().threads_per_block)
+        .unwrap();
     for a in &args {
         fe.setup_argument(*a).unwrap();
     }
@@ -46,7 +51,11 @@ fn results_correct_across_devices() {
     let (rt, aes, mc) = runtime(2, 50);
     let mut sessions = Vec::new();
     for seed in 0..8u64 {
-        let (name, w) = if seed % 2 == 0 { ("encryption", &aes) } else { ("montecarlo", &mc) };
+        let (name, w) = if seed % 2 == 0 {
+            ("encryption", &aes)
+        } else {
+            ("montecarlo", &mc)
+        };
         sessions.push(submit(&rt, name, w, seed));
     }
     sessions[0].0.sync().unwrap();
@@ -57,7 +66,11 @@ fn results_correct_across_devices() {
     let report = rt.shutdown();
     // Contexts alternate devices; with two workload families the backend
     // must have formed at least two groups (one per device).
-    assert!(report.stats.records.len() >= 2, "{:?}", report.stats.records);
+    assert!(
+        report.stats.records.len() >= 2,
+        "{:?}",
+        report.stats.records
+    );
     let total: usize = report.stats.records.iter().map(|r| r.kernels.len()).sum();
     assert_eq!(total, 8);
 }
@@ -86,9 +99,17 @@ fn two_devices_overlap_the_long_kernels() {
     };
     // Both complete in ~one kernel time; the two-device run must not be
     // slower, and must have issued one launch per device.
-    assert!(two.elapsed_s <= one.elapsed_s * 1.05, "{} vs {}", two.elapsed_s, one.elapsed_s);
+    assert!(
+        two.elapsed_s <= one.elapsed_s * 1.05,
+        "{} vs {}",
+        two.elapsed_s,
+        one.elapsed_s
+    );
     assert_eq!(two.stats.launches, 2);
-    assert_eq!(one.stats.launches, 1, "single device consolidates into one launch");
+    assert_eq!(
+        one.stats.launches, 1,
+        "single device consolidates into one launch"
+    );
 }
 
 #[test]

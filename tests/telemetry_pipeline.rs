@@ -1,0 +1,338 @@
+//! End-to-end telemetry: an enabled sink threaded through the runtime
+//! must yield spans from the host and GPU tracks, a populated metrics
+//! registry, a decision audit trail consistent with the backend stats,
+//! and exporters whose output is valid (parseable) JSON with matched
+//! event structure — the Chrome-trace golden test.
+
+use std::sync::Arc;
+
+use ewc_core::{Runtime, RuntimeConfig, Template};
+use ewc_gpu::GpuConfig;
+use ewc_telemetry::export::{chrome, jsonl, summary};
+use ewc_telemetry::{json, TelemetrySink, TelemetrySnapshot};
+use ewc_workloads::{MonteCarloWorkload, Workload};
+
+/// Run `n` GPU-friendly Monte Carlo requests through a runtime wired to
+/// `sink`, and return the shutdown report.
+fn run_requests(n: u64, sink: TelemetrySink) -> ewc_core::RuntimeReport {
+    let cfg = GpuConfig::tesla_c1060();
+    let mc: Arc<dyn Workload> = Arc::new(MonteCarloWorkload::tables78(&cfg));
+    let rt = Runtime::builder(RuntimeConfig {
+        threshold_factor: 2,
+        ..RuntimeConfig::default()
+    })
+    .workload("montecarlo", Arc::clone(&mc))
+    .template(Template::homogeneous("montecarlo"))
+    .telemetry(sink)
+    .build();
+
+    let mut sessions = Vec::new();
+    for seed in 0..n {
+        let mut fe = rt.connect();
+        let (args, bufs) = mc.build_args(&mut fe, seed).expect("build");
+        fe.configure_call(mc.blocks(), mc.desc().threads_per_block)
+            .unwrap();
+        for a in &args {
+            fe.setup_argument(*a).unwrap();
+        }
+        fe.launch("montecarlo").expect("launch");
+        sessions.push((fe, bufs));
+    }
+    sessions[0].0.sync().expect("drain");
+    for (fe, bufs) in &sessions {
+        let out = fe
+            .memcpy_d2h(bufs.output, 0, bufs.output_len)
+            .expect("readback");
+        assert!(!out.is_empty());
+    }
+    rt.shutdown()
+}
+
+fn snapshot(n: u64) -> (ewc_core::RuntimeReport, TelemetrySnapshot) {
+    let report = run_requests(n, TelemetrySink::enabled());
+    let snap = report
+        .telemetry
+        .clone()
+        .expect("enabled sink must snapshot");
+    (report, snap)
+}
+
+#[test]
+fn disabled_sink_yields_no_snapshot() {
+    let report = run_requests(2, TelemetrySink::disabled());
+    assert!(report.telemetry.is_none());
+    // The run itself must be unaffected.
+    assert!(report.elapsed_s > 0.0);
+    assert_eq!(report.stats.kernel_outcomes.len(), 2);
+}
+
+#[test]
+fn runtime_run_emits_host_and_gpu_spans() {
+    let (report, snap) = snapshot(4);
+    assert!(!snap.spans.is_empty());
+
+    // Host side: every frontend API call that reached the backend shows
+    // up as an rpc span on the backend lane (which additionally carries
+    // the backend's own staging/coordination phases).
+    let rpcs = snap
+        .spans
+        .iter()
+        .filter(|s| {
+            s.process == "host"
+                && s.lane == "backend"
+                && s.name != "staging"
+                && s.name != "coordinate"
+        })
+        .count();
+    // stats.messages additionally counts intra-group coordination
+    // messages (leader election), which are not frontend API calls.
+    assert!(
+        rpcs as u64 <= report.stats.messages,
+        "rpc spans ({rpcs}) cannot exceed backend messages ({})",
+        report.stats.messages
+    );
+    let launches = snap
+        .spans
+        .iter()
+        .filter(|s| s.lane == "backend" && s.name == "launch")
+        .count();
+    assert_eq!(launches, 4, "one launch rpc span per submitted request");
+    assert!(
+        snap.spans
+            .iter()
+            .any(|s| s.lane == "backend" && s.name == "staging"),
+        "staging copies must appear on the backend lane"
+    );
+    assert!(
+        snap.spans
+            .iter()
+            .any(|s| s.lane == "backend" && s.name == "coordinate"),
+        "group coordination must appear on the backend lane"
+    );
+
+    // Request lifecycle: one "request" span per completed kernel, with
+    // queued + execute children nested inside it.
+    let requests: Vec<_> = snap.spans.iter().filter(|s| s.name == "request").collect();
+    assert_eq!(requests.len(), report.stats.kernel_outcomes.len());
+    for req in &requests {
+        assert!(
+            req.lane.starts_with("ctx"),
+            "request spans live on context lanes"
+        );
+        let children: Vec<_> = snap
+            .spans
+            .iter()
+            .filter(|s| s.parent == Some(req.id))
+            .collect();
+        assert!(
+            children.iter().any(|c| c.name == "queued"),
+            "request {} lacks a queued child",
+            req.id
+        );
+        assert!(
+            children.iter().any(|c| c.name == "execute"),
+            "request {} lacks an execute child",
+            req.id
+        );
+        for c in children {
+            assert!(
+                c.start_s >= req.start_s - 1e-9,
+                "child starts before parent"
+            );
+            assert!(c.end_s <= req.end_s + 1e-9, "child ends after parent");
+        }
+    }
+
+    // GPU side: kernel + per-block SM spans, since Monte Carlo stays on
+    // the device.
+    assert!(
+        report.stats.launches >= 1,
+        "precondition: work must hit the GPU"
+    );
+    let gpu_streams = snap
+        .spans
+        .iter()
+        .filter(|s| s.process == "gpu0" && s.lane == "stream")
+        .count();
+    assert_eq!(
+        gpu_streams as u64, report.stats.launches,
+        "one stream span per launch"
+    );
+    let sm_blocks = snap
+        .spans
+        .iter()
+        .filter(|s| s.process == "gpu0" && s.lane.starts_with("sm"))
+        .count();
+    assert!(sm_blocks > 0, "per-block SM spans expected");
+
+    // All spans have sane intervals.
+    for s in &snap.spans {
+        assert!(s.end_s >= s.start_s, "negative span {s:?}");
+    }
+    // Snapshot ordering is chronological.
+    for w in snap.spans.windows(2) {
+        assert!(w[0].start_s <= w[1].start_s);
+    }
+}
+
+#[test]
+fn metrics_and_audit_match_backend_stats() {
+    let (report, snap) = snapshot(4);
+
+    let h = snap
+        .metrics
+        .histogram("request_latency_s")
+        .expect("latency histogram");
+    assert_eq!(h.count(), report.stats.kernel_outcomes.len() as u64);
+    // Histogram percentiles agree with the exact stats within bucket
+    // resolution (8% growth factor), which is the point of replacing the
+    // ad-hoc sort.
+    let exact = report.stats.latency_summary();
+    let approx = h.percentile(95.0);
+    let exact95 = exact.percentile(95.0).unwrap();
+    assert!(
+        (approx - exact95).abs() <= exact95 * 0.09 + 1e-9,
+        "histogram p95 {approx} vs exact {exact95}"
+    );
+
+    assert_eq!(
+        snap.metrics.counter("gpu_launches"),
+        report.stats.launches as f64
+    );
+    assert_eq!(
+        snap.metrics.counter("groups"),
+        report.stats.records.len() as f64
+    );
+    assert!(snap.metrics.counter("staged_bytes") > 0.0);
+    assert!(snap.metrics.gauge("elapsed_s").is_some());
+
+    // One audit record per decision, verdicts matching the stats records.
+    assert_eq!(snap.audit.len(), report.stats.records.len());
+    for (a, r) in snap.audit.iter().zip(&report.stats.records) {
+        assert_eq!(
+            a.verdict.label(),
+            match r.choice {
+                ewc_core::Choice::Consolidate => "consolidate",
+                ewc_core::Choice::SerialGpu => "serial_gpu",
+                ewc_core::Choice::Cpu => "cpu",
+            }
+        );
+        assert_eq!(a.kernels.len(), r.kernels.len());
+        assert!(
+            !a.reason.is_empty(),
+            "every verdict carries a justification"
+        );
+        let (t, e) = a.chosen().expect("chosen alternative recorded");
+        assert!((t - r.predicted_time_s).abs() < 1e-9);
+        assert!((e - r.predicted_energy_j).abs() < 1e-9);
+    }
+
+    // Power series sampled for the device.
+    let power = snap.series.get("power_w/gpu0").expect("power series");
+    assert!(power.len() >= 2);
+    for w in power.windows(2) {
+        assert!(w[0].0 < w[1].0, "samples strictly ordered in time");
+    }
+}
+
+#[test]
+fn chrome_trace_export_is_valid_and_matched() {
+    let (_, snap) = snapshot(3);
+    let trace = chrome::render(&snap);
+    let doc = json::parse(&trace).expect("chrome trace must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("top-level traceEvents array");
+
+    let mut complete = 0usize;
+    let mut metadata = 0usize;
+    let mut counters = 0usize;
+    let mut instants = 0usize;
+    for ev in events {
+        let ph = ev
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .expect("every event has ph");
+        assert!(
+            ev.get("name").and_then(|v| v.as_str()).is_some(),
+            "every event has a name"
+        );
+        match ph {
+            "X" => {
+                complete += 1;
+                let ts = ev.get("ts").and_then(|v| v.as_f64()).expect("X has ts");
+                let dur = ev.get("dur").and_then(|v| v.as_f64()).expect("X has dur");
+                assert!(ts >= 0.0 && dur >= 0.0);
+                assert!(ev.get("pid").and_then(|v| v.as_f64()).is_some());
+                assert!(ev.get("tid").and_then(|v| v.as_f64()).is_some());
+            }
+            "M" => metadata += 1,
+            "C" => counters += 1,
+            "i" => instants += 1,
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+
+    // Golden structure: every span becomes exactly one complete event,
+    // every series point one counter event, every audit entry one
+    // instant event; metadata names every (process, lane) track plus
+    // each process itself.
+    assert_eq!(complete, snap.spans.len());
+    assert_eq!(counters, snap.series.values().map(Vec::len).sum::<usize>());
+    assert_eq!(instants, snap.audit.len());
+    let mut procs: Vec<&str> = snap.spans.iter().map(|s| s.process.as_str()).collect();
+    procs.sort_unstable();
+    procs.dedup();
+    let mut tracks: Vec<(&str, &str)> = snap
+        .spans
+        .iter()
+        .map(|s| (s.process.as_str(), s.lane.as_str()))
+        .collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+    assert_eq!(
+        metadata,
+        procs.len() + tracks.len(),
+        "process_name + thread_name records"
+    );
+}
+
+#[test]
+fn jsonl_and_summary_exports_cover_the_snapshot() {
+    let (_, snap) = snapshot(2);
+
+    let lines = jsonl::render(&snap);
+    let mut kinds = std::collections::BTreeSet::new();
+    for line in lines.lines() {
+        let v = json::parse(line).expect("every JSONL line parses alone");
+        kinds.insert(
+            v.get("type")
+                .and_then(|k| k.as_str())
+                .expect("line has a type")
+                .to_string(),
+        );
+    }
+    for expect in [
+        "span",
+        "counter",
+        "gauge",
+        "histogram",
+        "sample",
+        "decision",
+    ] {
+        assert!(
+            kinds.contains(expect),
+            "jsonl export missing type {expect:?}"
+        );
+    }
+
+    let text = summary::render(&snap);
+    for section in ["spans", "counters", "histograms", "decisions"] {
+        assert!(
+            text.to_lowercase().contains(section),
+            "summary missing section {section:?}:\n{text}"
+        );
+    }
+    assert!(text.contains("request_latency_s"));
+}
