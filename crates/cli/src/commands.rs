@@ -57,7 +57,10 @@ pub fn usage() -> String {
          \x20 gantt <1|2>            per-SM schedule of a paper scenario\n\
          \x20 telemetry [fmt] [path] replay the Poisson trace with telemetry on and\n\
          \x20                        export it (fmt: summary | chrome | jsonl;\n\
-         \x20                        chrome output opens in Perfetto / chrome://tracing)\n",
+         \x20                        chrome output opens in Perfetto / chrome://tracing)\n\
+         \x20 faults [preset] [seed] soak the runtime under seeded fault injection and\n\
+         \x20                        report recovery behaviour (preset: quiet | light |\n\
+         \x20                        storm; default light, seed 42)\n",
     );
     s.push_str("\nexperiment ids: ");
     s.push_str(
@@ -98,6 +101,10 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
             let which = args.get(1).ok_or("gantt: need a scenario (1 or 2)")?;
             gantt(which)
         }
+        Some("faults") => faults(
+            args.get(1).map(String::as_str),
+            args.get(2).map(String::as_str),
+        ),
         Some("help") | None => Ok(usage()),
         Some(other) => Err(format!("unknown command '{other}'")),
     }
@@ -307,12 +314,58 @@ fn gantt(which: &str) -> Result<String, String> {
     ))
 }
 
+fn faults(preset: Option<&str>, seed: Option<&str>) -> Result<String, String> {
+    let faults = match preset.unwrap_or("light") {
+        "quiet" => ewc_faults::FaultConfig::quiet(),
+        "light" => ewc_faults::FaultConfig::light(),
+        "storm" => ewc_faults::FaultConfig::storm(),
+        other => {
+            return Err(format!(
+                "faults: unknown preset '{other}' (quiet | light | storm)"
+            ))
+        }
+    };
+    let seed: u64 = seed
+        .unwrap_or("42")
+        .parse()
+        .map_err(|_| "faults: seed must be a number")?;
+    let report = ewc_faults::soak::run(&ewc_faults::SoakConfig {
+        seed,
+        processes: 4,
+        requests_per_process: 10,
+        sync_every: 2,
+        faults,
+        ..ewc_faults::SoakConfig::default()
+    });
+    let mut out = format!(
+        "fault soak (preset {}, seed {seed}): 4 processes x 10 requests\n\n",
+        preset.unwrap_or("light")
+    );
+    out.push_str(&report.render());
+    if !report.balanced() {
+        return Err(format!("soak lost requests!\n{}", report.render()));
+    }
+    if report.mismatched > 0 {
+        return Err(format!("soak produced wrong outputs!\n{}", report.render()));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn args(v: &[&str]) -> Vec<String> {
         v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn faults_soak_renders_balanced_report() {
+        let out = dispatch(&args(&["faults", "storm", "7"])).unwrap();
+        assert!(out.contains("soak report"), "{out}");
+        assert!(out.contains("faults injected"), "{out}");
+        assert!(dispatch(&args(&["faults", "bogus"])).is_err());
+        assert!(dispatch(&args(&["faults", "light", "x"])).is_err());
     }
 
     #[test]

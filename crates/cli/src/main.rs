@@ -11,13 +11,16 @@
 
 mod commands;
 
+use std::io::Write;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match commands::dispatch(&args) {
         Ok(output) => {
-            println!("{output}");
+            // A downstream reader (`ewc telemetry jsonl | head`) may close
+            // the pipe early; that is not an error worth a panic.
+            let _ = writeln!(std::io::stdout(), "{output}");
             ExitCode::SUCCESS
         }
         Err(msg) => {

@@ -24,14 +24,15 @@
 //! are issued asynchronously — the device's clock runs ahead on its own,
 //! so groups dispatched to different GPUs genuinely overlap.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use ewc_cpu::CpuTask;
 use ewc_gpu::grid::GridSegment;
 use ewc_gpu::kernel::{BlockCtx, LaunchConfig};
-use ewc_gpu::{GpuDevice, Grid};
+use ewc_gpu::{GpuDevice, GpuError, Grid};
 use ewc_telemetry::{DecisionRecord, TelemetrySink, Verdict};
 use ewc_workloads::Workload;
 
@@ -40,6 +41,7 @@ use crate::decision::{Choice, DecisionEngine};
 use crate::leader::LeaderCoordinator;
 use crate::optimize::ConstantCache;
 use crate::protocol::{CoreError, ExecConfig, KernelRequest, Request};
+use crate::resilience::{CircuitBreaker, RuntimeFaultInjector};
 use crate::stats::{BackendStats, ConsolidationRecord, KernelOutcome};
 use crate::template::TemplateRegistry;
 
@@ -52,6 +54,9 @@ pub struct BackendHandles {
 }
 
 /// Spawn the backend daemon thread over a pool of devices.
+///
+/// `faults` is the optional runtime-boundary fault injector (channel
+/// drops/retransmits); pass `None` for a healthy channel.
 pub fn spawn(
     cfg: RuntimeConfig,
     gpus: Vec<GpuDevice>,
@@ -59,6 +64,7 @@ pub fn spawn(
     templates: TemplateRegistry,
     decision: DecisionEngine,
     sink: TelemetrySink,
+    faults: Option<Arc<dyn RuntimeFaultInjector>>,
 ) -> BackendHandles {
     assert!(!gpus.is_empty(), "backend needs at least one GPU");
     let (tx, rx) = std::sync::mpsc::channel();
@@ -67,6 +73,7 @@ pub fn spawn(
         .iter()
         .map(|_| ConstantCache::new(cfg.constant_reuse))
         .collect();
+    let breaker = CircuitBreaker::new(&cfg.resilience);
     let backend = Backend {
         cfg,
         gpus,
@@ -76,10 +83,14 @@ pub fn spawn(
         coordinator,
         constants,
         sink,
+        faults,
+        breaker,
         stats: BackendStats::default(),
         pending: Vec::new(),
         ctx_state: HashMap::new(),
         ctx_device: HashMap::new(),
+        failures: HashMap::new(),
+        dead: HashSet::new(),
         next_device: 0,
         next_seq: 0,
         host_clock: 0.0,
@@ -97,6 +108,15 @@ struct CtxState {
     args: Vec<ewc_gpu::kernel::KernelArg>,
 }
 
+/// How one member of a dispatched group ended up.
+enum MemberFate {
+    /// Completed, on the given rung (consolidated, serial GPU, or CPU).
+    Done(Choice),
+    /// Failed permanently; the error is queued for the frontend's next
+    /// `sync`.
+    Failed(GpuError),
+}
+
 struct Backend {
     cfg: RuntimeConfig,
     gpus: Vec<GpuDevice>,
@@ -108,11 +128,22 @@ struct Backend {
     constants: Vec<ConstantCache>,
     /// Telemetry handle (no-op unless the runtime enabled it).
     sink: TelemetrySink,
+    /// Runtime-boundary fault injector (channel drops), when attached.
+    faults: Option<Arc<dyn RuntimeFaultInjector>>,
+    /// GPU-path circuit breaker (trips to CPU-only under repeated
+    /// transient faults).
+    breaker: CircuitBreaker,
     stats: BackendStats,
     pending: Vec<KernelRequest>,
     ctx_state: HashMap<u64, CtxState>,
     /// Context → device binding (a process's buffers live on one GPU).
     ctx_device: HashMap<u64, usize>,
+    /// Permanently failed launches awaiting delivery: each context's
+    /// next `sync` pops (and returns) one queued failure.
+    failures: HashMap<u64, VecDeque<(u64, CoreError)>>,
+    /// Contexts already reaped (disconnected frontends), so a dead reply
+    /// channel and an explicit disconnect do not double-drain.
+    dead: HashSet<u64>,
     next_device: usize,
     next_seq: u64,
     /// Host-side clock: channel, staging and coordination costs.
@@ -184,6 +215,12 @@ impl Backend {
             self.host_clock = self.host_clock.max(to_s);
             return false;
         }
+        if let Request::Disconnect { ctx } = req {
+            // A dying process pays nothing and can observe nothing: no
+            // channel cost, no RPC span. Its pending work is drained.
+            self.reap(ctx, "disconnect", false);
+            return false;
+        }
         let kind = req.kind();
         let ctx = req.ctx();
         let rpc_start_s = self.host_clock;
@@ -208,12 +245,12 @@ impl Backend {
             Request::Malloc { ctx, len, reply } => {
                 let d = self.device_for(ctx);
                 let r = self.gpus[d].malloc(len).map_err(CoreError::from);
-                let _ = reply.send(r);
+                self.send_reply(ctx, reply, r);
             }
             Request::Free { ctx, ptr, reply } => {
                 let d = self.device_for(ctx);
                 let r = self.gpus[d].free(ptr).map_err(CoreError::from);
-                let _ = reply.send(r);
+                self.send_reply(ctx, reply, r);
             }
             Request::MemcpyH2D {
                 ctx,
@@ -230,7 +267,7 @@ impl Backend {
                     .map(|_| ())
                     .map_err(CoreError::from);
                 self.host_joins(d);
-                let _ = reply.send(r);
+                self.send_reply(ctx, reply, r);
             }
             Request::MemcpyD2H {
                 ctx,
@@ -247,7 +284,7 @@ impl Backend {
                     .map_err(CoreError::from);
                 self.host_joins(d);
                 self.charge_staging(len);
-                let _ = reply.send(r);
+                self.send_reply(ctx, reply, r);
             }
             Request::ConfigureCall { ctx, config } => {
                 self.ctx_state.entry(ctx).or_default().config = Some(config);
@@ -262,7 +299,7 @@ impl Backend {
                 reply,
             } => {
                 let r = self.enqueue_launch(ctx, name, batched_args);
-                let _ = reply.send(r);
+                self.send_reply(ctx, reply, r);
             }
             Request::RegisterConstant {
                 ctx,
@@ -278,18 +315,44 @@ impl Backend {
                 match &r {
                     Ok(up) if up.cache_hit => self.stats.constant_hits += 1,
                     Ok(_) => self.stats.constant_misses += 1,
-                    Err(_) => {}
+                    Err(e) => {
+                        // The error reaches the frontend in the reply; it
+                        // must also be visible backend-side, not swallowed.
+                        self.stats.constant_errors += 1;
+                        if self.sink.is_enabled() {
+                            self.sink.counter_add("constant_errors", 1.0);
+                            self.sink
+                                .span(
+                                    "host",
+                                    "backend",
+                                    "constant_error",
+                                    self.host_clock,
+                                    self.host_clock,
+                                )
+                                .attr("error", e.to_string())
+                                .emit();
+                        }
+                    }
                 }
-                let _ = reply.send(r.map(|u| u.ptr).map_err(CoreError::from));
+                self.send_reply(ctx, reply, r.map(|u| u.ptr).map_err(CoreError::from));
             }
-            Request::AdvanceClock { .. } => unreachable!("handled above"),
-            Request::Sync { reply, .. } => {
+            Request::AdvanceClock { .. } | Request::Disconnect { .. } => {
+                unreachable!("handled above")
+            }
+            Request::Sync { ctx, reply } => {
                 self.flush(true);
                 // Sync waits for every device to drain.
                 for d in 0..self.gpus.len() {
                     self.host_joins(d);
                 }
-                let _ = reply.send(Ok(()));
+                // Deliver one queued permanent failure per sync: the
+                // launch already returned a ticket, so this is where the
+                // offending frontend learns its kernel died.
+                let r = match self.failures.get_mut(&ctx).and_then(VecDeque::pop_front) {
+                    Some((_seq, e)) => Err(e),
+                    None => Ok(()),
+                };
+                self.send_reply(ctx, reply, r);
             }
             Request::Shutdown { reply } => {
                 self.flush(true);
@@ -306,9 +369,78 @@ impl Backend {
     }
 
     fn charge_channel(&mut self) {
+        // An injected channel drop means the frontend had to retransmit:
+        // each retransmission costs one extra round trip.
+        let retx = self.faults.as_ref().map_or(0, |f| f.on_message()) as u64;
+        let cost = self.cfg.channel_latency_s * (1 + retx) as f64;
         self.stats.messages += 1;
-        self.stats.channel_s += self.cfg.channel_latency_s;
-        self.host_clock += self.cfg.channel_latency_s;
+        self.stats.retransmits += retx;
+        self.stats.channel_s += cost;
+        self.host_clock += cost;
+        if retx > 0 && self.sink.is_enabled() {
+            self.sink.counter_add("channel_retransmits", retx as f64);
+        }
+    }
+
+    /// Reply to a frontend; a dead reply channel means the frontend died
+    /// mid-request, so reap it instead of silently dropping the result.
+    fn send_reply<T>(
+        &mut self,
+        ctx: u64,
+        reply: Sender<Result<T, CoreError>>,
+        r: Result<T, CoreError>,
+    ) {
+        if reply.send(r).is_err() {
+            self.reap(ctx, "reply channel dead", true);
+        }
+    }
+
+    /// Drain a departed frontend: drop its queued launches (group peers
+    /// must not wait on a corpse), its call state and its undelivered
+    /// failures. `abnormal` marks deaths detected mid-request (dead reply
+    /// channel) rather than announced disconnects.
+    fn reap(&mut self, ctx: u64, why: &str, abnormal: bool) {
+        if !self.dead.insert(ctx) {
+            return;
+        }
+        self.ctx_state.remove(&ctx);
+        self.failures.remove(&ctx);
+        let mut drained: Vec<KernelRequest> = Vec::new();
+        let mut kept: Vec<KernelRequest> = Vec::new();
+        for r in self.pending.drain(..) {
+            if r.ctx == ctx {
+                drained.push(r);
+            } else {
+                kept.push(r);
+            }
+        }
+        self.pending = kept;
+        self.stats.drained_requests += drained.len() as u64;
+        // A clean disconnect with nothing pending is the normal end of a
+        // process's life — not worth a log line or a stat.
+        if drained.is_empty() && !abnormal {
+            return;
+        }
+        self.stats.reaped_frontends += 1;
+        if self.sink.is_enabled() {
+            self.sink.counter_add("frontends_reaped", 1.0);
+            if !drained.is_empty() {
+                self.sink
+                    .counter_add("requests_drained", drained.len() as f64);
+            }
+            self.sink.audit(DecisionRecord {
+                time_s: self.host_clock,
+                kernels: drained.iter().map(|r| r.name.clone()).collect(),
+                verdict: Verdict::Drained,
+                consolidated: None,
+                serial: None,
+                cpu: None,
+                reason: format!(
+                    "frontend ctx {ctx} gone ({why}); drained {} pending launch(es)",
+                    drained.len()
+                ),
+            });
+        }
     }
 
     /// Host-to-host copy into/out of the pre-allocated staging buffer:
@@ -342,7 +474,7 @@ impl Backend {
             .get(&name)
             .cloned()
             .ok_or_else(|| CoreError::UnknownKernel(name.clone()))?;
-        self.device_for(ctx); // bind early so flush can partition
+        let d = self.device_for(ctx); // bind early so flush can partition
         let state = self.ctx_state.entry(ctx).or_default();
         let config = state.config.take().ok_or(CoreError::NotConfigured)?;
         let desc = workload.desc();
@@ -357,6 +489,11 @@ impl Backend {
                 desc.threads_per_block
             )));
         }
+        // Validate schedulability at enqueue time: a kernel that cannot
+        // fit one block on an SM would fail every rung of the ladder, so
+        // reject it here — synchronously, to the offending frontend —
+        // instead of poisoning a consolidation group later.
+        ewc_gpu::Occupancy::of(&desc, self.gpus[d].config()).map_err(CoreError::from)?;
         let args = match batched_args {
             Some(a) => a,
             None => std::mem::take(&mut state.args),
@@ -407,11 +544,18 @@ impl Backend {
             if !grouped {
                 // No template matches anywhere: run the oldest kernel on
                 // its own ("the backend lets the kernels run normally").
-                let oldest = (0..self.pending.len())
-                    .min_by_key(|&i| self.pending[i].seq)
-                    .expect("non-empty pending");
+                // The queue cannot be empty here (checked at loop top),
+                // but a daemon must never bet its life on an invariant.
+                let Some(oldest) = (0..self.pending.len()).min_by_key(|&i| self.pending[i].seq)
+                else {
+                    return;
+                };
                 let group = self.extract(vec![oldest]);
-                let d = self.ctx_device[&group[0].ctx];
+                let Some(&d) = self.ctx_device.get(&group[0].ctx) else {
+                    // No device binding (cannot happen: enqueue binds):
+                    // drop rather than crash the daemon.
+                    return;
+                };
                 self.execute_group(d, "<individual>", group);
             }
         }
@@ -459,6 +603,14 @@ impl Backend {
                     Choice::SerialGpu
                 };
         }
+        // The circuit breaker outranks everything, force_gpu included:
+        // with the GPU path tripped, every group runs on the CPU until
+        // the cooldown expires and a probe group half-opens the breaker.
+        let mut tripped = false;
+        if assessment.choice != Choice::Cpu && !self.breaker.gpu_allowed(self.host_clock) {
+            tripped = true;
+            assessment.choice = Choice::Cpu;
+        }
         if self.sink.is_enabled() {
             self.sink
                 .span(
@@ -471,83 +623,39 @@ impl Backend {
                 .attr("template", template)
                 .attr("group_size", group.len())
                 .emit();
-            self.audit_decision(&assessment, &group, forced);
+            self.audit_decision(&assessment, &group, forced, tripped);
         }
 
         // Kernel launches are asynchronous: the device clock runs ahead
         // of the host clock, so other devices' groups can overlap.
         self.catch_up(device);
         let t0 = self.gpus[device].now_s();
-        match assessment.choice {
-            Choice::Consolidate => {
-                let mut grid = Grid::new();
-                for req in &group {
-                    grid.push(
-                        GridSegment::bare(req.workload.desc(), req.workload.blocks())
-                            .with_args(req.args.clone())
-                            .with_body(req.workload.body())
-                            .with_tag(req.ctx),
-                    );
-                }
-                self.gpus[device]
-                    .launch(&LaunchConfig::from_grid(grid))
-                    .expect("registered kernels are schedulable");
-                self.stats.launches += 1;
-                if group.len() >= 2 {
-                    self.stats.consolidated_launches += 1;
-                }
-            }
-            Choice::SerialGpu => {
-                for req in &group {
-                    let mut grid = Grid::new();
-                    grid.push(
-                        GridSegment::bare(req.workload.desc(), req.workload.blocks())
-                            .with_args(req.args.clone())
-                            .with_body(req.workload.body())
-                            .with_tag(req.ctx),
-                    );
-                    self.gpus[device]
-                        .launch(&LaunchConfig::from_grid(grid))
-                        .expect("registered kernels are schedulable");
-                    self.stats.launches += 1;
-                }
-            }
+        let fates = match assessment.choice {
+            Choice::Consolidate => self.run_ladder(device, &group, true),
+            Choice::SerialGpu => self.run_ladder(device, &group, false),
             Choice::Cpu => {
-                // The instances run on the host; results must still
-                // materialise in the (backend-owned) device buffers the
-                // frontends will read back.
-                let (makespan, _energy) = self.decision.run_on_cpu(&cpu_tasks);
-                for req in &group {
-                    let body = req.workload.body();
-                    for b in 0..req.workload.blocks() {
-                        let ctx = BlockCtx {
-                            block_idx: b,
-                            num_blocks: req.workload.blocks(),
-                            threads_per_block: req.workload.desc().threads_per_block,
-                            args: &req.args,
-                        };
-                        body(&ctx, self.gpus[device].memory_mut());
-                    }
-                }
-                // CPU work occupies the host timeline; the device just
-                // waits for the results to land.
-                self.host_clock += makespan;
-                self.gpus[device].idle(makespan.max(0.0));
-                self.stats.cpu_executions += group.len() as u64;
-                self.stats.cpu_time_s += makespan;
+                self.run_cpu(device, &group, &cpu_tasks);
+                group
+                    .iter()
+                    .map(|_| MemberFate::Done(Choice::Cpu))
+                    .collect()
             }
-        }
+        };
 
         let completed_at_s = self.gpus[device].now_s();
-        for req in &group {
-            self.stats.kernel_outcomes.push(KernelOutcome {
-                ctx: req.ctx,
-                seq: req.seq,
-                name: req.name.clone(),
-                submitted_at_s: req.submitted_at_s,
-                completed_at_s,
-                choice: assessment.choice,
-            });
+        for (req, fate) in group.iter().zip(&fates) {
+            // Failed members never completed; they get no outcome record
+            // — their story is told by `failed_kernels` and the audit log.
+            if let MemberFate::Done(choice) = fate {
+                self.stats.kernel_outcomes.push(KernelOutcome {
+                    ctx: req.ctx,
+                    seq: req.seq,
+                    name: req.name.clone(),
+                    submitted_at_s: req.submitted_at_s,
+                    completed_at_s,
+                    choice: *choice,
+                });
+            }
         }
         self.stats.records.push(ConsolidationRecord {
             template: template.to_string(),
@@ -559,19 +667,25 @@ impl Backend {
         });
 
         if self.sink.is_enabled() {
-            let label = verdict_of(assessment.choice).label();
-            for req in &group {
+            for (req, fate) in group.iter().zip(&fates) {
+                let label = match fate {
+                    MemberFate::Done(c) => verdict_of(*c).label(),
+                    MemberFate::Failed(_) => Verdict::Failed.label(),
+                };
                 // Full request lifecycle on the submitting context's lane:
                 // queued behind the threshold, then executing on the device
                 // (or host, for CPU verdicts).
                 let lane = format!("ctx{}", req.ctx);
-                let parent = self
+                let mut span = self
                     .sink
                     .span("host", &lane, "request", req.submitted_at_s, completed_at_s)
                     .attr("kernel", &req.name)
                     .attr("seq", req.seq)
-                    .attr("choice", label)
-                    .emit();
+                    .attr("choice", label);
+                if let MemberFate::Failed(e) = fate {
+                    span = span.attr("error", e.to_string());
+                }
+                let parent = span.emit();
                 self.sink
                     .span("host", &lane, "queued", req.submitted_at_s, coord_start_s)
                     .parent(parent)
@@ -584,9 +698,244 @@ impl Backend {
                 self.sink
                     .histogram_record("request_latency_s", completed_at_s - req.submitted_at_s);
             }
+            let label = verdict_of(assessment.choice).label();
             self.sink.counter_add("groups", 1.0);
             self.sink.counter_add(&format!("verdict_{label}"), 1.0);
         }
+    }
+
+    /// Rungs 1–3 of the degradation ladder for a group headed to the GPU.
+    ///
+    /// * Rung 1: the planned dispatch — one consolidated grid
+    ///   (`consolidate`) or per-member grids — with retry + backoff.
+    /// * Rung 2: a failing consolidated launch is aborted and its members
+    ///   re-dispatched serially, isolating a poisoned merge.
+    /// * Rung 3: members the GPU persistently refuses (transient faults
+    ///   exhausting retries/deadline) run on the CPU lifeboat.
+    /// * Permanent errors exit the ladder: the request is failed back to
+    ///   its frontend, and the rest of the group still completes.
+    fn run_ladder(
+        &mut self,
+        device: usize,
+        group: &[KernelRequest],
+        consolidate: bool,
+    ) -> Vec<MemberFate> {
+        if consolidate {
+            match self.launch_with_retries(device, group) {
+                Ok(()) => {
+                    self.stats.launches += 1;
+                    if group.len() >= 2 {
+                        self.stats.consolidated_launches += 1;
+                    }
+                    return group
+                        .iter()
+                        .map(|_| MemberFate::Done(Choice::Consolidate))
+                        .collect();
+                }
+                Err(e) => {
+                    self.stats.serial_fallbacks += 1;
+                    self.note_recovery(
+                        group,
+                        Verdict::SerialGpu,
+                        &format!(
+                            "consolidated launch failed ({e}); re-dispatching {} member(s) serially",
+                            group.len()
+                        ),
+                    );
+                }
+            }
+        }
+        let mut fates = Vec::with_capacity(group.len());
+        for req in group {
+            let member = std::slice::from_ref(req);
+            let fate = match self.launch_with_retries(device, member) {
+                Ok(()) => {
+                    self.stats.launches += 1;
+                    MemberFate::Done(Choice::SerialGpu)
+                }
+                Err(e) if e.is_transient() => {
+                    self.stats.cpu_fallbacks += 1;
+                    self.note_recovery(
+                        member,
+                        Verdict::Cpu,
+                        &format!(
+                            "serial launch of '{}' (seq {}) still failing ({e}); falling back to CPU",
+                            req.name, req.seq
+                        ),
+                    );
+                    self.run_cpu(device, member, &[req.workload.cpu_task()]);
+                    MemberFate::Done(Choice::Cpu)
+                }
+                Err(e) => {
+                    self.record_failure(req, e.clone());
+                    MemberFate::Failed(e)
+                }
+            };
+            fates.push(fate);
+        }
+        fates
+    }
+
+    /// Launch `members` as one grid, retrying transient faults with
+    /// exponential backoff on the device clock (retries are not
+    /// energetically free — the device burns idle power while waiting).
+    /// Gives up early when a member's deadline would blow or the circuit
+    /// breaker opens mid-retry; the caller escalates down the ladder.
+    fn launch_with_retries(
+        &mut self,
+        device: usize,
+        members: &[KernelRequest],
+    ) -> Result<(), GpuError> {
+        let pol = self.cfg.resilience.clone();
+        let deadline_s = members
+            .iter()
+            .map(|r| r.submitted_at_s)
+            .fold(f64::INFINITY, f64::min)
+            + pol.request_deadline_s;
+        let mut backoff = pol.retry_backoff_s.max(0.0);
+        let mut attempts = 0u32;
+        loop {
+            let mut grid = Grid::new();
+            for req in members {
+                grid.push(
+                    GridSegment::bare(req.workload.desc(), req.workload.blocks())
+                        .with_args(req.args.clone())
+                        .with_body(req.workload.body())
+                        .with_tag(req.ctx),
+                );
+            }
+            let err = match self.gpus[device].launch(&LaunchConfig::from_grid(grid)) {
+                Ok(_) => {
+                    self.breaker.record_success();
+                    return Ok(());
+                }
+                Err(e) => e,
+            };
+            self.stats.faults_observed += 1;
+            if self.sink.is_enabled() {
+                self.sink.counter_add("gpu_faults", 1.0);
+            }
+            if self.breaker.record_fault(self.gpus[device].now_s()) {
+                self.stats.breaker_trips += 1;
+                if self.sink.is_enabled() {
+                    self.sink.counter_add("breaker_trips", 1.0);
+                }
+                self.note_recovery(
+                    members,
+                    Verdict::Cpu,
+                    &format!(
+                        "circuit breaker tripped at {:.6} s ({err}); GPU path closed for {:.3} s",
+                        self.gpus[device].now_s(),
+                        pol.breaker_cooldown_s
+                    ),
+                );
+            }
+            if !err.is_transient() || attempts >= pol.max_gpu_retries {
+                return Err(err);
+            }
+            if self.breaker.is_open(self.gpus[device].now_s()) {
+                // The breaker just closed the GPU path: stop burning
+                // retries on a device declared sick.
+                return Err(err);
+            }
+            if self.gpus[device].now_s() + backoff > deadline_s {
+                self.stats.deadline_escalations += 1;
+                if self.sink.is_enabled() {
+                    self.sink.counter_add("deadline_escalations", 1.0);
+                }
+                self.note_recovery(
+                    members,
+                    Verdict::Cpu,
+                    &format!(
+                        "deadline {:.6} s would blow before retry {} ({err}); escalating",
+                        deadline_s,
+                        attempts + 1
+                    ),
+                );
+                return Err(err);
+            }
+            self.gpus[device].idle(backoff);
+            self.stats.gpu_retries += 1;
+            self.stats.backoff_s += backoff;
+            if self.sink.is_enabled() {
+                self.sink.counter_add("gpu_retries", 1.0);
+            }
+            backoff *= 2.0;
+            attempts += 1;
+        }
+    }
+
+    /// The CPU rung: run the members' functional bodies host-side into
+    /// the backend-owned device buffers (frontends read back as usual)
+    /// and charge CPU time and energy.
+    fn run_cpu(&mut self, device: usize, group: &[KernelRequest], tasks: &[CpuTask]) {
+        // The instances run on the host; results must still materialise
+        // in the (backend-owned) device buffers the frontends will read.
+        let (makespan, energy) = self.decision.run_on_cpu(tasks);
+        for req in group {
+            let body = req.workload.body();
+            for b in 0..req.workload.blocks() {
+                let ctx = BlockCtx {
+                    block_idx: b,
+                    num_blocks: req.workload.blocks(),
+                    threads_per_block: req.workload.desc().threads_per_block,
+                    args: &req.args,
+                };
+                body(&ctx, self.gpus[device].memory_mut());
+            }
+        }
+        // CPU work occupies the host timeline; the device just waits for
+        // the results to land.
+        self.host_clock += makespan;
+        self.gpus[device].idle(makespan.max(0.0));
+        self.stats.cpu_executions += group.len() as u64;
+        self.stats.cpu_time_s += makespan;
+        self.stats.cpu_energy_j += energy;
+    }
+
+    /// Queue a permanent failure for delivery at the context's next
+    /// `sync`, and audit it.
+    fn record_failure(&mut self, req: &KernelRequest, e: GpuError) {
+        self.stats.failed_kernels += 1;
+        self.failures.entry(req.ctx).or_default().push_back((
+            req.seq,
+            CoreError::KernelFailed {
+                seq: req.seq,
+                gpu: e.clone(),
+            },
+        ));
+        if self.sink.is_enabled() {
+            self.sink.counter_add("requests_failed", 1.0);
+            self.sink.audit(DecisionRecord {
+                time_s: self.host_clock,
+                kernels: vec![req.name.clone()],
+                verdict: Verdict::Failed,
+                consolidated: None,
+                serial: None,
+                cpu: None,
+                reason: format!(
+                    "kernel '{}' (ctx {}, seq {}) failed permanently: {e}",
+                    req.name, req.ctx, req.seq
+                ),
+            });
+        }
+    }
+
+    /// Audit one recovery decision (a hop down the degradation ladder).
+    fn note_recovery(&mut self, members: &[KernelRequest], verdict: Verdict, reason: &str) {
+        if !self.sink.is_enabled() {
+            return;
+        }
+        self.sink.counter_add("recoveries", 1.0);
+        self.sink.audit(DecisionRecord {
+            time_s: self.host_clock,
+            kernels: members.iter().map(|r| r.name.clone()).collect(),
+            verdict,
+            consolidated: None,
+            serial: None,
+            cpu: None,
+            reason: reason.to_string(),
+        });
     }
 
     /// Record the verdict and the predictions that justified it.
@@ -595,13 +944,19 @@ impl Backend {
         assessment: &crate::decision::Assessment,
         group: &[KernelRequest],
         forced: bool,
+        tripped: bool,
     ) {
         let reason = format!(
-            "predicted energy: consolidated {:.3} J (margin-adjusted), serial {:.3} J, cpu {:.3} J{}",
+            "predicted energy: consolidated {:.3} J (margin-adjusted), serial {:.3} J, cpu {:.3} J{}{}",
             assessment.consolidated.system_energy_j,
             assessment.serial.system_energy_j,
             assessment.cpu_energy_j,
-            if forced { "; force_gpu overrode a CPU verdict" } else { "" }
+            if forced { "; force_gpu overrode a CPU verdict" } else { "" },
+            if tripped {
+                "; circuit breaker open: GPU path tripped to CPU"
+            } else {
+                ""
+            }
         );
         self.sink.audit(DecisionRecord {
             time_s: self.host_clock,

@@ -1,5 +1,7 @@
 //! Runtime configuration: overhead costs and feature toggles.
 
+use crate::resilience::ResiliencePolicy;
+
 /// Configuration of the consolidation runtime.
 ///
 /// The cost knobs model the paper's reported overheads: frontend↔backend
@@ -46,6 +48,9 @@ pub struct RuntimeConfig {
     /// in trace-driven runs). Infinite by default: the paper assumes a
     /// steady oversupply of requests.
     pub max_pending_wait_s: f64,
+    /// Recovery behaviour under device faults: retries, per-request
+    /// deadlines, and the GPU-path circuit breaker.
+    pub resilience: ResiliencePolicy,
 }
 
 impl RuntimeConfig {
@@ -80,6 +85,7 @@ impl Default for RuntimeConfig {
             force_gpu: false,
             noise_seed: None,
             max_pending_wait_s: f64::INFINITY,
+            resilience: ResiliencePolicy::default(),
         }
     }
 }

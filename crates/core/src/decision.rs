@@ -113,11 +113,14 @@ impl DecisionEngine {
             (Choice::SerialGpu, serial.system_energy_j),
             (Choice::Cpu, cpu_energy),
         ];
+        // total_cmp: a NaN prediction (degenerate model input) must not
+        // panic the daemon — it sorts above every real energy and simply
+        // never wins.
         let choice = candidates
             .into_iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("energies must not be NaN"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(c, _)| c)
-            .expect("non-empty candidate list");
+            .unwrap_or(Choice::SerialGpu);
 
         Assessment {
             choice,

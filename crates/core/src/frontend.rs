@@ -172,6 +172,15 @@ impl Frontend {
     }
 }
 
+impl Drop for Frontend {
+    /// Announce the process's departure so the backend can drain any
+    /// launches it will never sync on. Best-effort: if the backend is
+    /// already gone there is nobody left to care.
+    fn drop(&mut self) {
+        let _ = self.tx.send(Request::Disconnect { ctx: self.ctx });
+    }
+}
+
 impl ewc_gpu::DeviceAlloc for Frontend {
     fn alloc_bytes(&mut self, len: u64) -> Result<DevicePtr, ewc_gpu::GpuError> {
         self.malloc(len).map_err(core_to_gpu)

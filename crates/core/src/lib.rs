@@ -74,6 +74,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The daemon must never panic on a fault path: unwraps are banned in
+// shipping code (tests are free to use them).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod backend;
 pub mod config;
@@ -82,6 +85,7 @@ pub mod frontend;
 pub mod leader;
 pub mod optimize;
 pub mod protocol;
+pub mod resilience;
 pub mod runtime;
 pub mod stats;
 pub mod template;
@@ -91,6 +95,7 @@ pub use config::RuntimeConfig;
 pub use decision::{Choice, DecisionEngine};
 pub use frontend::Frontend;
 pub use protocol::{CoreError, KernelRequest};
+pub use resilience::{CircuitBreaker, ResiliencePolicy, RuntimeFaultInjector};
 pub use runtime::{Runtime, RuntimeReport};
 pub use stats::{BackendStats, ConsolidationRecord};
 pub use template::{Template, TemplateRegistry};

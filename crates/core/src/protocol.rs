@@ -33,6 +33,16 @@ pub enum CoreError {
     BadConfiguration(String),
     /// The backend is gone (channel disconnected).
     Disconnected,
+    /// A previously enqueued kernel launch could not be completed by any
+    /// rung of the degradation ladder (retry, serial re-dispatch, CPU
+    /// fallback). Reported at the next `sync` of the submitting context;
+    /// `seq` is the ticket the original `launch` returned.
+    KernelFailed {
+        /// Ticket (sequence number) of the failed launch.
+        seq: u64,
+        /// The underlying device error.
+        gpu: GpuError,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -43,6 +53,9 @@ impl fmt::Display for CoreError {
             CoreError::NotConfigured => write!(f, "launch without configure_call"),
             CoreError::BadConfiguration(why) => write!(f, "bad execution configuration: {why}"),
             CoreError::Disconnected => write!(f, "backend disconnected"),
+            CoreError::KernelFailed { seq, gpu } => {
+                write!(f, "kernel launch (ticket {seq}) failed: {gpu}")
+            }
         }
     }
 }
@@ -186,6 +199,15 @@ pub enum Request {
         /// Target time in seconds (no-op if already past).
         to_s: f64,
     },
+    /// The frontend is gone (process died or handle dropped). The
+    /// backend drains the context's pending launches — a dead process
+    /// cannot consume results, and its group peers must not wait for it.
+    /// Sent best-effort by [`crate::Frontend`]'s `Drop`; carries no
+    /// channel cost (a dying process pays nothing).
+    Disconnect {
+        /// Context id of the departed frontend.
+        ctx: u64,
+    },
     /// Block until every pending kernel has executed.
     Sync {
         /// Context id.
@@ -217,6 +239,7 @@ impl Request {
             | Request::SetupArgument { ctx, .. }
             | Request::Launch { ctx, .. }
             | Request::RegisterConstant { ctx, .. }
+            | Request::Disconnect { ctx }
             | Request::Sync { ctx, .. } => Some(*ctx),
             Request::AdvanceClock { .. } | Request::Shutdown { .. } => None,
         }
@@ -234,6 +257,7 @@ impl Request {
             Request::Launch { .. } => "launch",
             Request::RegisterConstant { .. } => "register_constant",
             Request::AdvanceClock { .. } => "advance_clock",
+            Request::Disconnect { .. } => "disconnect",
             Request::Sync { .. } => "sync",
             Request::Shutdown { .. } => "shutdown",
         }

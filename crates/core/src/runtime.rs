@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use ewc_cpu::{CpuConfig, CpuEngine, CpuPowerModel};
 use ewc_energy::{GpuSystemPower, PowerCoefficients, ThermalModel, TrainingBenchmark};
-use ewc_gpu::{GpuConfig, GpuDevice};
+use ewc_gpu::{FaultInjectorHandle, GpuConfig, GpuDevice};
 use ewc_models::{EnergyModel, PowerModel};
 use ewc_telemetry::{TelemetrySink, TelemetrySnapshot};
 use ewc_workloads::Workload;
@@ -17,6 +17,7 @@ use crate::config::RuntimeConfig;
 use crate::decision::DecisionEngine;
 use crate::frontend::Frontend;
 use crate::protocol::Request;
+use crate::resilience::RuntimeFaultInjector;
 use crate::stats::BackendStats;
 use crate::template::{Template, TemplateRegistry};
 
@@ -32,6 +33,8 @@ pub struct RuntimeBuilder {
     workloads: HashMap<String, Arc<dyn Workload>>,
     templates: TemplateRegistry,
     telemetry: TelemetrySink,
+    device_faults: Option<FaultInjectorHandle>,
+    runtime_faults: Option<Arc<dyn RuntimeFaultInjector>>,
 }
 
 impl RuntimeBuilder {
@@ -46,7 +49,25 @@ impl RuntimeBuilder {
             workloads: HashMap::new(),
             templates: TemplateRegistry::new(),
             telemetry: TelemetrySink::disabled(),
+            device_faults: None,
+            runtime_faults: None,
         }
+    }
+
+    /// Attach a device-level fault injector: every simulated GPU consults
+    /// it on malloc/transfer/launch. Pair with
+    /// [`RuntimeConfig::resilience`](crate::RuntimeConfig) to control how
+    /// the backend recovers.
+    pub fn device_faults(mut self, injector: FaultInjectorHandle) -> Self {
+        self.device_faults = Some(injector);
+        self
+    }
+
+    /// Attach a runtime-level fault injector: the backend consults it per
+    /// message to model dropped-and-retransmitted channel traffic.
+    pub fn runtime_faults(mut self, injector: Arc<dyn RuntimeFaultInjector>) -> Self {
+        self.runtime_faults = Some(injector);
+        self
     }
 
     /// Attach a telemetry sink. The backend, every device and the energy
@@ -86,8 +107,12 @@ impl RuntimeBuilder {
     pub fn build(self) -> Runtime {
         let gpus: Vec<GpuDevice> = (0..self.cfg.num_gpus.max(1))
             .map(|d| {
-                GpuDevice::new(self.gpu_cfg.clone())
-                    .with_telemetry(self.telemetry.clone(), d as usize)
+                let mut gpu = GpuDevice::new(self.gpu_cfg.clone())
+                    .with_telemetry(self.telemetry.clone(), d as usize);
+                if let Some(injector) = &self.device_faults {
+                    gpu = gpu.with_fault_injector(Arc::clone(injector));
+                }
+                gpu
             })
             .collect();
         let system = GpuSystemPower {
@@ -121,6 +146,7 @@ impl RuntimeBuilder {
             self.templates,
             decision,
             self.telemetry,
+            self.runtime_faults,
         );
         Runtime {
             handles: Some(handles),

@@ -68,6 +68,36 @@ pub struct BackendStats {
     pub constant_hits: u64,
     /// Constant-cache misses (uploads performed).
     pub constant_misses: u64,
+    /// Simulated CPU energy from CPU-offloaded and CPU-fallback groups,
+    /// joules (the GPU system integral does not see host-side work).
+    pub cpu_energy_j: f64,
+    /// Device faults observed by the backend (injected or organic).
+    pub faults_observed: u64,
+    /// Extra channel round trips charged for dropped-and-retransmitted
+    /// messages.
+    pub retransmits: u64,
+    /// GPU launch retries performed (beyond first attempts).
+    pub gpu_retries: u64,
+    /// Total simulated time spent in retry backoff, seconds.
+    pub backoff_s: f64,
+    /// Consolidated groups aborted and re-dispatched serially.
+    pub serial_fallbacks: u64,
+    /// Kernels the GPU persistently refused that ran on the CPU instead.
+    pub cpu_fallbacks: u64,
+    /// Retry loops cut short because a member's deadline would blow.
+    pub deadline_escalations: u64,
+    /// Circuit-breaker trips (GPU path closed to CPU-only).
+    pub breaker_trips: u64,
+    /// Kernel requests failed back to their frontend (permanent errors).
+    pub failed_kernels: u64,
+    /// Pending launches drained because their frontend disconnected.
+    pub drained_requests: u64,
+    /// Frontends reaped after disconnecting (explicitly or detected via
+    /// a dead reply channel).
+    pub reaped_frontends: u64,
+    /// Constant registrations that failed (the error still reached the
+    /// frontend; counted here so backend-side logs see it too).
+    pub constant_errors: u64,
     /// Per-group decision records in execution order.
     pub records: Vec<ConsolidationRecord>,
     /// Per-request lifecycle records in completion order.
@@ -95,7 +125,7 @@ impl BackendStats {
             .iter()
             .map(KernelOutcome::latency_s)
             .collect();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        v.sort_by(f64::total_cmp);
         LatencySummary { sorted: v }
     }
 

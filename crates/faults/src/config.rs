@@ -1,0 +1,126 @@
+//! Fault-injection configuration: per-site rates and fault shapes.
+
+/// Rates and shapes for every injectable fault class. All rates are
+/// probabilities in `[0, 1]`, evaluated per operation against a
+/// dedicated deterministic random stream (see
+/// [`FaultPlan`](crate::FaultPlan)), so the same seed always produces
+/// the same fault schedule regardless of which classes are enabled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Probability a `malloc` reports device OOM (transient: the next
+    /// attempt sees healthy memory again).
+    pub oom_rate: f64,
+    /// Probability a DMA transfer fails outright after burning its bus
+    /// time.
+    pub transfer_fail_rate: f64,
+    /// Probability a DMA transfer stalls and takes [`stall_s`] longer.
+    ///
+    /// [`stall_s`]: FaultConfig::stall_s
+    pub transfer_stall_rate: f64,
+    /// Extra seconds added to a stalled transfer.
+    pub stall_s: f64,
+    /// Probability a kernel launch hangs until the watchdog fires.
+    pub hang_rate: f64,
+    /// Seconds the watchdog waits before killing a hung launch.
+    pub watchdog_s: f64,
+    /// Probability a launch runs on degraded hardware (fewer effective
+    /// SMs), stretching its execution time by [`slowdown`].
+    ///
+    /// [`slowdown`]: FaultConfig::slowdown
+    pub degrade_rate: f64,
+    /// Execution-time multiplier for degraded launches (≥ 1).
+    pub slowdown: f64,
+    /// Probability a frontend↔backend message is dropped and
+    /// retransmitted (each retransmit re-rolls, up to
+    /// [`max_retransmits`]).
+    ///
+    /// [`max_retransmits`]: FaultConfig::max_retransmits
+    pub channel_drop_rate: f64,
+    /// Cap on consecutive retransmits of one message.
+    pub max_retransmits: u32,
+    /// Probability (per submission round) that a frontend process dies
+    /// mid-batch, abandoning its pending launches.
+    pub frontend_death_rate: f64,
+}
+
+impl FaultConfig {
+    /// No faults at all — the control configuration.
+    pub fn quiet() -> Self {
+        FaultConfig {
+            oom_rate: 0.0,
+            transfer_fail_rate: 0.0,
+            transfer_stall_rate: 0.0,
+            stall_s: 0.0,
+            hang_rate: 0.0,
+            watchdog_s: 0.05,
+            degrade_rate: 0.0,
+            slowdown: 1.0,
+            channel_drop_rate: 0.0,
+            max_retransmits: 3,
+            frontend_death_rate: 0.0,
+        }
+    }
+
+    /// Occasional faults of every class — the default soak setting.
+    pub fn light() -> Self {
+        FaultConfig {
+            oom_rate: 0.02,
+            transfer_fail_rate: 0.02,
+            transfer_stall_rate: 0.05,
+            stall_s: 0.01,
+            hang_rate: 0.05,
+            watchdog_s: 0.05,
+            degrade_rate: 0.05,
+            slowdown: 2.0,
+            channel_drop_rate: 0.02,
+            max_retransmits: 3,
+            frontend_death_rate: 0.02,
+        }
+    }
+
+    /// Aggressive fault pressure — exercises every rung of the ladder.
+    pub fn storm() -> Self {
+        FaultConfig {
+            oom_rate: 0.10,
+            transfer_fail_rate: 0.10,
+            transfer_stall_rate: 0.15,
+            stall_s: 0.02,
+            hang_rate: 0.25,
+            watchdog_s: 0.05,
+            degrade_rate: 0.15,
+            slowdown: 4.0,
+            channel_drop_rate: 0.10,
+            max_retransmits: 3,
+            frontend_death_rate: 0.08,
+        }
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::light()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_is_truly_quiet() {
+        let q = FaultConfig::quiet();
+        assert_eq!(q.oom_rate, 0.0);
+        assert_eq!(q.hang_rate, 0.0);
+        assert_eq!(q.channel_drop_rate, 0.0);
+        assert_eq!(q.frontend_death_rate, 0.0);
+    }
+
+    #[test]
+    fn presets_escalate() {
+        let l = FaultConfig::light();
+        let s = FaultConfig::storm();
+        assert!(s.hang_rate > l.hang_rate);
+        assert!(s.oom_rate > l.oom_rate);
+        assert!(s.frontend_death_rate > l.frontend_death_rate);
+    }
+}

@@ -1,0 +1,37 @@
+//! # ewc-faults — deterministic fault injection and resilience soak
+//!
+//! The framework's chaos harness. A [`FaultPlan`] turns one seed into a
+//! reproducible schedule of device OOMs, DMA failures and stalls, kernel
+//! hangs, degraded-SM slowdowns, dropped channel messages, and frontend
+//! process deaths — one deterministic random stream *per injection site*
+//! so fault classes can be toggled independently without perturbing each
+//! other. [`SharedFaultPlan`] adapts the plan to the injection traits the
+//! rest of the workspace consumes ([`ewc_gpu::DeviceFaultInjector`] and
+//! [`ewc_core::RuntimeFaultInjector`]), and [`soak`] drives the full
+//! runtime under fault pressure while verifying every output that
+//! survives.
+//!
+//! ```
+//! use ewc_faults::{soak, FaultConfig, SoakConfig};
+//!
+//! let report = soak::run(&SoakConfig {
+//!     seed: 7,
+//!     processes: 2,
+//!     requests_per_process: 2,
+//!     faults: FaultConfig::light(),
+//!     ..SoakConfig::default()
+//! });
+//! assert!(report.balanced(), "{}", report.render());
+//! assert_eq!(report.mismatched, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod plan;
+pub mod soak;
+
+pub use config::FaultConfig;
+pub use plan::{FaultPlan, FaultRecord, FaultSite, SharedFaultPlan};
+pub use soak::{SoakConfig, SoakReport};

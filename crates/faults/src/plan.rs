@@ -1,0 +1,433 @@
+//! The deterministic fault plan: seed in, fault schedule out.
+//!
+//! One [`FaultPlan`] owns a dedicated [`SimRng`] stream *per injection
+//! site* (malloc, transfer, launch, channel, frontend), each seeded from
+//! the plan seed XOR a per-site salt. Because every site draws from its
+//! own stream, enabling or disabling one fault class never perturbs the
+//! schedule of another — and the same seed always reproduces the exact
+//! same fault history, which the replay tests assert record-for-record.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use ewc_core::RuntimeFaultInjector;
+use ewc_gpu::{DeviceFault, DeviceFaultInjector, SimRng};
+
+use crate::config::FaultConfig;
+
+/// Where in the stack a fault is injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultSite {
+    /// Device memory allocation (`cudaMalloc`).
+    Malloc,
+    /// DMA transfer in either direction.
+    Transfer,
+    /// Kernel launch.
+    Launch,
+    /// Frontend↔backend message channel.
+    Channel,
+    /// The frontend process itself.
+    Frontend,
+}
+
+impl FaultSite {
+    const ALL: [FaultSite; 5] = [
+        FaultSite::Malloc,
+        FaultSite::Transfer,
+        FaultSite::Launch,
+        FaultSite::Channel,
+        FaultSite::Frontend,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            FaultSite::Malloc => 0,
+            FaultSite::Transfer => 1,
+            FaultSite::Launch => 2,
+            FaultSite::Channel => 3,
+            FaultSite::Frontend => 4,
+        }
+    }
+
+    /// Stable per-site RNG salt (arbitrary odd constants).
+    fn salt(self) -> u64 {
+        [
+            0x6d61_6c6c_6f63_0001,
+            0x7472_616e_7366_0003,
+            0x6c61_756e_6368_0005,
+            0x6368_616e_6e65_0007,
+            0x6672_6f6e_7465_0009,
+        ][self.index()]
+    }
+
+    /// Short site label for logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultSite::Malloc => "malloc",
+            FaultSite::Transfer => "transfer",
+            FaultSite::Launch => "launch",
+            FaultSite::Channel => "channel",
+            FaultSite::Frontend => "frontend",
+        }
+    }
+}
+
+/// One injected fault, as it happened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRecord {
+    /// Injection site.
+    pub site: FaultSite,
+    /// Zero-based operation index *within that site's stream* — the
+    /// n-th malloc, n-th transfer, … The pair `(site, op_index)`
+    /// uniquely identifies the operation across a run.
+    pub op_index: u64,
+    /// Deterministic human-readable description of the fault.
+    pub fault: String,
+}
+
+/// The seed-driven fault schedule. Not thread-safe by itself — wrap it
+/// in a [`SharedFaultPlan`] to hand it to a runtime.
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    streams: [SimRng; 5],
+    ops: [u64; 5],
+    log: Vec<FaultRecord>,
+    script: BTreeMap<(usize, u64), DeviceFault>,
+}
+
+impl FaultPlan {
+    /// Build the plan for a seed and configuration.
+    pub fn new(seed: u64, cfg: FaultConfig) -> Self {
+        let streams = FaultSite::ALL.map(|s| SimRng::seed_from_u64(seed ^ s.salt()));
+        FaultPlan {
+            cfg,
+            streams,
+            ops: [0; 5],
+            log: Vec::new(),
+            script: BTreeMap::new(),
+        }
+    }
+
+    /// Script an exact fault at the `op_index`-th operation of `site`
+    /// (device sites only). Scripted faults override the random rates
+    /// for that operation; the random draw is still consumed so the rest
+    /// of the schedule is unchanged.
+    pub fn with_script(mut self, site: FaultSite, op_index: u64, fault: DeviceFault) -> Self {
+        self.script.insert((site.index(), op_index), fault);
+        self
+    }
+
+    /// Swap the rate configuration mid-run (e.g. stop injecting so a
+    /// half-open circuit breaker can close). Streams and op counters are
+    /// untouched.
+    pub fn set_config(&mut self, cfg: FaultConfig) {
+        self.cfg = cfg;
+    }
+
+    /// The current rate configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Advance a site's stream by one operation: returns the operation
+    /// index and the uniform draw in `[0, 1)`.
+    fn draw(&mut self, site: FaultSite) -> (u64, f64) {
+        let i = site.index();
+        let op = self.ops[i];
+        self.ops[i] += 1;
+        (op, self.streams[i].next_f64())
+    }
+
+    fn note(&mut self, site: FaultSite, op_index: u64, fault: String) {
+        self.log.push(FaultRecord {
+            site,
+            op_index,
+            fault,
+        });
+    }
+
+    fn scripted(&mut self, site: FaultSite, op: u64) -> Option<DeviceFault> {
+        self.script.remove(&(site.index(), op))
+    }
+
+    fn describe(f: &DeviceFault) -> String {
+        match f {
+            DeviceFault::Oom => "oom".to_string(),
+            DeviceFault::TransferFail => "transfer_fail".to_string(),
+            DeviceFault::TransferStall { extra_s } => {
+                format!("transfer_stall(+{extra_s:.3}s)")
+            }
+            DeviceFault::Hang { watchdog_s } => format!("hang(watchdog={watchdog_s:.3}s)"),
+            DeviceFault::DegradedSms { slowdown } => {
+                format!("degraded_sms(x{slowdown:.3})")
+            }
+        }
+    }
+
+    fn emit(&mut self, site: FaultSite, op: u64, fault: DeviceFault) -> Option<DeviceFault> {
+        self.note(site, op, Self::describe(&fault));
+        Some(fault)
+    }
+
+    /// Roll the next malloc operation.
+    pub fn roll_malloc(&mut self) -> Option<DeviceFault> {
+        let (op, u) = self.draw(FaultSite::Malloc);
+        if let Some(f) = self.scripted(FaultSite::Malloc, op) {
+            return self.emit(FaultSite::Malloc, op, f);
+        }
+        if u < self.cfg.oom_rate {
+            return self.emit(FaultSite::Malloc, op, DeviceFault::Oom);
+        }
+        None
+    }
+
+    /// Roll the next DMA transfer.
+    pub fn roll_transfer(&mut self) -> Option<DeviceFault> {
+        let (op, u) = self.draw(FaultSite::Transfer);
+        if let Some(f) = self.scripted(FaultSite::Transfer, op) {
+            return self.emit(FaultSite::Transfer, op, f);
+        }
+        if u < self.cfg.transfer_fail_rate {
+            return self.emit(FaultSite::Transfer, op, DeviceFault::TransferFail);
+        }
+        if u < self.cfg.transfer_fail_rate + self.cfg.transfer_stall_rate {
+            let fault = DeviceFault::TransferStall {
+                extra_s: self.cfg.stall_s,
+            };
+            return self.emit(FaultSite::Transfer, op, fault);
+        }
+        None
+    }
+
+    /// Roll the next kernel launch.
+    pub fn roll_launch(&mut self) -> Option<DeviceFault> {
+        let (op, u) = self.draw(FaultSite::Launch);
+        if let Some(f) = self.scripted(FaultSite::Launch, op) {
+            return self.emit(FaultSite::Launch, op, f);
+        }
+        if u < self.cfg.hang_rate {
+            let fault = DeviceFault::Hang {
+                watchdog_s: self.cfg.watchdog_s,
+            };
+            return self.emit(FaultSite::Launch, op, fault);
+        }
+        if u < self.cfg.hang_rate + self.cfg.degrade_rate {
+            let fault = DeviceFault::DegradedSms {
+                slowdown: self.cfg.slowdown,
+            };
+            return self.emit(FaultSite::Launch, op, fault);
+        }
+        None
+    }
+
+    /// Roll the next channel message: how many extra retransmits it
+    /// needs (0 = delivered first try).
+    pub fn roll_channel(&mut self) -> u32 {
+        let (op, u) = self.draw(FaultSite::Channel);
+        if u >= self.cfg.channel_drop_rate {
+            return 0;
+        }
+        let mut n = 1u32;
+        // Each retransmit re-rolls against the same drop rate, capped.
+        let i = FaultSite::Channel.index();
+        while n < self.cfg.max_retransmits
+            && self.streams[i].next_f64() < self.cfg.channel_drop_rate
+        {
+            n += 1;
+        }
+        self.note(FaultSite::Channel, op, format!("dropped(retransmits={n})"));
+        n
+    }
+
+    /// Roll whether a frontend dies this submission round.
+    pub fn roll_frontend_death(&mut self) -> bool {
+        let (op, u) = self.draw(FaultSite::Frontend);
+        if u < self.cfg.frontend_death_rate {
+            self.note(FaultSite::Frontend, op, "died".to_string());
+            return true;
+        }
+        false
+    }
+
+    /// The fault history so far, sorted by `(site, op_index)` so two
+    /// runs can be compared even if call interleavings differ.
+    pub fn log(&self) -> Vec<FaultRecord> {
+        let mut v = self.log.clone();
+        v.sort_by_key(|r| (r.site, r.op_index));
+        v
+    }
+
+    /// Number of faults injected so far.
+    pub fn fault_count(&self) -> usize {
+        self.log.len()
+    }
+}
+
+/// A [`FaultPlan`] behind `Arc<Mutex<…>>`, implementing both injector
+/// traits so one plan drives device-level and runtime-level faults from
+/// a single seed. Clone it freely; all clones share the plan.
+#[derive(Clone)]
+pub struct SharedFaultPlan(Arc<Mutex<FaultPlan>>);
+
+impl SharedFaultPlan {
+    /// Build a shared plan for a seed and configuration.
+    pub fn new(seed: u64, cfg: FaultConfig) -> Self {
+        Self::from_plan(FaultPlan::new(seed, cfg))
+    }
+
+    /// Wrap an existing (possibly scripted) plan.
+    pub fn from_plan(plan: FaultPlan) -> Self {
+        SharedFaultPlan(Arc::new(Mutex::new(plan)))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultPlan> {
+        self.0.lock().expect("fault plan lock poisoned")
+    }
+
+    /// Swap the rate configuration mid-run.
+    pub fn set_config(&self, cfg: FaultConfig) {
+        self.lock().set_config(cfg);
+    }
+
+    /// Roll whether a frontend dies this submission round.
+    pub fn roll_frontend_death(&self) -> bool {
+        self.lock().roll_frontend_death()
+    }
+
+    /// Sorted fault history (see [`FaultPlan::log`]).
+    pub fn log(&self) -> Vec<FaultRecord> {
+        self.lock().log()
+    }
+
+    /// Number of faults injected so far.
+    pub fn fault_count(&self) -> usize {
+        self.lock().fault_count()
+    }
+}
+
+impl DeviceFaultInjector for SharedFaultPlan {
+    fn on_malloc(&self, _len: u64) -> Option<DeviceFault> {
+        self.lock().roll_malloc()
+    }
+
+    fn on_transfer(&self, _bytes: u64) -> Option<DeviceFault> {
+        self.lock().roll_transfer()
+    }
+
+    fn on_launch(&self, _blocks: u32) -> Option<DeviceFault> {
+        self.lock().roll_launch()
+    }
+}
+
+impl RuntimeFaultInjector for SharedFaultPlan {
+    fn on_message(&self) -> u32 {
+        self.lock().roll_channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(plan: &mut FaultPlan, ops: usize) -> Vec<FaultRecord> {
+        for _ in 0..ops {
+            plan.roll_malloc();
+            plan.roll_transfer();
+            plan.roll_launch();
+            plan.roll_channel();
+            plan.roll_frontend_death();
+        }
+        plan.log()
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = drain(&mut FaultPlan::new(7, FaultConfig::storm()), 200);
+        let b = drain(&mut FaultPlan::new(7, FaultConfig::storm()), 200);
+        assert!(!a.is_empty(), "storm rates must inject something");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = drain(&mut FaultPlan::new(1, FaultConfig::storm()), 200);
+        let b = drain(&mut FaultPlan::new(2, FaultConfig::storm()), 200);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sites_are_independent_streams() {
+        // Disabling every other class must not change which launches
+        // hang: the launch stream is consumed identically either way.
+        let hangs_of = |cfg: FaultConfig| {
+            let mut plan = FaultPlan::new(11, cfg);
+            drain(&mut plan, 300)
+                .into_iter()
+                .filter(|r| r.site == FaultSite::Launch)
+                .collect::<Vec<_>>()
+        };
+        let full = hangs_of(FaultConfig::storm());
+        let only_launch = hangs_of(FaultConfig {
+            oom_rate: 0.0,
+            transfer_fail_rate: 0.0,
+            transfer_stall_rate: 0.0,
+            channel_drop_rate: 0.0,
+            frontend_death_rate: 0.0,
+            ..FaultConfig::storm()
+        });
+        assert_eq!(full, only_launch);
+    }
+
+    #[test]
+    fn quiet_injects_nothing() {
+        let log = drain(&mut FaultPlan::new(3, FaultConfig::quiet()), 500);
+        assert!(log.is_empty(), "quiet must stay quiet: {log:?}");
+    }
+
+    #[test]
+    fn script_overrides_rates_and_logs() {
+        let mut plan = FaultPlan::new(5, FaultConfig::quiet()).with_script(
+            FaultSite::Launch,
+            2,
+            DeviceFault::Oom,
+        );
+        assert_eq!(plan.roll_launch(), None);
+        assert_eq!(plan.roll_launch(), None);
+        assert_eq!(plan.roll_launch(), Some(DeviceFault::Oom));
+        assert_eq!(plan.roll_launch(), None, "script fires exactly once");
+        let log = plan.log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].site, FaultSite::Launch);
+        assert_eq!(log[0].op_index, 2);
+    }
+
+    #[test]
+    fn set_config_silences_future_rolls() {
+        let shared = SharedFaultPlan::new(9, FaultConfig::storm());
+        for _ in 0..100 {
+            shared.on_launch(1);
+        }
+        assert!(shared.fault_count() > 0);
+        let before = shared.fault_count();
+        shared.set_config(FaultConfig::quiet());
+        for _ in 0..100 {
+            shared.on_launch(1);
+        }
+        assert_eq!(shared.fault_count(), before);
+    }
+
+    #[test]
+    fn channel_retransmits_capped() {
+        let mut plan = FaultPlan::new(
+            13,
+            FaultConfig {
+                channel_drop_rate: 1.0,
+                max_retransmits: 3,
+                ..FaultConfig::quiet()
+            },
+        );
+        for _ in 0..20 {
+            assert_eq!(plan.roll_channel(), 3);
+        }
+    }
+}

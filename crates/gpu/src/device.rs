@@ -14,6 +14,7 @@ use crate::config::GpuConfig;
 use crate::counters::ActivityInterval;
 use crate::engine::{ExecutionEngine, SimOutcome};
 use crate::error::GpuError;
+use crate::fault::{DeviceFault, FaultInjectorHandle};
 use crate::kernel::{BlockCtx, LaunchConfig};
 use crate::memory::GlobalMemory;
 
@@ -46,6 +47,11 @@ pub struct GpuDevice {
     /// in its node, used to name the trace process (`gpu0`, `gpu1`, ...).
     sink: ewc_telemetry::TelemetrySink,
     device_index: usize,
+    /// Optional fault injector consulted before mallocs, transfers and
+    /// launches. `None` (the default) means a perfectly healthy device.
+    injector: Option<FaultInjectorHandle>,
+    /// Faults this device has actually served, for reporting.
+    faults_served: u64,
 }
 
 impl GpuDevice {
@@ -66,6 +72,8 @@ impl GpuDevice {
             activity: Vec::new(),
             sink: ewc_telemetry::TelemetrySink::disabled(),
             device_index: 0,
+            injector: None,
+            faults_served: 0,
         }
     }
 
@@ -75,6 +83,18 @@ impl GpuDevice {
         self.sink = sink;
         self.device_index = index;
         self
+    }
+
+    /// Attach a fault injector: mallocs, DMA transfers and launches then
+    /// consult it and may fail or slow down accordingly.
+    pub fn with_fault_injector(mut self, injector: FaultInjectorHandle) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Number of injected faults this device has served.
+    pub fn faults_served(&self) -> u64 {
+        self.faults_served
     }
 
     /// Device configuration.
@@ -119,8 +139,27 @@ impl GpuDevice {
         self.dma.stats()
     }
 
+    /// Record one served fault (count + telemetry). Emits nothing when no
+    /// fault fires, so fault-free runs produce byte-identical telemetry.
+    fn note_fault(&mut self, site: &str) {
+        self.faults_served += 1;
+        if self.sink.is_enabled() {
+            self.sink.counter_add("device_faults", 1.0);
+            self.sink.counter_add(&format!("device_faults_{site}"), 1.0);
+        }
+    }
+
     /// Allocate device memory (`cudaMalloc`).
     pub fn malloc(&mut self, len: u64) -> Result<DevicePtr, GpuError> {
+        if let Some(inj) = &self.injector {
+            if let Some(DeviceFault::Oom) = inj.on_malloc(len) {
+                self.note_fault("malloc");
+                return Err(GpuError::OutOfMemory {
+                    requested: len,
+                    free: self.mem.free_bytes(),
+                });
+            }
+        }
         self.mem.alloc(len)
     }
 
@@ -143,12 +182,39 @@ impl GpuDevice {
         offset: u64,
         data: &[u8],
     ) -> Result<f64, GpuError> {
+        if let Some(fault) = self.transfer_fault(data.len() as u64, Direction::HostToDevice)? {
+            self.clock_s += fault;
+        }
         self.mem.write(dst, offset, data)?;
         let t = self
             .dma
             .transfer(data.len() as u64, Direction::HostToDevice);
         self.clock_s += t;
         Ok(t)
+    }
+
+    /// Consult the injector for a DMA transfer. `Ok(Some(stall_s))` means
+    /// a stall of `stall_s` seconds before an otherwise normal transfer;
+    /// `Err(TransferFault)` means the transfer burned its full link time
+    /// (charged here, and counted in DMA stats as wasted work) and failed
+    /// without moving data.
+    fn transfer_fault(&mut self, bytes: u64, dir: Direction) -> Result<Option<f64>, GpuError> {
+        let Some(inj) = &self.injector else {
+            return Ok(None);
+        };
+        match inj.on_transfer(bytes) {
+            Some(DeviceFault::TransferFail) => {
+                self.note_fault("transfer");
+                let t = self.dma.transfer(bytes, dir);
+                self.clock_s += t;
+                Err(GpuError::TransferFault)
+            }
+            Some(DeviceFault::TransferStall { extra_s }) => {
+                self.note_fault("transfer");
+                Ok(Some(extra_s))
+            }
+            _ => Ok(None),
+        }
     }
 
     /// Copy device data to host (`cudaMemcpyDeviceToHost`). Returns the
@@ -159,6 +225,9 @@ impl GpuDevice {
         offset: u64,
         len: u64,
     ) -> Result<(Vec<u8>, f64), GpuError> {
+        if let Some(fault) = self.transfer_fault(len, Direction::DeviceToHost)? {
+            self.clock_s += fault;
+        }
         let bytes = self.mem.read(src, offset, len)?.to_vec();
         let t = self.dma.transfer(len, Direction::DeviceToHost);
         self.clock_s += t;
@@ -169,6 +238,25 @@ impl GpuDevice {
     /// simulate timing, advance the clock, and report.
     pub fn launch(&mut self, launch: &LaunchConfig) -> Result<LaunchReport, GpuError> {
         let policy = launch.policy.unwrap_or_default();
+        let total_blocks: u32 = launch.grid.segments().iter().map(|s| s.blocks).sum();
+        let mut slowdown = 1.0;
+        if let Some(inj) = &self.injector {
+            match inj.on_launch(total_blocks) {
+                Some(DeviceFault::Hang { watchdog_s }) => {
+                    // The kernel never completes: the watchdog deadline is
+                    // burned on the device clock, then the launch is killed.
+                    // No functional bodies run, no activity is recorded.
+                    self.note_fault("launch");
+                    self.clock_s += watchdog_s;
+                    return Err(GpuError::LaunchTimeout);
+                }
+                Some(DeviceFault::DegradedSms { slowdown: s }) => {
+                    self.note_fault("launch");
+                    slowdown = s.max(1.0);
+                }
+                _ => {}
+            }
+        }
         // Timing first (validates the grid), then functional execution.
         let sim = self.engine.run(&launch.grid, policy)?;
 
@@ -187,7 +275,12 @@ impl GpuDevice {
         }
 
         let started_at_s = self.clock_s;
-        let elapsed = self.cfg.launch_overhead_s + sim.elapsed_s;
+        // Degraded SMs stretch wall time by `slowdown`; the activity
+        // intervals stay at their healthy shape (the work done is the
+        // same, it just takes longer), so power replay sees the extra
+        // time as low-activity tail — throttled silicon burns closer to
+        // idle than to peak.
+        let elapsed = self.cfg.launch_overhead_s + sim.elapsed_s * slowdown;
         for iv in &sim.intervals {
             self.activity.push(ActivityInterval {
                 start_s: started_at_s + self.cfg.launch_overhead_s + iv.start_s,

@@ -37,6 +37,24 @@ pub enum GpuError {
     EmptyGrid,
     /// Invalid device configuration.
     BadConfig(String),
+    /// The launch never completed and was killed by the watchdog
+    /// (injected hang). Transient: a retry may succeed.
+    LaunchTimeout,
+    /// A DMA transfer failed after burning its link time (injected
+    /// parity/CRC-style error). Transient: a retry may succeed.
+    TransferFault,
+}
+
+impl GpuError {
+    /// Whether a retry of the same operation can plausibly succeed.
+    ///
+    /// Timeouts and DMA faults are transient hardware events; the other
+    /// variants describe requests that are wrong in themselves (bad
+    /// pointer, unschedulable kernel, genuine capacity exhaustion) and
+    /// will fail identically on every retry.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, GpuError::LaunchTimeout | GpuError::TransferFault)
+    }
 }
 
 impl fmt::Display for GpuError {
@@ -62,6 +80,8 @@ impl fmt::Display for GpuError {
             }
             GpuError::EmptyGrid => write!(f, "launch with empty grid"),
             GpuError::BadConfig(why) => write!(f, "bad device configuration: {why}"),
+            GpuError::LaunchTimeout => write!(f, "kernel launch timed out (watchdog)"),
+            GpuError::TransferFault => write!(f, "DMA transfer failed"),
         }
     }
 }

@@ -51,6 +51,7 @@ pub mod counters;
 pub mod device;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod grid;
 pub mod kernel;
 pub mod memory;
@@ -66,6 +67,7 @@ pub use counters::{DeviceCounters, EventRates, SmCounters};
 pub use device::{DeviceAlloc, DevicePtr, GpuDevice, LaunchReport};
 pub use engine::{ExecutionEngine, SimOutcome};
 pub use error::GpuError;
+pub use fault::{DeviceFault, DeviceFaultInjector, FaultInjectorHandle};
 pub use grid::{BlockCoord, ConsolidatedGrid, Grid, GridSegment};
 pub use kernel::{KernelDesc, KernelDescBuilder, LaunchConfig};
 pub use occupancy::Occupancy;

@@ -14,6 +14,12 @@ pub enum Verdict {
     SerialGpu,
     /// Keep the work on the host CPU.
     Cpu,
+    /// The request could not be completed by any rung of the degradation
+    /// ladder and was failed back to its frontend.
+    Failed,
+    /// The request was abandoned: its frontend disconnected before the
+    /// work ran, so the backend drained it from the pending queue.
+    Drained,
 }
 
 impl Verdict {
@@ -23,6 +29,8 @@ impl Verdict {
             Verdict::Consolidate => "consolidate",
             Verdict::SerialGpu => "serial_gpu",
             Verdict::Cpu => "cpu",
+            Verdict::Failed => "failed",
+            Verdict::Drained => "drained",
         }
     }
 }
@@ -58,6 +66,7 @@ impl DecisionRecord {
             Verdict::Consolidate => self.consolidated,
             Verdict::SerialGpu => self.serial,
             Verdict::Cpu => self.cpu,
+            Verdict::Failed | Verdict::Drained => None,
         }
     }
 }

@@ -105,8 +105,19 @@ pub fn render(snap: &TelemetrySnapshot) -> String {
         for rec in &snap.audit {
             *tally.entry(rec.verdict.label()).or_insert(0) += 1;
         }
-        for verdict in [Verdict::Consolidate, Verdict::SerialGpu, Verdict::Cpu] {
+        for verdict in [
+            Verdict::Consolidate,
+            Verdict::SerialGpu,
+            Verdict::Cpu,
+            Verdict::Failed,
+            Verdict::Drained,
+        ] {
             let n = tally.get(verdict.label()).copied().unwrap_or(0);
+            // Fault-path verdicts only show up once one has happened, so
+            // healthy runs keep the familiar three-line tally.
+            if n == 0 && matches!(verdict, Verdict::Failed | Verdict::Drained) {
+                continue;
+            }
             let _ = writeln!(out, "{:<40} {n:>14}", verdict.label());
         }
         let shown = snap.audit.len().min(8);

@@ -165,7 +165,8 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
             ));
         }
     }
-    let text = std::str::from_utf8(&b[start..*pos]).unwrap();
+    // The scanned range is ASCII digits/signs by construction.
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad utf8 in number")?;
     text.parse::<f64>()
         .map(Value::Number)
         .map_err(|e| format!("bad number {text:?}: {e}"))
@@ -213,7 +214,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
             Some(_) => {
                 // Consume one UTF-8 scalar (input is a &str, so this is safe).
                 let s = std::str::from_utf8(&b[*pos..]).map_err(|_| "bad utf8")?;
-                let ch = s.chars().next().unwrap();
+                let ch = s.chars().next().ok_or("empty string tail")?;
                 out.push(ch);
                 *pos += ch.len_utf8();
             }

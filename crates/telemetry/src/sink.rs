@@ -75,7 +75,7 @@ impl TelemetrySink {
 
     pub(crate) fn commit_span(&self, mut record: SpanRecord) -> Option<u64> {
         let inner = self.inner.as_ref()?;
-        let mut c = inner.lock().unwrap();
+        let mut c = inner.lock().expect("telemetry sink lock poisoned");
         c.next_span_id += 1;
         record.id = c.next_span_id;
         let id = record.id;
@@ -86,21 +86,33 @@ impl TelemetrySink {
     /// Adds `delta` to a named counter.
     pub fn counter_add(&self, name: &str, delta: f64) {
         if let Some(inner) = &self.inner {
-            inner.lock().unwrap().metrics.counter_add(name, delta);
+            inner
+                .lock()
+                .expect("telemetry sink lock poisoned")
+                .metrics
+                .counter_add(name, delta);
         }
     }
 
     /// Sets a named gauge.
     pub fn gauge_set(&self, name: &str, value: f64) {
         if let Some(inner) = &self.inner {
-            inner.lock().unwrap().metrics.gauge_set(name, value);
+            inner
+                .lock()
+                .expect("telemetry sink lock poisoned")
+                .metrics
+                .gauge_set(name, value);
         }
     }
 
     /// Records a sample into a named histogram.
     pub fn histogram_record(&self, name: &str, value: f64) {
         if let Some(inner) = &self.inner {
-            inner.lock().unwrap().metrics.histogram_record(name, value);
+            inner
+                .lock()
+                .expect("telemetry sink lock poisoned")
+                .metrics
+                .histogram_record(name, value);
         }
     }
 
@@ -110,7 +122,7 @@ impl TelemetrySink {
         if let Some(inner) = &self.inner {
             inner
                 .lock()
-                .unwrap()
+                .expect("telemetry sink lock poisoned")
                 .series
                 .entry(name.to_string())
                 .or_default()
@@ -121,21 +133,29 @@ impl TelemetrySink {
     /// Records one decision-engine verdict.
     pub fn audit(&self, record: DecisionRecord) {
         if let Some(inner) = &self.inner {
-            inner.lock().unwrap().audit.push(record);
+            inner
+                .lock()
+                .expect("telemetry sink lock poisoned")
+                .audit
+                .push(record);
         }
     }
 
     /// Folds a whole per-thread [`MetricsRegistry`] into the sink.
     pub fn merge_metrics(&self, registry: &MetricsRegistry) {
         if let Some(inner) = &self.inner {
-            inner.lock().unwrap().metrics.merge(registry);
+            inner
+                .lock()
+                .expect("telemetry sink lock poisoned")
+                .metrics
+                .merge(registry);
         }
     }
 
     /// Copies out everything collected so far, or `None` if disabled.
     pub fn snapshot(&self) -> Option<TelemetrySnapshot> {
         let inner = self.inner.as_ref()?;
-        let c = inner.lock().unwrap();
+        let c = inner.lock().expect("telemetry sink lock poisoned");
         let mut spans = c.spans.clone();
         // Stable order: by start time, then id — concurrent emitters may
         // interleave arbitrarily, exporters want chronological output.
