@@ -1,0 +1,32 @@
+//! The engine microbench group: the four tracked grids from
+//! [`ewc_bench::microbench`], timed on both the optimized cohort engine
+//! and the full-rescan reference engine.
+//!
+//! ```text
+//! cargo bench --bench engine_microbench            # all cases
+//! cargo bench --bench engine_microbench storm64    # substring filter
+//! ```
+
+use ewc_bench::harness::Harness;
+use ewc_bench::microbench;
+use ewc_gpu::{DispatchPolicy, ExecutionEngine, GpuConfig};
+
+fn main() {
+    let mut h = Harness::from_args();
+    let engine = ExecutionEngine::new(GpuConfig::tesla_c1060());
+    let mut group = h.benchmark_group("engine_microbench");
+    group.sample_size(20);
+    for case in microbench::cases() {
+        let grid = case.grid.clone();
+        let e = engine.clone();
+        group.bench_function(format!("optimized/{}", case.name), move |b| {
+            b.iter(|| e.run(&grid, DispatchPolicy::default()).unwrap())
+        });
+        let grid = case.grid.clone();
+        let e = engine.clone();
+        group.bench_function(format!("reference/{}", case.name), move |b| {
+            b.iter(|| e.run_reference(&grid, DispatchPolicy::default()).unwrap())
+        });
+    }
+    group.finish();
+}

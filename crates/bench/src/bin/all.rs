@@ -1,39 +1,95 @@
 //! Regenerate every table and figure in one run (the EXPERIMENTS.md
 //! ledger).
+//!
+//! The experiments are independent, so they fan out over a small worker
+//! pool (`all [parallelism]`, default one worker per core, `1` = fully
+//! serial) pulling from a shared index; sections are printed strictly
+//! in their original order once everything has finished, so the fan-out
+//! adds no nondeterminism of its own. (Sections that drive the real
+//! threaded runtime — e.g. the multi-GPU Poisson sweep — vary slightly
+//! run to run at *any* parallelism setting, serial included.)
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use ewc_bench::experiments as ex;
 
-fn main() {
-    println!("# Energy-Aware Workload Consolidation — full experiment run\n");
-    let rows = ex::table1::run();
-    println!("{}", ex::table1::render(&rows));
-    let rows = ex::fig1::run(9);
-    println!("{}", ex::fig1::render(&rows));
-    let (t2, t3) = ex::scenarios::run();
-    println!("{}", ex::scenarios::render(&t2, &t3));
-    let rows = ex::fig3::run();
-    println!("{}", ex::fig3::render(&rows));
-    let rows = ex::fig4::run();
-    println!("{}", ex::fig4::render(&rows));
-    let rows = ex::fig5::run();
-    println!("{}", ex::fig5::render(&rows));
-    let rows = ex::fig7::run(12);
-    println!("{}", ex::fig7::render(&rows));
-    let rows = ex::fig8::run(9);
-    println!("{}", ex::fig8::render(&rows));
-    let rows = ex::tables56::run();
-    println!("{}", ex::tables56::render(&rows));
-    let rows = ex::tables78::run();
-    println!("{}", ex::tables78::render(&rows));
-    let rows = ex::ablations::run();
-    println!("{}", ex::ablations::render(&rows));
+/// One experiment: its rendered section, produced on some worker.
+type Section = Box<dyn Fn() -> String + Send + Sync>;
 
-    println!("# Extensions beyond the paper\n");
-    let rows = ex::fermi::run();
-    println!("{}", ex::fermi::render(&rows));
-    let rows = ex::multigpu::run(40);
-    println!("{}", ex::multigpu::render(&rows));
-    let rows = ex::trace::run();
-    println!("{}", ex::trace::render(&rows));
-    let rows = ex::future_hw::run(9);
-    println!("{}", ex::future_hw::render(&rows));
+/// Worker threads to use when the caller does not say: one per
+/// available core, or serial if the platform will not tell us.
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Render every section across `parallelism` workers, returning them in
+/// input order.
+fn render_all(sections: &[Section], parallelism: usize) -> Vec<String> {
+    if parallelism <= 1 || sections.len() <= 1 {
+        return sections.iter().map(|f| f()).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, String)> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..parallelism.min(sections.len()))
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= sections.len() {
+                            return out;
+                        }
+                        out.push((i, sections[i]()));
+                    }
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect()
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, s)| s).collect()
+}
+
+fn main() {
+    let parallelism = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(default_parallelism);
+
+    let paper: Vec<Section> = vec![
+        Box::new(|| ex::table1::render(&ex::table1::run())),
+        Box::new(|| ex::fig1::render(&ex::fig1::run(9))),
+        Box::new(|| {
+            let (t2, t3) = ex::scenarios::run();
+            ex::scenarios::render(&t2, &t3)
+        }),
+        Box::new(|| ex::fig3::render(&ex::fig3::run())),
+        Box::new(|| ex::fig4::render(&ex::fig4::run())),
+        Box::new(|| ex::fig5::render(&ex::fig5::run())),
+        Box::new(|| ex::fig7::render(&ex::fig7::run(12))),
+        Box::new(|| ex::fig8::render(&ex::fig8::run(9))),
+        Box::new(|| ex::tables56::render(&ex::tables56::run())),
+        Box::new(|| ex::tables78::render(&ex::tables78::run())),
+        Box::new(|| ex::ablations::render(&ex::ablations::run())),
+    ];
+    let split = paper.len();
+    let mut sections = paper;
+    sections.extend([
+        Box::new(|| ex::fermi::render(&ex::fermi::run())) as Section,
+        Box::new(|| ex::multigpu::render(&ex::multigpu::run(40))),
+        Box::new(|| ex::trace::render(&ex::trace::run())),
+        Box::new(|| ex::future_hw::render(&ex::future_hw::run(9))),
+    ]);
+
+    println!("# Energy-Aware Workload Consolidation — full experiment run\n");
+    for (i, section) in render_all(&sections, parallelism).iter().enumerate() {
+        if i == split {
+            println!("# Extensions beyond the paper\n");
+        }
+        println!("{section}");
+    }
 }

@@ -13,6 +13,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod microbench;
 pub mod mix;
 pub mod report;
 pub mod setups;

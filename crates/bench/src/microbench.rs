@@ -1,0 +1,275 @@
+//! The engine microbench group: the tracked perf baseline for the
+//! simulator hot path.
+//!
+//! Every figure, decision and soak funnels through
+//! [`ewc_gpu::ExecutionEngine::run`], so this module pins down its cost
+//! on four representative grids and records the trajectory in
+//! `BENCH_3.json`:
+//!
+//! * `single_large` — one compute kernel, 3840 blocks (32 waves of full
+//!   occupancy): the long-homogeneous-launch case every Figure 7/8 sweep
+//!   hits.
+//! * `scenario1` / `scenario2` — the paper's two motivating consolidated
+//!   grids (Tables 2 and 3).
+//! * `storm64` — a 64-kernel consolidated storm with mixed
+//!   compute/memory intensity and block sizes: the datacenter-scale
+//!   consolidation shape of the related work.
+//!
+//! Each grid is timed on the optimized cohort engine and (when the
+//! `ewc-gpu/reference-engine` feature is on, as it is for this crate) on
+//! the naive full-rescan reference engine, which recomputes every SM
+//! every event exactly like the pre-cohort hot loop did. The committed
+//! `BENCH_3.json` additionally carries the pre-cohort per-resident
+//! engine's wall times, measured at the commit this module landed in.
+
+use std::time::Instant;
+
+use ewc_gpu::{
+    ConsolidatedGrid, DispatchPolicy, ExecutionEngine, GpuConfig, Grid, KernelDesc,
+    KernelDescBuilder,
+};
+use ewc_workloads::{
+    AesWorkload, BlackScholesWorkload, MonteCarloWorkload, SearchWorkload, Workload,
+};
+
+/// Wall times (name, min ms) of the pre-cohort per-resident engine on
+/// these exact grids, measured in release mode on the development
+/// machine immediately before the cohort rewrite landed. These are the
+/// "before" numbers in `BENCH_3.json`; `speedup_vs_baseline` is only
+/// meaningful when the "after" numbers come from the same machine.
+pub const RECORDED_BASELINE: &[(&str, f64)] = &[
+    ("single_large", 0.1641),
+    ("scenario1", 0.0049),
+    ("scenario2", 0.0041),
+    ("storm64", 1.1164),
+];
+
+/// One microbench case: a named grid plus how many timed runs to take.
+pub struct Case {
+    /// Stable id (also the JSON key).
+    pub name: &'static str,
+    /// The grid to simulate.
+    pub grid: Grid,
+    /// Timed runs in full mode (quick mode takes fewer).
+    pub runs: usize,
+}
+
+/// Timing of one case on one engine variant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Timing {
+    /// Best (minimum) wall time over the timed runs, milliseconds.
+    pub min_ms: f64,
+    /// Mean wall time over the timed runs, milliseconds.
+    pub mean_ms: f64,
+}
+
+/// Result of one case: optimized engine vs the reference engine.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Case id.
+    pub name: &'static str,
+    /// Blocks in the grid.
+    pub blocks: u32,
+    /// Grid segments (member kernels).
+    pub segments: usize,
+    /// Optimized cohort engine.
+    pub optimized: Timing,
+    /// Naive full-rescan reference engine (same cohort semantics).
+    pub reference: Timing,
+}
+
+impl CaseResult {
+    /// Reference / optimized speedup (min-over-min).
+    pub fn speedup(&self) -> f64 {
+        self.reference.min_ms / self.optimized.min_ms
+    }
+}
+
+/// A compute-heavy kernel whose solo block time is ~`secs` seconds.
+fn compute_kernel(name: &str, tpb: u32, secs: f64) -> KernelDescBuilder {
+    let cfg = GpuConfig::tesla_c1060();
+    let warps = f64::from(tpb.div_ceil(32));
+    KernelDesc::builder(name)
+        .threads_per_block(tpb)
+        .comp_insts(secs * cfg.clock_hz / (warps * cfg.warp_issue_cycles()))
+}
+
+/// The four microbench grids, in reporting order.
+pub fn cases() -> Vec<Case> {
+    let cfg = GpuConfig::tesla_c1060();
+    let mut out = Vec::new();
+
+    // Large single-kernel launch: 3840 blocks, occupancy 4 per SM.
+    out.push(Case {
+        name: "single_large",
+        grid: Grid::single(
+            compute_kernel("k", 256, 0.01).coalesced_mem(50.0).build(),
+            3840,
+        ),
+        runs: 10,
+    });
+
+    // The paper's two consolidated scenarios.
+    let s1 = ConsolidatedGrid::new()
+        .add(Grid::single(
+            AesWorkload::scenario1(&cfg).desc(),
+            AesWorkload::scenario1(&cfg).blocks(),
+        ))
+        .add(Grid::single(
+            MonteCarloWorkload::scenario1(&cfg).desc(),
+            MonteCarloWorkload::scenario1(&cfg).blocks(),
+        ))
+        .build();
+    out.push(Case {
+        name: "scenario1",
+        grid: s1,
+        runs: 200,
+    });
+    let s2 = ConsolidatedGrid::new()
+        .add(Grid::single(
+            SearchWorkload::scenario2(&cfg).desc(),
+            SearchWorkload::scenario2(&cfg).blocks(),
+        ))
+        .add(Grid::single(
+            BlackScholesWorkload::scenario2(&cfg).desc(),
+            BlackScholesWorkload::scenario2(&cfg).blocks(),
+        ))
+        .build();
+    out.push(Case {
+        name: "scenario2",
+        grid: s2,
+        runs: 200,
+    });
+
+    // 64-kernel consolidated storm: mixed intensity and geometry. Every
+    // segment gets a *distinct* solo time, and block counts are offset
+    // from the SM count so the round-robin deal gives every SM a
+    // different kernel mix. Completions then stagger instead of
+    // batching: thousands of events with a hundred-plus resident
+    // blocks, the O(blocks × residents) shape the per-resident engine
+    // rescanned in full on every event.
+    let mut storm = ConsolidatedGrid::new();
+    for i in 0..64u32 {
+        let tpb = 64 << (i % 3); // 64 / 128 / 256 threads
+        let mut b = compute_kernel("storm", tpb, 0.002 + 0.000131 * f64::from(i));
+        if i % 2 == 0 {
+            b = b.coalesced_mem(2_000.0 + 500.0 * f64::from(i % 7));
+        }
+        if i % 4 == 3 {
+            b = b.uncoalesced_mem(100.0);
+        }
+        storm = storm.add(Grid::single(b.build(), 17 + (i * 7) % 23));
+    }
+    out.push(Case {
+        name: "storm64",
+        grid: storm.build(),
+        runs: 10,
+    });
+    out
+}
+
+/// Time `f` over `runs` invocations (plus one untimed warm-up).
+pub fn time_runs<R>(runs: usize, mut f: impl FnMut() -> R) -> Timing {
+    std::hint::black_box(f());
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs.max(1) {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    Timing {
+        min_ms: min,
+        mean_ms: mean,
+    }
+}
+
+/// Run the whole group. `quick` cuts the run counts for CI smoke use.
+pub fn run(quick: bool) -> Vec<CaseResult> {
+    let engine = ExecutionEngine::new(GpuConfig::tesla_c1060());
+    cases()
+        .into_iter()
+        .map(|case| {
+            let runs = if quick {
+                (case.runs / 5).max(2)
+            } else {
+                case.runs
+            };
+            let optimized = time_runs(runs, || {
+                engine.run(&case.grid, DispatchPolicy::default()).unwrap()
+            });
+            let reference = time_runs(runs, || {
+                engine
+                    .run_reference(&case.grid, DispatchPolicy::default())
+                    .unwrap()
+            });
+            CaseResult {
+                name: case.name,
+                blocks: case.grid.total_blocks(),
+                segments: case.grid.segments().len(),
+                optimized,
+                reference,
+            }
+        })
+        .collect()
+}
+
+/// Render the group as a table.
+pub fn render(results: &[CaseResult]) -> String {
+    let mut out = String::from(
+        "engine microbench (cohort engine vs full-rescan reference)\n\
+         case            blocks  segs  optimized min/mean      reference min/mean      speedup\n",
+    );
+    for r in results {
+        out.push_str(&format!(
+            "{:<15} {:>6} {:>5}  {:>9.3} / {:>9.3} ms  {:>9.3} / {:>9.3} ms  {:>6.2}x\n",
+            r.name,
+            r.blocks,
+            r.segments,
+            r.optimized.min_ms,
+            r.optimized.mean_ms,
+            r.reference.min_ms,
+            r.reference.mean_ms,
+            r.speedup()
+        ));
+    }
+    out
+}
+
+/// Serialize the results as the `BENCH_3.json` payload. `baseline`
+/// optionally carries recorded wall times of the pre-cohort per-resident
+/// engine (name, min_ms) to keep the before/after trajectory in one file.
+pub fn to_json(results: &[CaseResult], baseline: &[(&str, f64)]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"engine_microbench\",\n  \"cases\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let base = baseline
+            .iter()
+            .find(|(n, _)| *n == r.name)
+            .map(|(_, ms)| *ms);
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"blocks\": {}, \"segments\": {}, \
+             \"optimized_min_ms\": {:.4}, \"optimized_mean_ms\": {:.4}, \
+             \"reference_min_ms\": {:.4}, \"reference_mean_ms\": {:.4}, \
+             \"speedup_vs_reference\": {:.2}",
+            r.name,
+            r.blocks,
+            r.segments,
+            r.optimized.min_ms,
+            r.optimized.mean_ms,
+            r.reference.min_ms,
+            r.reference.mean_ms,
+            r.speedup()
+        ));
+        if let Some(ms) = base {
+            out.push_str(&format!(
+                ", \"baseline_min_ms\": {:.4}, \"speedup_vs_baseline\": {:.2}",
+                ms,
+                ms / r.optimized.min_ms
+            ));
+        }
+        out.push_str(if i + 1 < results.len() { "},\n" } else { "}\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -60,7 +60,11 @@ pub fn usage() -> String {
          \x20                        chrome output opens in Perfetto / chrome://tracing)\n\
          \x20 faults [preset] [seed] soak the runtime under seeded fault injection and\n\
          \x20                        report recovery behaviour (preset: quiet | light |\n\
-         \x20                        storm; default light, seed 42)\n",
+         \x20                        storm; default light, seed 42)\n\
+         \x20 bench [--quick] [--json PATH]\n\
+         \x20                        run the engine microbench group (optimized cohort\n\
+         \x20                        engine vs full-rescan reference) and optionally\n\
+         \x20                        write the BENCH json payload\n",
     );
     s.push_str("\nexperiment ids: ");
     s.push_str(
@@ -105,6 +109,7 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
             args.get(1).map(String::as_str),
             args.get(2).map(String::as_str),
         ),
+        Some("bench") => bench(&args[1..]),
         Some("help") | None => Ok(usage()),
         Some(other) => Err(format!("unknown command '{other}'")),
     }
@@ -351,6 +356,36 @@ fn faults(preset: Option<&str>, seed: Option<&str>) -> Result<String, String> {
     Ok(out)
 }
 
+fn bench(args: &[String]) -> Result<String, String> {
+    let mut quick = false;
+    let mut json_path: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--json" => {
+                i += 1;
+                json_path = Some(
+                    args.get(i)
+                        .map(String::as_str)
+                        .ok_or("bench: --json needs a path")?,
+                );
+            }
+            other => return Err(format!("bench: unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+    let results = ewc_bench::microbench::run(quick);
+    let mut out = ewc_bench::microbench::render(&results);
+    if let Some(p) = json_path {
+        let json =
+            ewc_bench::microbench::to_json(&results, ewc_bench::microbench::RECORDED_BASELINE);
+        std::fs::write(p, &json).map_err(|e| format!("bench: writing {p}: {e}"))?;
+        out.push_str(&format!("\nwrote {p}\n"));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -366,6 +401,16 @@ mod tests {
         assert!(out.contains("faults injected"), "{out}");
         assert!(dispatch(&args(&["faults", "bogus"])).is_err());
         assert!(dispatch(&args(&["faults", "light", "x"])).is_err());
+    }
+
+    #[test]
+    fn bench_quick_renders_all_cases() {
+        let out = dispatch(&args(&["bench", "--quick"])).unwrap();
+        for case in ["single_large", "scenario1", "scenario2", "storm64"] {
+            assert!(out.contains(case), "missing {case}: {out}");
+        }
+        assert!(dispatch(&args(&["bench", "--bogus"])).is_err());
+        assert!(dispatch(&args(&["bench", "--json"])).is_err());
     }
 
     #[test]

@@ -466,14 +466,14 @@ impl Backend {
     fn enqueue_launch(
         &mut self,
         ctx: u64,
-        name: String,
+        name: Arc<str>,
         batched_args: Option<Vec<ewc_gpu::kernel::KernelArg>>,
     ) -> Result<u64, CoreError> {
         let workload = self
             .registry
-            .get(&name)
+            .get(name.as_ref())
             .cloned()
-            .ok_or_else(|| CoreError::UnknownKernel(name.clone()))?;
+            .ok_or_else(|| CoreError::UnknownKernel(name.to_string()))?;
         let d = self.device_for(ctx); // bind early so flush can partition
         let state = self.ctx_state.entry(ctx).or_default();
         let config = state.config.take().ok_or(CoreError::NotConfigured)?;

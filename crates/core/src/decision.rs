@@ -66,6 +66,15 @@ pub struct DecisionEngine {
     cpu: CpuEngine,
     cpu_power: CpuPowerModel,
     margin: f64,
+    parallelism: usize,
+}
+
+/// Worker threads to use when the caller does not say: one per
+/// available core, or serial if the platform will not tell us.
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl DecisionEngine {
@@ -80,6 +89,7 @@ impl DecisionEngine {
             cpu,
             cpu_power,
             margin: 0.02,
+            parallelism: default_parallelism(),
         }
     }
 
@@ -91,6 +101,15 @@ impl DecisionEngine {
         self
     }
 
+    /// Override how many threads [`Self::assess`] may fan out across
+    /// (`1` = fully serial). Defaults to the available cores. The three
+    /// alternative predictions are pure functions merged in a fixed
+    /// order, so the verdict is identical at any setting.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
+        self
+    }
+
     /// The GPU-side energy model.
     pub fn energy_model(&self) -> &EnergyModel {
         &self.energy
@@ -99,10 +118,33 @@ impl DecisionEngine {
     /// Assess a candidate group: `plan` describes the GPU side (template
     /// layout order), `cpu_tasks` the same instances as CPU jobs.
     pub fn assess(&self, plan: &ConsolidationPlan, cpu_tasks: &[CpuTask]) -> Assessment {
-        let consolidated = self.energy.predict(plan);
-        let serial = self.energy.predict_serial(plan);
-        let cpu_out = self.cpu.run(cpu_tasks);
-        let cpu_energy = self.cpu_power.energy_j(&cpu_out);
+        // The three alternatives are independent pure predictions, so
+        // they fan out across scoped threads (two spawned, the CPU
+        // simulation on the caller's thread) and merge positionally —
+        // the same bits come back at any parallelism setting.
+        let (consolidated, serial, (cpu_out, cpu_energy)) = if self.parallelism > 1 {
+            std::thread::scope(|s| {
+                let h_cons = s.spawn(|| self.energy.predict(plan));
+                let h_serial = s.spawn(|| self.energy.predict_serial(plan));
+                let cpu_out = self.cpu.run(cpu_tasks);
+                let cpu_energy = self.cpu_power.energy_j(&cpu_out);
+                (
+                    h_cons
+                        .join()
+                        .unwrap_or_else(|p| std::panic::resume_unwind(p)),
+                    h_serial
+                        .join()
+                        .unwrap_or_else(|p| std::panic::resume_unwind(p)),
+                    (cpu_out, cpu_energy),
+                )
+            })
+        } else {
+            let consolidated = self.energy.predict(plan);
+            let serial = self.energy.predict_serial(plan);
+            let cpu_out = self.cpu.run(cpu_tasks);
+            let cpu_energy = self.cpu_power.energy_j(&cpu_out);
+            (consolidated, serial, (cpu_out, cpu_energy))
+        };
 
         let candidates = [
             // Consolidation pays a benefit margin: it must clearly win.
@@ -212,6 +254,30 @@ mod tests {
         let tasks = [CpuTask::new("mc", 306.0, 1, 12 << 20)];
         let a = e.assess(&plan, &tasks);
         assert_ne!(a.choice, Choice::Cpu, "assessment: {a:?}");
+    }
+
+    #[test]
+    fn parallel_assessment_is_bitwise_serial() {
+        let plan = ConsolidationPlan::new()
+            .with(compute("a", 6.0, 4))
+            .with(compute("b", 3.0, 2));
+        let tasks = [
+            CpuTask::new("a", 12.0, 2, 4 << 20),
+            CpuTask::new("b", 7.0, 1, 2 << 20),
+        ];
+        let serial = engine().with_parallelism(1).assess(&plan, &tasks);
+        let fanned = engine().with_parallelism(4).assess(&plan, &tasks);
+        assert_eq!(serial.choice, fanned.choice);
+        assert_eq!(
+            serial.consolidated.system_energy_j.to_bits(),
+            fanned.consolidated.system_energy_j.to_bits()
+        );
+        assert_eq!(
+            serial.serial.system_energy_j.to_bits(),
+            fanned.serial.system_energy_j.to_bits()
+        );
+        assert_eq!(serial.cpu_time_s.to_bits(), fanned.cpu_time_s.to_bits());
+        assert_eq!(serial.cpu_energy_j.to_bits(), fanned.cpu_energy_j.to_bits());
     }
 
     #[test]

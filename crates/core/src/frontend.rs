@@ -10,6 +10,7 @@
 //! overhead.
 
 use std::sync::mpsc::Sender;
+use std::sync::Arc;
 
 use ewc_gpu::kernel::KernelArg;
 use ewc_gpu::DevicePtr;
@@ -133,7 +134,7 @@ impl Frontend {
         } else {
             None
         };
-        let name = kernel.to_string();
+        let name: Arc<str> = Arc::from(kernel);
         let ctx = self.ctx;
         self.rpc(move |reply| Request::Launch {
             ctx,

@@ -83,8 +83,9 @@ pub struct KernelRequest {
     pub ctx: u64,
     /// Monotonic sequence number (arrival order).
     pub seq: u64,
-    /// Registered kernel/workload name.
-    pub name: String,
+    /// Registered kernel/workload name (shared, not cloned, along
+    /// the submit path).
+    pub name: Arc<str>,
     /// Launch arguments (valid in the backend's context — all memory is
     /// backend-allocated).
     pub args: Vec<KernelArg>,
@@ -174,7 +175,7 @@ pub enum Request {
         /// Context id.
         ctx: u64,
         /// Registered kernel name.
-        name: String,
+        name: Arc<str>,
         /// Batched arguments (None when shipped via `SetupArgument`).
         batched_args: Option<Vec<KernelArg>>,
         /// Reply channel: the assigned ticket (sequence number).

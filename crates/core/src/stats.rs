@@ -1,5 +1,7 @@
 //! Backend statistics and consolidation records.
 
+use std::sync::Arc;
+
 use crate::decision::Choice;
 
 /// Lifecycle record of one kernel request.
@@ -10,7 +12,7 @@ pub struct KernelOutcome {
     /// Request sequence number.
     pub seq: u64,
     /// Workload name.
-    pub name: String,
+    pub name: Arc<str>,
     /// Device-clock time of `launch`.
     pub submitted_at_s: f64,
     /// Device-clock time its group finished executing.
@@ -32,7 +34,7 @@ pub struct ConsolidationRecord {
     /// Template used (or `"<individual>"` for single-kernel fallbacks).
     pub template: String,
     /// Names of the member kernels, in template layout order.
-    pub kernels: Vec<String>,
+    pub kernels: Vec<Arc<str>>,
     /// What the decision engine chose.
     pub choice: Choice,
     /// Model-predicted execution time for the chosen alternative.

@@ -62,7 +62,7 @@ impl Template {
         let mut seen: BTreeSet<&str> = BTreeSet::new();
         for member in &self.members {
             for (i, req) in pending.iter().enumerate() {
-                if &req.name == member {
+                if req.name.as_ref() == member.as_str() {
                     picked.push(i);
                     seen.insert(member.as_str());
                 }
@@ -159,7 +159,7 @@ mod tests {
         KernelRequest {
             ctx: seq,
             seq,
-            name: name.to_string(),
+            name: Arc::from(name),
             args: Vec::new(),
             workload: Arc::new(Dummy(name)),
             submitted_at_s: 0.0,

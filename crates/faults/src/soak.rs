@@ -188,6 +188,71 @@ fn with_retries<T>(
     }
 }
 
+/// Worker threads to use when the caller does not say: one per
+/// available core, or serial if the platform will not tell us.
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The preset fault matrix: every seed crossed with the light and storm
+/// fault profiles, in `(seed, profile)` order. Feed it to
+/// [`run_matrix`].
+pub fn matrix(seeds: &[u64]) -> Vec<SoakConfig> {
+    let mut cfgs = Vec::with_capacity(seeds.len() * 2);
+    for &seed in seeds {
+        cfgs.push(SoakConfig {
+            seed,
+            faults: FaultConfig::light(),
+            ..SoakConfig::default()
+        });
+        cfgs.push(SoakConfig {
+            seed,
+            faults: FaultConfig::storm(),
+            ..SoakConfig::default()
+        });
+    }
+    cfgs
+}
+
+/// Run a batch of soak configurations across `parallelism` worker
+/// threads (`1` = fully serial, `0` = one per available core). Each
+/// soak builds its own runtime, so runs are independent; reports come
+/// back in `cfgs` order no matter which worker ran which config.
+pub fn run_matrix(cfgs: &[SoakConfig], parallelism: usize) -> Vec<SoakReport> {
+    let parallelism = match parallelism {
+        0 => default_parallelism(),
+        n => n,
+    };
+    if parallelism == 1 || cfgs.len() <= 1 {
+        return cfgs.iter().map(run).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, SoakReport)> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..parallelism.min(cfgs.len()))
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= cfgs.len() {
+                            return out;
+                        }
+                        out.push((i, run(&cfgs[i])));
+                    }
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect()
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
 /// Run the soak: returns a fully-accounted report. Panics never — every
 /// fault either recovers, fails cleanly back to its process, or drains
 /// with its process.

@@ -26,10 +26,44 @@
 //! blocks are redistributed round-robin among the idle SMs — reproducing
 //! the critical-SM placements the paper observes in its two scenarios.
 //!
+//! # Cohorts and the incremental hot loop
+//!
+//! Residency is tracked in **cohorts**, not per-block records: blocks of
+//! the same segment admitted to the same SM in the same admission round
+//! share one cohort (one cost, one rate, one remaining time), so a wave
+//! of identical blocks advances and retires in O(1) instead of O(blocks).
+//! Blocks that diverge — different segments, or admitted at different
+//! times — simply land in their own cohorts, degenerating gracefully to
+//! the per-block behaviour.
+//!
+//! Each cohort anchors its progress integral at the last time its rate
+//! changed: `remaining` solo-seconds at `anchor_s` plus the current rate
+//! give an absolute predicted `finish_s`. Between events nothing is
+//! advanced; a cohort is re-anchored only when its freshly computed rate
+//! differs **bitwise** from the cached one, and hardware counters are
+//! folded in once per cohort at retirement. Per event the engine
+//! recomputes per-SM aggregates only for SMs whose resident set changed;
+//! the DRAM rescale is a device-wide factor, so when it moves every SM is
+//! re-rated (the saturated regime), and when it is stable the update set
+//! is just the dirty SMs. The next completion comes from an indexed
+//! min-structure — the earliest predicted finish per SM, refreshed for
+//! touched SMs only and folded in O(num SMs) — and adjacent
+//! [`ActivityInterval`]s with identical [`EventRates`] are coalesced so
+//! long soaks stop growing the profile unboundedly.
+//!
+//! Determinism: [`ExecutionEngine::run`] and the feature-gated
+//! [`ExecutionEngine::run_reference`] (which re-rates every SM every
+//! event and scans for the minimum) share every arithmetic statement and
+//! differ only in *which* SMs they recompute and *how* they locate the
+//! minimum. Because recomputation is idempotent — same inputs in the
+//! same order produce the same bits — the two produce byte-identical
+//! [`SimOutcome`]s; the differential sweep below asserts exactly that.
+//!
 //! Completion events release occupancy, pull new blocks, and append to
 //! the trace and the activity profile. The simulation cost is
-//! O(blocks × residents), independent of the simulated wall time, which
-//! keeps the harnesses fast even for multi-minute simulated workloads.
+//! O(events × (SMs + changed cohorts)), independent of the simulated
+//! wall time, which keeps the harnesses fast even for multi-minute
+//! simulated workloads.
 
 use crate::config::GpuConfig;
 use crate::counters::{ActivityInterval, DeviceCounters, EventRates};
@@ -44,7 +78,7 @@ use crate::trace::{BlockEvent, ExecutionTrace};
 const DONE_EPS: f64 = 1e-12;
 
 /// Result of simulating one launch.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimOutcome {
     /// Wall time of the launch in seconds (kernel execution only; DMA
     /// time is accounted by the device).
@@ -53,7 +87,8 @@ pub struct SimOutcome {
     pub trace: ExecutionTrace,
     /// Cumulative hardware counters.
     pub counters: DeviceCounters,
-    /// Piecewise-constant activity profile for the power ground truth.
+    /// Piecewise-constant activity profile for the power ground truth
+    /// (adjacent intervals with identical rates are coalesced).
     pub intervals: Vec<ActivityInterval>,
 }
 
@@ -64,15 +99,113 @@ pub struct ExecutionEngine {
     cfg: GpuConfig,
 }
 
-#[derive(Debug)]
-struct Resident {
-    coord: BlockCoord,
-    cost: BlockCost,
-    /// Remaining solo-time in seconds.
-    remaining: f64,
-    sm: u32,
+/// A group of identical co-admitted blocks advancing in lockstep: same
+/// segment, same SM, same admission round, hence the same cost, rate,
+/// remaining work and predicted finish.
+#[derive(Debug, Clone)]
+struct Cohort {
+    /// Grid segment index (keys the kernel descriptor and cost).
+    segment: usize,
+    /// Number of blocks in the cohort.
+    n: u32,
+    /// First member: index into the simulation's member arena. Members
+    /// are chained through the arena in admission order, so cohorts of
+    /// any size allocate nothing of their own.
+    head: u32,
+    /// Last member of the chain (where the next merge links in).
+    tail: u32,
+    /// Next live cohort on the same SM (cohort-arena index;
+    /// [`NO_COHORT`] terminates). Chain order is admission order.
+    next: u32,
     start_s: f64,
+    /// Admission round; cohorts only merge within one round.
+    admit_event: u64,
+    /// Current progress rate (0.0 until first rated).
     rate: f64,
+    /// Time of the last re-anchor (rate change).
+    anchor_s: f64,
+    /// Remaining solo-seconds as of `anchor_s`.
+    remaining: f64,
+    /// Absolute predicted completion time under the current rate.
+    finish_s: f64,
+}
+
+/// Arena slot for one admitted block: its coordinate plus the index of
+/// the next member of the same cohort (`NO_MEMBER` terminates).
+#[derive(Debug, Clone, Copy)]
+struct MemberNode {
+    coord: BlockCoord,
+    next: u32,
+}
+
+/// Chain terminator for [`MemberNode::next`].
+const NO_MEMBER: u32 = u32::MAX;
+
+/// Chain terminator for [`Cohort::next`] and the per-SM chain heads.
+const NO_COHORT: u32 = u32::MAX;
+
+/// The per-segment constants the rate pass reads for every resident
+/// cohort, packed into one cache line (a [`BlockCost`] spans two and
+/// carries fields the hot loop never touches). The `*_per_solo` fields
+/// fold the segment's reciprocal solo time into its counter totals, so
+/// each per-cohort accumulation is one multiply instead of two plus a
+/// division.
+#[derive(Debug, Clone, Copy)]
+struct SegRate {
+    /// Issue demand of one block.
+    issue_demand: f64,
+    /// Bandwidth demand of one block at issue-limited speed.
+    bw_solo: f64,
+    /// `1 - mem_fraction`.
+    compute_frac: f64,
+    /// Memory-bound fraction of the block's solo time.
+    mem_fraction: f64,
+    /// Compute operations per solo-second.
+    comp_ops_per_solo: f64,
+    /// Memory transactions per solo-second.
+    mem_txn_per_solo: f64,
+    /// DRAM bytes per solo-second.
+    bytes_per_solo: f64,
+    /// Warps per block, as a float.
+    warps: f64,
+}
+
+impl SegRate {
+    fn of(cost: &BlockCost) -> SegRate {
+        let inv_solo = 1.0 / cost.t_solo_s;
+        SegRate {
+            issue_demand: cost.issue_demand,
+            bw_solo: cost.bw_solo,
+            compute_frac: 1.0 - cost.mem_fraction,
+            mem_fraction: cost.mem_fraction,
+            comp_ops_per_solo: cost.comp_ops * inv_solo,
+            mem_txn_per_solo: cost.mem_requests * inv_solo,
+            bytes_per_solo: cost.mem_bytes * inv_solo,
+            warps: f64::from(cost.warps),
+        }
+    }
+}
+
+/// Per-SM hot state: the SM's live-cohort chain plus every cached
+/// aggregate the event loop consults, packed into one record so an
+/// event's fixed per-SM sweeps touch a single contiguous array.
+#[derive(Debug, Clone)]
+struct SmState {
+    /// First live cohort (cohort-arena index) or [`NO_COHORT`].
+    head: u32,
+    /// Last live cohort (where admissions link in) or [`NO_COHORT`].
+    tail: u32,
+    /// Membership changed since the SM's last re-rate.
+    dirty: bool,
+    /// Cached issue-demand sum of the resident cohorts.
+    sum_d: f64,
+    /// Cached bandwidth demand at issue-limited speed.
+    bw_sub: f64,
+    /// Earliest predicted finish on this SM: the entry the indexed
+    /// min-structure folds over, refreshed whenever the SM is re-rated.
+    min_finish: f64,
+    /// Cached event-rate subtotals.
+    rates: EventRates,
 }
 
 impl ExecutionEngine {
@@ -91,6 +224,30 @@ impl ExecutionEngine {
     /// Fails if the grid is empty or any segment's blocks cannot ever be
     /// resident on an SM.
     pub fn run(&self, grid: &Grid, policy: DispatchPolicy) -> Result<SimOutcome, GpuError> {
+        self.simulate(grid, policy, false)
+    }
+
+    /// Simulate `grid` with the naive reference loop: every SM is
+    /// re-rated on every event and the next completion is found by a
+    /// full scan. Shares every arithmetic statement with [`Self::run`],
+    /// so its output is byte-identical — it exists as the differential
+    /// oracle for the incremental engine and as the perf baseline the
+    /// microbench compares against.
+    #[cfg(any(test, feature = "reference-engine"))]
+    pub fn run_reference(
+        &self,
+        grid: &Grid,
+        policy: DispatchPolicy,
+    ) -> Result<SimOutcome, GpuError> {
+        self.simulate(grid, policy, true)
+    }
+
+    fn simulate(
+        &self,
+        grid: &Grid,
+        policy: DispatchPolicy,
+        reference: bool,
+    ) -> Result<SimOutcome, GpuError> {
         if grid.total_blocks() == 0 {
             return Err(GpuError::EmptyGrid);
         }
@@ -104,171 +261,194 @@ impl ExecutionEngine {
             .iter()
             .map(|s| BlockCost::derive(&s.desc, &self.cfg))
             .collect();
+        // Per-segment hot-loop constants, one cache line per segment.
+        let seg_rates: Vec<SegRate> = costs.iter().map(SegRate::of).collect();
 
         let n_sms = self.cfg.num_sms as usize;
-        let mut dispatcher = BlockDispatcher::new(grid, self.cfg.num_sms, policy);
-        let mut sms: Vec<SmResources> = (0..n_sms).map(|_| SmResources::new(&self.cfg)).collect();
-        let mut residents: Vec<Resident> = Vec::new();
-        let mut trace = ExecutionTrace::default();
-        let mut counters = DeviceCounters::new(self.cfg.num_sms);
-        let mut intervals = Vec::new();
-        let mut now = 0.0_f64;
+        let mut sim = Sim {
+            cfg: &self.cfg,
+            grid,
+            costs: &costs,
+            seg_rates: &seg_rates,
+            dispatcher: BlockDispatcher::new(grid, self.cfg.num_sms, policy),
+            sms: (0..n_sms).map(|_| SmResources::new(&self.cfg)).collect(),
+            // Peak live cohorts is bounded by both the grid size and the
+            // device's total block slots, so this capacity is exact.
+            cohorts: Vec::with_capacity(
+                (grid.total_blocks() as usize).min(n_sms * self.cfg.max_blocks_per_sm as usize),
+            ),
+            free: Vec::new(),
+            members: Vec::with_capacity(grid.total_blocks() as usize),
+            sm_state: vec![
+                SmState {
+                    head: NO_COHORT,
+                    tail: NO_COHORT,
+                    dirty: true,
+                    sum_d: 0.0,
+                    bw_sub: 0.0,
+                    min_finish: f64::INFINITY,
+                    rates: EventRates::default(),
+                };
+                n_sms
+            ],
+            live_blocks: 0,
+            event: 0,
+            now: 0.0,
+            prev_bw_scale: 1.0,
+            trace: {
+                let mut t = ExecutionTrace::default();
+                t.reserve(grid.total_blocks() as usize);
+                t
+            },
+            counters: DeviceCounters::new(self.cfg.num_sms),
+            intervals: Vec::new(),
+            idle_buf: Vec::with_capacity(n_sms),
+            reference,
+        };
 
         // Initial admission.
         match policy {
             DispatchPolicy::PaperRedistribution | DispatchPolicy::GreedyGlobal => {
-                Self::admit_waves(&mut sms, &mut dispatcher, grid, &costs, &mut residents, now);
+                sim.admit_waves();
             }
             DispatchPolicy::StaticRoundRobin => {
                 for sm in 0..n_sms {
-                    Self::admit_committed(
-                        sm,
-                        &mut sms,
-                        &mut dispatcher,
-                        grid,
-                        &costs,
-                        &mut residents,
-                        now,
-                    );
+                    sim.admit_committed(sm);
                 }
             }
         }
 
-        while !residents.is_empty() {
-            let rates_snapshot = self.compute_rates(&mut residents, n_sms);
-            // Next completion.
-            let dt = residents
-                .iter()
-                .map(|r| {
-                    if r.rate > 0.0 {
-                        r.remaining / r.rate
-                    } else {
-                        f64::INFINITY
-                    }
-                })
-                .fold(f64::INFINITY, f64::min);
-            if !dt.is_finite() {
-                return Err(GpuError::Unschedulable(
-                    "no resident block can make progress".into(),
-                ));
-            }
+        sim.run_loop(policy)?;
 
-            intervals.push(ActivityInterval {
-                start_s: now,
-                dur_s: dt,
-                rates: rates_snapshot,
-            });
-            now += dt;
-
-            // Advance everyone, accumulate counters proportionally to the
-            // fraction of solo-time consumed during this step.
-            let mut finished: Vec<usize> = Vec::new();
-            for (i, r) in residents.iter_mut().enumerate() {
-                let progress = r.rate * dt;
-                let frac = (progress / r.cost.t_solo_s).min(1.0);
-                let smc = &mut counters.per_sm[r.sm as usize];
-                smc.busy_s += dt;
-                smc.issue_cycles += r.cost.issue_cycles * frac;
-                smc.comp_ops += r.cost.comp_ops * frac;
-                smc.mem_requests += r.cost.mem_requests * frac;
-                counters.comp_ops += r.cost.comp_ops * frac;
-                counters.mem_requests += r.cost.mem_requests * frac;
-                counters.mem_bytes += r.cost.mem_bytes * frac;
-                r.remaining -= progress;
-                if r.remaining <= r.cost.t_solo_s * DONE_EPS {
-                    finished.push(i);
-                }
-            }
-
-            // Retire finished blocks (reverse order keeps indices valid).
-            for &i in finished.iter().rev() {
-                let r = residents.swap_remove(i);
-                let seg = &grid.segments()[r.coord.segment];
-                sms[r.sm as usize].release(&seg.desc);
-                counters.per_sm[r.sm as usize].blocks += 1;
-                trace.push(BlockEvent {
-                    coord: r.coord,
-                    sm: r.sm,
-                    start_s: r.start_s,
-                    end_s: now,
-                });
-            }
-
-            // Refill from committed queues (and, for greedy, the pool).
-            for sm in 0..n_sms {
-                Self::admit_committed(
-                    sm,
-                    &mut sms,
-                    &mut dispatcher,
-                    grid,
-                    &costs,
-                    &mut residents,
-                    now,
-                );
-            }
-
-            // Paper policy: redistribute untouched blocks to idle SMs.
-            if policy == DispatchPolicy::PaperRedistribution && dispatcher.pool_len() > 0 {
-                let idle: Vec<usize> = (0..n_sms)
-                    .filter(|&sm| sms[sm].resident_blocks() == 0 && dispatcher.peek(sm).is_none())
-                    .collect();
-                if dispatcher.redistribute(&idle) > 0 {
-                    for &sm in &idle {
-                        Self::admit_committed(
-                            sm,
-                            &mut sms,
-                            &mut dispatcher,
-                            grid,
-                            &costs,
-                            &mut residents,
-                            now,
-                        );
-                    }
-                }
-            }
-        }
-
-        debug_assert_eq!(dispatcher.pending(), 0, "blocks left undispatched");
-        counters.elapsed_s = now;
+        debug_assert_eq!(sim.dispatcher.pending(), 0, "blocks left undispatched");
+        sim.counters.elapsed_s = sim.now;
         Ok(SimOutcome {
-            elapsed_s: now,
-            trace,
-            counters,
-            intervals,
+            elapsed_s: sim.now,
+            trace: sim.trace,
+            counters: sim.counters,
+            intervals: sim.intervals,
         })
+    }
+}
+
+/// All mutable state of one simulation. The `reference` flag selects the
+/// naive full-rescan paths (update set = all SMs, min by scan); every
+/// arithmetic statement is shared with the incremental paths.
+struct Sim<'a> {
+    cfg: &'a GpuConfig,
+    grid: &'a Grid,
+    costs: &'a [BlockCost],
+    /// Per-segment constants for the rate pass, one cache line each.
+    seg_rates: &'a [SegRate],
+    dispatcher: BlockDispatcher,
+    sms: Vec<SmResources>,
+    /// Cohort arena: live cohorts are chained per SM in admission order
+    /// (heads/tails in [`SmState`]); retired slots recycle through
+    /// `free`. Reserved up front for the peak live-cohort count, so it
+    /// never reallocates.
+    cohorts: Vec<Cohort>,
+    /// Recycled cohort-arena slots.
+    free: Vec<u32>,
+    /// Member arena: one slot per admitted block, chained per cohort in
+    /// admission order (reserved for the whole grid up front).
+    members: Vec<MemberNode>,
+    /// Per-SM chains and cached aggregates, one record per SM. The
+    /// device minimum is a fold over the `min_finish` entries, so an
+    /// event touches only changed SMs plus O(num_sms) fold work.
+    sm_state: Vec<SmState>,
+    live_blocks: u64,
+    /// Admission round counter; cohorts merge only within one round.
+    event: u64,
+    now: f64,
+    prev_bw_scale: f64,
+    trace: ExecutionTrace,
+    counters: DeviceCounters,
+    intervals: Vec<ActivityInterval>,
+    /// Preallocated idle-SM scratch for the redistribution scan.
+    idle_buf: Vec<usize>,
+    reference: bool,
+}
+
+impl Sim<'_> {
+    /// Admit one block to `sm`, merging it into the SM's most recent
+    /// cohort when it is the same segment admitted in the same round.
+    fn admit(&mut self, sm: usize, coord: BlockCoord) {
+        let segment = coord.segment;
+        self.sms[sm].admit_unchecked(&self.grid.segments()[segment].desc);
+        self.live_blocks += 1;
+        self.sm_state[sm].dirty = true;
+        let node = self.members.len() as u32;
+        self.members.push(MemberNode {
+            coord,
+            next: NO_MEMBER,
+        });
+        let tail = self.sm_state[sm].tail;
+        if tail != NO_COHORT {
+            let last = &mut self.cohorts[tail as usize];
+            if last.segment == segment && last.admit_event == self.event {
+                last.n += 1;
+                let prev_member = last.tail;
+                last.tail = node;
+                self.members[prev_member as usize].next = node;
+                return;
+            }
+        }
+        let cohort = Cohort {
+            segment,
+            n: 1,
+            head: node,
+            tail: node,
+            next: NO_COHORT,
+            start_s: self.now,
+            admit_event: self.event,
+            rate: 0.0,
+            anchor_s: self.now,
+            remaining: self.costs[segment].t_solo_s,
+            finish_s: f64::INFINITY,
+        };
+        let idx = match self.free.pop() {
+            Some(slot) => {
+                self.cohorts[slot as usize] = cohort;
+                slot
+            }
+            None => {
+                self.cohorts.push(cohort);
+                (self.cohorts.len() - 1) as u32
+            }
+        };
+        if tail == NO_COHORT {
+            self.sm_state[sm].head = idx;
+        } else {
+            self.cohorts[tail as usize].next = idx;
+        }
+        self.sm_state[sm].tail = idx;
+    }
+
+    /// Admit as many blocks committed to `sm` as fit, in FIFO order.
+    /// (For the greedy policy the "committed queue" is the global pool.)
+    fn admit_committed(&mut self, sm: usize) {
+        while let Some(&coord) = self.dispatcher.peek(sm) {
+            if !self.sms[sm].fits(&self.grid.segments()[coord.segment].desc) {
+                break;
+            }
+            let coord = self.dispatcher.pop(sm).expect("peeked block vanished");
+            self.admit(sm, coord);
+        }
     }
 
     /// Admit pooled blocks in round-robin waves: each pass over the SMs
     /// admits at most one block per SM, in block order; passes repeat
     /// until a full pass admits nothing.
-    fn admit_waves(
-        sms: &mut [SmResources],
-        dispatcher: &mut BlockDispatcher,
-        grid: &Grid,
-        costs: &[BlockCost],
-        residents: &mut Vec<Resident>,
-        now: f64,
-    ) {
+    fn admit_waves(&mut self) {
         loop {
             let mut progress = false;
-            #[allow(clippy::needless_range_loop)] // sm indexes two slices
-            for sm in 0..sms.len() {
-                let Some(coord) = dispatcher.peek_pool() else {
+            for sm in 0..self.sms.len() {
+                let Some(&coord) = self.dispatcher.peek_pool() else {
                     return;
                 };
-                let seg = &grid.segments()[coord.segment];
-                if sms[sm].fits(&seg.desc) {
-                    let coord = dispatcher.pop_pool().expect("peeked block vanished");
-                    sms[sm].admit(&seg.desc);
-                    let cost = costs[coord.segment];
-                    residents.push(Resident {
-                        coord,
-                        cost,
-                        remaining: cost.t_solo_s,
-                        sm: sm as u32,
-                        start_s: now,
-                        rate: 0.0,
-                    });
+                if self.sms[sm].fits(&self.grid.segments()[coord.segment].desc) {
+                    let coord = self.dispatcher.pop_pool().expect("peeked block vanished");
+                    self.admit(sm, coord);
                     progress = true;
                 }
             }
@@ -278,80 +458,300 @@ impl ExecutionEngine {
         }
     }
 
-    /// Admit as many blocks committed to `sm` as fit, in FIFO order.
-    /// (For the greedy policy the "committed queue" is the global pool.)
-    #[allow(clippy::too_many_arguments)]
-    fn admit_committed(
-        sm: usize,
-        sms: &mut [SmResources],
-        dispatcher: &mut BlockDispatcher,
-        grid: &Grid,
-        costs: &[BlockCost],
-        residents: &mut Vec<Resident>,
-        now: f64,
-    ) {
-        while let Some(coord) = dispatcher.peek(sm) {
-            let seg = &grid.segments()[coord.segment];
-            if !sms[sm].fits(&seg.desc) {
-                break;
+    /// Recompute cached aggregates for changed SMs, derive the device
+    /// bandwidth scale, re-rate the update set (re-anchoring cohorts
+    /// whose rate moved bitwise), and return the device-wide event rates
+    /// for the coming interval.
+    fn rate_pass(&mut self) -> EventRates {
+        let seg_rates = self.seg_rates;
+        // Per-SM issue-demand sums and bandwidth demand at issue-limited
+        // speed, for SMs whose membership changed.
+        for sm in 0..self.sm_state.len() {
+            if !(self.reference || self.sm_state[sm].dirty) {
+                continue;
             }
-            let coord = dispatcher.pop(sm).expect("peeked block vanished");
-            sms[sm].admit(&seg.desc);
-            let cost = costs[coord.segment];
-            residents.push(Resident {
-                coord,
-                cost,
-                remaining: cost.t_solo_s,
-                sm: sm as u32,
-                start_s: now,
-                rate: 0.0,
-            });
+            let mut d = 0.0;
+            let mut ci = self.sm_state[sm].head;
+            while ci != NO_COHORT {
+                let c = &self.cohorts[ci as usize];
+                d += f64::from(c.n) * seg_rates[c.segment].issue_demand;
+                ci = c.next;
+            }
+            let share = if d > 1.0 { 1.0 / d } else { 1.0 };
+            let mut bw = 0.0;
+            let mut ci = self.sm_state[sm].head;
+            while ci != NO_COHORT {
+                let c = &self.cohorts[ci as usize];
+                bw += f64::from(c.n) * (seg_rates[c.segment].bw_solo * share);
+                ci = c.next;
+            }
+            let st = &mut self.sm_state[sm];
+            st.sum_d = d;
+            st.bw_sub = bw;
         }
-    }
 
-    /// Recompute every resident block's progress rate and return the
-    /// device-wide event rates for the coming interval.
-    fn compute_rates(&self, residents: &mut [Resident], n_sms: usize) -> EventRates {
-        // Per-SM issue-demand sums.
-        let mut sum_d = vec![0.0_f64; n_sms];
-        for r in residents.iter() {
-            sum_d[r.sm as usize] += r.cost.issue_demand;
+        // Device bandwidth scale: a single device-wide factor, so a move
+        // forces every SM into the update set (the saturated regime).
+        // Four independent accumulators break the serial add chain; both
+        // engine modes run this same fold, so the bits agree.
+        let mut acc = [0.0f64; 4];
+        let mut chunks = self.sm_state.chunks_exact(4);
+        for ch in &mut chunks {
+            acc[0] += ch[0].bw_sub;
+            acc[1] += ch[1].bw_sub;
+            acc[2] += ch[2].bw_sub;
+            acc[3] += ch[3].bw_sub;
         }
-        // Bandwidth demand at issue-limited speed.
-        let mut demand = 0.0;
-        for r in residents.iter() {
-            let share = if sum_d[r.sm as usize] > 1.0 {
-                1.0 / sum_d[r.sm as usize]
-            } else {
-                1.0
-            };
-            demand += r.cost.bw_solo * share;
+        let mut rest = 0.0;
+        for st in chunks.remainder() {
+            rest += st.bw_sub;
         }
+        let demand = (acc[0] + acc[1]) + (acc[2] + acc[3]) + rest;
         let bw_scale = if demand > self.cfg.dram_bandwidth {
             self.cfg.dram_bandwidth / demand
         } else {
             1.0
         };
+        let rate_all = self.reference || bw_scale.to_bits() != self.prev_bw_scale.to_bits();
+        self.prev_bw_scale = bw_scale;
 
-        let mut rates = EventRates::default();
-        let mut active = vec![false; n_sms];
-        for r in residents.iter_mut() {
-            let issue_share = if sum_d[r.sm as usize] > 1.0 {
-                1.0 / sum_d[r.sm as usize]
-            } else {
-                1.0
-            };
-            let m = r.cost.mem_fraction;
-            r.rate = issue_share * ((1.0 - m) + m * bw_scale);
-            active[r.sm as usize] = true;
-            let inv_solo = 1.0 / r.cost.t_solo_s;
-            rates.comp_ops_per_s += r.rate * r.cost.comp_ops * inv_solo;
-            rates.mem_txn_per_s += r.rate * r.cost.mem_requests * inv_solo;
-            rates.bytes_per_s += r.rate * r.cost.mem_bytes * inv_solo;
-            rates.resident_warps += f64::from(r.cost.warps);
+        // Re-rate the update set, refreshing each touched SM's earliest
+        // predicted finish in the min index as we go.
+        for sm in 0..self.sm_state.len() {
+            if !(rate_all || self.sm_state[sm].dirty) {
+                continue;
+            }
+            let d = self.sm_state[sm].sum_d;
+            let share = if d > 1.0 { 1.0 / d } else { 1.0 };
+            let mut sub = EventRates::default();
+            let mut sm_min = f64::INFINITY;
+            let mut ci = self.sm_state[sm].head;
+            while ci != NO_COHORT {
+                let c = &mut self.cohorts[ci as usize];
+                let sr = &seg_rates[c.segment];
+                let rate = share * (sr.compute_frac + sr.mem_fraction * bw_scale);
+                if rate.to_bits() != c.rate.to_bits() {
+                    // Re-anchor: bank progress at the old rate, then
+                    // predict the finish under the new one.
+                    let span = self.now - c.anchor_s;
+                    c.remaining = (c.remaining - c.rate * span).max(0.0);
+                    c.anchor_s = self.now;
+                    c.rate = rate;
+                    c.finish_s = if rate > 0.0 {
+                        self.now + c.remaining / rate
+                    } else {
+                        f64::INFINITY
+                    };
+                }
+                sm_min = sm_min.min(c.finish_s);
+                let nf = f64::from(c.n);
+                sub.comp_ops_per_s += nf * (c.rate * sr.comp_ops_per_solo);
+                sub.mem_txn_per_s += nf * (c.rate * sr.mem_txn_per_solo);
+                sub.bytes_per_s += nf * (c.rate * sr.bytes_per_solo);
+                sub.resident_warps += nf * sr.warps;
+                ci = c.next;
+            }
+            let st = &mut self.sm_state[sm];
+            st.rates = sub;
+            st.min_finish = sm_min;
+            st.dirty = false;
         }
-        rates.active_sm_frac = active.iter().filter(|a| **a).count() as f64 / n_sms as f64;
-        rates
+
+        // Fold the device-wide snapshot from the per-SM subtotals.
+        let mut snap = EventRates::default();
+        let mut active = 0usize;
+        for st in &self.sm_state {
+            if st.head == NO_COHORT {
+                continue;
+            }
+            active += 1;
+            snap.comp_ops_per_s += st.rates.comp_ops_per_s;
+            snap.mem_txn_per_s += st.rates.mem_txn_per_s;
+            snap.bytes_per_s += st.rates.bytes_per_s;
+            snap.resident_warps += st.rates.resident_warps;
+        }
+        snap.active_sm_frac = active as f64 / self.sm_state.len() as f64;
+        snap
+    }
+
+    /// The earliest predicted finish over all live cohorts: a fold over
+    /// the per-SM min index (the reference engine rescans every cohort
+    /// instead). `min` is associative and commutative bitwise here (no
+    /// NaNs, no negative zeros), so the unrolled fold and the reference
+    /// scan agree on the minimum of the same multiset.
+    fn next_finish(&self) -> f64 {
+        if self.reference {
+            let mut f = f64::INFINITY;
+            for st in &self.sm_state {
+                let mut ci = st.head;
+                while ci != NO_COHORT {
+                    let c = &self.cohorts[ci as usize];
+                    f = f.min(c.finish_s);
+                    ci = c.next;
+                }
+            }
+            return f;
+        }
+        // Four independent accumulators break the serial `min` latency
+        // chain over the per-SM index.
+        let mut acc = [f64::INFINITY; 4];
+        let mut chunks = self.sm_state.chunks_exact(4);
+        for ch in &mut chunks {
+            acc[0] = acc[0].min(ch[0].min_finish);
+            acc[1] = acc[1].min(ch[1].min_finish);
+            acc[2] = acc[2].min(ch[2].min_finish);
+            acc[3] = acc[3].min(ch[3].min_finish);
+        }
+        for st in chunks.remainder() {
+            acc[0] = acc[0].min(st.min_finish);
+        }
+        (acc[0].min(acc[1])).min(acc[2].min(acc[3]))
+    }
+
+    /// Retire every cohort whose predicted finish falls within the
+    /// relative tie window of `f_min`, in (SM, admission) order: fold
+    /// its counters over its whole residency, emit its trace events,
+    /// release occupancy, unlink it from its SM's chain and recycle the
+    /// arena slot. The window is monotone in the finish time, so
+    /// skipping SMs whose indexed minimum lies beyond it provably
+    /// retires the same set as the reference full walk; retirement
+    /// mutates nothing the predicate reads, so walking and unlinking in
+    /// one pass selects the same set as a collect-then-retire split.
+    fn retire(&mut self, f_min: f64) {
+        let thresh = f_min * (1.0 + DONE_EPS);
+        for sm in 0..self.sm_state.len() {
+            if !self.reference && self.sm_state[sm].min_finish > thresh {
+                continue;
+            }
+            let mut prev = NO_COHORT;
+            let mut ci = self.sm_state[sm].head;
+            while ci != NO_COHORT {
+                let next = self.cohorts[ci as usize].next;
+                if self.cohorts[ci as usize].finish_s <= thresh {
+                    if prev == NO_COHORT {
+                        self.sm_state[sm].head = next;
+                    } else {
+                        self.cohorts[prev as usize].next = next;
+                    }
+                    if self.sm_state[sm].tail == ci {
+                        self.sm_state[sm].tail = prev;
+                    }
+                    self.retire_one(sm, ci);
+                    self.free.push(ci);
+                    self.sm_state[sm].dirty = true;
+                } else {
+                    prev = ci;
+                }
+                ci = next;
+            }
+        }
+    }
+
+    /// Fold one finished cohort's counters over its whole residency,
+    /// emit its trace events and release its occupancy. The caller has
+    /// already unlinked the cohort from its SM's chain.
+    fn retire_one(&mut self, sm: usize, ci: u32) {
+        let c = &self.cohorts[ci as usize];
+        let cost = &self.costs[c.segment];
+        let consumed = cost.t_solo_s - (c.remaining - c.rate * (self.now - c.anchor_s));
+        let frac = (consumed / cost.t_solo_s).min(1.0);
+        let nf = f64::from(c.n);
+        let smc = &mut self.counters.per_sm[sm];
+        smc.busy_s += nf * (self.now - c.start_s);
+        smc.issue_cycles += nf * (cost.issue_cycles * frac);
+        smc.comp_ops += nf * (cost.comp_ops * frac);
+        smc.mem_requests += nf * (cost.mem_requests * frac);
+        smc.blocks += c.n;
+        self.counters.comp_ops += nf * (cost.comp_ops * frac);
+        self.counters.mem_requests += nf * (cost.mem_requests * frac);
+        self.counters.mem_bytes += nf * (cost.mem_bytes * frac);
+        let desc = &self.grid.segments()[c.segment].desc;
+        let mut node = c.head;
+        while node != NO_MEMBER {
+            let m = self.members[node as usize];
+            self.sms[sm].release(desc);
+            self.trace.push(BlockEvent {
+                coord: m.coord,
+                sm: sm as u32,
+                start_s: c.start_s,
+                end_s: self.now,
+            });
+            node = m.next;
+        }
+        self.live_blocks -= u64::from(c.n);
+    }
+
+    /// The event loop: rate, step, retire, refill — until every block
+    /// has retired.
+    fn run_loop(&mut self, policy: DispatchPolicy) -> Result<(), GpuError> {
+        // Per-SM committed queues (paper / static policies) can only
+        // newly admit on an SM whose occupancy was just freed, so the
+        // refill scan is restricted to SMs dirtied by this event's
+        // retirements. The greedy policy shares one pool whose head
+        // changes whenever *any* SM admits, so it keeps the full scan.
+        let scan_all_refill = self.reference || policy == DispatchPolicy::GreedyGlobal;
+        while self.live_blocks > 0 {
+            let snap = self.rate_pass();
+            let f_min = self.next_finish();
+            if !f_min.is_finite() {
+                return Err(GpuError::Unschedulable(
+                    "no resident block can make progress".into(),
+                ));
+            }
+            let dt = f_min - self.now;
+            // Coalesce: extend the previous interval when the rates are
+            // unchanged, otherwise start a new one.
+            match self.intervals.last_mut() {
+                Some(last) if last.rates == snap => last.dur_s += dt,
+                _ => self.intervals.push(ActivityInterval {
+                    start_s: self.now,
+                    dur_s: dt,
+                    rates: snap,
+                }),
+            }
+            self.now += dt;
+
+            self.retire(f_min);
+            self.event += 1;
+
+            // Refill from committed queues (and, for greedy, the pool):
+            // skippable outright when no block is committed anywhere.
+            if self.dispatcher.committed_len() > 0
+                || policy == DispatchPolicy::GreedyGlobal
+                || self.reference
+            {
+                for sm in 0..self.sms.len() {
+                    if scan_all_refill || self.sm_state[sm].dirty {
+                        self.admit_committed(sm);
+                    }
+                }
+            }
+
+            // Paper policy: redistribute untouched blocks to idle SMs.
+            // While the pool is non-empty an SM can only *become* idle
+            // by retiring its last resident this event (an SM idle at an
+            // earlier event would have drained the pool then), so the
+            // idle scan too is restricted to dirty SMs.
+            if policy == DispatchPolicy::PaperRedistribution && self.dispatcher.pool_len() > 0 {
+                self.idle_buf.clear();
+                for sm in 0..self.sms.len() {
+                    if (self.reference || self.sm_state[sm].dirty)
+                        && self.sms[sm].resident_blocks() == 0
+                        && self.dispatcher.peek(sm).is_none()
+                    {
+                        self.idle_buf.push(sm);
+                    }
+                }
+                if self.dispatcher.redistribute(&self.idle_buf) > 0 {
+                    let idle = std::mem::take(&mut self.idle_buf);
+                    for &sm in &idle {
+                        self.admit_committed(sm);
+                    }
+                    self.idle_buf = idle;
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -360,6 +760,7 @@ mod tests {
     use super::*;
     use crate::grid::ConsolidatedGrid;
     use crate::kernel::KernelDesc;
+    use crate::rng::SimRng;
 
     fn engine() -> ExecutionEngine {
         ExecutionEngine::new(GpuConfig::tesla_c1060())
@@ -574,6 +975,37 @@ mod tests {
     }
 
     #[test]
+    fn adjacent_identical_intervals_coalesce() {
+        // 60 identical big blocks run as two back-to-back full waves with
+        // identical rates: the profile collapses to a single interval.
+        let e = engine();
+        let k = compute_kernel("big", 1024, 0.5);
+        let out = e
+            .run(&Grid::single(k, 60), DispatchPolicy::default())
+            .unwrap();
+        assert_eq!(out.intervals.len(), 1, "intervals {:?}", out.intervals);
+        assert!((out.intervals[0].dur_s - out.elapsed_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wave_cohorts_batch_events() {
+        // 3840 identical blocks retire wave-by-wave: the whole launch
+        // takes one event per wave (3840 / 120 resident = 32), not one
+        // per block.
+        let e = engine();
+        let k = compute_kernel("k", 256, 0.01);
+        let out = e
+            .run(&Grid::single(k, 3840), DispatchPolicy::default())
+            .unwrap();
+        assert_eq!(out.trace.events().len(), 3840);
+        assert!(
+            out.intervals.len() <= 32,
+            "expected coalesced waves, got {} intervals",
+            out.intervals.len()
+        );
+    }
+
+    #[test]
     fn deterministic_across_runs() {
         let e = engine();
         let g = ConsolidatedGrid::new()
@@ -614,5 +1046,57 @@ mod tests {
             e.run(&Grid::single(k, 1), DispatchPolicy::default()),
             Err(GpuError::Unschedulable(_))
         ));
+    }
+
+    /// One random kernel descriptor that is always schedulable.
+    fn random_desc(rng: &mut SimRng, name: &str) -> KernelDesc {
+        let tpb = 32 * rng.range_u32(1, 16); // 32..=512 threads
+        let mut b = KernelDesc::builder(name)
+            .threads_per_block(tpb)
+            .regs_per_thread(rng.range_u32(8, 32))
+            .comp_insts(rng.range_f64(10.0, 1e7));
+        if rng.next_f64() < 0.7 {
+            b = b.coalesced_mem(rng.range_f64(0.0, 2e4));
+        }
+        if rng.next_f64() < 0.3 {
+            b = b.uncoalesced_mem(rng.range_f64(0.0, 2e3));
+        }
+        if rng.next_f64() < 0.3 {
+            b = b.sync_insts(rng.range_f64(0.0, 50.0));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn differential_sweep_matches_reference() {
+        // ≥200 random consolidated grids × all three dispatch policies:
+        // the incremental cohort engine must be byte-identical to the
+        // naive full-rescan reference.
+        let e = engine();
+        let mut rng = SimRng::seed_from_u64(0x5EED_CAFE);
+        for case in 0..200 {
+            let mut cg = ConsolidatedGrid::new();
+            let segs = rng.range_usize(1, 6);
+            for s in 0..segs {
+                let desc = random_desc(&mut rng, &format!("k{case}_{s}"));
+                cg = cg.add(Grid::single(desc, rng.range_u32(1, 96)));
+            }
+            let g = cg.build();
+            for policy in [
+                DispatchPolicy::PaperRedistribution,
+                DispatchPolicy::StaticRoundRobin,
+                DispatchPolicy::GreedyGlobal,
+            ] {
+                let opt = e.run(&g, policy).unwrap();
+                let reference = e.run_reference(&g, policy).unwrap();
+                assert!(
+                    opt == reference,
+                    "case {case} policy {policy:?}: optimized != reference\n\
+                     elapsed {} vs {}",
+                    opt.elapsed_s,
+                    reference.elapsed_s
+                );
+            }
+        }
     }
 }

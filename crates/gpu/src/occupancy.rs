@@ -132,11 +132,18 @@ impl SmResources {
         if !self.fits(desc) {
             return false;
         }
+        self.admit_unchecked(desc);
+        true
+    }
+
+    /// Admit a block of `desc` the caller has already checked fits
+    /// (skips the redundant [`Self::fits`] in the engine's hot path).
+    pub fn admit_unchecked(&mut self, desc: &KernelDesc) {
+        debug_assert!(self.fits(desc), "admit_unchecked without a fits check");
         self.blocks += 1;
         self.threads += desc.threads_per_block;
         self.regs += desc.regs_per_thread.saturating_mul(desc.threads_per_block);
         self.smem += desc.shared_mem_per_block;
-        true
     }
 
     /// Release the resources of a completed block of `desc`.

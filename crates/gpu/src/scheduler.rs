@@ -49,23 +49,39 @@ pub struct BlockDispatcher {
     per_sm: Vec<VecDeque<BlockCoord>>,
     pool: VecDeque<BlockCoord>,
     remaining: usize,
+    /// Blocks sitting in `per_sm` queues (so the engine can skip its
+    /// refill scan when nothing is committed anywhere).
+    committed: usize,
 }
 
 impl BlockDispatcher {
     /// Distribute the grid's blocks according to `policy` on a device
     /// with `num_sms` SMs.
     pub fn new(grid: &Grid, num_sms: u32, policy: DispatchPolicy) -> Self {
+        let total = grid.total_blocks() as usize;
+        let per_sm_cap = match policy {
+            DispatchPolicy::StaticRoundRobin => total / (num_sms as usize).max(1) + 1,
+            _ => 0,
+        };
+        let pool_cap = match policy {
+            DispatchPolicy::StaticRoundRobin => 0,
+            _ => total,
+        };
         let mut d = BlockDispatcher {
             policy,
-            per_sm: vec![VecDeque::new(); num_sms as usize],
-            pool: VecDeque::new(),
-            remaining: grid.total_blocks() as usize,
+            per_sm: (0..num_sms)
+                .map(|_| VecDeque::with_capacity(per_sm_cap))
+                .collect(),
+            pool: VecDeque::with_capacity(pool_cap),
+            remaining: total,
+            committed: 0,
         };
         for coord in grid.blocks() {
             match policy {
                 DispatchPolicy::StaticRoundRobin => {
                     let sm = (coord.global % num_sms) as usize;
                     d.per_sm[sm].push_back(coord);
+                    d.committed += 1;
                 }
                 DispatchPolicy::PaperRedistribution | DispatchPolicy::GreedyGlobal => {
                     d.pool.push_back(coord)
@@ -92,6 +108,9 @@ impl BlockDispatcher {
         };
         if b.is_some() {
             self.remaining -= 1;
+            if self.policy != DispatchPolicy::GreedyGlobal {
+                self.committed -= 1;
+            }
         }
         b
     }
@@ -123,6 +142,7 @@ impl BlockDispatcher {
             next += 1;
             n += 1;
         }
+        self.committed += n;
         n
     }
 
@@ -134,6 +154,11 @@ impl BlockDispatcher {
     /// Blocks still in the untouched pool.
     pub fn pool_len(&self) -> usize {
         self.pool.len()
+    }
+
+    /// Blocks committed to per-SM queues but not yet handed out.
+    pub fn committed_len(&self) -> usize {
+        self.committed
     }
 
     /// The dispatch policy in effect.

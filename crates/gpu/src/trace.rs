@@ -22,7 +22,7 @@ pub struct BlockEvent {
 }
 
 /// Trace of a whole launch.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExecutionTrace {
     events: Vec<BlockEvent>,
 }
@@ -31,6 +31,12 @@ impl ExecutionTrace {
     /// Record a completed block.
     pub fn push(&mut self, ev: BlockEvent) {
         self.events.push(ev);
+    }
+
+    /// Preallocate room for `n` further events (the engine knows the
+    /// block count up front).
+    pub fn reserve(&mut self, n: usize) {
+        self.events.reserve(n);
     }
 
     /// All events, in completion order.

@@ -5,6 +5,8 @@
 //! surprising schedule can be explained after the fact (which prediction
 //! won, and by how much).
 
+use std::sync::Arc;
+
 /// The scheduling verdict for one kernel group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Verdict {
@@ -45,7 +47,7 @@ pub struct DecisionRecord {
     /// Simulated time at which the decision was taken.
     pub time_s: f64,
     /// Kernel names in the group, in submission order.
-    pub kernels: Vec<String>,
+    pub kernels: Vec<Arc<str>>,
     /// The verdict.
     pub verdict: Verdict,
     /// Predicted (time, energy) if the group is consolidated.

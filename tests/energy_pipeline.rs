@@ -100,3 +100,55 @@ fn idle_gaps_cost_idle_energy() {
         "idle energy overcharged: {delta}"
     );
 }
+
+#[test]
+fn interval_coalescing_preserves_busy_time_and_energy() {
+    // The engine coalesces adjacent activity intervals with identical
+    // rates. Splitting every interval back apart must change neither
+    // the profile's total duration nor the integrated system energy —
+    // i.e. coalescing is invisible to the energy model.
+    use ewc_gpu::counters::ActivityInterval;
+    use ewc_gpu::{DispatchPolicy, ExecutionEngine, Grid};
+
+    let engine = ExecutionEngine::new(GpuConfig::tesla_c1060());
+    let out = engine
+        .run(
+            &Grid::single(compute_kernel(0.5), 240),
+            DispatchPolicy::default(),
+        )
+        .unwrap();
+    assert!(!out.intervals.is_empty());
+
+    let mut split: Vec<ActivityInterval> = Vec::new();
+    for iv in &out.intervals {
+        let half = iv.dur_s / 2.0;
+        split.push(ActivityInterval {
+            start_s: iv.start_s,
+            dur_s: half,
+            rates: iv.rates,
+        });
+        split.push(ActivityInterval {
+            start_s: iv.start_s + half,
+            dur_s: iv.dur_s - half,
+            rates: iv.rates,
+        });
+    }
+
+    let total = |ivs: &[ActivityInterval]| ivs.iter().map(|i| i.dur_s).sum::<f64>();
+    let busy_coalesced = total(&out.intervals);
+    let busy_split = total(&split);
+    assert!(
+        (busy_coalesced - busy_split).abs() <= 1e-12 * busy_coalesced,
+        "splitting must preserve total busy time: {busy_coalesced} vs {busy_split}"
+    );
+
+    let sys = GpuSystemPower::tesla_system();
+    let a = sys.integrate(&out.intervals, out.elapsed_s, None);
+    let b = sys.integrate(&split, out.elapsed_s, None);
+    assert!(
+        (a.energy_j - b.energy_j).abs() <= 1e-9 * a.energy_j,
+        "coalescing must not change integrated energy: {} vs {}",
+        a.energy_j,
+        b.energy_j
+    );
+}

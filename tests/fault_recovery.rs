@@ -38,6 +38,34 @@ fn same_seed_replays_identical_faults_and_decisions() {
 }
 
 #[test]
+fn soak_matrix_fan_out_matches_serial() {
+    // The {light, storm} × seeds preset matrix must produce identical
+    // reports whether the configs run serially or across a worker pool:
+    // each soak owns its runtime and its seeded fault plan, so thread
+    // scheduling must not be observable.
+    let mut cfgs = soak::matrix(&[5, 6]);
+    for cfg in &mut cfgs {
+        cfg.processes = 2;
+        cfg.requests_per_process = 3;
+    }
+    assert_eq!(cfgs.len(), 4, "two seeds × two fault profiles");
+    let serial = soak::run_matrix(&cfgs, 1);
+    let fanned = soak::run_matrix(&cfgs, 4);
+    assert_eq!(serial.len(), fanned.len());
+    for (a, b) in serial.iter().zip(&fanned) {
+        assert_eq!(a.fault_log, b.fault_log);
+        assert_eq!(a.audit, b.audit);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(
+            (a.submitted, a.verified, a.failed, a.dropped, a.mismatched),
+            (b.submitted, b.verified, b.failed, b.dropped, b.mismatched)
+        );
+        assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
+        assert!(a.balanced());
+    }
+}
+
+#[test]
 fn different_seeds_diverge() {
     let base = SoakConfig {
         processes: 2,

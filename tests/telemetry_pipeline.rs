@@ -336,3 +336,16 @@ fn jsonl_and_summary_exports_cover_the_snapshot() {
     }
     assert!(text.contains("request_latency_s"));
 }
+
+#[test]
+fn chrome_trace_render_is_byte_deterministic() {
+    // Host-side span durations are wall-clock and request *grouping*
+    // depends on real arrival timing, so two runs cannot be compared
+    // byte for byte — but rendering one snapshot twice must be: any
+    // map-iteration-order leak in the exporters would show up here as
+    // flaky bytes. (Cross-run audit determinism is pinned by the
+    // seeded soak replay test, which drives the simulated clock.)
+    let (_, a) = snapshot(3);
+    assert_eq!(chrome::render(&a), chrome::render(&a));
+    assert_eq!(jsonl::render(&a), jsonl::render(&a));
+}
