@@ -1,64 +1,30 @@
 //! Regenerate every table and figure in one run (the EXPERIMENTS.md
 //! ledger).
 //!
-//! The experiments are independent, so they fan out over a small worker
-//! pool (`all [parallelism]`, default one worker per core, `1` = fully
-//! serial) pulling from a shared index; sections are printed strictly
-//! in their original order once everything has finished, so the fan-out
-//! adds no nondeterminism of its own. (Sections that drive the real
-//! threaded runtime — e.g. the multi-GPU Poisson sweep — vary slightly
-//! run to run at *any* parallelism setting, serial included.)
-use std::sync::atomic::{AtomicUsize, Ordering};
-
+//! The experiments are independent, so they fan out over the shared
+//! [`TaskPool`] (`all [parallelism]`, default one worker per core, `1`
+//! = fully serial); sections are printed strictly in their original
+//! order once everything has finished, so the fan-out adds no
+//! nondeterminism of its own. (Sections that drive the real threaded
+//! runtime — e.g. the multi-GPU Poisson sweep — vary slightly run to
+//! run at *any* parallelism setting, serial included.)
 use ewc_bench::experiments as ex;
+use ewc_exec::TaskPool;
 
 /// One experiment: its rendered section, produced on some worker.
 type Section = Box<dyn Fn() -> String + Send + Sync>;
 
-/// Worker threads to use when the caller does not say: one per
-/// available core, or serial if the platform will not tell us.
-fn default_parallelism() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
-
 /// Render every section across `parallelism` workers, returning them in
-/// input order.
+/// input order (the pool's positional merge).
 fn render_all(sections: &[Section], parallelism: usize) -> Vec<String> {
-    if parallelism <= 1 || sections.len() <= 1 {
-        return sections.iter().map(|f| f()).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let mut indexed: Vec<(usize, String)> = std::thread::scope(|s| {
-        let workers: Vec<_> = (0..parallelism.min(sections.len()))
-            .map(|_| {
-                s.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= sections.len() {
-                            return out;
-                        }
-                        out.push((i, sections[i]()));
-                    }
-                })
-            })
-            .collect();
-        workers
-            .into_iter()
-            .flat_map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
-            .collect()
-    });
-    indexed.sort_by_key(|(i, _)| *i);
-    indexed.into_iter().map(|(_, s)| s).collect()
+    TaskPool::global().run(sections.len(), parallelism, |i| sections[i]())
 }
 
 fn main() {
     let parallelism = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())
-        .unwrap_or_else(default_parallelism);
+        .unwrap_or(0);
 
     let paper: Vec<Section> = vec![
         Box::new(|| ex::table1::render(&ex::table1::run())),

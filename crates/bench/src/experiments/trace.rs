@@ -11,9 +11,11 @@
 
 use std::sync::Arc;
 
-use ewc_core::{Runtime, RuntimeConfig, Template};
+use ewc_core::{Frontend, Runtime, RuntimeConfig, Template};
+use ewc_exec::{Executor, SimTask};
 use ewc_gpu::{GpuConfig, SimRng};
 use ewc_telemetry::{TelemetrySink, TelemetrySnapshot};
+use ewc_workloads::registry::DeviceBuffers;
 use ewc_workloads::{
     AesWorkload, BlackScholesWorkload, MatmulWorkload, SearchWorkload, SortWorkload, Workload,
 };
@@ -109,6 +111,55 @@ pub fn replay(trace: &[Arrival], threshold_factor: u32, max_wait_s: f64) -> Row 
     .0
 }
 
+/// One live request: its frontend session and verification handles.
+struct Session {
+    fe: Frontend,
+    bufs: DeviceBuffers,
+    w: Arc<dyn Workload>,
+    seed: u64,
+}
+
+/// Replay state the executor drives: the runtime under test plus every
+/// session opened so far.
+struct ReplayCtx<'a> {
+    rt: &'a Runtime,
+    workloads: &'a [(&'static str, Arc<dyn Workload>)],
+    sessions: Vec<Session>,
+}
+
+/// One arrival: connects a frontend, advances the simulated clock to
+/// the firing instant and submits the workload (fire-and-forget).
+struct Submit {
+    name: &'static str,
+    seq: u64,
+}
+
+impl<'a> SimTask<ReplayCtx<'a>> for Submit {
+    fn fire(self, now_s: f64, ctx: &mut ReplayCtx<'a>, _exec: &mut Executor<ReplayCtx<'a>, Self>) {
+        let w = ctx
+            .workloads
+            .iter()
+            .find(|(n, _)| *n == self.name)
+            .map(|(_, w)| Arc::clone(w))
+            .expect("trace names are registered");
+        let mut fe = ctx.rt.connect();
+        fe.advance_clock(now_s).expect("advance clock");
+        let (args, bufs) = w.build_args(&mut fe, self.seq).expect("build");
+        fe.configure_call(w.blocks(), w.desc().threads_per_block)
+            .expect("configure");
+        for a in &args {
+            fe.setup_argument(*a).expect("argument");
+        }
+        fe.launch(self.name).expect("launch");
+        ctx.sessions.push(Session {
+            fe,
+            bufs,
+            w,
+            seed: self.seq,
+        });
+    }
+}
+
 /// Like [`replay`], but records into the caller's telemetry sink and
 /// returns the full snapshot alongside the row — the `ewc telemetry`
 /// subcommand exports a Chrome trace from it.
@@ -156,34 +207,37 @@ pub fn replay_with(
         .template(Template::homogeneous("search"));
     let rt = builder.build();
 
-    let lookup = |name: &str| {
-        workloads
-            .iter()
-            .find(|(n, _)| *n == name)
-            .map(|(_, w)| Arc::clone(w))
-            .expect("trace names are registered")
-    };
-
-    let mut sessions = Vec::new();
+    // The arrival schedule replays on a discrete-event executor: one
+    // [`Submit`] task per request, fired at its Poisson timestamp (equal
+    // timestamps fire in trace order — the queue's tie-break rule).
+    let mut exec: Executor<ReplayCtx<'_>, Submit> = Executor::new();
     for (i, arrival) in trace.iter().enumerate() {
-        let w = lookup(arrival.name);
-        let mut fe = rt.connect();
-        fe.advance_clock(arrival.at_s).expect("advance clock");
-        let (args, bufs) = w.build_args(&mut fe, i as u64).expect("build");
-        fe.configure_call(w.blocks(), w.desc().threads_per_block)
-            .unwrap();
-        for a in &args {
-            fe.setup_argument(*a).unwrap();
-        }
-        fe.launch(arrival.name).expect("launch");
-        sessions.push((fe, bufs, w, i as u64));
+        exec.schedule_at(
+            arrival.at_s,
+            Submit {
+                name: arrival.name,
+                seq: i as u64,
+            },
+        );
     }
-    sessions[0].0.sync().expect("drain");
-    for (fe, bufs, w, seed) in &sessions {
-        let out = fe
-            .memcpy_d2h(bufs.output, 0, bufs.output_len)
-            .expect("readback");
-        assert_eq!(out, w.expected_output(*seed), "request {seed} corrupted");
+    let mut ctx = ReplayCtx {
+        rt: &rt,
+        workloads: &workloads,
+        sessions: Vec::new(),
+    };
+    exec.run_until_idle(&mut ctx);
+    let sessions = ctx.sessions;
+    sessions[0].fe.sync().expect("drain");
+    for s in &sessions {
+        let out =
+            s.fe.memcpy_d2h(s.bufs.output, 0, s.bufs.output_len)
+                .expect("readback");
+        assert_eq!(
+            out,
+            s.w.expected_output(s.seed),
+            "request {} corrupted",
+            s.seed
+        );
     }
     let report = rt.shutdown();
     let (mean_latency_s, p95_latency_s) = match report

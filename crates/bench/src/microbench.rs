@@ -191,8 +191,11 @@ pub fn run(quick: bool) -> Vec<CaseResult> {
     cases()
         .into_iter()
         .map(|case| {
+            // Quick mode still takes at least 5 timed runs: the
+            // baseline gate compares minima, and a min-of-2 is too
+            // noisy to gate CI on.
             let runs = if quick {
-                (case.runs / 5).max(2)
+                (case.runs / 5).max(5)
             } else {
                 case.runs
             };
@@ -237,6 +240,103 @@ pub fn render(results: &[CaseResult]) -> String {
     out
 }
 
+/// One grid of a current-vs-committed-baseline comparison.
+#[derive(Debug, Clone)]
+pub struct BaselineRow {
+    /// Case id.
+    pub name: String,
+    /// `optimized_min_ms` recorded in the committed baseline file.
+    pub baseline_min_ms: f64,
+    /// `optimized_min_ms` measured in this run.
+    pub current_min_ms: f64,
+}
+
+impl BaselineRow {
+    /// Current / baseline wall-time ratio (> 1 means slower than the
+    /// committed number).
+    pub fn ratio(&self) -> f64 {
+        self.current_min_ms / self.baseline_min_ms
+    }
+}
+
+/// Extract `(name, optimized_min_ms)` per case from a committed
+/// `BENCH_3.json`-shaped payload.
+pub fn parse_baseline(payload: &str) -> Result<Vec<(String, f64)>, String> {
+    let doc = ewc_telemetry::json::parse(payload).map_err(|e| format!("baseline json: {e}"))?;
+    let cases = doc
+        .get("cases")
+        .and_then(|c| c.as_array())
+        .ok_or("baseline json: missing \"cases\" array")?;
+    let mut out = Vec::with_capacity(cases.len());
+    for case in cases {
+        let name = case
+            .get("name")
+            .and_then(|n| n.as_str())
+            .ok_or("baseline json: case without a \"name\"")?;
+        let ms = case
+            .get("optimized_min_ms")
+            .and_then(|m| m.as_f64())
+            .ok_or_else(|| format!("baseline json: case {name:?} without \"optimized_min_ms\""))?;
+        if !ms.is_finite() || ms <= 0.0 {
+            return Err(format!(
+                "baseline json: case {name:?} has non-positive time"
+            ));
+        }
+        out.push((name.to_string(), ms));
+    }
+    if out.is_empty() {
+        return Err("baseline json: no cases".into());
+    }
+    Ok(out)
+}
+
+/// Join this run's results against a committed baseline. Every baseline
+/// grid must be present in `results` — a missing grid means the tracked
+/// set changed, which the perf gate should flag, not skip.
+pub fn compare_to_baseline(
+    results: &[CaseResult],
+    baseline: &[(String, f64)],
+) -> Result<Vec<BaselineRow>, String> {
+    baseline
+        .iter()
+        .map(|(name, ms)| {
+            let current = results
+                .iter()
+                .find(|r| r.name == name.as_str())
+                .ok_or_else(|| format!("baseline grid {name:?} missing from this run"))?;
+            Ok(BaselineRow {
+                name: name.clone(),
+                baseline_min_ms: *ms,
+                current_min_ms: current.optimized.min_ms,
+            })
+        })
+        .collect()
+}
+
+/// Render the per-grid ratio table. `threshold` is the regression gate
+/// as a fraction (0.15 = fail over 1.15x); rows past it are marked.
+pub fn render_baseline(rows: &[BaselineRow], threshold: f64) -> String {
+    let mut out = String::from(
+        "\nvs committed baseline (optimized min ms)\n\
+         case            baseline    current    ratio\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<15} {:>9.4}  {:>9.4}  {:>6.2}x{}\n",
+            r.name,
+            r.baseline_min_ms,
+            r.current_min_ms,
+            r.ratio(),
+            if r.ratio() > 1.0 + threshold {
+                "  REGRESSED"
+            } else {
+                ""
+            }
+        ));
+    }
+    out
+}
+
 /// Serialize the results as the `BENCH_3.json` payload. `baseline`
 /// optionally carries recorded wall times of the pre-cohort per-resident
 /// engine (name, min_ms) to keep the before/after trajectory in one file.
@@ -272,4 +372,75 @@ pub fn to_json(results: &[CaseResult], baseline: &[(&str, f64)]) -> String {
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_result(name: &'static str, optimized_min_ms: f64) -> CaseResult {
+        let t = Timing {
+            min_ms: optimized_min_ms,
+            mean_ms: optimized_min_ms,
+        };
+        CaseResult {
+            name,
+            blocks: 1,
+            segments: 1,
+            optimized: t,
+            reference: t,
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips_through_the_json_payload() {
+        let results = [
+            fake_result("storm64", 0.42),
+            fake_result("scenario1", 0.005),
+        ];
+        let json = to_json(&results, RECORDED_BASELINE);
+        let parsed = parse_baseline(&json).unwrap();
+        assert_eq!(
+            parsed,
+            vec![
+                ("storm64".to_string(), 0.42),
+                ("scenario1".to_string(), 0.005)
+            ]
+        );
+    }
+
+    #[test]
+    fn baseline_parser_rejects_malformed_payloads() {
+        assert!(parse_baseline("not json").is_err());
+        assert!(parse_baseline("{\"cases\": []}").is_err());
+        assert!(parse_baseline("{\"cases\": [{\"name\": \"x\"}]}").is_err());
+        assert!(
+            parse_baseline("{\"cases\": [{\"name\": \"x\", \"optimized_min_ms\": 0}]}").is_err()
+        );
+        assert!(parse_baseline("{\"bench\": \"engine_microbench\"}").is_err());
+    }
+
+    #[test]
+    fn comparison_flags_only_grids_past_the_threshold() {
+        let results = [fake_result("fast", 0.9), fake_result("slow", 1.3)];
+        let baseline = vec![("fast".to_string(), 1.0), ("slow".to_string(), 1.0)];
+        let rows = compare_to_baseline(&results, &baseline).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].ratio() < 1.15 && rows[1].ratio() > 1.15);
+        let table = render_baseline(&rows, 0.15);
+        assert!(!table
+            .lines()
+            .any(|l| l.contains("fast") && l.contains("REGRESSED")));
+        assert!(table
+            .lines()
+            .any(|l| l.contains("slow") && l.contains("REGRESSED")));
+    }
+
+    #[test]
+    fn comparison_requires_every_tracked_grid() {
+        let results = [fake_result("fast", 0.9)];
+        let baseline = vec![("gone".to_string(), 1.0)];
+        let err = compare_to_baseline(&results, &baseline).unwrap_err();
+        assert!(err.contains("gone"), "{err}");
+    }
 }

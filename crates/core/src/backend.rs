@@ -30,6 +30,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use ewc_cpu::CpuTask;
+use ewc_exec::VirtualClock;
 use ewc_gpu::grid::GridSegment;
 use ewc_gpu::kernel::{BlockCtx, LaunchConfig};
 use ewc_gpu::{GpuDevice, GpuError, Grid};
@@ -74,6 +75,10 @@ pub fn spawn(
         .map(|_| ConstantCache::new(cfg.constant_reuse))
         .collect();
     let breaker = CircuitBreaker::new(&cfg.resilience);
+    // Virtual span mode: the backend adopts the sink's executor clock
+    // as its host clock, so spans land on the exact timeline the caller
+    // is driving.
+    let clock = sink.virtual_clock().cloned().unwrap_or_default();
     let backend = Backend {
         cfg,
         gpus,
@@ -93,7 +98,7 @@ pub fn spawn(
         dead: HashSet::new(),
         next_device: 0,
         next_seq: 0,
-        host_clock: 0.0,
+        clock,
     };
     let join = std::thread::Builder::new()
         .name("ewc-backend".into())
@@ -146,16 +151,28 @@ struct Backend {
     dead: HashSet<u64>,
     next_device: usize,
     next_seq: u64,
-    /// Host-side clock: channel, staging and coordination costs.
-    host_clock: f64,
+    /// Host-side clock: channel, staging and coordination costs. A
+    /// shared [`VirtualClock`] handle, so the telemetry sink (virtual
+    /// span mode) and the circuit breaker observe the same timeline the
+    /// backend advances.
+    clock: VirtualClock,
 }
 
 impl Backend {
     fn run(mut self, rx: Receiver<Request>) {
+        // In virtual span mode batch boundaries must not depend on OS
+        // thread timing, so the flush conditions are re-checked after
+        // *every* message: batching then depends only on the (caller-
+        // driven, deterministic) channel order. The default mode keeps
+        // the burst boundary of a live daemon.
+        let per_message = self.sink.virtual_clock().is_some();
         'daemon: loop {
             let Ok(req) = rx.recv() else { break };
             if self.handle(req) {
                 break;
+            }
+            if per_message {
+                self.check_flush();
             }
             // Drain whatever is already queued before considering
             // consolidation, so a burst of requests from concurrent
@@ -165,20 +182,31 @@ impl Backend {
                 if self.handle(more) {
                     break 'daemon;
                 }
-            }
-            if self.pending.len() >= self.cfg.threshold() {
-                self.flush(false);
-            } else if !self.pending.is_empty() {
-                // Staleness bound: do not let requests queue forever when
-                // the threshold is never reached (trace-driven runs).
-                let oldest = self
-                    .pending
-                    .iter()
-                    .map(|r| r.submitted_at_s)
-                    .fold(f64::INFINITY, f64::min);
-                if self.host_clock - oldest > self.cfg.max_pending_wait_s {
-                    self.flush(true);
+                if per_message {
+                    self.check_flush();
                 }
+            }
+            if !per_message {
+                self.check_flush();
+            }
+        }
+    }
+
+    /// The batching conditions: flush on reaching the group-size
+    /// threshold, or when the oldest pending request has waited past
+    /// the staleness bound (trace-driven runs may never reach the
+    /// threshold).
+    fn check_flush(&mut self) {
+        if self.pending.len() >= self.cfg.threshold() {
+            self.flush(false);
+        } else if !self.pending.is_empty() {
+            let oldest = self
+                .pending
+                .iter()
+                .map(|r| r.submitted_at_s)
+                .fold(f64::INFINITY, f64::min);
+            if self.clock.now_s() - oldest > self.cfg.max_pending_wait_s {
+                self.flush(true);
             }
         }
     }
@@ -197,22 +225,23 @@ impl Backend {
     /// Bring device `d` up to the host clock (it cannot serve a new
     /// synchronous request in the past).
     fn catch_up(&mut self, d: usize) {
+        let host = self.clock.now_s();
         let now = self.gpus[d].now_s();
-        if now < self.host_clock {
-            self.gpus[d].idle(self.host_clock - now);
+        if now < host {
+            self.gpus[d].idle(host - now);
         }
     }
 
     /// After a *synchronous* device operation the host has waited for it.
     fn host_joins(&mut self, d: usize) {
-        self.host_clock = self.host_clock.max(self.gpus[d].now_s());
+        self.clock.advance_to(self.gpus[d].now_s());
     }
 
     /// Handle one request; returns true on shutdown.
     fn handle(&mut self, req: Request) -> bool {
         if let Request::AdvanceClock { to_s } = req {
             // Harness construct, not an API call: no channel cost.
-            self.host_clock = self.host_clock.max(to_s);
+            self.clock.advance_to(to_s);
             return false;
         }
         if let Request::Disconnect { ctx } = req {
@@ -223,7 +252,7 @@ impl Backend {
         }
         let kind = req.kind();
         let ctx = req.ctx();
-        let rpc_start_s = self.host_clock;
+        let rpc_start_s = self.clock.now_s();
         self.charge_channel();
         let shutdown = self.dispatch(req);
         // One span per intercepted API call: the frontend blocked on this
@@ -231,7 +260,7 @@ impl Backend {
         if self.sink.is_enabled() {
             let mut span = self
                 .sink
-                .span("host", "backend", kind, rpc_start_s, self.host_clock);
+                .span("host", "backend", kind, rpc_start_s, self.clock.now_s());
             if let Some(ctx) = ctx {
                 span = span.attr("ctx", ctx);
             }
@@ -326,8 +355,8 @@ impl Backend {
                                     "host",
                                     "backend",
                                     "constant_error",
-                                    self.host_clock,
-                                    self.host_clock,
+                                    self.clock.now_s(),
+                                    self.clock.now_s(),
                                 )
                                 .attr("error", e.to_string())
                                 .emit();
@@ -361,7 +390,11 @@ impl Backend {
                 }
                 let activities: Vec<Vec<ewc_gpu::counters::ActivityInterval>> =
                     self.gpus.iter().map(|g| g.activity().to_vec()).collect();
-                let _ = reply.send((std::mem::take(&mut self.stats), activities, self.host_clock));
+                let _ = reply.send((
+                    std::mem::take(&mut self.stats),
+                    activities,
+                    self.clock.now_s(),
+                ));
                 return true;
             }
         }
@@ -376,7 +409,7 @@ impl Backend {
         self.stats.messages += 1;
         self.stats.retransmits += retx;
         self.stats.channel_s += cost;
-        self.host_clock += cost;
+        self.clock.advance_by(cost);
         if retx > 0 && self.sink.is_enabled() {
             self.sink.counter_add("channel_retransmits", retx as f64);
         }
@@ -429,7 +462,7 @@ impl Backend {
                     .counter_add("requests_drained", drained.len() as f64);
             }
             self.sink.audit(DecisionRecord {
-                time_s: self.host_clock,
+                time_s: self.clock.now_s(),
                 kernels: drained.iter().map(|r| r.name.clone()).collect(),
                 verdict: Verdict::Drained,
                 consolidated: None,
@@ -447,16 +480,16 @@ impl Backend {
     /// bytes over staging bandwidth, plus one extra channel round trip
     /// per buffer-sized chunk beyond the first.
     fn charge_staging(&mut self, bytes: u64) {
-        let start_s = self.host_clock;
+        let start_s = self.clock.now_s();
         let copy_s = bytes as f64 / self.cfg.staging_bandwidth;
         let chunks = bytes.div_ceil(self.cfg.staging_buffer_bytes.max(1)).max(1);
         let extra = (chunks - 1) as f64 * self.cfg.channel_latency_s;
         self.stats.staged_bytes += bytes;
         self.stats.staging_s += copy_s + extra;
-        self.host_clock += copy_s + extra;
+        self.clock.advance_by(copy_s + extra);
         if self.sink.is_enabled() {
             self.sink
-                .span("host", "backend", "staging", start_s, self.host_clock)
+                .span("host", "backend", "staging", start_s, self.clock.now_s())
                 .attr("bytes", bytes)
                 .emit();
             self.sink.counter_add("staged_bytes", bytes as f64);
@@ -500,7 +533,7 @@ impl Backend {
         };
         let seq = self.next_seq;
         self.next_seq += 1;
-        let submitted_at_s = self.host_clock;
+        let submitted_at_s = self.clock.now_s();
         self.pending.push(KernelRequest {
             ctx,
             seq,
@@ -575,12 +608,12 @@ impl Backend {
 
     fn execute_group(&mut self, device: usize, template: &str, group: Vec<KernelRequest>) {
         // Coordination between the participating frontends (host side).
-        let coord_start_s = self.host_clock;
+        let coord_start_s = self.clock.now_s();
         let refs: Vec<&KernelRequest> = group.iter().collect();
         let coord = self.coordinator.plan(&refs);
         self.stats.messages += coord.messages;
         self.stats.coordination_s += coord.cost_s;
-        self.host_clock += coord.cost_s;
+        self.clock.advance_by(coord.cost_s);
 
         // Model the alternatives.
         let mut plan = ewc_models::ConsolidationPlan::new();
@@ -607,7 +640,7 @@ impl Backend {
         // with the GPU path tripped, every group runs on the CPU until
         // the cooldown expires and a probe group half-opens the breaker.
         let mut tripped = false;
-        if assessment.choice != Choice::Cpu && !self.breaker.gpu_allowed(self.host_clock) {
+        if assessment.choice != Choice::Cpu && !self.breaker.gpu_allowed(&self.clock) {
             tripped = true;
             assessment.choice = Choice::Cpu;
         }
@@ -618,7 +651,7 @@ impl Backend {
                     "backend",
                     "coordinate",
                     coord_start_s,
-                    self.host_clock,
+                    self.clock.now_s(),
                 )
                 .attr("template", template)
                 .attr("group_size", group.len())
@@ -815,7 +848,7 @@ impl Backend {
             if self.sink.is_enabled() {
                 self.sink.counter_add("gpu_faults", 1.0);
             }
-            if self.breaker.record_fault(self.gpus[device].now_s()) {
+            if self.breaker.record_fault(self.gpus[device].clock()) {
                 self.stats.breaker_trips += 1;
                 if self.sink.is_enabled() {
                     self.sink.counter_add("breaker_trips", 1.0);
@@ -833,7 +866,7 @@ impl Backend {
             if !err.is_transient() || attempts >= pol.max_gpu_retries {
                 return Err(err);
             }
-            if self.breaker.is_open(self.gpus[device].now_s()) {
+            if self.breaker.is_open(self.gpus[device].clock()) {
                 // The breaker just closed the GPU path: stop burning
                 // retries on a device declared sick.
                 return Err(err);
@@ -886,7 +919,7 @@ impl Backend {
         }
         // CPU work occupies the host timeline; the device just waits for
         // the results to land.
-        self.host_clock += makespan;
+        self.clock.advance_by(makespan.max(0.0));
         self.gpus[device].idle(makespan.max(0.0));
         self.stats.cpu_executions += group.len() as u64;
         self.stats.cpu_time_s += makespan;
@@ -907,7 +940,7 @@ impl Backend {
         if self.sink.is_enabled() {
             self.sink.counter_add("requests_failed", 1.0);
             self.sink.audit(DecisionRecord {
-                time_s: self.host_clock,
+                time_s: self.clock.now_s(),
                 kernels: vec![req.name.clone()],
                 verdict: Verdict::Failed,
                 consolidated: None,
@@ -928,7 +961,7 @@ impl Backend {
         }
         self.sink.counter_add("recoveries", 1.0);
         self.sink.audit(DecisionRecord {
-            time_s: self.host_clock,
+            time_s: self.clock.now_s(),
             kernels: members.iter().map(|r| r.name.clone()).collect(),
             verdict,
             consolidated: None,
@@ -959,7 +992,7 @@ impl Backend {
             }
         );
         self.sink.audit(DecisionRecord {
-            time_s: self.host_clock,
+            time_s: self.clock.now_s(),
             kernels: group.iter().map(|r| r.name.clone()).collect(),
             verdict: verdict_of(assessment.choice),
             consolidated: Some((

@@ -11,7 +11,8 @@
 //!   (the paper assumes CPU performance and energy profiles are known;
 //!   ours come from the per-workload [`ewc_cpu::CpuTask`] profiles).
 
-use ewc_cpu::{CpuEngine, CpuPowerModel, CpuTask};
+use ewc_cpu::{CpuEngine, CpuOutcome, CpuPowerModel, CpuTask};
+use ewc_exec::TaskPool;
 use ewc_models::{ConsolidationPlan, EnergyModel, Prediction};
 
 /// The chosen execution alternative.
@@ -69,14 +70,6 @@ pub struct DecisionEngine {
     parallelism: usize,
 }
 
-/// Worker threads to use when the caller does not say: one per
-/// available core, or serial if the platform will not tell us.
-fn default_parallelism() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
-
 impl DecisionEngine {
     /// Compose from the GPU energy model and CPU simulator + power model.
     /// Consolidation must beat the alternatives by the default margin of
@@ -89,7 +82,9 @@ impl DecisionEngine {
             cpu,
             cpu_power,
             margin: 0.02,
-            parallelism: default_parallelism(),
+            // `0` asks the shared [`TaskPool`] for its default width
+            // (one worker per available core).
+            parallelism: 0,
         }
     }
 
@@ -119,31 +114,30 @@ impl DecisionEngine {
     /// layout order), `cpu_tasks` the same instances as CPU jobs.
     pub fn assess(&self, plan: &ConsolidationPlan, cpu_tasks: &[CpuTask]) -> Assessment {
         // The three alternatives are independent pure predictions, so
-        // they fan out across scoped threads (two spawned, the CPU
-        // simulation on the caller's thread) and merge positionally —
-        // the same bits come back at any parallelism setting.
-        let (consolidated, serial, (cpu_out, cpu_energy)) = if self.parallelism > 1 {
-            std::thread::scope(|s| {
-                let h_cons = s.spawn(|| self.energy.predict(plan));
-                let h_serial = s.spawn(|| self.energy.predict_serial(plan));
-                let cpu_out = self.cpu.run(cpu_tasks);
-                let cpu_energy = self.cpu_power.energy_j(&cpu_out);
-                (
-                    h_cons
-                        .join()
-                        .unwrap_or_else(|p| std::panic::resume_unwind(p)),
-                    h_serial
-                        .join()
-                        .unwrap_or_else(|p| std::panic::resume_unwind(p)),
-                    (cpu_out, cpu_energy),
-                )
-            })
-        } else {
-            let consolidated = self.energy.predict(plan);
-            let serial = self.energy.predict_serial(plan);
-            let cpu_out = self.cpu.run(cpu_tasks);
-            let cpu_energy = self.cpu_power.energy_j(&cpu_out);
-            (consolidated, serial, (cpu_out, cpu_energy))
+        // they fan out on the shared [`TaskPool`] and merge positionally
+        // — the same bits come back at any parallelism setting, and the
+        // pool's permit budget keeps a parallel caller (a soak matrix
+        // assessing many groups at once) from oversubscribing cores.
+        enum Part {
+            Gpu(Prediction),
+            Cpu(CpuOutcome, f64),
+        }
+        let mut parts = TaskPool::global().run(3, self.parallelism, |i| match i {
+            0 => Part::Gpu(self.energy.predict(plan)),
+            1 => Part::Gpu(self.energy.predict_serial(plan)),
+            _ => {
+                let out = self.cpu.run(cpu_tasks);
+                let energy = self.cpu_power.energy_j(&out);
+                Part::Cpu(out, energy)
+            }
+        });
+        let (
+            Some(Part::Cpu(cpu_out, cpu_energy)),
+            Some(Part::Gpu(serial)),
+            Some(Part::Gpu(consolidated)),
+        ) = (parts.pop(), parts.pop(), parts.pop())
+        else {
+            unreachable!("pool returns the three parts positionally");
         };
 
         let candidates = [

@@ -17,6 +17,12 @@
 //! A [`CircuitBreaker`] watches consecutive transient faults; when the
 //! device looks sick it trips the GPU path to CPU-only for a cooldown,
 //! then half-opens to probe with one group.
+//!
+//! Time enters through [`ewc_exec::VirtualClock`] handles rather than
+//! hand-threaded `now_s` floats: the backend passes its host clock (or
+//! a device's clock) and the breaker reads the instant itself.
+
+use ewc_exec::VirtualClock;
 
 /// Knobs for the backend's recovery behaviour.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,14 +90,14 @@ impl CircuitBreaker {
         }
     }
 
-    /// May the GPU path be used at simulated time `now_s`? Passing the
+    /// May the GPU path be used at `at`'s current instant? Passing the
     /// cooldown boundary moves an open breaker to half-open (the caller's
     /// next launch is the probe).
-    pub fn gpu_allowed(&mut self, now_s: f64) -> bool {
+    pub fn gpu_allowed(&mut self, at: &VirtualClock) -> bool {
         if self.threshold == 0 {
             return true;
         }
-        if now_s < self.open_until_s {
+        if at.now_s() < self.open_until_s {
             return false;
         }
         if self.open_until_s > f64::NEG_INFINITY && !self.half_open {
@@ -101,9 +107,9 @@ impl CircuitBreaker {
         true
     }
 
-    /// Record one transient GPU fault at simulated time `now_s`.
+    /// Record one transient GPU fault at `at`'s current instant.
     /// Returns `true` when this fault trips (or re-trips) the breaker.
-    pub fn record_fault(&mut self, now_s: f64) -> bool {
+    pub fn record_fault(&mut self, at: &VirtualClock) -> bool {
         if self.threshold == 0 {
             return false;
         }
@@ -113,7 +119,7 @@ impl CircuitBreaker {
             // breaker trips once the consecutive run reaches threshold.
             self.half_open = false;
             self.consecutive = 0;
-            self.open_until_s = now_s + self.cooldown_s;
+            self.open_until_s = at.now_s() + self.cooldown_s;
             self.trips += 1;
             return true;
         }
@@ -133,11 +139,11 @@ impl CircuitBreaker {
         self.trips
     }
 
-    /// Whether the breaker currently blocks the GPU path at `now_s`
-    /// (without side effects — use [`CircuitBreaker::gpu_allowed`] on the
-    /// decision path).
-    pub fn is_open(&self, now_s: f64) -> bool {
-        self.threshold != 0 && now_s < self.open_until_s
+    /// Whether the breaker currently blocks the GPU path at `at`'s
+    /// instant (without side effects — use
+    /// [`CircuitBreaker::gpu_allowed`] on the decision path).
+    pub fn is_open(&self, at: &VirtualClock) -> bool {
+        self.threshold != 0 && at.now_s() < self.open_until_s
     }
 }
 
@@ -167,56 +173,76 @@ mod tests {
 
     #[test]
     fn breaker_trips_after_threshold_consecutive_faults() {
+        let clk = VirtualClock::new();
         let mut b = CircuitBreaker::new(&policy(3, 5.0));
-        assert!(!b.record_fault(0.0));
-        assert!(!b.record_fault(1.0));
-        assert!(b.record_fault(2.0), "third consecutive fault trips");
-        assert!(!b.gpu_allowed(3.0));
-        assert!(!b.gpu_allowed(6.9));
+        assert!(!b.record_fault(&clk));
+        clk.advance_to(1.0);
+        assert!(!b.record_fault(&clk));
+        clk.advance_to(2.0);
+        assert!(b.record_fault(&clk), "third consecutive fault trips");
+        clk.advance_to(3.0);
+        assert!(!b.gpu_allowed(&clk));
+        clk.advance_to(6.9);
+        assert!(!b.gpu_allowed(&clk));
         assert_eq!(b.trips(), 1);
     }
 
     #[test]
     fn success_resets_the_consecutive_run() {
+        let clk = VirtualClock::new();
         let mut b = CircuitBreaker::new(&policy(2, 5.0));
-        assert!(!b.record_fault(0.0));
+        assert!(!b.record_fault(&clk));
         b.record_success();
-        assert!(!b.record_fault(1.0), "run restarted after success");
-        assert!(b.record_fault(2.0));
+        clk.advance_to(1.0);
+        assert!(!b.record_fault(&clk), "run restarted after success");
+        clk.advance_to(2.0);
+        assert!(b.record_fault(&clk));
     }
 
     #[test]
     fn half_open_probe_failure_retrips_immediately() {
+        let clk = VirtualClock::new();
         let mut b = CircuitBreaker::new(&policy(2, 5.0));
-        b.record_fault(0.0);
-        assert!(b.record_fault(0.5));
+        b.record_fault(&clk);
+        clk.advance_to(0.5);
+        assert!(b.record_fault(&clk));
         // Cooldown passes → half-open, one probe allowed.
-        assert!(b.gpu_allowed(6.0));
+        clk.advance_to(6.0);
+        assert!(b.gpu_allowed(&clk));
         // The probe faults: re-trip without needing a fresh run.
-        assert!(b.record_fault(6.1));
-        assert!(!b.gpu_allowed(7.0));
+        clk.advance_to(6.1);
+        assert!(b.record_fault(&clk));
+        clk.advance_to(7.0);
+        assert!(!b.gpu_allowed(&clk));
         assert_eq!(b.trips(), 2);
     }
 
     #[test]
     fn half_open_probe_success_closes() {
+        let clk = VirtualClock::new();
         let mut b = CircuitBreaker::new(&policy(2, 5.0));
-        b.record_fault(0.0);
-        b.record_fault(0.5);
-        assert!(b.gpu_allowed(6.0));
+        b.record_fault(&clk);
+        clk.advance_to(0.5);
+        b.record_fault(&clk);
+        clk.advance_to(6.0);
+        assert!(b.gpu_allowed(&clk));
         b.record_success();
-        assert!(b.gpu_allowed(6.1));
-        assert!(!b.is_open(100.0));
+        clk.advance_to(6.1);
+        assert!(b.gpu_allowed(&clk));
+        clk.advance_to(100.0);
+        assert!(!b.is_open(&clk));
         assert_eq!(b.trips(), 1);
     }
 
     #[test]
     fn zero_threshold_disables_the_breaker() {
+        let clk = VirtualClock::new();
         let mut b = CircuitBreaker::new(&policy(0, 5.0));
         for i in 0..100 {
-            assert!(!b.record_fault(i as f64));
+            clk.advance_to(i as f64);
+            assert!(!b.record_fault(&clk));
         }
-        assert!(b.gpu_allowed(0.0));
+        assert!(b.gpu_allowed(&clk));
         assert_eq!(b.trips(), 0);
     }
 

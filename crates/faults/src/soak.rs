@@ -11,6 +11,7 @@
 //! surfaced at `sync`) or *dropped* (its process died first).
 
 use ewc_core::{CoreError, Frontend, ResiliencePolicy, Runtime, RuntimeConfig, Template};
+use ewc_exec::TaskPool;
 use ewc_gpu::{DevicePtr, GpuConfig, GpuError};
 use ewc_telemetry::{DecisionRecord, TelemetrySink};
 use ewc_workloads::{AesWorkload, Workload};
@@ -188,14 +189,6 @@ fn with_retries<T>(
     }
 }
 
-/// Worker threads to use when the caller does not say: one per
-/// available core, or serial if the platform will not tell us.
-fn default_parallelism() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
-
 /// The preset fault matrix: every seed crossed with the light and storm
 /// fault profiles, in `(seed, profile)` order. Feed it to
 /// [`run_matrix`].
@@ -218,39 +211,13 @@ pub fn matrix(seeds: &[u64]) -> Vec<SoakConfig> {
 
 /// Run a batch of soak configurations across `parallelism` worker
 /// threads (`1` = fully serial, `0` = one per available core). Each
-/// soak builds its own runtime, so runs are independent; reports come
-/// back in `cfgs` order no matter which worker ran which config.
+/// soak builds its own runtime, so runs are independent; the shared
+/// [`TaskPool`] merges reports positionally, so they come back in
+/// `cfgs` order no matter which worker ran which config — and its
+/// permit budget keeps this fan-out composed with the decision
+/// engine's own `assess` fan-out from oversubscribing cores.
 pub fn run_matrix(cfgs: &[SoakConfig], parallelism: usize) -> Vec<SoakReport> {
-    let parallelism = match parallelism {
-        0 => default_parallelism(),
-        n => n,
-    };
-    if parallelism == 1 || cfgs.len() <= 1 {
-        return cfgs.iter().map(run).collect();
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut indexed: Vec<(usize, SoakReport)> = std::thread::scope(|s| {
-        let workers: Vec<_> = (0..parallelism.min(cfgs.len()))
-            .map(|_| {
-                s.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= cfgs.len() {
-                            return out;
-                        }
-                        out.push((i, run(&cfgs[i])));
-                    }
-                })
-            })
-            .collect();
-        workers
-            .into_iter()
-            .flat_map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
-            .collect()
-    });
-    indexed.sort_by_key(|(i, _)| *i);
-    indexed.into_iter().map(|(_, r)| r).collect()
+    TaskPool::global().run(cfgs.len(), parallelism, |i| run(&cfgs[i]))
 }
 
 /// Run the soak: returns a fully-accounted report. Panics never — every

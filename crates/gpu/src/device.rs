@@ -17,6 +17,7 @@ use crate::error::GpuError;
 use crate::fault::{DeviceFault, FaultInjectorHandle};
 use crate::kernel::{BlockCtx, LaunchConfig};
 use crate::memory::GlobalMemory;
+use ewc_exec::VirtualClock;
 
 use crate::transfer::{Direction, DmaEngine, DmaStats};
 
@@ -38,7 +39,11 @@ pub struct GpuDevice {
     mem: GlobalMemory,
     engine: ExecutionEngine,
     dma: DmaEngine,
-    clock_s: f64,
+    /// The device timeline: a shared simulated clock. The backend holds
+    /// clones of this handle, so resilience bookkeeping (circuit
+    /// breaker, retry deadlines) reads device time without hand-threaded
+    /// timestamp parameters.
+    clock: VirtualClock,
     launches: u64,
     /// Activity profile of the whole device lifetime, for power replay:
     /// launches contribute their intervals offset by their start time.
@@ -67,7 +72,7 @@ impl GpuDevice {
             engine: ExecutionEngine::new(cfg.clone()),
             dma: DmaEngine::new(cfg.pcie_bandwidth, cfg.pcie_latency_s),
             cfg,
-            clock_s: 0.0,
+            clock: VirtualClock::new(),
             launches: 0,
             activity: Vec::new(),
             sink: ewc_telemetry::TelemetrySink::disabled(),
@@ -104,14 +109,20 @@ impl GpuDevice {
 
     /// Current device time in seconds.
     pub fn now_s(&self) -> f64 {
-        self.clock_s
+        self.clock.now_s()
+    }
+
+    /// A shared handle on the device clock: clones observe every advance
+    /// this device makes.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
     }
 
     /// Advance the device clock by `dt` without doing work (e.g. host-side
     /// think time between calls).
     pub fn idle(&mut self, dt: f64) {
         assert!(dt >= 0.0, "cannot idle for negative time");
-        self.clock_s += dt;
+        self.clock.advance_by(dt);
     }
 
     /// Number of launches executed.
@@ -183,13 +194,13 @@ impl GpuDevice {
         data: &[u8],
     ) -> Result<f64, GpuError> {
         if let Some(fault) = self.transfer_fault(data.len() as u64, Direction::HostToDevice)? {
-            self.clock_s += fault;
+            self.clock.advance_by(fault);
         }
         self.mem.write(dst, offset, data)?;
         let t = self
             .dma
             .transfer(data.len() as u64, Direction::HostToDevice);
-        self.clock_s += t;
+        self.clock.advance_by(t);
         Ok(t)
     }
 
@@ -206,7 +217,7 @@ impl GpuDevice {
             Some(DeviceFault::TransferFail) => {
                 self.note_fault("transfer");
                 let t = self.dma.transfer(bytes, dir);
-                self.clock_s += t;
+                self.clock.advance_by(t);
                 Err(GpuError::TransferFault)
             }
             Some(DeviceFault::TransferStall { extra_s }) => {
@@ -226,11 +237,11 @@ impl GpuDevice {
         len: u64,
     ) -> Result<(Vec<u8>, f64), GpuError> {
         if let Some(fault) = self.transfer_fault(len, Direction::DeviceToHost)? {
-            self.clock_s += fault;
+            self.clock.advance_by(fault);
         }
         let bytes = self.mem.read(src, offset, len)?.to_vec();
         let t = self.dma.transfer(len, Direction::DeviceToHost);
-        self.clock_s += t;
+        self.clock.advance_by(t);
         Ok((bytes, t))
     }
 
@@ -247,7 +258,7 @@ impl GpuDevice {
                     // burned on the device clock, then the launch is killed.
                     // No functional bodies run, no activity is recorded.
                     self.note_fault("launch");
-                    self.clock_s += watchdog_s;
+                    self.clock.advance_by(watchdog_s);
                     return Err(GpuError::LaunchTimeout);
                 }
                 Some(DeviceFault::DegradedSms { slowdown: s }) => {
@@ -274,7 +285,7 @@ impl GpuDevice {
             }
         }
 
-        let started_at_s = self.clock_s;
+        let started_at_s = self.clock.now_s();
         // Degraded SMs stretch wall time by `slowdown`; the activity
         // intervals stay at their healthy shape (the work done is the
         // same, it just takes longer), so power replay sees the extra
@@ -287,7 +298,7 @@ impl GpuDevice {
                 ..*iv
             });
         }
-        self.clock_s += elapsed;
+        self.clock.advance_by(elapsed);
         self.launches += 1;
         if self.sink.is_enabled() {
             self.emit_launch_spans(&launch.grid, started_at_s, elapsed, &sim);
@@ -344,7 +355,7 @@ impl std::fmt::Debug for GpuDevice {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("GpuDevice")
             .field("sms", &self.cfg.num_sms)
-            .field("clock_s", &self.clock_s)
+            .field("clock_s", &self.clock.now_s())
             .field("launches", &self.launches)
             .field("mem_used", &self.mem.used_bytes())
             .finish()

@@ -64,6 +64,17 @@
 //! O(events × (SMs + changed cohorts)), independent of the simulated
 //! wall time, which keeps the harnesses fast even for multi-minute
 //! simulated workloads.
+//!
+//! Time itself lives in the shared execution substrate: the loop drives
+//! an [`ewc_exec::VirtualClock`] and schedules each completion through
+//! an [`ewc_exec::EventQueue`], whose monotonic sequence doubles as the
+//! admission-round counter (cohorts merge only within one round). The
+//! clock advances by `dt = f_min − now` — the exact float sum the old
+//! `now += dt` field produced — so the substrate adds no arithmetic of
+//! its own and the differential contract with `run_reference` is
+//! untouched.
+
+use ewc_exec::{EventQueue, VirtualClock};
 
 use crate::config::GpuConfig;
 use crate::counters::{ActivityInterval, DeviceCounters, EventRates};
@@ -292,8 +303,8 @@ impl ExecutionEngine {
                 n_sms
             ],
             live_blocks: 0,
-            event: 0,
-            now: 0.0,
+            events: EventQueue::new(),
+            clock: VirtualClock::new(),
             prev_bw_scale: 1.0,
             trace: {
                 let mut t = ExecutionTrace::default();
@@ -306,14 +317,15 @@ impl ExecutionEngine {
             reference,
         };
 
-        // Initial admission.
+        // Initial admission, at the clock's origin.
+        let start_s = sim.clock.now_s();
         match policy {
             DispatchPolicy::PaperRedistribution | DispatchPolicy::GreedyGlobal => {
-                sim.admit_waves();
+                sim.admit_waves(start_s);
             }
             DispatchPolicy::StaticRoundRobin => {
                 for sm in 0..n_sms {
-                    sim.admit_committed(sm);
+                    sim.admit_committed(sm, start_s);
                 }
             }
         }
@@ -321,9 +333,10 @@ impl ExecutionEngine {
         sim.run_loop(policy)?;
 
         debug_assert_eq!(sim.dispatcher.pending(), 0, "blocks left undispatched");
-        sim.counters.elapsed_s = sim.now;
+        let elapsed_s = sim.clock.now_s();
+        sim.counters.elapsed_s = elapsed_s;
         Ok(SimOutcome {
-            elapsed_s: sim.now,
+            elapsed_s,
             trace: sim.trace,
             counters: sim.counters,
             intervals: sim.intervals,
@@ -357,9 +370,13 @@ struct Sim<'a> {
     /// event touches only changed SMs plus O(num_sms) fold work.
     sm_state: Vec<SmState>,
     live_blocks: u64,
-    /// Admission round counter; cohorts merge only within one round.
-    event: u64,
-    now: f64,
+    /// The completion-event queue: one event per loop iteration (the
+    /// earliest predicted finish, recomputed each round because rates
+    /// move). Its monotonic sequence number is the admission-round
+    /// counter — cohorts merge only within one round.
+    events: EventQueue<()>,
+    /// Simulated time, advanced only by popped completion events.
+    clock: VirtualClock,
     prev_bw_scale: f64,
     trace: ExecutionTrace,
     counters: DeviceCounters,
@@ -372,7 +389,11 @@ struct Sim<'a> {
 impl Sim<'_> {
     /// Admit one block to `sm`, merging it into the SM's most recent
     /// cohort when it is the same segment admitted in the same round.
-    fn admit(&mut self, sm: usize, coord: BlockCoord) {
+    ///
+    /// `now_s` is the caller's copy of the clock: the loop is the only
+    /// writer, so handing the value down keeps the hot path free of
+    /// repeated clock reads.
+    fn admit(&mut self, sm: usize, coord: BlockCoord, now_s: f64) {
         let segment = coord.segment;
         self.sms[sm].admit_unchecked(&self.grid.segments()[segment].desc);
         self.live_blocks += 1;
@@ -382,10 +403,11 @@ impl Sim<'_> {
             coord,
             next: NO_MEMBER,
         });
+        let round = self.events.scheduled();
         let tail = self.sm_state[sm].tail;
         if tail != NO_COHORT {
             let last = &mut self.cohorts[tail as usize];
-            if last.segment == segment && last.admit_event == self.event {
+            if last.segment == segment && last.admit_event == round {
                 last.n += 1;
                 let prev_member = last.tail;
                 last.tail = node;
@@ -399,10 +421,10 @@ impl Sim<'_> {
             head: node,
             tail: node,
             next: NO_COHORT,
-            start_s: self.now,
-            admit_event: self.event,
+            start_s: now_s,
+            admit_event: round,
             rate: 0.0,
-            anchor_s: self.now,
+            anchor_s: now_s,
             remaining: self.costs[segment].t_solo_s,
             finish_s: f64::INFINITY,
         };
@@ -426,20 +448,20 @@ impl Sim<'_> {
 
     /// Admit as many blocks committed to `sm` as fit, in FIFO order.
     /// (For the greedy policy the "committed queue" is the global pool.)
-    fn admit_committed(&mut self, sm: usize) {
+    fn admit_committed(&mut self, sm: usize, now_s: f64) {
         while let Some(&coord) = self.dispatcher.peek(sm) {
             if !self.sms[sm].fits(&self.grid.segments()[coord.segment].desc) {
                 break;
             }
             let coord = self.dispatcher.pop(sm).expect("peeked block vanished");
-            self.admit(sm, coord);
+            self.admit(sm, coord, now_s);
         }
     }
 
     /// Admit pooled blocks in round-robin waves: each pass over the SMs
     /// admits at most one block per SM, in block order; passes repeat
     /// until a full pass admits nothing.
-    fn admit_waves(&mut self) {
+    fn admit_waves(&mut self, now_s: f64) {
         loop {
             let mut progress = false;
             for sm in 0..self.sms.len() {
@@ -448,7 +470,7 @@ impl Sim<'_> {
                 };
                 if self.sms[sm].fits(&self.grid.segments()[coord.segment].desc) {
                     let coord = self.dispatcher.pop_pool().expect("peeked block vanished");
-                    self.admit(sm, coord);
+                    self.admit(sm, coord, now_s);
                     progress = true;
                 }
             }
@@ -462,7 +484,7 @@ impl Sim<'_> {
     /// bandwidth scale, re-rate the update set (re-anchoring cohorts
     /// whose rate moved bitwise), and return the device-wide event rates
     /// for the coming interval.
-    fn rate_pass(&mut self) -> EventRates {
+    fn rate_pass(&mut self, now: f64) -> EventRates {
         let seg_rates = self.seg_rates;
         // Per-SM issue-demand sums and bandwidth demand at issue-limited
         // speed, for SMs whose membership changed.
@@ -533,12 +555,12 @@ impl Sim<'_> {
                 if rate.to_bits() != c.rate.to_bits() {
                     // Re-anchor: bank progress at the old rate, then
                     // predict the finish under the new one.
-                    let span = self.now - c.anchor_s;
+                    let span = now - c.anchor_s;
                     c.remaining = (c.remaining - c.rate * span).max(0.0);
-                    c.anchor_s = self.now;
+                    c.anchor_s = now;
                     c.rate = rate;
                     c.finish_s = if rate > 0.0 {
-                        self.now + c.remaining / rate
+                        now + c.remaining / rate
                     } else {
                         f64::INFINITY
                     };
@@ -617,7 +639,7 @@ impl Sim<'_> {
     /// retires the same set as the reference full walk; retirement
     /// mutates nothing the predicate reads, so walking and unlinking in
     /// one pass selects the same set as a collect-then-retire split.
-    fn retire(&mut self, f_min: f64) {
+    fn retire(&mut self, f_min: f64, now_s: f64) {
         let thresh = f_min * (1.0 + DONE_EPS);
         for sm in 0..self.sm_state.len() {
             if !self.reference && self.sm_state[sm].min_finish > thresh {
@@ -636,7 +658,7 @@ impl Sim<'_> {
                     if self.sm_state[sm].tail == ci {
                         self.sm_state[sm].tail = prev;
                     }
-                    self.retire_one(sm, ci);
+                    self.retire_one(sm, ci, now_s);
                     self.free.push(ci);
                     self.sm_state[sm].dirty = true;
                 } else {
@@ -650,14 +672,14 @@ impl Sim<'_> {
     /// Fold one finished cohort's counters over its whole residency,
     /// emit its trace events and release its occupancy. The caller has
     /// already unlinked the cohort from its SM's chain.
-    fn retire_one(&mut self, sm: usize, ci: u32) {
+    fn retire_one(&mut self, sm: usize, ci: u32, now: f64) {
         let c = &self.cohorts[ci as usize];
         let cost = &self.costs[c.segment];
-        let consumed = cost.t_solo_s - (c.remaining - c.rate * (self.now - c.anchor_s));
+        let consumed = cost.t_solo_s - (c.remaining - c.rate * (now - c.anchor_s));
         let frac = (consumed / cost.t_solo_s).min(1.0);
         let nf = f64::from(c.n);
         let smc = &mut self.counters.per_sm[sm];
-        smc.busy_s += nf * (self.now - c.start_s);
+        smc.busy_s += nf * (now - c.start_s);
         smc.issue_cycles += nf * (cost.issue_cycles * frac);
         smc.comp_ops += nf * (cost.comp_ops * frac);
         smc.mem_requests += nf * (cost.mem_requests * frac);
@@ -674,7 +696,7 @@ impl Sim<'_> {
                 coord: m.coord,
                 sm: sm as u32,
                 start_s: c.start_s,
-                end_s: self.now,
+                end_s: now,
             });
             node = m.next;
         }
@@ -690,29 +712,38 @@ impl Sim<'_> {
         // retirements. The greedy policy shares one pool whose head
         // changes whenever *any* SM admits, so it keeps the full scan.
         let scan_all_refill = self.reference || policy == DispatchPolicy::GreedyGlobal;
+        // The loop is the clock's single writer: `now` mirrors it in a
+        // register, and every helper takes the value down by argument
+        // rather than re-reading the shared handle.
+        let mut now = self.clock.now_s();
         while self.live_blocks > 0 {
-            let snap = self.rate_pass();
+            let snap = self.rate_pass(now);
             let f_min = self.next_finish();
             if !f_min.is_finite() {
                 return Err(GpuError::Unschedulable(
                     "no resident block can make progress".into(),
                 ));
             }
-            let dt = f_min - self.now;
+            let dt = f_min - now;
             // Coalesce: extend the previous interval when the rates are
             // unchanged, otherwise start a new one.
             match self.intervals.last_mut() {
                 Some(last) if last.rates == snap => last.dur_s += dt,
                 _ => self.intervals.push(ActivityInterval {
-                    start_s: self.now,
+                    start_s: now,
                     dur_s: dt,
                     rates: snap,
                 }),
             }
-            self.now += dt;
+            // Next completion through the event queue: scheduling bumps
+            // the admission round (the queue's sequence number), and the
+            // clock steps by `dt` — the same float sum as `now += dt`,
+            // which is not always bitwise `f_min`.
+            self.events.schedule(f_min, ());
+            let ev = self.events.pop().expect("completion event just scheduled");
+            now = self.clock.advance_by(dt);
 
-            self.retire(f_min);
-            self.event += 1;
+            self.retire(ev.time_s, now);
 
             // Refill from committed queues (and, for greedy, the pool):
             // skippable outright when no block is committed anywhere.
@@ -722,7 +753,7 @@ impl Sim<'_> {
             {
                 for sm in 0..self.sms.len() {
                     if scan_all_refill || self.sm_state[sm].dirty {
-                        self.admit_committed(sm);
+                        self.admit_committed(sm, now);
                     }
                 }
             }
@@ -745,7 +776,7 @@ impl Sim<'_> {
                 if self.dispatcher.redistribute(&self.idle_buf) > 0 {
                     let idle = std::mem::take(&mut self.idle_buf);
                     for &sm in &idle {
-                        self.admit_committed(sm);
+                        self.admit_committed(sm, now);
                     }
                     self.idle_buf = idle;
                 }

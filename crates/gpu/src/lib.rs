@@ -45,6 +45,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The simulator runs inside a daemon that must not die on a fault:
+// recoverable failures are typed `GpuError`s, invariants use `expect`
+// with a reason (same no-panic gate as ewc-core; enforced in CI).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod config;
 pub mod counters;

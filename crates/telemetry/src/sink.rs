@@ -10,6 +10,8 @@
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
+use ewc_exec::VirtualClock;
+
 use crate::audit::DecisionRecord;
 use crate::metrics::MetricsRegistry;
 use crate::span::{SpanBuilder, SpanRecord};
@@ -27,19 +29,47 @@ struct Collector {
 #[derive(Debug, Clone, Default)]
 pub struct TelemetrySink {
     inner: Option<Arc<Mutex<Collector>>>,
+    /// Present in virtual-time span mode: the executor clock the
+    /// recording components align their timelines to.
+    clock: Option<VirtualClock>,
 }
 
 impl TelemetrySink {
     /// A sink that records nothing.  Equivalent to `TelemetrySink::default()`.
     pub fn disabled() -> Self {
-        Self { inner: None }
+        Self {
+            inner: None,
+            clock: None,
+        }
     }
 
     /// A sink that collects everything recorded through any clone.
     pub fn enabled() -> Self {
         Self {
             inner: Some(Arc::new(Mutex::new(Collector::default()))),
+            clock: None,
         }
+    }
+
+    /// A sink in **virtual-time span mode**: collects everything, and
+    /// carries the executor clock recording components should drive
+    /// their timelines from. The backend daemon adopts this clock as
+    /// its host clock and switches to per-message batch boundaries
+    /// (instead of OS-timing-dependent burst boundaries), which makes
+    /// two identical runs produce byte-identical Chrome-trace exports.
+    /// The default [`TelemetrySink::enabled`] mode keeps the burst
+    /// behaviour of a live daemon.
+    pub fn enabled_virtual(clock: VirtualClock) -> Self {
+        Self {
+            inner: Some(Arc::new(Mutex::new(Collector::default()))),
+            clock: Some(clock),
+        }
+    }
+
+    /// The executor clock, in virtual-time span mode; `None` in the
+    /// default mode.
+    pub fn virtual_clock(&self) -> Option<&VirtualClock> {
+        self.clock.as_ref()
     }
 
     /// Whether this sink records anything.  Instrumented code may use this

@@ -349,3 +349,34 @@ fn chrome_trace_render_is_byte_deterministic() {
     assert_eq!(chrome::render(&a), chrome::render(&a));
     assert_eq!(jsonl::render(&a), jsonl::render(&a));
 }
+
+#[test]
+fn virtual_time_trace_exports_are_byte_identical_across_runs() {
+    // Virtual span mode: the backend adopts the sink's executor clock
+    // and batches per message, so *two separate runs* — not just two
+    // renders of one snapshot — must export the same bytes. This is the
+    // reproducibility contract of `TelemetrySink::enabled_virtual`; the
+    // default wall-clock mode keeps the burst batching of a live daemon
+    // (pinned by `chrome_trace_render_is_byte_deterministic` above).
+    use ewc_bench::experiments::trace;
+    use ewc_exec::VirtualClock;
+
+    let arrivals = trace::generate(&trace::TraceSpec {
+        requests: 10,
+        mean_interarrival_s: 1.0,
+        seed: 5,
+    });
+    let run = || {
+        let sink = TelemetrySink::enabled_virtual(VirtualClock::new());
+        let (_row, snap) = trace::replay_with(&arrivals, 4, 60.0, sink);
+        snap.expect("virtual sink must snapshot")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(
+        chrome::render(&a),
+        chrome::render(&b),
+        "virtual-time Chrome traces must be byte-identical across runs"
+    );
+    assert_eq!(jsonl::render(&a), jsonl::render(&b));
+}
