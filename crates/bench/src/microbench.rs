@@ -3,7 +3,7 @@
 //!
 //! Every figure, decision and soak funnels through
 //! [`ewc_gpu::ExecutionEngine::run`], so this module pins down its cost
-//! on four representative grids and records the trajectory in
+//! on five representative grids and records the trajectory in
 //! `BENCH_3.json`:
 //!
 //! * `single_large` — one compute kernel, 3840 blocks (32 waves of full
@@ -14,6 +14,8 @@
 //! * `storm64` — a 64-kernel consolidated storm with mixed
 //!   compute/memory intensity and block sizes: the datacenter-scale
 //!   consolidation shape of the related work.
+//! * `storm1024` — the same storm construction at 1024 segments
+//!   (~30k blocks): the fleet-scale stress grid.
 //!
 //! Each grid is timed on the optimized cohort engine and (when the
 //! `ewc-gpu/reference-engine` feature is on, as it is for this crate) on
@@ -94,7 +96,7 @@ fn compute_kernel(name: &str, tpb: u32, secs: f64) -> KernelDescBuilder {
         .comp_insts(secs * cfg.clock_hz / (warps * cfg.warp_issue_cycles()))
 }
 
-/// The four microbench grids, in reporting order.
+/// The five microbench grids, in reporting order.
 pub fn cases() -> Vec<Case> {
     let cfg = GpuConfig::tesla_c1060();
     let mut out = Vec::new();
@@ -141,15 +143,32 @@ pub fn cases() -> Vec<Case> {
         runs: 200,
     });
 
-    // 64-kernel consolidated storm: mixed intensity and geometry. Every
-    // segment gets a *distinct* solo time, and block counts are offset
-    // from the SM count so the round-robin deal gives every SM a
-    // different kernel mix. Completions then stagger instead of
-    // batching: thousands of events with a hundred-plus resident
-    // blocks, the O(blocks × residents) shape the per-resident engine
-    // rescanned in full on every event.
+    // Consolidated storms: mixed intensity and geometry. Every segment
+    // gets a *distinct* solo time, and block counts are offset from the
+    // SM count so the round-robin deal gives every SM a different
+    // kernel mix. Completions then stagger instead of batching:
+    // thousands of events with a hundred-plus resident blocks, the
+    // O(blocks × residents) shape the per-resident engine rescanned in
+    // full on every event. The 1024-segment variant (~30k blocks) is
+    // the fleet-scale consolidation shape.
+    out.push(Case {
+        name: "storm64",
+        grid: storm_grid(64),
+        runs: 10,
+    });
+    out.push(Case {
+        name: "storm1024",
+        grid: storm_grid(1024),
+        runs: 5,
+    });
+    out
+}
+
+/// A `segments`-kernel consolidated storm with mixed compute/memory
+/// intensity, block sizes and block counts.
+fn storm_grid(segments: u32) -> Grid {
     let mut storm = ConsolidatedGrid::new();
-    for i in 0..64u32 {
+    for i in 0..segments {
         let tpb = 64 << (i % 3); // 64 / 128 / 256 threads
         let mut b = compute_kernel("storm", tpb, 0.002 + 0.000131 * f64::from(i));
         if i % 2 == 0 {
@@ -160,12 +179,7 @@ pub fn cases() -> Vec<Case> {
         }
         storm = storm.add(Grid::single(b.build(), 17 + (i * 7) % 23));
     }
-    out.push(Case {
-        name: "storm64",
-        grid: storm.build(),
-        runs: 10,
-    });
-    out
+    storm.build()
 }
 
 /// Time `f` over `runs` invocations (plus one untimed warm-up).

@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use ewc_bench::experiments as ex;
 use ewc_energy::{GpuPowerGroundTruth, PowerCoefficients, ThermalModel, TrainingBenchmark};
+use ewc_fleet::{FleetConfig, PolicyKind};
 use ewc_gpu::{ConsolidatedGrid, DispatchPolicy, ExecutionEngine, GpuConfig, Grid};
 use ewc_models::{ConsolidationPlan, EnergyModel, PowerModel};
 use ewc_telemetry::{export, TelemetrySink};
@@ -61,6 +62,11 @@ pub fn usage() -> String {
          \x20 faults [preset] [seed] soak the runtime under seeded fault injection and\n\
          \x20                        report recovery behaviour (preset: quiet | light |\n\
          \x20                        storm; default light, seed 42)\n\
+         \x20 fleet [n] [policy] [seed]\n\
+         \x20                        place AES contexts on a heterogeneous n-device\n\
+         \x20                        fleet and compare placement policies on energy\n\
+         \x20                        and latency (policy: round-robin | least-loaded |\n\
+         \x20                        power-aware | frag-aware | all; default 4 all 42)\n\
          \x20 bench [--quick] [--json PATH] [--baseline [PATH]]\n\
          \x20                        run the engine microbench group (optimized cohort\n\
          \x20                        engine vs full-rescan reference), optionally\n\
@@ -112,6 +118,7 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
             args.get(1).map(String::as_str),
             args.get(2).map(String::as_str),
         ),
+        Some("fleet") => fleet(&args[1..]),
         Some("bench") => bench(&args[1..]),
         Some("help") | None => Ok(usage()),
         Some(other) => Err(format!("unknown command '{other}'")),
@@ -359,6 +366,127 @@ fn faults(preset: Option<&str>, seed: Option<&str>) -> Result<String, String> {
     Ok(out)
 }
 
+fn fleet(args: &[String]) -> Result<String, String> {
+    let devices: usize = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("4")
+        .parse()
+        .map_err(|_| "fleet: devices must be a number")?;
+    if devices == 0 || devices > 64 {
+        return Err("fleet: devices must be between 1 and 64".into());
+    }
+    let policy_arg = args.get(1).map(String::as_str).unwrap_or("all");
+    let kinds: Vec<PolicyKind> = if policy_arg == "all" {
+        PolicyKind::ALL.to_vec()
+    } else {
+        vec![PolicyKind::parse(policy_arg).ok_or_else(|| {
+            format!(
+                "fleet: unknown policy '{policy_arg}' \
+                 (round-robin | least-loaded | power-aware | frag-aware | all)"
+            )
+        })?]
+    };
+    let seed: u64 = args
+        .get(2)
+        .map(String::as_str)
+        .unwrap_or("42")
+        .parse()
+        .map_err(|_| "fleet: seed must be a number")?;
+
+    let roster = FleetConfig::heterogeneous(devices);
+    let instances = 3 * devices;
+    let mut out = format!(
+        "fleet placement comparison: {devices} heterogeneous device(s), \
+         {instances} AES instances, seed {seed}\n  roster:"
+    );
+    for (d, spec) in roster.devices.iter().enumerate() {
+        out.push_str(&format!(
+            "  gpu{d}={} ({} SMs)",
+            spec.name, spec.gpu.num_sms
+        ));
+    }
+    out.push_str(&format!(
+        "\n\n  {:<14} {:<20} {:>12} {:>11} {:>15}\n",
+        "policy", "ctxs per device", "energy_j", "elapsed_s", "p99_latency_s"
+    ));
+    for kind in kinds {
+        out.push_str(&fleet_row(devices, kind, seed)?);
+    }
+    Ok(out)
+}
+
+/// Run one policy over the heterogeneous fleet: submit `3 × devices`
+/// verified AES instances, then report where they landed and what the
+/// run cost. Everything is seeded, so same arguments render the same
+/// table byte-for-byte.
+fn fleet_row(devices: usize, kind: PolicyKind, seed: u64) -> Result<String, String> {
+    let gpu_cfg = GpuConfig::tesla_c1060();
+    let aes = AesWorkload::fig7(&gpu_cfg);
+    let cfg = ewc_core::RuntimeConfig {
+        threshold_factor: 3,
+        noise_seed: Some(seed),
+        fleet: Some(FleetConfig::heterogeneous(devices).with_policy(kind)),
+        ..ewc_core::RuntimeConfig::default()
+    };
+    let rt = ewc_core::Runtime::builder(cfg)
+        .workload("encryption", Arc::new(AesWorkload::fig7(&gpu_cfg)))
+        .template(ewc_core::Template::homogeneous("encryption"))
+        .build();
+    let n = aes.data_bytes() as u64;
+    let err = |e: ewc_core::CoreError| format!("fleet ({}): {e}", kind.label());
+    let mut inflight = Vec::new();
+    for i in 0..(3 * devices) as u64 {
+        let mut fe = rt.connect();
+        let input = fe.malloc(n).map_err(err)?;
+        let output = fe.malloc(n).map_err(err)?;
+        fe.memcpy_h2d(input, 0, &ewc_workloads::data::bytes(seed + i, n as usize))
+            .map_err(err)?;
+        fe.configure_call(aes.blocks(), aes.desc().threads_per_block)
+            .map_err(err)?;
+        fe.setup_argument(ewc_gpu::kernel::KernelArg::Ptr(input))
+            .map_err(err)?;
+        fe.setup_argument(ewc_gpu::kernel::KernelArg::Ptr(output))
+            .map_err(err)?;
+        fe.setup_argument(ewc_gpu::kernel::KernelArg::U32(n as u32))
+            .map_err(err)?;
+        fe.launch("encryption").map_err(err)?;
+        inflight.push((fe, output, aes.expected_output(seed + i)));
+    }
+    for (fe, out_ptr, expect) in &inflight {
+        fe.sync().map_err(err)?;
+        let got = fe
+            .memcpy_d2h(*out_ptr, 0, expect.len() as u64)
+            .map_err(err)?;
+        if &got != expect {
+            return Err(format!(
+                "fleet ({}): an instance produced the wrong bytes",
+                kind.label()
+            ));
+        }
+    }
+    drop(inflight);
+    let report = rt.shutdown();
+    let mut per_device = vec![0u64; devices];
+    for rec in &report.stats.placements {
+        per_device[rec.device as usize] += 1;
+    }
+    let placed = per_device
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join("/");
+    let p99 = report.stats.latency_percentile(99.0).unwrap_or(0.0);
+    Ok(format!(
+        "  {:<14} {:<20} {:>12.1} {:>11.3} {:>15.6}\n",
+        kind.label(),
+        placed,
+        report.energy.energy_j,
+        report.elapsed_s,
+        p99,
+    ))
+}
+
 /// Regression-gate threshold for `bench --baseline`: a tracked grid may
 /// be at most 15% slower than its committed `optimized_min_ms`.
 const BENCH_REGRESSION_THRESHOLD: f64 = 0.15;
@@ -454,9 +582,36 @@ mod tests {
     }
 
     #[test]
+    fn fleet_compares_policies_deterministically() {
+        let a = dispatch(&args(&["fleet", "3", "all", "7"])).unwrap();
+        let b = dispatch(&args(&["fleet", "3", "all", "7"])).unwrap();
+        assert_eq!(a, b, "same arguments must render the same table");
+        for label in ["round-robin", "least-loaded", "power-aware", "frag-aware"] {
+            assert!(a.contains(label), "missing {label}: {a}");
+        }
+        for device in ["c1060#0", "c1060-half#1", "c1060-wide#2"] {
+            assert!(a.contains(device), "missing {device}: {a}");
+        }
+    }
+
+    #[test]
+    fn fleet_rejects_bad_arguments() {
+        assert!(dispatch(&args(&["fleet", "0"])).is_err());
+        assert!(dispatch(&args(&["fleet", "x"])).is_err());
+        assert!(dispatch(&args(&["fleet", "2", "bogus"])).is_err());
+        assert!(dispatch(&args(&["fleet", "2", "all", "x"])).is_err());
+    }
+
+    #[test]
     fn bench_quick_renders_all_cases() {
         let out = dispatch(&args(&["bench", "--quick"])).unwrap();
-        for case in ["single_large", "scenario1", "scenario2", "storm64"] {
+        for case in [
+            "single_large",
+            "scenario1",
+            "scenario2",
+            "storm64",
+            "storm1024",
+        ] {
             assert!(out.contains(case), "missing {case}: {out}");
         }
         assert!(dispatch(&args(&["bench", "--bogus"])).is_err());

@@ -31,9 +31,10 @@ use std::thread::JoinHandle;
 
 use ewc_cpu::CpuTask;
 use ewc_exec::VirtualClock;
+use ewc_fleet::{FleetConfig, FleetGovernor};
 use ewc_gpu::grid::GridSegment;
-use ewc_gpu::kernel::{BlockCtx, LaunchConfig};
-use ewc_gpu::{GpuDevice, GpuError, Grid};
+use ewc_gpu::kernel::{BlockCtx, KernelArg, LaunchConfig};
+use ewc_gpu::{DevicePtr, GpuDevice, GpuError, Grid};
 use ewc_telemetry::{DecisionRecord, TelemetrySink, Verdict};
 use ewc_workloads::Workload;
 
@@ -42,7 +43,7 @@ use crate::decision::{Choice, DecisionEngine};
 use crate::leader::LeaderCoordinator;
 use crate::optimize::ConstantCache;
 use crate::protocol::{CoreError, ExecConfig, KernelRequest, Request};
-use crate::resilience::{CircuitBreaker, RuntimeFaultInjector};
+use crate::resilience::RuntimeFaultInjector;
 use crate::stats::{BackendStats, ConsolidationRecord, KernelOutcome};
 use crate::template::TemplateRegistry;
 
@@ -74,7 +75,19 @@ pub fn spawn(
         .iter()
         .map(|_| ConstantCache::new(cfg.constant_reuse))
         .collect();
-    let breaker = CircuitBreaker::new(&cfg.resilience);
+    // Without an explicit fleet the governor runs the bit-compatible
+    // homogeneous round-robin configuration over the device pool.
+    let fleet_mode = cfg.fleet.is_some();
+    let fleet_cfg = cfg
+        .fleet
+        .clone()
+        .unwrap_or_else(|| FleetConfig::homogeneous(gpus.len()));
+    assert_eq!(
+        fleet_cfg.devices.len(),
+        gpus.len(),
+        "fleet spec must describe every device in the pool"
+    );
+    let fleet = FleetGovernor::new(&fleet_cfg, &cfg.resilience);
     // Virtual span mode: the backend adopts the sink's executor clock
     // as its host clock, so spans land on the exact timeline the caller
     // is driving.
@@ -89,14 +102,16 @@ pub fn spawn(
         constants,
         sink,
         faults,
-        breaker,
+        fleet,
+        fleet_mode,
         stats: BackendStats::default(),
         pending: Vec::new(),
         ctx_state: HashMap::new(),
-        ctx_device: HashMap::new(),
+        ctx_allocs: HashMap::new(),
+        ctx_constants: HashMap::new(),
+        remap: HashMap::new(),
         failures: HashMap::new(),
         dead: HashSet::new(),
-        next_device: 0,
         next_seq: 0,
         clock,
     };
@@ -135,21 +150,32 @@ struct Backend {
     sink: TelemetrySink,
     /// Runtime-boundary fault injector (channel drops), when attached.
     faults: Option<Arc<dyn RuntimeFaultInjector>>,
-    /// GPU-path circuit breaker (trips to CPU-only under repeated
-    /// transient faults).
-    breaker: CircuitBreaker,
+    /// The fleet governor: context→device placement, live-load
+    /// accounting, per-device circuit breakers, and the power cap.
+    fleet: FleetGovernor,
+    /// `true` when the runtime configured an explicit fleet. Placement
+    /// audit records are gated on this so default (fleet-less) runs keep
+    /// their pre-fleet telemetry byte-identical.
+    fleet_mode: bool,
     stats: BackendStats,
     pending: Vec<KernelRequest>,
     ctx_state: HashMap<u64, CtxState>,
-    /// Context → device binding (a process's buffers live on one GPU).
-    ctx_device: HashMap<u64, usize>,
+    /// Frontend-visible allocations per context (`(ptr, len)`), in
+    /// allocation order — the buffer manifest drain/migrate moves.
+    ctx_allocs: HashMap<u64, Vec<(DevicePtr, u64)>>,
+    /// Constants each context registered (`(key, ptr, data)`): migration
+    /// re-loads the data on the destination device.
+    ctx_constants: HashMap<u64, Vec<(String, DevicePtr, Vec<u8>)>>,
+    /// Frontend pointer → actual device pointer after migration;
+    /// identity when absent. Resolved at every execution/access site so
+    /// frontends keep using the pointers malloc handed them.
+    remap: HashMap<u64, HashMap<DevicePtr, DevicePtr>>,
     /// Permanently failed launches awaiting delivery: each context's
     /// next `sync` pops (and returns) one queued failure.
     failures: HashMap<u64, VecDeque<(u64, CoreError)>>,
     /// Contexts already reaped (disconnected frontends), so a dead reply
     /// channel and an explicit disconnect do not double-drain.
     dead: HashSet<u64>,
-    next_device: usize,
     next_seq: u64,
     /// Host-side clock: channel, staging and coordination costs. A
     /// shared [`VirtualClock`] handle, so the telemetry sink (virtual
@@ -211,15 +237,53 @@ impl Backend {
         }
     }
 
-    /// Device assigned to a context (round-robin on first touch).
+    /// Device assigned to a context (placed by the fleet governor on
+    /// first touch).
     fn device_for(&mut self, ctx: u64) -> usize {
-        if let Some(&d) = self.ctx_device.get(&ctx) {
+        if let Some(d) = self.fleet.binding(ctx) {
             return d;
         }
-        let d = self.next_device % self.gpus.len();
-        self.next_device += 1;
-        self.ctx_device.insert(ctx, d);
+        let rec = self.fleet.place(ctx, &self.clock);
+        let d = rec.device as usize;
+        if self.fleet_mode && self.sink.is_enabled() {
+            self.sink.counter_add(&format!("placements_gpu{d}"), 1.0);
+            self.sink.audit(DecisionRecord {
+                time_s: self.clock.now_s(),
+                kernels: Vec::new(),
+                verdict: Verdict::Placed,
+                consolidated: None,
+                serial: None,
+                cpu: None,
+                reason: format!(
+                    "ctx {ctx} placed on gpu{d} ({}) by {} policy ({})",
+                    self.fleet.spec(d).name,
+                    self.fleet.policy_label(),
+                    rec.reason.label()
+                ),
+            });
+        }
         d
+    }
+
+    /// Actual device pointer behind a frontend-visible pointer:
+    /// identity until drain/migrate moved the context's buffers.
+    fn resolve(&self, ctx: u64, ptr: DevicePtr) -> DevicePtr {
+        self.remap
+            .get(&ctx)
+            .and_then(|m| m.get(&ptr))
+            .copied()
+            .unwrap_or(ptr)
+    }
+
+    /// Kernel arguments with every device pointer resolved through the
+    /// context's migration remap.
+    fn resolved_args(&self, ctx: u64, args: &[KernelArg]) -> Vec<KernelArg> {
+        args.iter()
+            .map(|a| match a {
+                KernelArg::Ptr(p) => KernelArg::Ptr(self.resolve(ctx, *p)),
+                other => *other,
+            })
+            .collect()
     }
 
     /// Bring device `d` up to the host clock (it cannot serve a new
@@ -274,11 +338,23 @@ impl Backend {
             Request::Malloc { ctx, len, reply } => {
                 let d = self.device_for(ctx);
                 let r = self.gpus[d].malloc(len).map_err(CoreError::from);
+                if let Ok(ptr) = &r {
+                    self.ctx_allocs.entry(ctx).or_default().push((*ptr, len));
+                }
                 self.send_reply(ctx, reply, r);
             }
             Request::Free { ctx, ptr, reply } => {
                 let d = self.device_for(ctx);
-                let r = self.gpus[d].free(ptr).map_err(CoreError::from);
+                let actual = self.resolve(ctx, ptr);
+                let r = self.gpus[d].free(actual).map_err(CoreError::from);
+                if r.is_ok() {
+                    if let Some(allocs) = self.ctx_allocs.get_mut(&ctx) {
+                        allocs.retain(|(p, _)| *p != ptr);
+                    }
+                    if let Some(m) = self.remap.get_mut(&ctx) {
+                        m.remove(&ptr);
+                    }
+                }
                 self.send_reply(ctx, reply, r);
             }
             Request::MemcpyH2D {
@@ -290,6 +366,7 @@ impl Backend {
             } => {
                 self.charge_staging(data.len() as u64);
                 let d = self.device_for(ctx);
+                let dst = self.resolve(ctx, dst);
                 self.catch_up(d);
                 let r = self.gpus[d]
                     .memcpy_h2d(dst, offset, &data)
@@ -306,6 +383,7 @@ impl Backend {
                 reply,
             } => {
                 let d = self.device_for(ctx);
+                let src = self.resolve(ctx, src);
                 self.catch_up(d);
                 let r = self.gpus[d]
                     .memcpy_d2h(src, offset, len)
@@ -363,6 +441,14 @@ impl Backend {
                         }
                     }
                 }
+                if let Ok(up) = &r {
+                    // Remember the registration so drain/migrate can
+                    // re-load the constant on a destination device.
+                    let entry = self.ctx_constants.entry(ctx).or_default();
+                    if !entry.iter().any(|(k, _, _)| *k == key) {
+                        entry.push((key, up.ptr, data));
+                    }
+                }
                 self.send_reply(ctx, reply, r.map(|u| u.ptr).map_err(CoreError::from));
             }
             Request::AdvanceClock { .. } | Request::Disconnect { .. } => {
@@ -390,6 +476,8 @@ impl Backend {
                 }
                 let activities: Vec<Vec<ewc_gpu::counters::ActivityInterval>> =
                     self.gpus.iter().map(|g| g.activity().to_vec()).collect();
+                self.stats.placements = self.fleet.placements().to_vec();
+                self.stats.cap_redirects = self.fleet.cap_redirects();
                 let _ = reply.send((
                     std::mem::take(&mut self.stats),
                     activities,
@@ -438,6 +526,13 @@ impl Backend {
         }
         self.ctx_state.remove(&ctx);
         self.failures.remove(&ctx);
+        self.ctx_allocs.remove(&ctx);
+        self.ctx_constants.remove(&ctx);
+        self.remap.remove(&ctx);
+        // Release the device binding so the governor's live-context
+        // counts track surviving frontends — a long-lived fleet no
+        // longer skews around reaped contexts.
+        self.fleet.release(ctx);
         let mut drained: Vec<KernelRequest> = Vec::new();
         let mut kept: Vec<KernelRequest> = Vec::new();
         for r in self.pending.drain(..) {
@@ -559,7 +654,7 @@ impl Backend {
             let mut grouped = false;
             for d in 0..self.gpus.len() {
                 let local: Vec<usize> = (0..self.pending.len())
-                    .filter(|&i| self.ctx_device.get(&self.pending[i].ctx) == Some(&d))
+                    .filter(|&i| self.fleet.binding(self.pending[i].ctx) == Some(d))
                     .collect();
                 if local.is_empty() {
                     continue;
@@ -584,7 +679,7 @@ impl Backend {
                     return;
                 };
                 let group = self.extract(vec![oldest]);
-                let Some(&d) = self.ctx_device.get(&group[0].ctx) else {
+                let Some(d) = self.fleet.binding(group[0].ctx) else {
                     // No device binding (cannot happen: enqueue binds):
                     // drop rather than crash the daemon.
                     return;
@@ -636,13 +731,22 @@ impl Backend {
                     Choice::SerialGpu
                 };
         }
-        // The circuit breaker outranks everything, force_gpu included:
-        // with the GPU path tripped, every group runs on the CPU until
-        // the cooldown expires and a probe group half-opens the breaker.
+        // The device's circuit breaker outranks everything, force_gpu
+        // included — but a trip is per-device now: the group's contexts
+        // drain to a healthy card when one exists, and only a fully sick
+        // fleet sends the group to the CPU until a cooldown expires and
+        // a probe group half-opens a breaker.
         let mut tripped = false;
-        if assessment.choice != Choice::Cpu && !self.breaker.gpu_allowed(&self.clock) {
-            tripped = true;
-            assessment.choice = Choice::Cpu;
+        let mut device = device;
+        if assessment.choice != Choice::Cpu && !self.fleet.gpu_allowed(device, &self.clock) {
+            let target = self.fleet.healthy_target(device, &self.clock);
+            match target {
+                Some(to) if self.migrate_group(&group, device, to) => device = to,
+                _ => {
+                    tripped = true;
+                    assessment.choice = Choice::Cpu;
+                }
+            }
         }
         if self.sink.is_enabled() {
             self.sink
@@ -656,7 +760,7 @@ impl Backend {
                 .attr("template", template)
                 .attr("group_size", group.len())
                 .emit();
-            self.audit_decision(&assessment, &group, forced, tripped);
+            self.audit_decision(&assessment, &group, device, forced, tripped);
         }
 
         // Kernel launches are asynchronous: the device clock runs ahead
@@ -737,6 +841,135 @@ impl Backend {
         }
     }
 
+    /// Drain every context of a dispatching group off tripped device
+    /// `from` onto healthy device `to`. All-or-nothing per context;
+    /// returns `false` (and leaves bindings untouched) when any context
+    /// could not move, in which case the caller falls back to the CPU.
+    fn migrate_group(&mut self, group: &[KernelRequest], from: usize, to: usize) -> bool {
+        let mut ctxs: Vec<u64> = group.iter().map(|r| r.ctx).collect();
+        ctxs.sort_unstable();
+        ctxs.dedup();
+        for ctx in ctxs {
+            if !self.migrate_ctx(ctx, from, to) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Move one context's device state from `from` to `to`: copy every
+    /// allocation across (raw memory ops — the staging happens inside
+    /// the backend, not through the injected-fault transfer path),
+    /// re-load its constants, install frontend-pointer remaps, charge
+    /// deterministic PCIe time for both legs on the host clock, and
+    /// rebind the context in the governor. All-or-nothing: a failure
+    /// (e.g. the destination card is full) rolls back and returns
+    /// `false` with the context still bound to `from`.
+    fn migrate_ctx(&mut self, ctx: u64, from: usize, to: usize) -> bool {
+        let allocs = self.ctx_allocs.get(&ctx).cloned().unwrap_or_default();
+        let consts = self.ctx_constants.get(&ctx).cloned().unwrap_or_default();
+        // Stage every buffer onto the destination first.
+        let mut staged: Vec<(DevicePtr, DevicePtr)> = Vec::new();
+        let mut moved = 0u64;
+        let mut ok = true;
+        for (fe_ptr, len) in &allocs {
+            let actual = self.resolve(ctx, *fe_ptr);
+            let bytes = match self.gpus[from].memory().read(actual, 0, *len) {
+                Ok(b) => b.to_vec(),
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            };
+            let new_ptr = match self.gpus[to].memory_mut().alloc(*len) {
+                Ok(p) => p,
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            };
+            if self.gpus[to]
+                .memory_mut()
+                .write(new_ptr, 0, &bytes)
+                .is_err()
+            {
+                let _ = self.gpus[to].memory_mut().free(new_ptr);
+                ok = false;
+                break;
+            }
+            staged.push((*fe_ptr, new_ptr));
+            moved += len;
+        }
+        // Constants: hit the destination's cache or re-load the data
+        // kept from registration (`load_constant` stores the bytes).
+        let mut const_remaps: Vec<(DevicePtr, DevicePtr)> = Vec::new();
+        if ok {
+            for (key, fe_ptr, data) in &consts {
+                let ptr = match self.constants[to].lookup(key) {
+                    Some(p) => p,
+                    None => match self.gpus[to].load_constant(data) {
+                        Ok(p) => {
+                            self.constants[to].seed(key, p);
+                            moved += data.len() as u64;
+                            p
+                        }
+                        Err(_) => {
+                            ok = false;
+                            break;
+                        }
+                    },
+                };
+                const_remaps.push((*fe_ptr, ptr));
+            }
+        }
+        if !ok {
+            for (_, new_ptr) in staged {
+                let _ = self.gpus[to].memory_mut().free(new_ptr);
+            }
+            return false;
+        }
+        // Commit: free the source copies and install the remaps.
+        for (fe_ptr, new_ptr) in &staged {
+            let actual = self.resolve(ctx, *fe_ptr);
+            let _ = self.gpus[from].memory_mut().free(actual);
+            self.remap.entry(ctx).or_default().insert(*fe_ptr, *new_ptr);
+        }
+        for (fe_ptr, ptr) in const_remaps {
+            self.remap.entry(ctx).or_default().insert(fe_ptr, ptr);
+        }
+        // The bytes cross PCIe twice (device→host staging, host→device):
+        // one latency + bandwidth charge per leg, on the host clock —
+        // the backend orchestrates the drain synchronously.
+        let leg = |bw: f64, lat: f64| moved as f64 / bw + lat;
+        let out_cfg = self.gpus[from].config();
+        let t_out = leg(out_cfg.pcie_bandwidth, out_cfg.pcie_latency_s);
+        let in_cfg = self.gpus[to].config();
+        let t_in = leg(in_cfg.pcie_bandwidth, in_cfg.pcie_latency_s);
+        self.clock.advance_by(t_out + t_in);
+        self.fleet.rebind(ctx, to);
+        self.stats.migrations += 1;
+        self.stats.migrated_bytes += moved;
+        if self.sink.is_enabled() {
+            self.sink.counter_add("migrations", 1.0);
+            self.sink.counter_add(&format!("migrations_gpu{to}"), 1.0);
+            self.sink.audit(DecisionRecord {
+                time_s: self.clock.now_s(),
+                kernels: Vec::new(),
+                verdict: Verdict::Placed,
+                consolidated: None,
+                serial: None,
+                cpu: None,
+                reason: format!(
+                    "ctx {ctx} drained off gpu{from} (breaker open) to gpu{to}: \
+                     {} buffer(s), {} constant(s), {moved} bytes",
+                    staged.len(),
+                    consts.len()
+                ),
+            });
+        }
+        true
+    }
+
     /// Rungs 1–3 of the degradation ladder for a group headed to the GPU.
     ///
     /// * Rung 1: the planned dispatch — one consolidated grid
@@ -771,7 +1004,7 @@ impl Backend {
                         group,
                         Verdict::SerialGpu,
                         &format!(
-                            "consolidated launch failed ({e}); re-dispatching {} member(s) serially",
+                            "consolidated launch failed on gpu{device} ({e}); re-dispatching {} member(s) serially",
                             group.len()
                         ),
                     );
@@ -792,7 +1025,7 @@ impl Backend {
                         member,
                         Verdict::Cpu,
                         &format!(
-                            "serial launch of '{}' (seq {}) still failing ({e}); falling back to CPU",
+                            "serial launch of '{}' (seq {}) on gpu{device} still failing ({e}); falling back to CPU",
                             req.name, req.seq
                         ),
                     );
@@ -832,14 +1065,14 @@ impl Backend {
             for req in members {
                 grid.push(
                     GridSegment::bare(req.workload.desc(), req.workload.blocks())
-                        .with_args(req.args.clone())
+                        .with_args(self.resolved_args(req.ctx, &req.args))
                         .with_body(req.workload.body())
                         .with_tag(req.ctx),
                 );
             }
             let err = match self.gpus[device].launch(&LaunchConfig::from_grid(grid)) {
                 Ok(_) => {
-                    self.breaker.record_success();
+                    self.fleet.record_success(device);
                     return Ok(());
                 }
                 Err(e) => e,
@@ -847,17 +1080,21 @@ impl Backend {
             self.stats.faults_observed += 1;
             if self.sink.is_enabled() {
                 self.sink.counter_add("gpu_faults", 1.0);
+                self.sink
+                    .counter_add(&format!("gpu_faults_gpu{device}"), 1.0);
             }
-            if self.breaker.record_fault(self.gpus[device].clock()) {
+            if self.fleet.record_fault(device, self.gpus[device].clock()) {
                 self.stats.breaker_trips += 1;
                 if self.sink.is_enabled() {
                     self.sink.counter_add("breaker_trips", 1.0);
+                    self.sink
+                        .counter_add(&format!("breaker_trips_gpu{device}"), 1.0);
                 }
                 self.note_recovery(
                     members,
                     Verdict::Cpu,
                     &format!(
-                        "circuit breaker tripped at {:.6} s ({err}); GPU path closed for {:.3} s",
+                        "circuit breaker on gpu{device} tripped at {:.6} s ({err}); device closed for {:.3} s",
                         self.gpus[device].now_s(),
                         pol.breaker_cooldown_s
                     ),
@@ -866,7 +1103,7 @@ impl Backend {
             if !err.is_transient() || attempts >= pol.max_gpu_retries {
                 return Err(err);
             }
-            if self.breaker.is_open(self.gpus[device].clock()) {
+            if self.fleet.is_open(device, self.gpus[device].clock()) {
                 // The breaker just closed the GPU path: stop burning
                 // retries on a device declared sick.
                 return Err(err);
@@ -907,12 +1144,13 @@ impl Backend {
         let (makespan, energy) = self.decision.run_on_cpu(tasks);
         for req in group {
             let body = req.workload.body();
+            let args = self.resolved_args(req.ctx, &req.args);
             for b in 0..req.workload.blocks() {
                 let ctx = BlockCtx {
                     block_idx: b,
                     num_blocks: req.workload.blocks(),
                     threads_per_block: req.workload.desc().threads_per_block,
-                    args: &req.args,
+                    args: &args,
                 };
                 body(&ctx, self.gpus[device].memory_mut());
             }
@@ -976,6 +1214,7 @@ impl Backend {
         &self,
         assessment: &crate::decision::Assessment,
         group: &[KernelRequest],
+        device: usize,
         forced: bool,
         tripped: bool,
     ) {
@@ -986,9 +1225,9 @@ impl Backend {
             assessment.cpu_energy_j,
             if forced { "; force_gpu overrode a CPU verdict" } else { "" },
             if tripped {
-                "; circuit breaker open: GPU path tripped to CPU"
+                format!("; circuit breaker open on gpu{device}, no healthy device: group tripped to CPU")
             } else {
-                ""
+                String::new()
             }
         );
         self.sink.audit(DecisionRecord {

@@ -49,14 +49,33 @@ pub struct RuntimeConfig {
     /// steady oversupply of requests.
     pub max_pending_wait_s: f64,
     /// Recovery behaviour under device faults: retries, per-request
-    /// deadlines, and the GPU-path circuit breaker.
+    /// deadlines, and the per-device circuit breakers.
     pub resilience: ResiliencePolicy,
+    /// Optional heterogeneous fleet description. `None` (the default)
+    /// builds `num_gpus` identical devices from the builder's
+    /// `GpuConfig` and places contexts round-robin — bit-compatible
+    /// with the pre-fleet backend. `Some` overrides `num_gpus`: one
+    /// device per [`ewc_fleet::DeviceSpec`], placed by the configured
+    /// policy under the optional fleet power cap.
+    pub fleet: Option<ewc_fleet::FleetConfig>,
 }
 
 impl RuntimeConfig {
+    /// Number of devices the backend will drive: the fleet's device
+    /// count when a fleet is configured, `num_gpus` otherwise.
+    pub fn num_devices(&self) -> usize {
+        match &self.fleet {
+            Some(f) => f.devices.len().max(1),
+            None => self.num_gpus.max(1) as usize,
+        }
+    }
+
     /// The threshold at which the backend considers consolidation.
     pub fn threshold(&self) -> usize {
-        (self.threshold_factor * self.num_gpus) as usize
+        match &self.fleet {
+            Some(_) => self.threshold_factor as usize * self.num_devices(),
+            None => (self.threshold_factor * self.num_gpus) as usize,
+        }
     }
 
     /// All optimisations off — the naive runtime for ablations.
@@ -86,6 +105,7 @@ impl Default for RuntimeConfig {
             noise_seed: None,
             max_pending_wait_s: f64::INFINITY,
             resilience: ResiliencePolicy::default(),
+            fleet: None,
         }
     }
 }
@@ -98,6 +118,17 @@ mod tests {
     fn default_threshold_matches_paper() {
         let c = RuntimeConfig::default();
         assert_eq!(c.threshold(), 10, "10 × 1 GPU");
+    }
+
+    #[test]
+    fn fleet_overrides_the_device_count() {
+        let c = RuntimeConfig {
+            num_gpus: 1,
+            fleet: Some(ewc_fleet::FleetConfig::homogeneous(4)),
+            ..RuntimeConfig::default()
+        };
+        assert_eq!(c.num_devices(), 4);
+        assert_eq!(c.threshold(), 40, "10 × 4 fleet devices");
     }
 
     #[test]

@@ -75,6 +75,26 @@ impl ConstantCache {
         })
     }
 
+    /// The cached device pointer for `key`, if present (always `None`
+    /// with the cache disabled).
+    pub fn lookup(&self, key: &str) -> Option<DevicePtr> {
+        if self.enabled {
+            self.entries.get(key).copied()
+        } else {
+            None
+        }
+    }
+
+    /// Seed the cache with a constant loaded outside
+    /// [`ConstantCache::register`] — drain/migrate re-loads a context's
+    /// constants on the destination device and records them here so
+    /// later registrations hit.
+    pub fn seed(&mut self, key: &str, ptr: DevicePtr) {
+        if self.enabled {
+            self.entries.insert(key.to_string(), ptr);
+        }
+    }
+
     /// Number of cached entries.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -34,6 +34,7 @@ pub struct RuntimeBuilder {
     templates: TemplateRegistry,
     telemetry: TelemetrySink,
     device_faults: Option<FaultInjectorHandle>,
+    fault_targets: Option<Vec<usize>>,
     runtime_faults: Option<Arc<dyn RuntimeFaultInjector>>,
 }
 
@@ -50,6 +51,7 @@ impl RuntimeBuilder {
             templates: TemplateRegistry::new(),
             telemetry: TelemetrySink::disabled(),
             device_faults: None,
+            fault_targets: None,
             runtime_faults: None,
         }
     }
@@ -60,6 +62,15 @@ impl RuntimeBuilder {
     /// the backend recovers.
     pub fn device_faults(mut self, injector: FaultInjectorHandle) -> Self {
         self.device_faults = Some(injector);
+        self
+    }
+
+    /// Restrict the device-fault injector to the listed device indices.
+    /// By default (no call) every device consults the injector; with a
+    /// target list only those devices see faults, so a test can sicken
+    /// one card of a fleet and watch its contexts drain to healthy ones.
+    pub fn device_fault_targets(mut self, targets: Vec<usize>) -> Self {
+        self.fault_targets = Some(targets);
         self
     }
 
@@ -105,11 +116,20 @@ impl RuntimeBuilder {
     /// Build: trains the power model, spawns the backend, returns the
     /// runtime.
     pub fn build(self) -> Runtime {
-        let gpus: Vec<GpuDevice> = (0..self.cfg.num_gpus.max(1))
+        let gpus: Vec<GpuDevice> = (0..self.cfg.num_devices())
             .map(|d| {
-                let mut gpu = GpuDevice::new(self.gpu_cfg.clone())
-                    .with_telemetry(self.telemetry.clone(), d as usize);
-                if let Some(injector) = &self.device_faults {
+                // A fleet spec overrides the builder-level GpuConfig per
+                // device; without one every device is identical.
+                let dev_cfg = match &self.cfg.fleet {
+                    Some(fleet) => fleet.devices[d].gpu.clone(),
+                    None => self.gpu_cfg.clone(),
+                };
+                let mut gpu = GpuDevice::new(dev_cfg).with_telemetry(self.telemetry.clone(), d);
+                let targeted = self
+                    .fault_targets
+                    .as_ref()
+                    .is_none_or(|targets| targets.contains(&d));
+                if let (Some(injector), true) = (&self.device_faults, targeted) {
                     gpu = gpu.with_fault_injector(Arc::clone(injector));
                 }
                 gpu

@@ -100,6 +100,18 @@ pub struct BackendStats {
     /// Constant registrations that failed (the error still reached the
     /// frontend; counted here so backend-side logs see it too).
     pub constant_errors: u64,
+    /// Contexts drained off a tripped device and re-placed on a healthy
+    /// one.
+    pub migrations: u64,
+    /// Bytes moved across PCIe by drain/migrate.
+    pub migrated_bytes: u64,
+    /// Placements the fleet power cap redirected away from the policy's
+    /// first choice.
+    pub cap_redirects: u64,
+    /// Every context→device binding (and migration) the fleet governor
+    /// made, in binding order — the placement audit trail the same-seed
+    /// determinism tests replay.
+    pub placements: Vec<ewc_fleet::PlacementRecord>,
     /// Per-group decision records in execution order.
     pub records: Vec<ConsolidationRecord>,
     /// Per-request lifecycle records in completion order.

@@ -38,6 +38,11 @@ pub struct SoakConfig {
     pub faults: FaultConfig,
     /// Backend recovery policy.
     pub resilience: ResiliencePolicy,
+    /// Devices behind the backend (each gets its own circuit breaker).
+    pub gpus: u32,
+    /// Restrict fault injection to these device indices; `None` means
+    /// every device sees the fault plan.
+    pub fault_targets: Option<Vec<usize>>,
 }
 
 impl Default for SoakConfig {
@@ -49,6 +54,8 @@ impl Default for SoakConfig {
             sync_every: 2,
             faults: FaultConfig::light(),
             resilience: ResiliencePolicy::default(),
+            gpus: 1,
+            fault_targets: None,
         }
     }
 }
@@ -232,18 +239,22 @@ pub fn run(cfg: &SoakConfig) -> SoakReport {
         // Flush only at syncs: the harness controls group boundaries so
         // the fault schedule stays aligned with submission rounds.
         threshold_factor: 1_000_000,
+        num_gpus: cfg.gpus.max(1),
         force_gpu: true,
         noise_seed: Some(cfg.seed),
         resilience: cfg.resilience.clone(),
         ..RuntimeConfig::default()
     };
-    let rt = Runtime::builder(rt_cfg)
+    let mut builder = Runtime::builder(rt_cfg)
         .telemetry(TelemetrySink::enabled())
         .workload("encryption", Arc::new(AesWorkload::fig7(&gpu_cfg)))
         .template(Template::homogeneous("encryption"))
         .device_faults(Arc::new(plan.clone()))
-        .runtime_faults(Arc::new(plan.clone()))
-        .build();
+        .runtime_faults(Arc::new(plan.clone()));
+    if let Some(targets) = &cfg.fault_targets {
+        builder = builder.device_fault_targets(targets.clone());
+    }
+    let rt = builder.build();
 
     let mut report = SoakReport {
         submitted: 0,

@@ -1,0 +1,243 @@
+//! Fleet description: per-device specs and the fleet-level knobs.
+
+use ewc_gpu::GpuConfig;
+
+use crate::policy::{FragAware, LeastLoaded, PlacementPolicy, PowerAware, RoundRobin};
+
+/// Idle (static) draw of one card at the fleet's power-proxy scale 1.0,
+/// watts. Matches the ~40 W a Tesla C1060 burns with no SM active.
+pub const CARD_IDLE_W: f64 = 40.0;
+
+/// Dynamic draw per active SM at full utilization, watts. With the
+/// C1060's 30 SMs this lands the busy card near its ~190 W TDP
+/// (40 + 30 × 5).
+pub const SM_ACTIVE_W: f64 = 5.0;
+
+/// Live contexts at which the placement power proxy treats a device as
+/// fully utilized. A C1060 runs at most 8 blocks per SM, and the
+/// backend's consolidator similarly saturates a card within a handful of
+/// co-resident contexts.
+pub const SATURATION_CTXS: u32 = 8;
+
+/// One device in the fleet: the simulated card plus the scaling knobs
+/// the placement layer scores with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Human-readable label (shows up in telemetry and the CLI tables).
+    pub name: String,
+    /// The simulated card itself. Heterogeneity enters here: SM count,
+    /// DRAM bandwidth, clock — all derived from the C1060 preset.
+    pub gpu: GpuConfig,
+    /// Multiplier on the device's power curve relative to the baseline
+    /// C1060 (1.0). A die-shrunk part of the same architecture would sit
+    /// below 1.0; a wider card above it.
+    pub power_scale: f64,
+}
+
+impl DeviceSpec {
+    /// The baseline device: an unscaled Tesla C1060.
+    pub fn c1060() -> Self {
+        DeviceSpec {
+            name: "c1060".to_string(),
+            gpu: GpuConfig::tesla_c1060(),
+            power_scale: 1.0,
+        }
+    }
+
+    /// A C1060 derivative: `sm_scale` multiplies the SM count (minimum
+    /// one SM), `bw_scale` the DRAM bandwidth, `power_scale` the power
+    /// curve. All other timing parameters stay at the preset's values so
+    /// heterogeneous fleets remain comparable.
+    pub fn scaled(name: &str, sm_scale: f64, bw_scale: f64, power_scale: f64) -> Self {
+        let base = GpuConfig::tesla_c1060();
+        let gpu = GpuConfig {
+            num_sms: ((f64::from(base.num_sms) * sm_scale) as u32).max(1),
+            dram_bandwidth: base.dram_bandwidth * bw_scale,
+            ..base
+        };
+        DeviceSpec {
+            name: name.to_string(),
+            gpu,
+            power_scale,
+        }
+    }
+
+    /// Live contexts at which the placement proxy treats this card as
+    /// saturated: [`SATURATION_CTXS`] scaled by the SM count relative to
+    /// the baseline C1060 (minimum one).
+    pub fn capacity(&self) -> u32 {
+        let base_sms = GpuConfig::tesla_c1060().num_sms;
+        ((SATURATION_CTXS * self.gpu.num_sms + base_sms / 2) / base_sms).max(1)
+    }
+
+    /// Placement-layer power proxy: estimated draw of this card with
+    /// `ctxs` live contexts, watts. Linear in utilization between the
+    /// idle floor and the all-SMs-busy ceiling — the same shape the
+    /// trained per-device power model has, collapsed to one number so
+    /// policies can score a binding without a kernel spec in hand.
+    pub fn est_power_w(&self, ctxs: u32) -> f64 {
+        let cap = self.capacity();
+        let u = f64::from(ctxs.min(cap)) / f64::from(cap);
+        self.power_scale * (CARD_IDLE_W + SM_ACTIVE_W * f64::from(self.gpu.num_sms) * u)
+    }
+}
+
+/// Which placement policy the fleet governor runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// First-touch round robin over all devices — bit-compatible with
+    /// the pre-fleet backend.
+    RoundRobin,
+    /// Fewest live contexts wins; ties break to the lowest index.
+    LeastLoaded,
+    /// Lowest marginal power draw wins (racing-to-idle: keep extra
+    /// cards near their idle floor).
+    PowerAware,
+    /// Smallest fragmentation-gradient increase wins — packs contexts
+    /// onto already-busy cards (à la arXiv 2412.17484).
+    FragAware,
+}
+
+impl PolicyKind {
+    /// Every policy, in comparison order.
+    pub const ALL: [PolicyKind; 4] = [
+        PolicyKind::RoundRobin,
+        PolicyKind::LeastLoaded,
+        PolicyKind::PowerAware,
+        PolicyKind::FragAware,
+    ];
+
+    /// Stable CLI / telemetry label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::RoundRobin => "round-robin",
+            PolicyKind::LeastLoaded => "least-loaded",
+            PolicyKind::PowerAware => "power-aware",
+            PolicyKind::FragAware => "frag-aware",
+        }
+    }
+
+    /// Parse a CLI label back into a kind.
+    pub fn parse(s: &str) -> Option<PolicyKind> {
+        PolicyKind::ALL.into_iter().find(|k| k.label() == s)
+    }
+
+    /// Instantiate the policy.
+    pub fn build(self) -> Box<dyn PlacementPolicy> {
+        match self {
+            PolicyKind::RoundRobin => Box::new(RoundRobin::default()),
+            PolicyKind::LeastLoaded => Box::new(LeastLoaded),
+            PolicyKind::PowerAware => Box::new(PowerAware),
+            PolicyKind::FragAware => Box::new(FragAware),
+        }
+    }
+}
+
+/// The whole fleet: devices, the placement policy, and an optional
+/// fleet-level power cap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Devices, indexed as `gpu0..gpuN-1`.
+    pub devices: Vec<DeviceSpec>,
+    /// Context→device placement strategy.
+    pub policy: PolicyKind,
+    /// Optional fleet-level power cap, watts, on the placement power
+    /// proxy. A binding whose projected fleet draw exceeds the cap is
+    /// redirected to the device minimizing the projected draw (the cap
+    /// redirects placement — it never refuses admission).
+    pub power_cap_w: Option<f64>,
+}
+
+impl FleetConfig {
+    /// `n` identical baseline C1060s under round robin — the
+    /// configuration that reproduces the pre-fleet backend exactly.
+    pub fn homogeneous(n: usize) -> Self {
+        FleetConfig {
+            devices: (0..n.max(1)).map(|_| DeviceSpec::c1060()).collect(),
+            policy: PolicyKind::RoundRobin,
+            power_cap_w: None,
+        }
+    }
+
+    /// `n` devices cycling through three C1060 derivatives: the baseline
+    /// card, a half-width low-power part, and a wide high-power part.
+    /// The heterogeneity is what separates the four policies in the
+    /// `ewc fleet` comparison.
+    pub fn heterogeneous(n: usize) -> Self {
+        let presets = [
+            DeviceSpec::c1060(),
+            DeviceSpec::scaled("c1060-half", 0.5, 0.6, 0.55),
+            DeviceSpec::scaled("c1060-wide", 1.5, 1.4, 1.6),
+        ];
+        FleetConfig {
+            devices: (0..n.max(1))
+                .map(|d| {
+                    let mut spec = presets[d % presets.len()].clone();
+                    spec.name = format!("{}#{d}", spec.name);
+                    spec
+                })
+                .collect(),
+            policy: PolicyKind::RoundRobin,
+            power_cap_w: None,
+        }
+    }
+
+    /// Replace the placement policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Set the fleet-level power cap, watts.
+    pub fn with_power_cap(mut self, watts: f64) -> Self {
+        self.power_cap_w = Some(watts);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_spec_derives_from_the_c1060_preset() {
+        let half = DeviceSpec::scaled("half", 0.5, 0.6, 0.55);
+        let base = GpuConfig::tesla_c1060();
+        assert_eq!(half.gpu.num_sms, base.num_sms / 2);
+        assert!((half.gpu.dram_bandwidth - base.dram_bandwidth * 0.6).abs() < 1.0);
+        assert_eq!(half.gpu.clock_hz, base.clock_hz);
+        assert!(half.gpu.validate().is_ok());
+    }
+
+    #[test]
+    fn power_proxy_spans_idle_to_tdp() {
+        let spec = DeviceSpec::c1060();
+        assert_eq!(spec.capacity(), SATURATION_CTXS);
+        assert!((spec.est_power_w(0) - CARD_IDLE_W).abs() < 1e-9);
+        let busy = spec.est_power_w(SATURATION_CTXS);
+        assert!((busy - (CARD_IDLE_W + SM_ACTIVE_W * 30.0)).abs() < 1e-9);
+        // Past saturation the proxy clamps at the ceiling.
+        assert_eq!(
+            spec.est_power_w(SATURATION_CTXS + 4).to_bits(),
+            busy.to_bits()
+        );
+    }
+
+    #[test]
+    fn policy_labels_round_trip() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(PolicyKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn heterogeneous_fleet_validates_and_differs() {
+        let fleet = FleetConfig::heterogeneous(4);
+        assert_eq!(fleet.devices.len(), 4);
+        for spec in &fleet.devices {
+            assert!(spec.gpu.validate().is_ok(), "{}", spec.name);
+        }
+        assert_ne!(fleet.devices[0].gpu.num_sms, fleet.devices[1].gpu.num_sms);
+    }
+}

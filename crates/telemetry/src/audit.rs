@@ -22,6 +22,10 @@ pub enum Verdict {
     /// The request was abandoned: its frontend disconnected before the
     /// work ran, so the backend drained it from the pending queue.
     Drained,
+    /// A fleet placement event: a context was bound to a device (or
+    /// drained off a tripped one and re-placed). Only emitted when an
+    /// explicit fleet is configured.
+    Placed,
 }
 
 impl Verdict {
@@ -33,6 +37,7 @@ impl Verdict {
             Verdict::Cpu => "cpu",
             Verdict::Failed => "failed",
             Verdict::Drained => "drained",
+            Verdict::Placed => "placed",
         }
     }
 }
@@ -68,7 +73,7 @@ impl DecisionRecord {
             Verdict::Consolidate => self.consolidated,
             Verdict::SerialGpu => self.serial,
             Verdict::Cpu => self.cpu,
-            Verdict::Failed | Verdict::Drained => None,
+            Verdict::Failed | Verdict::Drained | Verdict::Placed => None,
         }
     }
 }

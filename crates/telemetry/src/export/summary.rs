@@ -111,11 +111,17 @@ pub fn render(snap: &TelemetrySnapshot) -> String {
             Verdict::Cpu,
             Verdict::Failed,
             Verdict::Drained,
+            Verdict::Placed,
         ] {
             let n = tally.get(verdict.label()).copied().unwrap_or(0);
-            // Fault-path verdicts only show up once one has happened, so
-            // healthy runs keep the familiar three-line tally.
-            if n == 0 && matches!(verdict, Verdict::Failed | Verdict::Drained) {
+            // Fault- and fleet-path verdicts only show up once one has
+            // happened, so healthy runs keep the familiar three-line tally.
+            if n == 0
+                && matches!(
+                    verdict,
+                    Verdict::Failed | Verdict::Drained | Verdict::Placed
+                )
+            {
                 continue;
             }
             let _ = writeln!(out, "{:<40} {n:>14}", verdict.label());

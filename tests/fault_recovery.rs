@@ -17,7 +17,7 @@ fn same_seed_replays_identical_faults_and_decisions() {
         requests_per_process: 6,
         sync_every: 2,
         faults: FaultConfig::storm(),
-        resilience: ResiliencePolicy::default(),
+        ..SoakConfig::default()
     };
     let a = soak::run(&cfg);
     let b = soak::run(&cfg);
@@ -89,7 +89,7 @@ fn storm_soak_completes_every_request_without_panics() {
         requests_per_process: 10,
         sync_every: 2,
         faults: FaultConfig::storm(),
-        resilience: ResiliencePolicy::default(),
+        ..SoakConfig::default()
     });
     assert!(report.submitted > 0);
     assert!(
@@ -118,7 +118,7 @@ fn quiet_soak_is_a_clean_baseline() {
         requests_per_process: 4,
         sync_every: 2,
         faults: FaultConfig::quiet(),
-        resilience: ResiliencePolicy::default(),
+        ..SoakConfig::default()
     });
     assert!(report.balanced());
     assert_eq!(report.verified, report.submitted);
@@ -144,6 +144,7 @@ fn breaker_trips_and_work_finishes_on_cpu_with_energy_accounted() {
             breaker_cooldown_s: 1e6, // never closes within the run
             ..ResiliencePolicy::default()
         },
+        ..SoakConfig::default()
     });
     assert!(
         report.stats.breaker_trips >= 1,
@@ -174,7 +175,7 @@ fn frontend_deaths_drain_pending_work() {
             frontend_death_rate: 0.5,
             ..FaultConfig::quiet()
         },
-        resilience: ResiliencePolicy::default(),
+        ..SoakConfig::default()
     });
     assert!(report.frontend_deaths > 0, "{}", report.render());
     assert!(report.dropped > 0, "deaths mid-batch must abandon requests");

@@ -141,3 +141,207 @@ fn single_gpu_remains_the_default_behaviour() {
     let got = s.0.memcpy_d2h(s.1.output, 0, s.1.output_len).unwrap();
     assert_eq!(got, s.2);
 }
+
+// ---------------------------------------------------------------------
+// Heterogeneous fleet: placement policies, the power cap, and
+// per-device breakers with drain/migrate.
+// ---------------------------------------------------------------------
+
+use ewc_core::ResiliencePolicy;
+use ewc_faults::{FaultConfig, SharedFaultPlan};
+use ewc_fleet::{FleetConfig, PlacementReason, PolicyKind};
+
+/// Run 12 verified AES instances on a 4-device heterogeneous fleet
+/// under `fleet_cfg`; returns the shutdown report.
+fn fleet_session(fleet_cfg: FleetConfig) -> ewc_core::RuntimeReport {
+    let cfg = GpuConfig::tesla_c1060();
+    let aes: Arc<dyn Workload> = Arc::new(AesWorkload::fig7(&cfg));
+    let rt = Runtime::builder(RuntimeConfig {
+        threshold_factor: 3,
+        force_gpu: true,
+        noise_seed: Some(7),
+        fleet: Some(fleet_cfg),
+        ..RuntimeConfig::default()
+    })
+    .workload("encryption", Arc::clone(&aes))
+    .template(Template::homogeneous("encryption"))
+    .build();
+    let mut sessions = Vec::new();
+    for seed in 0..12u64 {
+        sessions.push(submit(&rt, "encryption", &aes, seed));
+    }
+    sessions[0].0.sync().unwrap();
+    for (fe, bufs, expect) in &sessions {
+        let got = fe.memcpy_d2h(bufs.output, 0, bufs.output_len).unwrap();
+        assert_eq!(&got, expect);
+    }
+    drop(sessions);
+    rt.shutdown()
+}
+
+#[test]
+fn every_policy_replays_an_identical_placement_audit() {
+    for kind in PolicyKind::ALL {
+        let fleet = FleetConfig::heterogeneous(4).with_policy(kind);
+        let a = fleet_session(fleet.clone());
+        let b = fleet_session(fleet);
+        assert!(
+            !a.stats.placements.is_empty(),
+            "{}: fleet runs must audit placements",
+            kind.label()
+        );
+        assert_eq!(
+            a.stats.placements,
+            b.stats.placements,
+            "{}: same seed must bind contexts identically",
+            kind.label()
+        );
+        assert_eq!(
+            a.stats,
+            b.stats,
+            "{}: whole backend must replay byte-identically",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn power_cap_redirects_placements_under_the_fleet_ceiling() {
+    // heterogeneous(4) idles at 40 + 22 + 64 + 40 = 166 W on the
+    // placement proxy. A 180 W cap leaves no headroom for round robin's
+    // first choice (c1060, +18.75 W marginal), so the governor must
+    // redirect toward the low-power half-width card instead.
+    let capped = fleet_session(
+        FleetConfig::heterogeneous(4)
+            .with_policy(PolicyKind::RoundRobin)
+            .with_power_cap(180.0),
+    );
+    assert!(
+        capped.stats.cap_redirects > 0,
+        "the cap must have redirected placements: {:?}",
+        capped.stats.placements
+    );
+    assert!(
+        capped
+            .stats
+            .placements
+            .iter()
+            .any(|p| p.reason == PlacementReason::PowerCap),
+        "{:?}",
+        capped.stats.placements
+    );
+    let uncapped = fleet_session(FleetConfig::heterogeneous(4).with_policy(PolicyKind::RoundRobin));
+    assert_eq!(uncapped.stats.cap_redirects, 0);
+    assert_ne!(
+        capped.stats.placements, uncapped.stats.placements,
+        "the cap must actually change where contexts land"
+    );
+}
+
+/// The drain/migrate scenario: device 0 is permanently sick, device 1 is
+/// healthy. Returns the shutdown stats (for the replay assertion).
+fn sick_device_session() -> ewc_core::BackendStats {
+    let cfg = GpuConfig::tesla_c1060();
+    let aes = AesWorkload::fig7(&cfg);
+    let aes_dyn: Arc<dyn Workload> = Arc::new(AesWorkload::fig7(&cfg));
+    let plan = SharedFaultPlan::new(
+        9,
+        FaultConfig {
+            hang_rate: 1.0,
+            ..FaultConfig::quiet()
+        },
+    );
+    let rt = Runtime::builder(RuntimeConfig {
+        threshold_factor: 1_000_000, // flush only at syncs
+        force_gpu: true,
+        resilience: ResiliencePolicy {
+            max_gpu_retries: 0,
+            breaker_threshold: 1,
+            breaker_cooldown_s: 1e6, // never closes within the run
+            ..ResiliencePolicy::default()
+        },
+        fleet: Some(FleetConfig::homogeneous(2)),
+        ..RuntimeConfig::default()
+    })
+    .workload("encryption", Arc::clone(&aes_dyn))
+    .template(Template::homogeneous("encryption"))
+    .device_faults(Arc::new(plan.clone()))
+    .device_fault_targets(vec![0])
+    .build();
+
+    // Round robin: ctx A → gpu0 (sick), ctx B → gpu1 (healthy).
+    let (mut fe_a, bufs_a1, expect_a1) = submit(&rt, "encryption", &aes_dyn, 1);
+    let (fe_b, bufs_b, expect_b) = submit(&rt, "encryption", &aes_dyn, 2);
+    fe_a.sync().unwrap();
+    fe_b.sync().unwrap();
+    // gpu0's group hung, tripped its breaker, and fell back to the CPU;
+    // gpu1's group must have launched normally despite that.
+    assert_eq!(
+        fe_a.memcpy_d2h(bufs_a1.output, 0, bufs_a1.output_len)
+            .unwrap(),
+        expect_a1
+    );
+    assert_eq!(
+        fe_b.memcpy_d2h(bufs_b.output, 0, bufs_b.output_len)
+            .unwrap(),
+        expect_b
+    );
+
+    // Second round on ctx A: its device's breaker is open, so the
+    // governor drains the context to gpu1 and the launch runs there —
+    // the GPU path stays available instead of tripping to CPU again.
+    let (args, bufs_a2) = aes.build_args(&mut fe_a, 3).unwrap();
+    fe_a.configure_call(aes.blocks(), aes.desc().threads_per_block)
+        .unwrap();
+    for a in &args {
+        fe_a.setup_argument(*a).unwrap();
+    }
+    fe_a.launch("encryption").unwrap();
+    fe_a.sync().unwrap();
+    assert_eq!(
+        fe_a.memcpy_d2h(bufs_a2.output, 0, bufs_a2.output_len)
+            .unwrap(),
+        aes.expected_output(3)
+    );
+    // The first round's buffers moved with the context: reads through
+    // the old frontend pointers must still return the right bytes.
+    assert_eq!(
+        fe_a.memcpy_d2h(bufs_a1.output, 0, bufs_a1.output_len)
+            .unwrap(),
+        expect_a1
+    );
+
+    drop((fe_a, fe_b));
+    rt.shutdown().stats
+}
+
+#[test]
+fn tripped_breaker_drains_contexts_to_the_healthy_device() {
+    let stats = sick_device_session();
+    assert!(stats.breaker_trips >= 1, "{stats:?}");
+    assert!(stats.migrations >= 1, "ctx A must migrate: {stats:?}");
+    assert!(stats.migrated_bytes > 0, "{stats:?}");
+    assert!(
+        stats.launches >= 2,
+        "gpu1 must serve both ctx B and the migrated ctx A: {stats:?}"
+    );
+    assert_eq!(
+        stats.cpu_fallbacks, 1,
+        "only the pre-trip group goes to CPU: {stats:?}"
+    );
+    assert!(
+        stats
+            .placements
+            .iter()
+            .any(|p| p.reason == PlacementReason::Migrated && p.device == 1),
+        "{:?}",
+        stats.placements
+    );
+}
+
+#[test]
+fn drain_and_migrate_replays_byte_identically() {
+    let a = sick_device_session();
+    let b = sick_device_session();
+    assert_eq!(a, b, "same seed must replay the whole drain/migrate run");
+}
