@@ -48,6 +48,7 @@ fn main() {
         Box::new(|| ex::fermi::render(&ex::fermi::run())) as Section,
         Box::new(|| ex::multigpu::render(&ex::multigpu::run(40))),
         Box::new(|| ex::trace::render(&ex::trace::run())),
+        Box::new(|| ex::overload::render(&ex::overload::run())),
         Box::new(|| ex::future_hw::render(&ex::future_hw::run(9))),
     ]);
 

@@ -1,0 +1,5 @@
+//! Regenerate the open-loop overload sweep (goodput vs offered load).
+fn main() {
+    let rows = ewc_bench::experiments::overload::run();
+    println!("{}", ewc_bench::experiments::overload::render(&rows));
+}

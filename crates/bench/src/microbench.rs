@@ -17,6 +17,12 @@
 //! * `storm1024` — the same storm construction at 1024 segments
 //!   (~30k blocks): the fleet-scale stress grid.
 //!
+//! One further tracked case is not a grid at all: `openloop64k` pushes
+//! 64k open-loop arrivals through the whole admission-controlled
+//! runtime (arrival executor, frontends, backend daemon, consolidation)
+//! on the virtual clock, timing the full stack rather than the engine
+//! in isolation.
+//!
 //! Each grid is timed on the optimized cohort engine and (when the
 //! `ewc-gpu/reference-engine` feature is on, as it is for this crate) on
 //! the naive full-rescan reference engine, which recomputes every SM
@@ -182,6 +188,40 @@ fn storm_grid(segments: u32) -> Grid {
     storm.build()
 }
 
+/// The `openloop64k` case: 64k open-loop arrivals (256 streams × 256
+/// Poisson arrivals at twice the sustainable rate) pushed end to end
+/// through the admission-controlled runtime on the virtual clock.
+/// Unlike the grid cases this times the whole stack — arrival executor,
+/// frontends, backend daemon, admission, consolidation — not the
+/// engine in isolation. `optimized` runs the preset admission
+/// controller (bounded queues, shedding, `Busy`/retry); `reference`
+/// runs the identical open loop with admission disabled, so the pair
+/// records what the resilience layer costs (or saves, once shedding
+/// trims the overload) in wall time. Quick mode shrinks to 2k arrivals
+/// against the committed 64k baseline number, so the CI gate only
+/// fires on a pathological slowdown — the precise gate is a full-mode
+/// `bench --baseline` run. The `blocks` column reports generated
+/// arrivals and `segments` reports streams.
+pub fn openloop_case(quick: bool) -> CaseResult {
+    use ewc_load::openloop::{run as run_load, LoadConfig};
+    let (streams, per_stream) = if quick { (64, 32) } else { (256, 256) };
+    let mut cfg = LoadConfig::scaled(42, LoadConfig::poisson(), 2.0);
+    cfg.streams = streams;
+    cfg.arrivals_per_stream = per_stream;
+    cfg.telemetry = false;
+    let optimized = time_runs(3, || run_load(&cfg));
+    let mut open = cfg.clone();
+    open.admission = None;
+    let reference = time_runs(3, || run_load(&open));
+    CaseResult {
+        name: "openloop64k",
+        blocks: (streams * per_stream) as u32,
+        segments: streams,
+        optimized,
+        reference,
+    }
+}
+
 /// Time `f` over `runs` invocations (plus one untimed warm-up).
 pub fn time_runs<R>(runs: usize, mut f: impl FnMut() -> R) -> Timing {
     std::hint::black_box(f());
@@ -202,7 +242,7 @@ pub fn time_runs<R>(runs: usize, mut f: impl FnMut() -> R) -> Timing {
 /// Run the whole group. `quick` cuts the run counts for CI smoke use.
 pub fn run(quick: bool) -> Vec<CaseResult> {
     let engine = ExecutionEngine::new(GpuConfig::tesla_c1060());
-    cases()
+    let mut results: Vec<CaseResult> = cases()
         .into_iter()
         .map(|case| {
             // Quick mode still takes at least 5 timed runs: the
@@ -229,7 +269,9 @@ pub fn run(quick: bool) -> Vec<CaseResult> {
                 reference,
             }
         })
-        .collect()
+        .collect();
+    results.push(openloop_case(quick));
+    results
 }
 
 /// Render the group as a table.

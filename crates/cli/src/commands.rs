@@ -39,6 +39,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     ("multigpu", "multi-GPU scaling (extension)"),
     ("trace", "Poisson-trace threshold sweep (extension)"),
     (
+        "overload",
+        "open-loop overload: goodput vs offered load (extension)",
+    ),
+    (
         "future-hw",
         "consolidation on Fermi-class silicon (extension)",
     ),
@@ -61,12 +65,18 @@ pub fn usage() -> String {
          \x20                        chrome output opens in Perfetto / chrome://tracing)\n\
          \x20 faults [preset] [seed] soak the runtime under seeded fault injection and\n\
          \x20                        report recovery behaviour (preset: quiet | light |\n\
-         \x20                        storm; default light, seed 42)\n\
+         \x20                        storm | overload; default light, seed 42)\n\
          \x20 fleet [n] [policy] [seed]\n\
          \x20                        place AES contexts on a heterogeneous n-device\n\
          \x20                        fleet and compare placement policies on energy\n\
          \x20                        and latency (policy: round-robin | least-loaded |\n\
          \x20                        power-aware | frag-aware | all; default 4 all 42)\n\
+         \x20 load [process] [mult] [seed]\n\
+         \x20                        drive an open-loop arrival storm (process:\n\
+         \x20                        poisson | bursty | diurnal; mult x the base\n\
+         \x20                        rate) against the admission-controlled backend\n\
+         \x20                        and verify conservation and bounded queues\n\
+         \x20                        (default poisson 2 42)\n\
          \x20 bench [--quick] [--json PATH] [--baseline [PATH]]\n\
          \x20                        run the engine microbench group (optimized cohort\n\
          \x20                        engine vs full-rescan reference), optionally\n\
@@ -119,6 +129,11 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
             args.get(2).map(String::as_str),
         ),
         Some("fleet") => fleet(&args[1..]),
+        Some("load") => load(
+            args.get(1).map(String::as_str),
+            args.get(2).map(String::as_str),
+            args.get(3).map(String::as_str),
+        ),
         Some("bench") => bench(&args[1..]),
         Some("help") | None => Ok(usage()),
         Some(other) => Err(format!("unknown command '{other}'")),
@@ -152,6 +167,7 @@ fn run_experiment(id: &str) -> Result<String, String> {
         "fermi" => ex::fermi::render(&ex::fermi::run()),
         "multigpu" => ex::multigpu::render(&ex::multigpu::run(40)),
         "trace" => ex::trace::render(&ex::trace::run()),
+        "overload" => ex::overload::render(&ex::overload::run()),
         "future-hw" => ex::future_hw::render(&ex::future_hw::run(9)),
         other => return Err(format!("unknown experiment '{other}'")),
     })
@@ -330,31 +346,37 @@ fn gantt(which: &str) -> Result<String, String> {
 }
 
 fn faults(preset: Option<&str>, seed: Option<&str>) -> Result<String, String> {
-    let faults = match preset.unwrap_or("light") {
-        "quiet" => ewc_faults::FaultConfig::quiet(),
-        "light" => ewc_faults::FaultConfig::light(),
-        "storm" => ewc_faults::FaultConfig::storm(),
-        other => {
-            return Err(format!(
-                "faults: unknown preset '{other}' (quiet | light | storm)"
-            ))
-        }
-    };
     let seed: u64 = seed
         .unwrap_or("42")
         .parse()
         .map_err(|_| "faults: seed must be a number")?;
-    let report = ewc_faults::soak::run(&ewc_faults::SoakConfig {
+    let base = |faults| ewc_faults::SoakConfig {
         seed,
         processes: 4,
         requests_per_process: 10,
         sync_every: 2,
         faults,
         ..ewc_faults::SoakConfig::default()
-    });
+    };
+    let cfg = match preset.unwrap_or("light") {
+        "quiet" => base(ewc_faults::FaultConfig::quiet()),
+        "light" => base(ewc_faults::FaultConfig::light()),
+        "storm" => base(ewc_faults::FaultConfig::storm()),
+        // Light faults under a deliberately tight admission controller:
+        // Busy/retry/shed and fault recovery exercised together.
+        "overload" => ewc_faults::SoakConfig::overload(seed),
+        other => {
+            return Err(format!(
+                "faults: unknown preset '{other}' (quiet | light | storm | overload)"
+            ))
+        }
+    };
+    let report = ewc_faults::soak::run(&cfg);
     let mut out = format!(
-        "fault soak (preset {}, seed {seed}): 4 processes x 10 requests\n\n",
-        preset.unwrap_or("light")
+        "fault soak (preset {}, seed {seed}): {} processes x {} requests\n\n",
+        preset.unwrap_or("light"),
+        cfg.processes,
+        cfg.requests_per_process,
     );
     out.push_str(&report.render());
     if !report.balanced() {
@@ -487,6 +509,77 @@ fn fleet_row(devices: usize, kind: PolicyKind, seed: u64) -> Result<String, Stri
     ))
 }
 
+/// `ewc load`: one open-loop storm, with the robustness invariants
+/// checked on the way out (this is what the CI overload matrix runs).
+fn load(process: Option<&str>, mult: Option<&str>, seed: Option<&str>) -> Result<String, String> {
+    use ewc_load::openloop::{run as run_load, LoadConfig};
+    let process = match process.unwrap_or("poisson") {
+        "poisson" => LoadConfig::poisson(),
+        "bursty" => LoadConfig::bursty(),
+        "diurnal" => LoadConfig::diurnal(),
+        other => {
+            return Err(format!(
+                "load: unknown process '{other}' (poisson|bursty|diurnal)"
+            ))
+        }
+    };
+    let mult: f64 = mult
+        .unwrap_or("2")
+        .parse()
+        .map_err(|_| "load: mult must be a number")?;
+    if mult <= 0.0 || !mult.is_finite() {
+        return Err("load: mult must be positive".into());
+    }
+    let seed: u64 = seed
+        .unwrap_or("42")
+        .parse()
+        .map_err(|_| "load: seed must be a number")?;
+    let cfg = LoadConfig::scaled(seed, process, mult);
+    let r = run_load(&cfg);
+    if !r.conserved() {
+        return Err(format!(
+            "load: conservation violated: generated {} != completed {} + failed {} \
+             + shed {} + drained {}",
+            r.generated, r.completed, r.failed, r.shed, r.drained
+        ));
+    }
+    if r.client.client_errors > 0 {
+        return Err(format!(
+            "load: {} unexpected client errors: {:?}",
+            r.client.client_errors, r.client
+        ));
+    }
+    let bound = cfg
+        .admission
+        .as_ref()
+        .map(|a| a.max_per_device as u64)
+        .unwrap_or(u64::MAX);
+    if r.max_pending_depth > bound {
+        return Err(format!(
+            "load: pending depth {} exceeded the admission bound {bound}",
+            r.max_pending_depth
+        ));
+    }
+    Ok(format!(
+        "open-loop {} at {mult}x (seed {seed}): conserved\n\
+         \x20 generated {}  completed {}  shed {} ({:.1}%)  drained {}\n\
+         \x20 busy answers {}  max queue depth {}  max ladder level {}\n\
+         \x20 goodput {:.1}/s  p99 {:.4}s  {:.3} J/request\n",
+        cfg.process.label(),
+        r.generated,
+        r.completed,
+        r.shed,
+        100.0 * r.shed_rate(),
+        r.drained,
+        r.client.busy_answers,
+        r.max_pending_depth,
+        r.max_degradation_level,
+        r.goodput_hz(),
+        r.p99_latency_s,
+        r.joules_per_request(),
+    ))
+}
+
 /// Regression-gate threshold for `bench --baseline`: a tracked grid may
 /// be at most 15% slower than its committed `optimized_min_ms`.
 const BENCH_REGRESSION_THRESHOLD: f64 = 0.15;
@@ -603,6 +696,17 @@ mod tests {
     }
 
     #[test]
+    fn load_storm_conserves_and_rejects_bad_args() {
+        let out = dispatch(&args(&["load", "poisson", "2", "7"])).unwrap();
+        assert!(out.contains("conserved"), "{out}");
+        assert!(out.contains("shed"), "{out}");
+        assert!(dispatch(&args(&["load", "bogus"])).is_err());
+        assert!(dispatch(&args(&["load", "poisson", "0"])).is_err());
+        assert!(dispatch(&args(&["load", "poisson", "-2"])).is_err());
+        assert!(dispatch(&args(&["load", "poisson", "2", "x"])).is_err());
+    }
+
+    #[test]
     fn bench_quick_renders_all_cases() {
         let out = dispatch(&args(&["bench", "--quick"])).unwrap();
         for case in [
@@ -611,6 +715,7 @@ mod tests {
             "scenario2",
             "storm64",
             "storm1024",
+            "openloop64k",
         ] {
             assert!(out.contains(case), "missing {case}: {out}");
         }

@@ -38,6 +38,7 @@ use ewc_gpu::{DevicePtr, GpuDevice, GpuError, Grid};
 use ewc_telemetry::{DecisionRecord, TelemetrySink, Verdict};
 use ewc_workloads::Workload;
 
+use crate::admission::{AdmissionDecision, AdmissionState, Priority, ShedCause};
 use crate::config::RuntimeConfig;
 use crate::decision::{Choice, DecisionEngine};
 use crate::leader::LeaderCoordinator;
@@ -92,6 +93,7 @@ pub fn spawn(
     // as its host clock, so spans land on the exact timeline the caller
     // is driving.
     let clock = sink.virtual_clock().cloned().unwrap_or_default();
+    let admission = cfg.admission.clone().map(AdmissionState::new);
     let backend = Backend {
         cfg,
         gpus,
@@ -112,7 +114,9 @@ pub fn spawn(
         remap: HashMap::new(),
         failures: HashMap::new(),
         dead: HashSet::new(),
+        admission,
         next_seq: 0,
+        deferred_replies: Vec::new(),
         clock,
     };
     let join = std::thread::Builder::new()
@@ -176,7 +180,18 @@ struct Backend {
     /// Contexts already reaped (disconnected frontends), so a dead reply
     /// channel and an explicit disconnect do not double-drain.
     dead: HashSet<u64>,
+    /// Admission controller + degradation ladder; `None` (the default)
+    /// keeps queues unbounded and every path byte-identical with the
+    /// pre-admission backend.
+    admission: Option<AdmissionState>,
     next_seq: u64,
+    /// Replies parked by [`Backend::send_reply`] in virtual span mode
+    /// until the post-message flush has settled the shared clock — the
+    /// frontend must never resume while a clock advance is still
+    /// pending, or two same-seed runs would race. Each closure sends
+    /// one reply and reports whether the channel was still alive.
+    #[allow(clippy::type_complexity)]
+    deferred_replies: Vec<(u64, Box<dyn FnOnce() -> bool + Send>)>,
     /// Host-side clock: channel, staging and coordination costs. A
     /// shared [`VirtualClock`] handle, so the telemetry sink (virtual
     /// span mode) and the circuit breaker observe the same timeline the
@@ -194,22 +209,16 @@ impl Backend {
         let per_message = self.sink.virtual_clock().is_some();
         'daemon: loop {
             let Ok(req) = rx.recv() else { break };
-            if self.handle(req) {
+            if self.step(req, per_message) {
                 break;
-            }
-            if per_message {
-                self.check_flush();
             }
             // Drain whatever is already queued before considering
             // consolidation, so a burst of requests from concurrent
             // frontends lands in one pending set (the enterprise arrival
             // pattern the paper assumes).
             while let Ok(more) = rx.try_recv() {
-                if self.handle(more) {
+                if self.step(more, per_message) {
                     break 'daemon;
-                }
-                if per_message {
-                    self.check_flush();
                 }
             }
             if !per_message {
@@ -218,12 +227,39 @@ impl Backend {
         }
     }
 
+    /// Handle one message, then (in virtual span mode) run the flush it
+    /// may have triggered and only *then* release any parked replies:
+    /// the flush advances the shared clock, and a frontend resumed
+    /// before the advance settles would race it (reading the clock for
+    /// its next arrival or backoff), making same-seed runs diverge.
+    fn step(&mut self, req: Request, per_message: bool) -> bool {
+        let shutdown = self.handle(req);
+        if per_message && !shutdown {
+            self.check_flush();
+        }
+        for (ctx, send) in std::mem::take(&mut self.deferred_replies) {
+            if !send() {
+                self.reap(ctx, "reply channel dead", true);
+            }
+        }
+        shutdown
+    }
+
     /// The batching conditions: flush on reaching the group-size
     /// threshold, or when the oldest pending request has waited past
     /// the staleness bound (trace-driven runs may never reach the
-    /// threshold).
+    /// threshold). With admission control on, the CoDel-style age shed
+    /// runs first (blown requests are dropped before more work is
+    /// dispatched) and the queue-age watchdog **after** the flush:
+    /// flushing always empties pending work onto the device, so any age
+    /// the flush could clear is batching delay, not overload — what the
+    /// watchdog must react to is the pressure that *survives* a flush
+    /// (device backlog, or a queue the flush could not move).
     fn check_flush(&mut self) {
-        if self.pending.len() >= self.cfg.threshold() {
+        if self.admission.is_some() {
+            self.shed_stale();
+        }
+        if self.pending.len() >= self.effective_threshold() {
             self.flush(false);
         } else if !self.pending.is_empty() {
             let oldest = self
@@ -235,6 +271,147 @@ impl Backend {
                 self.flush(true);
             }
         }
+        if self.admission.is_some() {
+            self.watchdog();
+        }
+    }
+
+    /// The consolidation threshold adjusted by the degradation ladder:
+    /// level ≥ 3 widens batching to 2× so each coordination round moves
+    /// more work per unit of overhead.
+    fn effective_threshold(&self) -> usize {
+        let base = self.cfg.threshold();
+        match &self.admission {
+            Some(a) if a.level() >= 3 => base * 2,
+            _ => base,
+        }
+    }
+
+    /// Queued launches currently bound to device `d`.
+    fn device_depth(&self, d: usize) -> usize {
+        self.pending
+            .iter()
+            .filter(|r| self.fleet.binding(r.ctx) == Some(d))
+            .count()
+    }
+
+    /// The queue-age watchdog driving the degradation ladder: sustained
+    /// pressure (oldest pending request older than the configured age)
+    /// steps the ladder down one level at a time; a full quiet period
+    /// steps it back up. Audited as `Verdict::Degraded`.
+    ///
+    /// Launches are asynchronous, so sustained overload mostly shows up
+    /// as a device clock running *ahead* of the host clock (queued work
+    /// on the device) rather than as pending-queue depth — the watchdog
+    /// treats that backlog lead as pressure too: it is exactly the extra
+    /// queueing delay a newly admitted request would face.
+    fn watchdog(&mut self) {
+        let now = self.clock.now_s();
+        let age = self
+            .pending
+            .iter()
+            .map(|r| (now - r.submitted_at_s).max(0.0))
+            .fold(0.0, f64::max);
+        let backlog = self
+            .gpus
+            .iter()
+            .map(|g| (g.now_s() - now).max(0.0))
+            .fold(0.0, f64::max);
+        let age = age.max(backlog);
+        let moved = match &mut self.admission {
+            Some(a) => {
+                let before = a.level();
+                a.observe(now, age).map(|level| (before, level))
+            }
+            None => return,
+        };
+        let Some((before, level)) = moved else { return };
+        self.stats.degradation_steps += 1;
+        self.stats.max_degradation_level = self.stats.max_degradation_level.max(level);
+        if self.sink.is_enabled() {
+            self.sink.gauge_set("degradation_level", f64::from(level));
+            self.sink.audit(DecisionRecord {
+                time_s: now,
+                kernels: Vec::new(),
+                verdict: Verdict::Degraded,
+                consolidated: None,
+                serial: None,
+                cpu: None,
+                reason: format!(
+                    "degradation ladder {} {before} -> {level} (oldest pending age {age:.4} s, {} pending)",
+                    if level > before {
+                        "stepped down under pressure:"
+                    } else {
+                        "recovered after quiet period:"
+                    },
+                    self.pending.len()
+                ),
+            });
+        }
+    }
+
+    /// CoDel-style age shed: queued requests older than `shed_age_s`
+    /// have already blown their latency budget — executing them would
+    /// only burn energy, so they are dropped with a `Shed` notice
+    /// queued for the owner's next `sync` and a `Verdict::Shed` audit.
+    fn shed_stale(&mut self) {
+        let shed_age_s = match &self.admission {
+            Some(a) => a.cfg.shed_age_s,
+            None => return,
+        };
+        if !shed_age_s.is_finite() || self.pending.is_empty() {
+            return;
+        }
+        let now = self.clock.now_s();
+        let mut kept = Vec::with_capacity(self.pending.len());
+        let mut stale: Vec<KernelRequest> = Vec::new();
+        for r in self.pending.drain(..) {
+            if now - r.submitted_at_s > shed_age_s {
+                stale.push(r);
+            } else {
+                kept.push(r);
+            }
+        }
+        self.pending = kept;
+        for req in stale {
+            self.stats.shed_requests += 1;
+            self.stats.shed_queue_age += 1;
+            self.failures.entry(req.ctx).or_default().push_back((
+                req.seq,
+                CoreError::Shed {
+                    seq: Some(req.seq),
+                    cause: ShedCause::QueueAge,
+                },
+            ));
+            self.audit_shed(&req.name, req.ctx, Some(req.seq), ShedCause::QueueAge);
+        }
+    }
+
+    /// Audit one permanent shed (admission-final or queue-age).
+    fn audit_shed(&mut self, name: &Arc<str>, ctx: u64, seq: Option<u64>, cause: ShedCause) {
+        if !self.sink.is_enabled() {
+            return;
+        }
+        self.sink.counter_add("requests_shed", 1.0);
+        let reason = match seq {
+            Some(seq) => format!(
+                "request '{name}' (ctx {ctx}, seq {seq}) shed from the queue: {}",
+                cause.label()
+            ),
+            None => format!(
+                "launch of '{name}' (ctx {ctx}) shed at admission: {}",
+                cause.label()
+            ),
+        };
+        self.sink.audit(DecisionRecord {
+            time_s: self.clock.now_s(),
+            kernels: vec![name.clone()],
+            verdict: Verdict::Shed,
+            consolidated: None,
+            serial: None,
+            cpu: None,
+            reason,
+        });
     }
 
     /// Device assigned to a context (placed by the fleet governor on
@@ -243,7 +420,20 @@ impl Backend {
         if let Some(d) = self.fleet.binding(ctx) {
             return d;
         }
-        let rec = self.fleet.place(ctx, &self.clock);
+        // Overload coordination with the governor: when admission
+        // bounds the queues, a device sitting at its bound is
+        // "overloaded but healthy" — steer new contexts elsewhere so it
+        // sheds load before its breaker ever trips.
+        let rec = match &self.admission {
+            Some(adm) if self.gpus.len() > 1 => {
+                let cap = adm.cfg.max_per_device;
+                let saturated: Vec<bool> = (0..self.gpus.len())
+                    .map(|d| self.device_depth(d) >= cap)
+                    .collect();
+                self.fleet.place_avoiding(ctx, &self.clock, &saturated)
+            }
+            _ => self.fleet.place(ctx, &self.clock),
+        };
         let d = rec.device as usize;
         if self.fleet_mode && self.sink.is_enabled() {
             self.sink.counter_add(&format!("placements_gpu{d}"), 1.0);
@@ -306,6 +496,11 @@ impl Backend {
         if let Request::AdvanceClock { to_s } = req {
             // Harness construct, not an API call: no channel cost.
             self.clock.advance_to(to_s);
+            return false;
+        }
+        if let Request::AdvanceClockBy { by_s } = req {
+            // A client waiting out a backoff: no channel cost.
+            self.clock.advance_by(by_s.max(0.0));
             return false;
         }
         if let Request::Disconnect { ctx } = req {
@@ -403,9 +598,11 @@ impl Backend {
                 ctx,
                 name,
                 batched_args,
+                priority,
+                attempt,
                 reply,
             } => {
-                let r = self.enqueue_launch(ctx, name, batched_args);
+                let r = self.enqueue_launch(ctx, name, batched_args, priority, attempt);
                 self.send_reply(ctx, reply, r);
             }
             Request::RegisterConstant {
@@ -451,7 +648,9 @@ impl Backend {
                 }
                 self.send_reply(ctx, reply, r.map(|u| u.ptr).map_err(CoreError::from));
             }
-            Request::AdvanceClock { .. } | Request::Disconnect { .. } => {
+            Request::AdvanceClock { .. }
+            | Request::AdvanceClockBy { .. }
+            | Request::Disconnect { .. } => {
                 unreachable!("handled above")
             }
             Request::Sync { ctx, reply } => {
@@ -505,13 +704,18 @@ impl Backend {
 
     /// Reply to a frontend; a dead reply channel means the frontend died
     /// mid-request, so reap it instead of silently dropping the result.
-    fn send_reply<T>(
+    /// In virtual span mode the send is parked until [`Backend::step`]
+    /// has run the post-message flush — see `deferred_replies`.
+    fn send_reply<T: Send + 'static>(
         &mut self,
         ctx: u64,
         reply: Sender<Result<T, CoreError>>,
         r: Result<T, CoreError>,
     ) {
-        if reply.send(r).is_err() {
+        if self.sink.virtual_clock().is_some() {
+            self.deferred_replies
+                .push((ctx, Box::new(move || reply.send(r).is_ok())));
+        } else if reply.send(r).is_err() {
             self.reap(ctx, "reply channel dead", true);
         }
     }
@@ -525,7 +729,13 @@ impl Backend {
             return;
         }
         self.ctx_state.remove(&ctx);
-        self.failures.remove(&ctx);
+        // Failure notices queued for a dead context can never be
+        // delivered (delivery is pull-based, at sync): drop them here
+        // and account for them, so the map cannot grow across frontend
+        // churn and no request silently vanishes from the books.
+        if let Some(q) = self.failures.remove(&ctx) {
+            self.stats.undelivered_failures += q.len() as u64;
+        }
         self.ctx_allocs.remove(&ctx);
         self.ctx_constants.remove(&ctx);
         self.remap.remove(&ctx);
@@ -596,6 +806,8 @@ impl Backend {
         ctx: u64,
         name: Arc<str>,
         batched_args: Option<Vec<ewc_gpu::kernel::KernelArg>>,
+        priority: Priority,
+        attempt: u32,
     ) -> Result<u64, CoreError> {
         let workload = self
             .registry
@@ -622,6 +834,47 @@ impl Backend {
         // reject it here — synchronously, to the offending frontend —
         // instead of poisoning a consolidation group later.
         ewc_gpu::Occupancy::of(&desc, self.gpus[d].config()).map_err(CoreError::from)?;
+        // Admission, after validation (a malformed launch keeps its
+        // original error) and before the arguments are consumed (a
+        // `Busy` retry resends them). The terminal shed-vs-retry call is
+        // made here, in exactly one place, so the conservation invariant
+        // is plain stats arithmetic.
+        if self.admission.is_some() {
+            let now = self.clock.now_s();
+            let device_depth = self.device_depth(d);
+            let ctx_depth = self.pending.iter().filter(|r| r.ctx == ctx).count();
+            let (decision, retry_after_s) = match &mut self.admission {
+                Some(adm) => (
+                    adm.admit(now, device_depth, ctx_depth, priority, attempt),
+                    adm.retry_after_s(),
+                ),
+                None => unreachable!("guarded above"),
+            };
+            match decision {
+                AdmissionDecision::Admit => {}
+                AdmissionDecision::Busy { cause } => {
+                    self.stats.busy_rejections += 1;
+                    if self.sink.is_enabled() {
+                        self.sink.counter_add("busy_rejections", 1.0);
+                    }
+                    // Restore the configuration so the retry does not
+                    // need to re-send configure_call.
+                    if let Some(st) = self.ctx_state.get_mut(&ctx) {
+                        st.config = Some(config);
+                    }
+                    return Err(CoreError::Busy {
+                        retry_after_us: (retry_after_s * 1e6).ceil().max(1.0) as u64,
+                        cause,
+                    });
+                }
+                AdmissionDecision::Shed { cause } => {
+                    self.stats.shed_requests += 1;
+                    self.audit_shed(&name, ctx, None, cause);
+                    return Err(CoreError::Shed { seq: None, cause });
+                }
+            }
+        }
+        let state = self.ctx_state.entry(ctx).or_default();
         let args = match batched_args {
             Some(a) => a,
             None => std::mem::take(&mut state.args),
@@ -636,7 +889,9 @@ impl Backend {
             args,
             workload,
             submitted_at_s,
+            priority,
         });
+        self.stats.max_pending_depth = self.stats.max_pending_depth.max(self.pending.len() as u64);
         Ok(seq)
     }
 
@@ -648,14 +903,23 @@ impl Backend {
             if self.pending.is_empty() {
                 return;
             }
-            if !force && self.pending.len() < self.cfg.threshold() {
+            if !force && self.pending.len() < self.effective_threshold() {
                 return;
             }
+            // Degradation level ≥ 2 coarsens the consolidation search:
+            // only the oldest `threshold` requests per device are
+            // template-matched, bounding matcher cost under a deep
+            // backlog (the rest wait their turn).
+            let window = match &self.admission {
+                Some(a) if a.level() >= 2 => self.cfg.threshold().max(1),
+                _ => usize::MAX,
+            };
             let mut grouped = false;
             for d in 0..self.gpus.len() {
-                let local: Vec<usize> = (0..self.pending.len())
+                let mut local: Vec<usize> = (0..self.pending.len())
                     .filter(|&i| self.fleet.binding(self.pending[i].ctx) == Some(d))
                     .collect();
+                local.truncate(window);
                 if local.is_empty() {
                     continue;
                 }
@@ -748,6 +1012,17 @@ impl Backend {
                 }
             }
         }
+        // Degradation level 4: the CPU lifeboat. Whole groups without a
+        // High-priority member spill to the host so the device queue can
+        // drain — force_gpu does not outrank a ladder at its last rung.
+        let mut spilled = false;
+        if assessment.choice != Choice::Cpu
+            && matches!(&self.admission, Some(a) if a.level() >= 4)
+            && group.iter().all(|r| r.priority < Priority::High)
+        {
+            spilled = true;
+            assessment.choice = Choice::Cpu;
+        }
         if self.sink.is_enabled() {
             self.sink
                 .span(
@@ -760,7 +1035,7 @@ impl Backend {
                 .attr("template", template)
                 .attr("group_size", group.len())
                 .emit();
-            self.audit_decision(&assessment, &group, device, forced, tripped);
+            self.audit_decision(&assessment, &group, device, forced, tripped, spilled);
         }
 
         // Kernel launches are asynchronous: the device clock runs ahead
@@ -1168,13 +1443,21 @@ impl Backend {
     /// `sync`, and audit it.
     fn record_failure(&mut self, req: &KernelRequest, e: GpuError) {
         self.stats.failed_kernels += 1;
-        self.failures.entry(req.ctx).or_default().push_back((
-            req.seq,
-            CoreError::KernelFailed {
-                seq: req.seq,
-                gpu: e.clone(),
-            },
-        ));
+        if self.dead.contains(&req.ctx) {
+            // The context was reaped mid-flush (dead reply channel):
+            // nobody will ever sync to collect this notice, and the
+            // idempotence guard means reap will not run again for this
+            // context — queueing it would leak across frontend churn.
+            self.stats.undelivered_failures += 1;
+        } else {
+            self.failures.entry(req.ctx).or_default().push_back((
+                req.seq,
+                CoreError::KernelFailed {
+                    seq: req.seq,
+                    gpu: e.clone(),
+                },
+            ));
+        }
         if self.sink.is_enabled() {
             self.sink.counter_add("requests_failed", 1.0);
             self.sink.audit(DecisionRecord {
@@ -1217,9 +1500,10 @@ impl Backend {
         device: usize,
         forced: bool,
         tripped: bool,
+        spilled: bool,
     ) {
         let reason = format!(
-            "predicted energy: consolidated {:.3} J (margin-adjusted), serial {:.3} J, cpu {:.3} J{}{}",
+            "predicted energy: consolidated {:.3} J (margin-adjusted), serial {:.3} J, cpu {:.3} J{}{}{}",
             assessment.consolidated.system_energy_j,
             assessment.serial.system_energy_j,
             assessment.cpu_energy_j,
@@ -1228,6 +1512,11 @@ impl Backend {
                 format!("; circuit breaker open on gpu{device}, no healthy device: group tripped to CPU")
             } else {
                 String::new()
+            },
+            if spilled {
+                "; overload level 4: group spilled to the CPU lifeboat"
+            } else {
+                ""
             }
         );
         self.sink.audit(DecisionRecord {

@@ -1,5 +1,6 @@
 //! Runtime configuration: overhead costs and feature toggles.
 
+use crate::admission::AdmissionConfig;
 use crate::resilience::ResiliencePolicy;
 
 /// Configuration of the consolidation runtime.
@@ -58,6 +59,13 @@ pub struct RuntimeConfig {
     /// device per [`ewc_fleet::DeviceSpec`], placed by the configured
     /// policy under the optional fleet power cap.
     pub fleet: Option<ewc_fleet::FleetConfig>,
+    /// Optional admission control + graceful degradation under
+    /// open-loop overload. `None` (the default) keeps every queue
+    /// unbounded — bit-compatible with the pre-admission backend.
+    /// `Some` bounds the per-device and per-context queues, answers
+    /// `Busy` backpressure, sheds aged requests CoDel-style, and runs
+    /// the degradation ladder.
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl RuntimeConfig {
@@ -106,6 +114,7 @@ impl Default for RuntimeConfig {
             max_pending_wait_s: f64::INFINITY,
             resilience: ResiliencePolicy::default(),
             fleet: None,
+            admission: None,
         }
     }
 }

@@ -13,8 +13,9 @@ use std::sync::mpsc::Sender;
 use std::sync::Arc;
 
 use ewc_gpu::kernel::KernelArg;
-use ewc_gpu::DevicePtr;
+use ewc_gpu::{DevicePtr, SimRng};
 
+use crate::admission::Priority;
 use crate::protocol::{CoreError, ExecConfig, Request};
 
 /// A per-process frontend handle. Cloning is intentionally not provided:
@@ -24,6 +25,12 @@ pub struct Frontend {
     tx: Sender<Request>,
     batching: bool,
     held_args: Vec<KernelArg>,
+    priority: Priority,
+    /// Per-frontend jitter stream for backoff under `Busy` answers.
+    /// Seeded from the context id alone — never shared state — so
+    /// same-seed overload replays stay byte-identical no matter how
+    /// wakeups interleave across frontends.
+    rng: SimRng,
 }
 
 impl Frontend {
@@ -33,12 +40,27 @@ impl Frontend {
             tx,
             batching,
             held_args: Vec::new(),
+            priority: Priority::Normal,
+            rng: SimRng::seed_from_u64(
+                0x6f76_6572_6c6f_6164u64 ^ ctx.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
         }
     }
 
     /// This frontend's context id.
     pub fn ctx(&self) -> u64 {
         self.ctx
+    }
+
+    /// Priority class attached to subsequent launches (admission
+    /// control sheds low classes first under pressure).
+    pub fn set_priority(&mut self, priority: Priority) {
+        self.priority = priority;
+    }
+
+    /// The current launch priority class.
+    pub fn priority(&self) -> Priority {
+        self.priority
     }
 
     fn rpc<T>(
@@ -129,19 +151,85 @@ impl Frontend {
     /// `cudaLaunch`: enqueue the kernel for (possible) consolidation.
     /// Returns a ticket; completion is observed via [`Frontend::sync`].
     pub fn launch(&mut self, kernel: &str) -> Result<u64, CoreError> {
+        self.launch_attempt(kernel, 0)
+    }
+
+    /// One launch attempt; `attempt` counts prior [`CoreError::Busy`]
+    /// answers (the backend sheds permanently at its retry limit). With
+    /// batching on, the held arguments survive a `Busy` answer so the
+    /// retry can resend them without replaying `setup_argument`.
+    pub fn launch_attempt(&mut self, kernel: &str, attempt: u32) -> Result<u64, CoreError> {
         let batched = if self.batching {
-            Some(std::mem::take(&mut self.held_args))
+            Some(self.held_args.clone())
         } else {
             None
         };
         let name: Arc<str> = Arc::from(kernel);
         let ctx = self.ctx;
-        self.rpc(move |reply| Request::Launch {
+        let priority = self.priority;
+        let r = self.rpc(move |reply| Request::Launch {
             ctx,
             name,
             batched_args: batched,
+            priority,
+            attempt,
+            reply,
+        });
+        if self.batching && !matches!(r, Err(CoreError::Busy { .. })) {
+            self.held_args.clear();
+        }
+        r
+    }
+
+    /// Launch with explicit arguments, bypassing the held-argument
+    /// buffer — the open-loop harness path, where several arrivals from
+    /// one stream can be in flight (and in `Busy` backoff) at once.
+    pub fn launch_with(
+        &mut self,
+        kernel: &str,
+        args: Vec<KernelArg>,
+        priority: Priority,
+        attempt: u32,
+    ) -> Result<u64, CoreError> {
+        let name: Arc<str> = Arc::from(kernel);
+        let ctx = self.ctx;
+        self.rpc(move |reply| Request::Launch {
+            ctx,
+            name,
+            batched_args: Some(args),
+            priority,
+            attempt,
             reply,
         })
+    }
+
+    /// Launch, retrying [`CoreError::Busy`] backpressure answers until
+    /// the backend either admits or permanently sheds the request. Each
+    /// retry waits out the backend's hint plus jitter drawn from this
+    /// frontend's own [`SimRng`] stream, advanced on the virtual clock.
+    pub fn launch_with_retries(&mut self, kernel: &str) -> Result<u64, CoreError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.launch_attempt(kernel, attempt) {
+                Err(CoreError::Busy { retry_after_us, .. }) => {
+                    attempt += 1;
+                    let delay_s =
+                        retry_after_us as f64 * 1e-6 * (1.0 + self.rng.range_f64(0.0, 0.5));
+                    self.advance_clock_by(delay_s)?;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Advance the simulated clock by `delay_s` from now — the
+    /// closed-loop client's way of waiting out a backoff interval.
+    pub fn advance_clock_by(&self, delay_s: f64) -> Result<(), CoreError> {
+        self.tx
+            .send(Request::AdvanceClockBy {
+                by_s: delay_s.max(0.0),
+            })
+            .map_err(|_| CoreError::Disconnected)
     }
 
     /// Register load-once constant data (the Section IV backend API).

@@ -134,6 +134,7 @@ mod tests {
             args: Vec::new(),
             workload: Arc::new(Dummy(name)),
             submitted_at_s: 0.0,
+            priority: crate::admission::Priority::Normal,
         }
     }
 

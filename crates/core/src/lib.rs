@@ -78,6 +78,7 @@
 // shipping code (tests are free to use them).
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod admission;
 pub mod backend;
 pub mod config;
 pub mod decision;
@@ -90,6 +91,7 @@ pub mod runtime;
 pub mod stats;
 pub mod template;
 
+pub use admission::{AdmissionConfig, AdmissionDecision, DegradationConfig, Priority, ShedCause};
 pub use backend::BackendHandles;
 pub use config::RuntimeConfig;
 pub use decision::{Choice, DecisionEngine};

@@ -17,6 +17,7 @@ use ewc_gpu::kernel::KernelArg;
 use ewc_gpu::{DevicePtr, GpuError};
 use ewc_workloads::Workload;
 
+use crate::admission::{Priority, ShedCause};
 use crate::stats::BackendStats;
 
 /// Errors surfaced to frontends.
@@ -43,6 +44,27 @@ pub enum CoreError {
         /// The underlying device error.
         gpu: GpuError,
     },
+    /// Backpressure: the admission controller refused this launch
+    /// attempt. The frontend should retry after (roughly) the hinted
+    /// delay with seeded jitter; the backend sheds permanently after
+    /// `busy_retry_limit` attempts. Times are integer microseconds on
+    /// the virtual clock (this enum is `Eq`).
+    Busy {
+        /// Suggested retry delay, microseconds.
+        retry_after_us: u64,
+        /// Why this attempt was refused.
+        cause: ShedCause,
+    },
+    /// The request was shed permanently by the admission controller:
+    /// either a launch exhausted its `Busy` retries, or a queued launch
+    /// (`seq = Some`) aged past its deadline and was dropped
+    /// CoDel-style before dispatch (reported at the next `sync`).
+    Shed {
+        /// Ticket of the shed launch, when it had already been queued.
+        seq: Option<u64>,
+        /// Why it was shed.
+        cause: ShedCause,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -56,6 +78,35 @@ impl fmt::Display for CoreError {
             CoreError::KernelFailed { seq, gpu } => {
                 write!(f, "kernel launch (ticket {seq}) failed: {gpu}")
             }
+            CoreError::Busy {
+                retry_after_us,
+                cause,
+            } => {
+                write!(
+                    f,
+                    "backend busy ({}); retry after {retry_after_us} us",
+                    cause.label()
+                )
+            }
+            CoreError::Shed { seq, cause } => match seq {
+                Some(seq) => write!(f, "request (ticket {seq}) shed: {}", cause.label()),
+                None => write!(f, "request shed at admission: {}", cause.label()),
+            },
+        }
+    }
+}
+
+impl CoreError {
+    /// `true` for the backpressure answer a client should retry.
+    pub fn is_busy(&self) -> bool {
+        matches!(self, CoreError::Busy { .. })
+    }
+
+    /// The suggested retry delay in seconds, for `Busy` answers.
+    pub fn retry_after_s(&self) -> Option<f64> {
+        match self {
+            CoreError::Busy { retry_after_us, .. } => Some(*retry_after_us as f64 * 1e-6),
+            _ => None,
         }
     }
 }
@@ -94,6 +145,8 @@ pub struct KernelRequest {
     /// Device-clock time at which the launch was enqueued (for latency
     /// accounting and staleness-triggered flushes).
     pub submitted_at_s: f64,
+    /// Priority class (admission control sheds low classes first).
+    pub priority: Priority,
 }
 
 impl fmt::Debug for KernelRequest {
@@ -178,6 +231,11 @@ pub enum Request {
         name: Arc<str>,
         /// Batched arguments (None when shipped via `SetupArgument`).
         batched_args: Option<Vec<KernelArg>>,
+        /// Priority class for admission control.
+        priority: Priority,
+        /// How many times this launch has already been answered `Busy`
+        /// (the admission controller sheds permanently at the limit).
+        attempt: u32,
         /// Reply channel: the assigned ticket (sequence number).
         reply: Sender<Result<u64, CoreError>>,
     },
@@ -199,6 +257,14 @@ pub enum Request {
     AdvanceClock {
         /// Target time in seconds (no-op if already past).
         to_s: f64,
+    },
+    /// Advance the simulated clock by `by_s` from its current value —
+    /// how a closed-loop client waits out a `Busy` backoff interval
+    /// without knowing the backend's absolute time. Like
+    /// `AdvanceClock`, a harness construct with no channel cost.
+    AdvanceClockBy {
+        /// Seconds to advance by (clamped at zero).
+        by_s: f64,
     },
     /// The frontend is gone (process died or handle dropped). The
     /// backend drains the context's pending launches — a dead process
@@ -242,7 +308,9 @@ impl Request {
             | Request::RegisterConstant { ctx, .. }
             | Request::Disconnect { ctx }
             | Request::Sync { ctx, .. } => Some(*ctx),
-            Request::AdvanceClock { .. } | Request::Shutdown { .. } => None,
+            Request::AdvanceClock { .. }
+            | Request::AdvanceClockBy { .. }
+            | Request::Shutdown { .. } => None,
         }
     }
 
@@ -258,6 +326,7 @@ impl Request {
             Request::Launch { .. } => "launch",
             Request::RegisterConstant { .. } => "register_constant",
             Request::AdvanceClock { .. } => "advance_clock",
+            Request::AdvanceClockBy { .. } => "advance_clock_by",
             Request::Disconnect { .. } => "disconnect",
             Request::Sync { .. } => "sync",
             Request::Shutdown { .. } => "shutdown",

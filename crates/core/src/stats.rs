@@ -108,6 +108,25 @@ pub struct BackendStats {
     /// Placements the fleet power cap redirected away from the policy's
     /// first choice.
     pub cap_redirects: u64,
+    /// Launch attempts answered with `Busy` backpressure (each may be
+    /// retried; not a terminal state).
+    pub busy_rejections: u64,
+    /// Requests shed permanently by the admission controller (at
+    /// admission after exhausting `Busy` retries, or aged out of the
+    /// queue). Terminal: a shed request never completes.
+    pub shed_requests: u64,
+    /// Of `shed_requests`, those dropped CoDel-style for queue age
+    /// after they had already been admitted.
+    pub shed_queue_age: u64,
+    /// Degradation-ladder level changes (both directions).
+    pub degradation_steps: u64,
+    /// Deepest degradation level the ladder reached.
+    pub max_degradation_level: u8,
+    /// High-water mark of the backend's pending queue (all devices).
+    pub max_pending_depth: u64,
+    /// Queued permanent-failure notices dropped because their context
+    /// was already reaped (nobody left to sync and collect them).
+    pub undelivered_failures: u64,
     /// Every context→device binding (and migration) the fleet governor
     /// made, in binding order — the placement audit trail the same-seed
     /// determinism tests replay.

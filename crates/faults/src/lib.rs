@@ -27,6 +27,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The injector and soak harness run inside the daemon's CI gates:
+// unwraps are banned in shipping code (tests are free to use them).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod config;
 pub mod plan;

@@ -8,9 +8,13 @@
 //! processes the fault plan kills, verifies every output it can still
 //! reach against the host reference, and accounts for every submitted
 //! request as exactly one of *verified*, *failed* (a permanent error
-//! surfaced at `sync`) or *dropped* (its process died first).
+//! surfaced at `sync`), *shed* (refused by admission control or aged
+//! out of the queue, when [`SoakConfig::admission`] is on) or
+//! *dropped* (its process died first).
 
-use ewc_core::{CoreError, Frontend, ResiliencePolicy, Runtime, RuntimeConfig, Template};
+use ewc_core::{
+    AdmissionConfig, CoreError, Frontend, ResiliencePolicy, Runtime, RuntimeConfig, Template,
+};
 use ewc_exec::TaskPool;
 use ewc_gpu::{DevicePtr, GpuConfig, GpuError};
 use ewc_telemetry::{DecisionRecord, TelemetrySink};
@@ -43,6 +47,11 @@ pub struct SoakConfig {
     /// Restrict fault injection to these device indices; `None` means
     /// every device sees the fault plan.
     pub fault_targets: Option<Vec<usize>>,
+    /// Admission-control limits; `None` (the default) keeps the
+    /// pre-admission unbounded backend. The overload preset installs a
+    /// tight token bucket and queue bounds so shedding happens under
+    /// fault pressure too.
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl Default for SoakConfig {
@@ -56,6 +65,34 @@ impl Default for SoakConfig {
             resilience: ResiliencePolicy::default(),
             gpus: 1,
             fault_targets: None,
+            admission: None,
+        }
+    }
+}
+
+impl SoakConfig {
+    /// The overload soak: light faults plus a deliberately tight
+    /// admission controller (small queue bounds, slow token bucket,
+    /// short CoDel age) over more processes, so a healthy fraction of
+    /// the closed-loop traffic is answered `Busy`, retried, and shed —
+    /// while the accounting still balances to the request.
+    pub fn overload(seed: u64) -> Self {
+        SoakConfig {
+            seed,
+            processes: 8,
+            requests_per_process: 12,
+            faults: FaultConfig::light(),
+            admission: Some(AdmissionConfig {
+                max_per_device: 6,
+                max_per_ctx: 2,
+                token_rate_hz: 40.0,
+                token_burst: 4.0,
+                busy_retry_limit: 2,
+                retry_after_s: 2e-3,
+                shed_age_s: 20.0,
+                ..AdmissionConfig::default()
+            }),
+            ..SoakConfig::default()
         }
     }
 }
@@ -69,6 +106,10 @@ pub struct SoakReport {
     pub verified: u64,
     /// Requests failed back to their frontend at `sync`.
     pub failed: u64,
+    /// Requests refused by admission control (shed at submit after the
+    /// `Busy` retry budget) or aged out of the queue CoDel-style at
+    /// `sync` — only nonzero when [`SoakConfig::admission`] is on.
+    pub shed: u64,
     /// Requests abandoned: their process died, or submission itself
     /// exhausted its retries.
     pub dropped: u64,
@@ -95,7 +136,7 @@ pub struct SoakReport {
 impl SoakReport {
     /// Every submitted request must be accounted for exactly once.
     pub fn balanced(&self) -> bool {
-        self.submitted == self.verified + self.failed + self.dropped
+        self.submitted == self.verified + self.failed + self.shed + self.dropped
     }
 
     /// Render a human-readable summary.
@@ -103,8 +144,8 @@ impl SoakReport {
         let mut out = String::new();
         out.push_str("soak report\n");
         out.push_str(&format!(
-            "  requests   submitted {:>5}  verified {:>5}  failed {:>4}  dropped {:>4}  mismatched {}\n",
-            self.submitted, self.verified, self.failed, self.dropped, self.mismatched
+            "  requests   submitted {:>5}  verified {:>5}  failed {:>4}  shed {:>4}  dropped {:>4}  mismatched {}\n",
+            self.submitted, self.verified, self.failed, self.shed, self.dropped, self.mismatched
         ));
         out.push_str(&format!(
             "  clients    retries {:>4}  frontend deaths {:>3}\n",
@@ -243,6 +284,7 @@ pub fn run(cfg: &SoakConfig) -> SoakReport {
         force_gpu: true,
         noise_seed: Some(cfg.seed),
         resilience: cfg.resilience.clone(),
+        admission: cfg.admission.clone(),
         ..RuntimeConfig::default()
     };
     let mut builder = Runtime::builder(rt_cfg)
@@ -260,6 +302,7 @@ pub fn run(cfg: &SoakConfig) -> SoakReport {
         submitted: 0,
         verified: 0,
         failed: 0,
+        shed: 0,
         dropped: 0,
         mismatched: 0,
         client_retries: 0,
@@ -296,6 +339,13 @@ pub fn run(cfg: &SoakConfig) -> SoakReport {
                 Ok(entry) => {
                     report.submitted += 1;
                     proc.inflight.push(entry);
+                }
+                // The backend exhausted this launch's `Busy` retry
+                // budget and refused it permanently: the request was
+                // offered, so it counts as submitted-and-shed.
+                Err(CoreError::Shed { .. }) => {
+                    report.submitted += 1;
+                    report.shed += 1;
                 }
                 Err(_) => report.dropped += 1,
             }
@@ -343,7 +393,10 @@ fn submit(
         .setup_argument(ewc_gpu::kernel::KernelArg::Ptr(output))?;
     proc.fe
         .setup_argument(ewc_gpu::kernel::KernelArg::U32(n as u32))?;
-    let seq = proc.fe.launch("encryption")?;
+    // With admission control on, the backend may answer `Busy`; the
+    // frontend waits out the hint (plus its own seeded jitter) on the
+    // virtual clock and retries until admitted or permanently shed.
+    let seq = proc.fe.launch_with_retries("encryption")?;
     Ok(Entry {
         seq,
         input,
@@ -360,6 +413,12 @@ fn sync_and_verify(proc: &mut Proc, report: &mut SoakReport) {
             Ok(()) => break,
             Err(CoreError::KernelFailed { seq, .. }) => {
                 report.failed += 1;
+                proc.inflight.retain(|e| e.seq != seq);
+            }
+            // A queued request aged past the CoDel bound and was shed
+            // before execution; its notice surfaces at sync.
+            Err(CoreError::Shed { seq: Some(seq), .. }) => {
+                report.shed += 1;
                 proc.inflight.retain(|e| e.seq != seq);
             }
             Err(_) => {
@@ -385,5 +444,30 @@ fn sync_and_verify(proc: &mut Proc, report: &mut SoakReport) {
         }
         let _ = proc.fe.free(entry.input);
         let _ = proc.fe.free(entry.output);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overload_preset_sheds_and_still_balances() {
+        let report = run(&SoakConfig::overload(7));
+        assert!(report.balanced(), "{}", report.render());
+        assert!(report.shed > 0, "{}", report.render());
+        assert!(report.verified > 0, "{}", report.render());
+        assert_eq!(report.mismatched, 0, "{}", report.render());
+    }
+
+    #[test]
+    fn overload_preset_replays_deterministically() {
+        let a = run(&SoakConfig::overload(42));
+        let b = run(&SoakConfig::overload(42));
+        assert_eq!(a.submitted, b.submitted);
+        assert_eq!(a.verified, b.verified);
+        assert_eq!(a.shed, b.shed);
+        assert_eq!(a.elapsed_s.to_bits(), b.elapsed_s.to_bits());
+        assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
     }
 }

@@ -40,6 +40,10 @@ pub enum PlacementReason {
     PowerCap,
     /// Re-placed by drain/migrate after the bound device tripped.
     Migrated,
+    /// Redirected off the policy's pick because that device's admission
+    /// queue is saturated — an overloaded-but-healthy device sheds new
+    /// contexts before its breaker ever trips.
+    Overload,
 }
 
 impl PlacementReason {
@@ -50,6 +54,7 @@ impl PlacementReason {
             PlacementReason::Health => "health",
             PlacementReason::PowerCap => "power-cap",
             PlacementReason::Migrated => "migrated",
+            PlacementReason::Overload => "overload",
         }
     }
 }
@@ -159,6 +164,30 @@ impl FleetGovernor {
     /// Bind a new context: run the policy, then the health and power-cap
     /// post-filters. Records and returns the placement.
     pub fn place(&mut self, ctx: u64, at: &VirtualClock) -> PlacementRecord {
+        self.place_filtered(ctx, at, None)
+    }
+
+    /// [`FleetGovernor::place`] with an overload post-filter: when the
+    /// policy's (health-filtered) pick is marked saturated in
+    /// `saturated` and a healthy unsaturated device exists, the context
+    /// is redirected there — the admission controller's way of letting
+    /// an overloaded-but-healthy device shed new work before its
+    /// breaker trips. The power-cap filter still runs last.
+    pub fn place_avoiding(
+        &mut self,
+        ctx: u64,
+        at: &VirtualClock,
+        saturated: &[bool],
+    ) -> PlacementRecord {
+        self.place_filtered(ctx, at, Some(saturated))
+    }
+
+    fn place_filtered(
+        &mut self,
+        ctx: u64,
+        at: &VirtualClock,
+        saturated: Option<&[bool]>,
+    ) -> PlacementRecord {
         let views = self.views(at);
         let mut device = self.policy.place(&views).min(self.specs.len() - 1);
         let mut reason = PlacementReason::Policy;
@@ -166,6 +195,19 @@ impl FleetGovernor {
             if let Some(alt) = self.healthy_target(device, at) {
                 device = alt;
                 reason = PlacementReason::Health;
+            }
+        }
+        if let Some(sat) = saturated {
+            if sat.get(device).copied().unwrap_or(false) {
+                let alt = (0..self.specs.len())
+                    .filter(|&d| {
+                        d != device && views[d].healthy && !sat.get(d).copied().unwrap_or(false)
+                    })
+                    .min_by_key(|&d| (self.live[d], d));
+                if let Some(alt) = alt {
+                    device = alt;
+                    reason = PlacementReason::Overload;
+                }
             }
         }
         if let Some(cap) = self.power_cap_w {
@@ -366,6 +408,23 @@ mod tests {
             g.placements().last().map(|r| r.reason),
             Some(PlacementReason::Migrated)
         );
+    }
+
+    #[test]
+    fn saturated_device_sheds_new_contexts_before_tripping() {
+        let clk = VirtualClock::new();
+        let mut g = governor(FleetConfig::homogeneous(2));
+        // Round robin wants device 0, but its admission queue is full:
+        // the placement redirects to the unsaturated card.
+        let rec = g.place_avoiding(1, &clk, &[true, false]);
+        assert_eq!((rec.device, rec.reason), (1, PlacementReason::Overload));
+        // Everything saturated: the policy pick stands (shedding then
+        // happens at admission, not by bouncing placements around).
+        let rec = g.place_avoiding(2, &clk, &[true, true]);
+        assert_eq!(rec.reason, PlacementReason::Policy);
+        // Nothing saturated: bit-compatible with plain place().
+        let rec = g.place_avoiding(3, &clk, &[false, false]);
+        assert_eq!(rec.reason, PlacementReason::Policy);
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! # ewc-load — open-loop traffic and the overload harness
+//!
+//! The paper assumes "a large number of users simultaneously sending
+//! their requests" but only ever drives the framework closed-loop: each
+//! harness submits, waits, submits again, so the offered load can never
+//! exceed the service rate. This crate generates **open-loop** arrivals —
+//! requests arrive on a schedule that does not care whether the backend
+//! keeps up — which is the regime where bounded queues, admission
+//! control and graceful degradation (`ewc_core::admission`) earn their
+//! keep.
+//!
+//! * [`process`] — seeded arrival processes: Poisson, bursty
+//!   (Markov-modulated), and diurnal (sinusoidally rate-varying via
+//!   thinning). Each stream draws from its own [`ewc_gpu::SimRng`], so
+//!   a storm of 10⁵ concurrent request streams is bitwise-reproducible.
+//! * [`openloop`] — the harness: every arrival is a cheap
+//!   [`ewc_exec::SimTask`] on the discrete-event executor, so stream
+//!   count is an event-count problem, not a thread-count problem. `Busy`
+//!   backpressure answers re-arm the arrival with seeded-jitter backoff
+//!   on the same virtual clock; at the end the harness drains every
+//!   stream and checks the **conservation invariant**: every generated
+//!   request is accounted for exactly once (completed, failed with an
+//!   audit, shed with an audit, or drained).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// The harness runs inside benches and CI gates: unwraps are banned in
+// shipping code (tests are free to use them).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod openloop;
+pub mod process;
+
+pub use openloop::{LoadConfig, LoadReport};
+pub use process::{ArrivalGen, ArrivalProcess};

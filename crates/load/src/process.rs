@@ -1,0 +1,300 @@
+//! Seeded arrival processes.
+//!
+//! Every process is a generator of inter-arrival gaps driven by a
+//! caller-owned [`SimRng`]: one stream = one RNG = one reproducible
+//! arrival schedule, no matter how many streams run concurrently.
+
+use ewc_gpu::SimRng;
+
+/// An open-loop arrival process, parameterised by its mean rate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at a constant rate (the enterprise steady
+    /// state the paper's threshold choice assumes).
+    Poisson {
+        /// Mean arrival rate, requests/second.
+        rate_hz: f64,
+    },
+    /// A two-state Markov-modulated Poisson process: quiet stretches at
+    /// `base_hz` punctuated by bursts at `burst_hz`.
+    Bursty {
+        /// Arrival rate in the quiet state, requests/second.
+        base_hz: f64,
+        /// Arrival rate in the burst state, requests/second.
+        burst_hz: f64,
+        /// Mean dwell time in the burst state, seconds.
+        mean_burst_s: f64,
+        /// Mean dwell time in the quiet state, seconds.
+        mean_quiet_s: f64,
+    },
+    /// A sinusoidally rate-varying process (the day/night cycle),
+    /// sampled by Lewis–Shedler thinning so the schedule stays exact
+    /// for any modulation depth.
+    Diurnal {
+        /// Mean arrival rate over a full period, requests/second.
+        rate_hz: f64,
+        /// Cycle length, seconds.
+        period_s: f64,
+        /// Modulation depth in `[0, 1)`: the instantaneous rate swings
+        /// between `rate × (1 − depth)` and `rate × (1 + depth)`.
+        depth: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Mean arrival rate of the process, requests/second.
+    pub fn mean_rate_hz(&self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { rate_hz } => *rate_hz,
+            ArrivalProcess::Bursty {
+                base_hz,
+                burst_hz,
+                mean_burst_s,
+                mean_quiet_s,
+            } => {
+                let on = mean_burst_s / (mean_burst_s + mean_quiet_s);
+                burst_hz * on + base_hz * (1.0 - on)
+            }
+            ArrivalProcess::Diurnal { rate_hz, .. } => *rate_hz,
+        }
+    }
+
+    /// The same process with every rate multiplied by `mult` (the
+    /// offered-load multiplier of the overload experiments).
+    pub fn scaled(&self, mult: f64) -> Self {
+        assert!(mult > 0.0, "load multiplier must be positive");
+        match self.clone() {
+            ArrivalProcess::Poisson { rate_hz } => ArrivalProcess::Poisson {
+                rate_hz: rate_hz * mult,
+            },
+            ArrivalProcess::Bursty {
+                base_hz,
+                burst_hz,
+                mean_burst_s,
+                mean_quiet_s,
+            } => ArrivalProcess::Bursty {
+                base_hz: base_hz * mult,
+                burst_hz: burst_hz * mult,
+                mean_burst_s,
+                mean_quiet_s,
+            },
+            ArrivalProcess::Diurnal {
+                rate_hz,
+                period_s,
+                depth,
+            } => ArrivalProcess::Diurnal {
+                rate_hz: rate_hz * mult,
+                period_s,
+                depth,
+            },
+        }
+    }
+
+    /// Stable lower-case label for reports and the CLI.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Poisson { .. } => "poisson",
+            ArrivalProcess::Bursty { .. } => "bursty",
+            ArrivalProcess::Diurnal { .. } => "diurnal",
+        }
+    }
+}
+
+/// A running generator: the process plus whatever state it carries
+/// between draws (burst phase, absolute time for the diurnal rate).
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    process: ArrivalProcess,
+    /// Absolute time of the last generated arrival, seconds.
+    t_s: f64,
+    /// Bursty only: currently in the burst state?
+    bursting: bool,
+    /// Bursty only: time left in the current state, seconds.
+    dwell_left_s: f64,
+}
+
+/// One exponential draw with mean `1/rate`.
+fn exp_gap(rng: &mut SimRng, rate_hz: f64) -> f64 {
+    assert!(rate_hz > 0.0, "arrival rate must be positive");
+    let u: f64 = rng.range_f64(1e-12, 1.0);
+    -u.ln() / rate_hz
+}
+
+impl ArrivalGen {
+    /// A fresh generator at `t = 0` (bursty processes start quiet).
+    pub fn new(process: ArrivalProcess) -> Self {
+        ArrivalGen {
+            process,
+            t_s: 0.0,
+            bursting: false,
+            dwell_left_s: 0.0,
+        }
+    }
+
+    /// The process being generated.
+    pub fn process(&self) -> &ArrivalProcess {
+        &self.process
+    }
+
+    /// Draw the gap to the next arrival, consuming entropy from `rng`
+    /// only. Advances the generator's internal time.
+    pub fn next_gap_s(&mut self, rng: &mut SimRng) -> f64 {
+        let gap = match &self.process {
+            ArrivalProcess::Poisson { rate_hz } => exp_gap(rng, *rate_hz),
+            ArrivalProcess::Bursty {
+                base_hz,
+                burst_hz,
+                mean_burst_s,
+                mean_quiet_s,
+            } => {
+                // Walk the two-state chain gap by gap: when the current
+                // state's dwell runs out mid-gap, flip and redraw from
+                // the new state's rate for the remainder.
+                let (base_hz, burst_hz) = (*base_hz, *burst_hz);
+                let (mean_burst_s, mean_quiet_s) = (*mean_burst_s, *mean_quiet_s);
+                let mut gap = 0.0;
+                loop {
+                    if self.dwell_left_s <= 0.0 {
+                        self.bursting = !self.bursting;
+                        let mean = if self.bursting {
+                            mean_burst_s
+                        } else {
+                            mean_quiet_s
+                        };
+                        self.dwell_left_s = exp_gap(rng, 1.0 / mean);
+                    }
+                    let rate = if self.bursting { burst_hz } else { base_hz };
+                    let draw = exp_gap(rng, rate);
+                    if draw <= self.dwell_left_s {
+                        self.dwell_left_s -= draw;
+                        gap += draw;
+                        break gap;
+                    }
+                    // The state flips before the arrival lands: consume
+                    // the dwell and try again in the next state.
+                    gap += self.dwell_left_s;
+                    self.dwell_left_s = 0.0;
+                }
+            }
+            ArrivalProcess::Diurnal {
+                rate_hz,
+                period_s,
+                depth,
+            } => {
+                assert!((0.0..1.0).contains(depth), "depth must be in [0, 1)");
+                let lam_max = rate_hz * (1.0 + depth);
+                let start = self.t_s;
+                // Lewis–Shedler thinning against the peak rate.
+                loop {
+                    self.t_s += exp_gap(rng, lam_max);
+                    let phase = (self.t_s / period_s) * std::f64::consts::TAU;
+                    let lam = rate_hz * (1.0 + depth * phase.sin());
+                    if rng.next_f64() * lam_max <= lam {
+                        break self.t_s - start;
+                    }
+                }
+            }
+        };
+        if !matches!(self.process, ArrivalProcess::Diurnal { .. }) {
+            self.t_s += gap;
+        }
+        gap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_gap(process: ArrivalProcess, seed: u64, n: usize) -> f64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut g = ArrivalGen::new(process);
+        (0..n).map(|_| g.next_gap_s(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        let m = mean_gap(ArrivalProcess::Poisson { rate_hz: 50.0 }, 7, 20_000);
+        assert!((m - 0.02).abs() < 0.002, "mean gap {m} vs 0.02");
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        for p in [
+            ArrivalProcess::Poisson { rate_hz: 10.0 },
+            ArrivalProcess::Bursty {
+                base_hz: 5.0,
+                burst_hz: 80.0,
+                mean_burst_s: 0.5,
+                mean_quiet_s: 2.0,
+            },
+            ArrivalProcess::Diurnal {
+                rate_hz: 20.0,
+                period_s: 10.0,
+                depth: 0.8,
+            },
+        ] {
+            let a: Vec<f64> = {
+                let mut rng = SimRng::seed_from_u64(42);
+                let mut g = ArrivalGen::new(p.clone());
+                (0..200).map(|_| g.next_gap_s(&mut rng)).collect()
+            };
+            let b: Vec<f64> = {
+                let mut rng = SimRng::seed_from_u64(42);
+                let mut g = ArrivalGen::new(p.clone());
+                (0..200).map(|_| g.next_gap_s(&mut rng)).collect()
+            };
+            assert_eq!(a, b, "{} must replay bit-identically", p.label());
+            assert!(a.iter().all(|&g| g > 0.0), "gaps must be positive");
+        }
+    }
+
+    #[test]
+    fn bursty_mean_rate_sits_between_states() {
+        let p = ArrivalProcess::Bursty {
+            base_hz: 4.0,
+            burst_hz: 100.0,
+            mean_burst_s: 1.0,
+            mean_quiet_s: 3.0,
+        };
+        let m = mean_gap(p.clone(), 3, 50_000);
+        let rate = 1.0 / m;
+        assert!(
+            rate > 4.0 && rate < 100.0,
+            "observed rate {rate} must sit between the state rates"
+        );
+        // And roughly match the analytic mean.
+        let want = p.mean_rate_hz();
+        assert!(
+            (rate - want).abs() / want < 0.25,
+            "observed {rate} vs analytic {want}"
+        );
+    }
+
+    #[test]
+    fn diurnal_thinning_preserves_the_mean() {
+        let p = ArrivalProcess::Diurnal {
+            rate_hz: 40.0,
+            period_s: 5.0,
+            depth: 0.9,
+        };
+        let m = mean_gap(p, 11, 50_000);
+        let rate = 1.0 / m;
+        assert!(
+            (rate - 40.0).abs() / 40.0 < 0.1,
+            "thinned rate {rate} vs 40"
+        );
+    }
+
+    #[test]
+    fn scaling_multiplies_the_mean_rate() {
+        let p = ArrivalProcess::Bursty {
+            base_hz: 2.0,
+            burst_hz: 30.0,
+            mean_burst_s: 1.0,
+            mean_quiet_s: 1.0,
+        };
+        let s = p.scaled(4.0);
+        assert!((s.mean_rate_hz() - 4.0 * p.mean_rate_hz()).abs() < 1e-9);
+    }
+}

@@ -26,6 +26,15 @@ pub enum Verdict {
     /// drained off a tripped one and re-placed). Only emitted when an
     /// explicit fleet is configured.
     Placed,
+    /// The request was shed by the admission controller (queue bound,
+    /// rate limit, priority class under pressure, or CoDel-style queue
+    /// age) instead of being executed. Only emitted when admission
+    /// control is configured.
+    Shed,
+    /// The degradation ladder changed level (stepped down under
+    /// sustained pressure, or back up after a quiet period). Only
+    /// emitted when admission control is configured.
+    Degraded,
 }
 
 impl Verdict {
@@ -38,6 +47,8 @@ impl Verdict {
             Verdict::Failed => "failed",
             Verdict::Drained => "drained",
             Verdict::Placed => "placed",
+            Verdict::Shed => "shed",
+            Verdict::Degraded => "degraded",
         }
     }
 }
@@ -73,7 +84,11 @@ impl DecisionRecord {
             Verdict::Consolidate => self.consolidated,
             Verdict::SerialGpu => self.serial,
             Verdict::Cpu => self.cpu,
-            Verdict::Failed | Verdict::Drained | Verdict::Placed => None,
+            Verdict::Failed
+            | Verdict::Drained
+            | Verdict::Placed
+            | Verdict::Shed
+            | Verdict::Degraded => None,
         }
     }
 }

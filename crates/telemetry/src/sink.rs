@@ -66,6 +66,19 @@ impl TelemetrySink {
         }
     }
 
+    /// A sink that records **nothing** but still carries the executor
+    /// clock: the backend daemon adopts the clock and the deterministic
+    /// per-message batch boundaries of virtual-time span mode, without
+    /// paying for collection. The open-loop load harness runs its
+    /// non-telemetry scenarios in this mode so same-seed storms replay
+    /// bit-identically.
+    pub fn disabled_virtual(clock: VirtualClock) -> Self {
+        Self {
+            inner: None,
+            clock: Some(clock),
+        }
+    }
+
     /// The executor clock, in virtual-time span mode; `None` in the
     /// default mode.
     pub fn virtual_clock(&self) -> Option<&VirtualClock> {

@@ -152,8 +152,16 @@ use ewc_faults::{FaultConfig, SharedFaultPlan};
 use ewc_fleet::{FleetConfig, PlacementReason, PolicyKind};
 
 /// Run 12 verified AES instances on a 4-device heterogeneous fleet
-/// under `fleet_cfg`; returns the shutdown report.
+/// under `fleet_cfg`; returns the shutdown report. Runs in virtual
+/// span mode: the replay assertions below compare whole
+/// [`ewc_core::BackendStats`] byte-for-byte, and only the virtual
+/// clock guarantees that — in wall-clock mode the flush timestamp can
+/// shift by one `channel_latency_s` charge depending on where the
+/// daemon's `try_recv` batch boundary lands under OS scheduling.
 fn fleet_session(fleet_cfg: FleetConfig) -> ewc_core::RuntimeReport {
+    use ewc_exec::VirtualClock;
+    use ewc_telemetry::TelemetrySink;
+
     let cfg = GpuConfig::tesla_c1060();
     let aes: Arc<dyn Workload> = Arc::new(AesWorkload::fig7(&cfg));
     let rt = Runtime::builder(RuntimeConfig {
@@ -163,6 +171,7 @@ fn fleet_session(fleet_cfg: FleetConfig) -> ewc_core::RuntimeReport {
         fleet: Some(fleet_cfg),
         ..RuntimeConfig::default()
     })
+    .telemetry(TelemetrySink::enabled_virtual(VirtualClock::new()))
     .workload("encryption", Arc::clone(&aes))
     .template(Template::homogeneous("encryption"))
     .build();
