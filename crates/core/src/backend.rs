@@ -118,6 +118,9 @@ pub fn spawn(
         next_seq: 0,
         deferred_replies: Vec::new(),
         clock,
+        extract_scratch: Vec::new(),
+        flush_scratch: Vec::new(),
+        saturated_scratch: Vec::new(),
     };
     let join = std::thread::Builder::new()
         .name("ewc-backend".into())
@@ -197,6 +200,14 @@ struct Backend {
     /// span mode) and the circuit breaker observe the same timeline the
     /// backend advances.
     clock: VirtualClock,
+    /// Recycled storage for [`Backend::extract`]'s mark pass, kept
+    /// (emptied, capacity intact) between groups so the per-flush
+    /// bookkeeping stops allocating on the admission hot path.
+    extract_scratch: Vec<Option<KernelRequest>>,
+    /// Recycled per-device index list for the flush matcher window.
+    flush_scratch: Vec<usize>,
+    /// Recycled per-device saturation flags for overload-aware placement.
+    saturated_scratch: Vec<bool>,
 }
 
 impl Backend {
@@ -363,6 +374,16 @@ impl Backend {
             return;
         }
         let now = self.clock.now_s();
+        // This runs per message; almost always nothing has aged out.
+        // Settle that with a read-only scan before touching the queue,
+        // so the common case neither allocates nor moves a request.
+        if !self
+            .pending
+            .iter()
+            .any(|r| now - r.submitted_at_s > shed_age_s)
+        {
+            return;
+        }
         let mut kept = Vec::with_capacity(self.pending.len());
         let mut stale: Vec<KernelRequest> = Vec::new();
         for r in self.pending.drain(..) {
@@ -427,10 +448,15 @@ impl Backend {
         let rec = match &self.admission {
             Some(adm) if self.gpus.len() > 1 => {
                 let cap = adm.cfg.max_per_device;
-                let saturated: Vec<bool> = (0..self.gpus.len())
-                    .map(|d| self.device_depth(d) >= cap)
-                    .collect();
-                self.fleet.place_avoiding(ctx, &self.clock, &saturated)
+                // Swap the scratch flags out so the borrow checker lets
+                // us fill them from `device_depth` while the fleet call
+                // below borrows `self.fleet` and `self.clock`.
+                let mut saturated = std::mem::take(&mut self.saturated_scratch);
+                saturated.clear();
+                saturated.extend((0..self.gpus.len()).map(|d| self.device_depth(d) >= cap));
+                let rec = self.fleet.place_avoiding(ctx, &self.clock, &saturated);
+                self.saturated_scratch = saturated;
+                rec
             }
             _ => self.fleet.place(ctx, &self.clock),
         };
@@ -743,16 +769,21 @@ impl Backend {
         // counts track surviving frontends — a long-lived fleet no
         // longer skews around reaped contexts.
         self.fleet.release(ctx);
+        // Reaps vastly outnumber reaps-with-work: a frontend that
+        // synced before disconnecting leaves nothing queued. Check
+        // read-only before rebuilding the queue.
         let mut drained: Vec<KernelRequest> = Vec::new();
-        let mut kept: Vec<KernelRequest> = Vec::new();
-        for r in self.pending.drain(..) {
-            if r.ctx == ctx {
-                drained.push(r);
-            } else {
-                kept.push(r);
+        if self.pending.iter().any(|r| r.ctx == ctx) {
+            let mut kept: Vec<KernelRequest> = Vec::with_capacity(self.pending.len());
+            for r in self.pending.drain(..) {
+                if r.ctx == ctx {
+                    drained.push(r);
+                } else {
+                    kept.push(r);
+                }
             }
+            self.pending = kept;
         }
-        self.pending = kept;
         self.stats.drained_requests += drained.len() as u64;
         // A clean disconnect with nothing pending is the normal end of a
         // process's life — not worth a log line or a stat.
@@ -916,22 +947,30 @@ impl Backend {
             };
             let mut grouped = false;
             for d in 0..self.gpus.len() {
-                let mut local: Vec<usize> = (0..self.pending.len())
-                    .filter(|&i| self.fleet.binding(self.pending[i].ctx) == Some(d))
-                    .collect();
+                // The per-device index list is rebuilt every iteration of
+                // a hot loop; recycle its storage across flushes.
+                let mut local = std::mem::take(&mut self.flush_scratch);
+                local.clear();
+                local.extend(
+                    (0..self.pending.len())
+                        .filter(|&i| self.fleet.binding(self.pending[i].ctx) == Some(d)),
+                );
                 local.truncate(window);
                 if local.is_empty() {
+                    self.flush_scratch = local;
                     continue;
                 }
                 let refs: Vec<&KernelRequest> = local.iter().map(|&i| &self.pending[i]).collect();
                 if let Some((t, sel)) = self.templates.best_match(&refs) {
                     let tname = t.name.clone();
                     let global: Vec<usize> = sel.into_iter().map(|i| local[i]).collect();
+                    self.flush_scratch = local;
                     let group = self.extract(global);
                     self.execute_group(d, &tname, group);
                     grouped = true;
                     break;
                 }
+                self.flush_scratch = local;
             }
             if !grouped {
                 // No template matches anywhere: run the oldest kernel on
@@ -956,12 +995,18 @@ impl Backend {
     /// Remove the given indices from pending, preserving the order the
     /// indices are listed in (the template's layout order).
     fn extract(&mut self, idx: Vec<usize>) -> Vec<KernelRequest> {
-        let mut marked: Vec<Option<KernelRequest>> = self.pending.drain(..).map(Some).collect();
+        // Mark-and-sweep through recycled scratch: requests move (no
+        // clones), and neither the mark vector nor the rebuilt queue
+        // allocates once the scratch has warmed up.
+        self.extract_scratch.clear();
+        self.extract_scratch
+            .extend(self.pending.drain(..).map(Some));
         let group: Vec<KernelRequest> = idx
             .iter()
-            .map(|&i| marked[i].take().expect("duplicate index"))
+            .map(|&i| self.extract_scratch[i].take().expect("duplicate index"))
             .collect();
-        self.pending = marked.into_iter().flatten().collect();
+        self.pending
+            .extend(self.extract_scratch.drain(..).flatten());
         group
     }
 

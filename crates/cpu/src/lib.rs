@@ -38,6 +38,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The CPU baseline runs inside the same daemon as the GPU path; a
+// panicking unwrap here would take the backend thread down with it.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod cache;
 pub mod config;

@@ -10,10 +10,12 @@
 //! * [`VirtualClock`] — a monotonic simulated clock, cheaply clonable;
 //!   clones share the same instant, so a span recorder and the component
 //!   advancing time read the same timeline.
-//! * [`EventQueue`] — a binary-heap discrete-event queue keyed by
-//!   `(time, schedule order)`: events at equal timestamps pop in the
-//!   order they were scheduled, pinned by test, so iteration order never
-//!   depends on heap internals.
+//! * [`EventQueue`] — a discrete-event queue keyed by `(time, schedule
+//!   order)`: events at equal timestamps pop in the order they were
+//!   scheduled, pinned by test, so iteration order never depends on
+//!   backend internals. Small queues run on a binary heap; thousands of
+//!   pending events migrate to an amortized-O(1) calendar-bucket
+//!   backend with byte-identical pop order.
 //! * [`SimTask`] and [`Executor`] — the classic discrete-event driver:
 //!   tasks fire at their scheduled instant, may schedule more tasks, and
 //!   the clock only ever moves forward.

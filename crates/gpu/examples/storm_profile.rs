@@ -1,0 +1,60 @@
+//! Quick timing harness for the storm-shaped hot path: `cargo run
+//! --release -p ewc-gpu --example storm_profile [segments] [runs]`.
+//! Exists so engine work can iterate on the storm cases without
+//! rebuilding the whole CLI or sitting through the open-loop bench.
+
+use std::time::Instant;
+
+use ewc_gpu::{ConsolidatedGrid, DispatchPolicy, ExecutionEngine, GpuConfig, Grid, KernelDesc};
+
+fn storm_grid(segments: u32, cfg: &GpuConfig) -> Grid {
+    let mut storm = ConsolidatedGrid::new();
+    for i in 0..segments {
+        let tpb = 64 << (i % 3);
+        let warps = f64::from(tpb / 32);
+        let secs = 0.002 + 0.000131 * f64::from(i);
+        let mut b = KernelDesc::builder("storm")
+            .threads_per_block(tpb)
+            .comp_insts(secs * cfg.clock_hz / (warps * cfg.warp_issue_cycles()));
+        if i % 2 == 0 {
+            b = b.coalesced_mem(2_000.0 + 500.0 * f64::from(i % 7));
+        }
+        if i % 4 == 3 {
+            b = b.uncoalesced_mem(100.0);
+        }
+        storm = storm.add(Grid::single(b.build(), 17 + (i * 7) % 23));
+    }
+    storm.build()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let segments: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1024);
+    let runs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
+    let cfg = GpuConfig::tesla_c1060();
+    let engine = ExecutionEngine::new(cfg.clone());
+    let grid = storm_grid(segments, &cfg);
+
+    // Warmup.
+    let out = engine.run(&grid, DispatchPolicy::default()).expect("run");
+    println!(
+        "storm{segments}: {} blocks, elapsed_s {:.4}, {} intervals",
+        grid.total_blocks(),
+        out.elapsed_s,
+        out.intervals.len()
+    );
+    let mut best = f64::INFINITY;
+    let mut sum = 0.0;
+    for _ in 0..runs {
+        let t = Instant::now();
+        let out = engine.run(&grid, DispatchPolicy::default()).expect("run");
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(out);
+        best = best.min(ms);
+        sum += ms;
+    }
+    println!(
+        "min {best:.3} ms  mean {:.3} ms over {runs} runs",
+        sum / runs as f64
+    );
+}

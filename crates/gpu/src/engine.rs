@@ -26,7 +26,7 @@
 //! blocks are redistributed round-robin among the idle SMs — reproducing
 //! the critical-SM placements the paper observes in its two scenarios.
 //!
-//! # Cohorts and the incremental hot loop
+//! # Cohorts, the SoA arena and the incremental hot loop
 //!
 //! Residency is tracked in **cohorts**, not per-block records: blocks of
 //! the same segment admitted to the same SM in the same admission round
@@ -36,13 +36,31 @@
 //! times — simply land in their own cohorts, degenerating gracefully to
 //! the per-block behaviour.
 //!
+//! Cohort state lives in a **struct-of-arrays arena** ([`SimArena`]):
+//! parallel lanes for rate, remaining work, anchor, predicted finish,
+//! member count and a per-cohort copy of the segment's rate constants
+//! ([`SegRate`]), laid out as fixed-stride per-SM runs (the stride is the
+//! device's block-slot limit, which also bounds live cohorts per SM).
+//! The incremental rate pass therefore streams over contiguous memory —
+//! no pointer chasing through cohort records and no random per-event
+//! lookups into the per-segment cost table, which matters once storms
+//! carry a thousand segments. Retirement is a batched in-place
+//! **compaction** of each
+//! touched SM's lane run (admission order preserved), not a linked-list
+//! unlink. The arena itself is reused across runs through a thread-local
+//! slot, so decision-engine fan-outs and benchmark loops stop paying
+//! allocation churn per simulation; only the outputs (trace, counters,
+//! intervals) are freshly allocated, because [`SimOutcome`] owns them.
+//!
 //! Each cohort anchors its progress integral at the last time its rate
 //! changed: `remaining` solo-seconds at `anchor_s` plus the current rate
 //! give an absolute predicted `finish_s`. Between events nothing is
 //! advanced; a cohort is re-anchored only when its freshly computed rate
 //! differs **bitwise** from the cached one, and hardware counters are
 //! folded in once per cohort at retirement. Per event the engine
-//! recomputes per-SM aggregates only for SMs whose resident set changed;
+//! recomputes per-SM aggregates only for SMs whose resident set changed,
+//! folding each SM's *delta* into running device-wide totals (bandwidth
+//! demand, snapshot rates) so no per-event pass over all SMs remains;
 //! the DRAM rescale is a device-wide factor, so when it moves every SM is
 //! re-rated (the saturated regime), and when it is stable the update set
 //! is just the dirty SMs. The next completion comes from an indexed
@@ -58,6 +76,9 @@
 //! minimum. Because recomputation is idempotent — same inputs in the
 //! same order produce the same bits — the two produce byte-identical
 //! [`SimOutcome`]s; the differential sweep below asserts exactly that.
+//! Lane order within an SM is admission order, exactly the order the
+//! former intrusive chains were walked in, so the SoA layout changes
+//! where the floats live, never the sequence they are combined in.
 //!
 //! Completion events release occupancy, pull new blocks, and append to
 //! the trace and the activity profile. The simulation cost is
@@ -74,6 +95,8 @@
 //! its own and the differential contract with `run_reference` is
 //! untouched.
 
+use std::cell::RefCell;
+
 use ewc_exec::{EventQueue, VirtualClock};
 
 use crate::config::GpuConfig;
@@ -81,7 +104,7 @@ use crate::counters::{ActivityInterval, DeviceCounters, EventRates};
 use crate::error::GpuError;
 use crate::grid::{BlockCoord, Grid};
 use crate::occupancy::{Occupancy, SmResources};
-use crate::scheduler::{BlockDispatcher, DispatchPolicy};
+use crate::scheduler::{BlockDispatcher, DispatchPolicy, DispatchScratch};
 use crate::timing::BlockCost;
 use crate::trace::{BlockEvent, ExecutionTrace};
 
@@ -104,41 +127,11 @@ pub struct SimOutcome {
 }
 
 /// The execution engine. Stateless apart from configuration; every call
-/// to [`ExecutionEngine::run`] simulates one launch from scratch.
+/// to [`ExecutionEngine::run`] simulates one launch from scratch
+/// (scratch buffers are recycled through a thread-local [`SimArena`]).
 #[derive(Debug, Clone)]
 pub struct ExecutionEngine {
     cfg: GpuConfig,
-}
-
-/// A group of identical co-admitted blocks advancing in lockstep: same
-/// segment, same SM, same admission round, hence the same cost, rate,
-/// remaining work and predicted finish.
-#[derive(Debug, Clone)]
-struct Cohort {
-    /// Grid segment index (keys the kernel descriptor and cost).
-    segment: usize,
-    /// Number of blocks in the cohort.
-    n: u32,
-    /// First member: index into the simulation's member arena. Members
-    /// are chained through the arena in admission order, so cohorts of
-    /// any size allocate nothing of their own.
-    head: u32,
-    /// Last member of the chain (where the next merge links in).
-    tail: u32,
-    /// Next live cohort on the same SM (cohort-arena index;
-    /// [`NO_COHORT`] terminates). Chain order is admission order.
-    next: u32,
-    start_s: f64,
-    /// Admission round; cohorts only merge within one round.
-    admit_event: u64,
-    /// Current progress rate (0.0 until first rated).
-    rate: f64,
-    /// Time of the last re-anchor (rate change).
-    anchor_s: f64,
-    /// Remaining solo-seconds as of `anchor_s`.
-    remaining: f64,
-    /// Absolute predicted completion time under the current rate.
-    finish_s: f64,
 }
 
 /// Arena slot for one admitted block: its coordinate plus the index of
@@ -152,16 +145,48 @@ struct MemberNode {
 /// Chain terminator for [`MemberNode::next`].
 const NO_MEMBER: u32 = u32::MAX;
 
-/// Chain terminator for [`Cohort::next`] and the per-SM chain heads.
-const NO_COHORT: u32 = u32::MAX;
+/// "No cohort yet" sentinel for the per-SM merge cache
+/// ([`SimArena::sm_last_seg`]).
+const NO_SEG: u32 = u32::MAX;
+
+/// The cold per-cohort fields, packed into one lane array so admission
+/// and retirement-compaction touch one location instead of five: the
+/// hot loops never read these, only admission and retirement do.
+#[derive(Debug, Clone, Copy)]
+struct CohortMeta {
+    /// Grid segment index (keys the cost and descriptor at retirement).
+    seg: u32,
+    /// Member count.
+    n: u32,
+    /// First member (index into `SimArena::members`).
+    mhead: u32,
+    /// Last member of the chain (where the next merge links in).
+    mtail: u32,
+    /// Admission time of the cohort.
+    start_s: f64,
+}
+
+impl Default for CohortMeta {
+    fn default() -> Self {
+        CohortMeta {
+            seg: 0,
+            n: 0,
+            mhead: NO_MEMBER,
+            mtail: NO_MEMBER,
+            start_s: 0.0,
+        }
+    }
+}
 
 /// The per-segment constants the rate pass reads for every resident
 /// cohort, packed into one cache line (a [`BlockCost`] spans two and
 /// carries fields the hot loop never touches). The `*_per_solo` fields
 /// fold the segment's reciprocal solo time into its counter totals, so
 /// each per-cohort accumulation is one multiply instead of two plus a
-/// division.
-#[derive(Debug, Clone, Copy)]
+/// division. Every cohort carries its own copy in the arena's `c_sr`
+/// lane: a thousand-segment storm would otherwise hit a random cache
+/// line of the per-segment table on every cohort visit.
+#[derive(Debug, Clone, Copy, Default)]
 struct SegRate {
     /// Issue demand of one block.
     issue_demand: f64,
@@ -197,26 +222,123 @@ impl SegRate {
     }
 }
 
-/// Per-SM hot state: the SM's live-cohort chain plus every cached
-/// aggregate the event loop consults, packed into one record so an
-/// event's fixed per-SM sweeps touch a single contiguous array.
-#[derive(Debug, Clone)]
-struct SmState {
-    /// First live cohort (cohort-arena index) or [`NO_COHORT`].
-    head: u32,
-    /// Last live cohort (where admissions link in) or [`NO_COHORT`].
-    tail: u32,
+/// Reusable simulation state: every buffer a run needs that is not part
+/// of its output. One arena lives per thread (see [`ARENA`]); a run
+/// borrows it, resizes the lanes for its device geometry, and leaves the
+/// allocations behind for the next run — so fan-outs that assess
+/// thousands of candidate grids allocate only on their first simulation.
+///
+/// Cohort lanes (`c_*`) are parallel arrays with a fixed stride of
+/// `max_blocks_per_sm` per SM: cohort `k` of SM `s` lives at index
+/// `s * stride + k`, in admission order. An SM can never hold more live
+/// cohorts than resident blocks, and occupancy caps those at the block-
+/// slot limit, so the stride is exact. Lanes at or past an SM's
+/// `sm_len` are garbage by design — admission writes before anything
+/// reads — which is why preparing the arena never clears them.
+#[derive(Debug, Default)]
+struct SimArena {
+    /// Per-cohort copy of the segment's rate constants.
+    c_sr: Vec<SegRate>,
+    /// Current progress rate (0.0 until first rated).
+    c_rate: Vec<f64>,
+    /// Time of the last re-anchor (rate change).
+    c_anchor: Vec<f64>,
+    /// Remaining solo-seconds as of the anchor.
+    c_remaining: Vec<f64>,
+    /// Absolute predicted completion time under the current rate.
+    c_finish: Vec<f64>,
+    /// Member count as a float (the hot loops' multiplier).
+    c_nf: Vec<f64>,
+    /// The cold fields (segment, member chain, admission time).
+    c_meta: Vec<CohortMeta>,
+
+    /// Live cohorts per SM (length of the SM's lane run).
+    sm_len: Vec<u32>,
     /// Membership changed since the SM's last re-rate.
-    dirty: bool,
+    sm_dirty: Vec<bool>,
+    /// The SMs whose `sm_dirty` flag is set, in no particular order
+    /// (sorted before use). The per-event update sets are tiny at storm
+    /// scale — typically one SM — so the hot loop iterates this list
+    /// instead of scanning every SM's flag.
+    touched: Vec<u32>,
     /// Cached issue-demand sum of the resident cohorts.
-    sum_d: f64,
+    sm_sum_d: Vec<f64>,
     /// Cached bandwidth demand at issue-limited speed.
-    bw_sub: f64,
+    sm_bw: Vec<f64>,
     /// Earliest predicted finish on this SM: the entry the indexed
     /// min-structure folds over, refreshed whenever the SM is re-rated.
-    min_finish: f64,
+    sm_min_finish: Vec<f64>,
     /// Cached event-rate subtotals.
-    rates: EventRates,
+    sm_rates: Vec<EventRates>,
+    /// Segment of the SM's most recently admitted cohort (merge cache).
+    sm_last_seg: Vec<u32>,
+    /// Admission round of that cohort; merges require both to match.
+    /// Rounds are unique per event, so a retired tail can never be
+    /// merged into — its round is already in the past.
+    sm_last_round: Vec<u64>,
+
+    /// Member arena: one slot per admitted block, chained per cohort in
+    /// admission order.
+    members: Vec<MemberNode>,
+    /// Preallocated idle-SM scratch for the redistribution scan.
+    idle_buf: Vec<usize>,
+    /// Per-SM occupancy trackers.
+    sms: Vec<SmResources>,
+    /// Recycled dispatcher queues.
+    dispatch: DispatchScratch,
+    /// The completion-event queue (its sequence keeps counting across
+    /// runs; cohort merging only ever compares rounds for equality).
+    events: EventQueue<()>,
+}
+
+impl SimArena {
+    /// Resize for a device of `n_sms` SMs with `stride` block slots each
+    /// and reset all per-run state. Lane contents are *not* cleared —
+    /// see the type-level invariant.
+    fn prepare(&mut self, n_sms: usize, stride: usize, total_blocks: usize, cfg: &GpuConfig) {
+        let lanes = n_sms * stride;
+        if self.c_sr.len() < lanes {
+            self.c_sr.resize(lanes, SegRate::default());
+            self.c_rate.resize(lanes, 0.0);
+            self.c_anchor.resize(lanes, 0.0);
+            self.c_remaining.resize(lanes, 0.0);
+            self.c_finish.resize(lanes, 0.0);
+            self.c_nf.resize(lanes, 0.0);
+            self.c_meta.resize(lanes, CohortMeta::default());
+        }
+        self.sm_len.clear();
+        self.sm_len.resize(n_sms, 0);
+        self.sm_dirty.clear();
+        self.sm_dirty.resize(n_sms, true);
+        self.touched.clear();
+        self.touched.extend(0..n_sms as u32);
+        self.sm_sum_d.clear();
+        self.sm_sum_d.resize(n_sms, 0.0);
+        self.sm_bw.clear();
+        self.sm_bw.resize(n_sms, 0.0);
+        self.sm_min_finish.clear();
+        self.sm_min_finish.resize(n_sms, f64::INFINITY);
+        self.sm_rates.clear();
+        self.sm_rates.resize(n_sms, EventRates::default());
+        self.sm_last_seg.clear();
+        self.sm_last_seg.resize(n_sms, NO_SEG);
+        self.sm_last_round.clear();
+        self.sm_last_round.resize(n_sms, u64::MAX);
+        self.members.clear();
+        self.members.reserve(total_blocks);
+        self.idle_buf.clear();
+        self.idle_buf.reserve(n_sms);
+        self.sms.clear();
+        self.sms.resize(n_sms, SmResources::new(cfg));
+        self.events.clear();
+    }
+}
+
+thread_local! {
+    /// The per-thread arena slot. `run` borrows it for the duration of
+    /// one simulation; a (never expected) re-entrant simulation on the
+    /// same thread simply falls back to a fresh arena.
+    static ARENA: RefCell<SimArena> = RefCell::new(SimArena::default());
 }
 
 impl ExecutionEngine {
@@ -259,6 +381,19 @@ impl ExecutionEngine {
         policy: DispatchPolicy,
         reference: bool,
     ) -> Result<SimOutcome, GpuError> {
+        ARENA.with(|slot| match slot.try_borrow_mut() {
+            Ok(mut arena) => self.simulate_in(grid, policy, reference, &mut arena),
+            Err(_) => self.simulate_in(grid, policy, reference, &mut SimArena::default()),
+        })
+    }
+
+    fn simulate_in(
+        &self,
+        grid: &Grid,
+        policy: DispatchPolicy,
+        reference: bool,
+        arena: &mut SimArena,
+    ) -> Result<SimOutcome, GpuError> {
         if grid.total_blocks() == 0 {
             return Err(GpuError::EmptyGrid);
         }
@@ -272,49 +407,50 @@ impl ExecutionEngine {
             .iter()
             .map(|s| BlockCost::derive(&s.desc, &self.cfg))
             .collect();
-        // Per-segment hot-loop constants, one cache line per segment.
+        // Per-segment hot-loop constants, one cache line per segment
+        // (copied into each cohort's lane at admission).
         let seg_rates: Vec<SegRate> = costs.iter().map(SegRate::of).collect();
 
         let n_sms = self.cfg.num_sms as usize;
+        let stride = self.cfg.max_blocks_per_sm as usize;
+        arena.prepare(n_sms, stride, grid.total_blocks() as usize, &self.cfg);
         let mut sim = Sim {
-            cfg: &self.cfg,
             grid,
             costs: &costs,
             seg_rates: &seg_rates,
-            dispatcher: BlockDispatcher::new(grid, self.cfg.num_sms, policy),
-            sms: (0..n_sms).map(|_| SmResources::new(&self.cfg)).collect(),
-            // Peak live cohorts is bounded by both the grid size and the
-            // device's total block slots, so this capacity is exact.
-            cohorts: Vec::with_capacity(
-                (grid.total_blocks() as usize).min(n_sms * self.cfg.max_blocks_per_sm as usize),
+            dispatcher: BlockDispatcher::recycled(
+                std::mem::take(&mut arena.dispatch),
+                grid,
+                self.cfg.num_sms,
+                policy,
             ),
-            free: Vec::new(),
-            members: Vec::with_capacity(grid.total_blocks() as usize),
-            sm_state: vec![
-                SmState {
-                    head: NO_COHORT,
-                    tail: NO_COHORT,
-                    dirty: true,
-                    sum_d: 0.0,
-                    bw_sub: 0.0,
-                    min_finish: f64::INFINITY,
-                    rates: EventRates::default(),
-                };
-                n_sms
-            ],
+            stride,
+            a: arena,
+            dram_bandwidth: self.cfg.dram_bandwidth,
             live_blocks: 0,
-            events: EventQueue::new(),
             clock: VirtualClock::new(),
             prev_bw_scale: 1.0,
+            demand: 0.0,
+            snap_acc: EventRates::default(),
+            active_sms: 0,
             trace: {
                 let mut t = ExecutionTrace::default();
                 t.reserve(grid.total_blocks() as usize);
                 t
             },
             counters: DeviceCounters::new(self.cfg.num_sms),
-            intervals: Vec::new(),
-            idle_buf: Vec::with_capacity(n_sms),
+            // One interval per event, at most one event per block (plus
+            // the opening one): reserving the bound up front keeps the
+            // hot loop free of mid-run reallocation copies. Capped so a
+            // million-block grid that coalesces into a handful of
+            // intervals does not pre-commit tens of megabytes.
+            intervals: Vec::with_capacity((grid.total_blocks() as usize + 1).min(65_536)),
             reference,
+            // A single-segment grid re-rates every SM on every event
+            // anyway (every completion frees occupancy somewhere and the
+            // refill touches the whole device), so the dirty bookkeeping
+            // only costs; fall back to the reference update sets.
+            scan_all: reference || grid.segments().len() == 1,
         };
 
         // Initial admission, at the clock's origin.
@@ -330,17 +466,21 @@ impl ExecutionEngine {
             }
         }
 
-        sim.run_loop(policy)?;
-
-        debug_assert_eq!(sim.dispatcher.pending(), 0, "blocks left undispatched");
+        let r = sim.run_loop(policy);
         let elapsed_s = sim.clock.now_s();
         sim.counters.elapsed_s = elapsed_s;
-        Ok(SimOutcome {
+        debug_assert!(
+            r.is_err() || sim.dispatcher.pending() == 0,
+            "blocks left undispatched"
+        );
+        let outcome = SimOutcome {
             elapsed_s,
             trace: sim.trace,
             counters: sim.counters,
             intervals: sim.intervals,
-        })
+        };
+        arena.dispatch = sim.dispatcher.into_scratch();
+        r.map(|()| outcome)
     }
 }
 
@@ -348,42 +488,36 @@ impl ExecutionEngine {
 /// naive full-rescan paths (update set = all SMs, min by scan); every
 /// arithmetic statement is shared with the incremental paths.
 struct Sim<'a> {
-    cfg: &'a GpuConfig,
     grid: &'a Grid,
     costs: &'a [BlockCost],
     /// Per-segment constants for the rate pass, one cache line each.
     seg_rates: &'a [SegRate],
     dispatcher: BlockDispatcher,
-    sms: Vec<SmResources>,
-    /// Cohort arena: live cohorts are chained per SM in admission order
-    /// (heads/tails in [`SmState`]); retired slots recycle through
-    /// `free`. Reserved up front for the peak live-cohort count, so it
-    /// never reallocates.
-    cohorts: Vec<Cohort>,
-    /// Recycled cohort-arena slots.
-    free: Vec<u32>,
-    /// Member arena: one slot per admitted block, chained per cohort in
-    /// admission order (reserved for the whole grid up front).
-    members: Vec<MemberNode>,
-    /// Per-SM chains and cached aggregates, one record per SM. The
-    /// device minimum is a fold over the `min_finish` entries, so an
-    /// event touches only changed SMs plus O(num_sms) fold work.
-    sm_state: Vec<SmState>,
+    /// Cohort-lane stride: `max_blocks_per_sm`, the per-SM live-cohort
+    /// bound.
+    stride: usize,
+    /// The recycled SoA arena holding all cohort and per-SM state.
+    a: &'a mut SimArena,
+    dram_bandwidth: f64,
     live_blocks: u64,
-    /// The completion-event queue: one event per loop iteration (the
-    /// earliest predicted finish, recomputed each round because rates
-    /// move). Its monotonic sequence number is the admission-round
-    /// counter — cohorts merge only within one round.
-    events: EventQueue<()>,
     /// Simulated time, advanced only by popped completion events.
     clock: VirtualClock,
     prev_bw_scale: f64,
+    /// Running device bandwidth demand: Σ over SMs of `sm_bw`,
+    /// maintained by deltas as SMs are recomputed (see [`Sim::rate_pass`]).
+    demand: f64,
+    /// Running device-wide snapshot subtotals (`active_sm_frac` unused),
+    /// maintained by the same delta discipline.
+    snap_acc: EventRates,
+    /// SMs currently holding at least one live cohort.
+    active_sms: u32,
     trace: ExecutionTrace,
     counters: DeviceCounters,
     intervals: Vec<ActivityInterval>,
-    /// Preallocated idle-SM scratch for the redistribution scan.
-    idle_buf: Vec<usize>,
     reference: bool,
+    /// Recompute every SM every event (reference mode, or a grid shape
+    /// where the dirty bookkeeping cannot pay for itself).
+    scan_all: bool,
 }
 
 impl Sim<'_> {
@@ -395,62 +529,61 @@ impl Sim<'_> {
     /// repeated clock reads.
     fn admit(&mut self, sm: usize, coord: BlockCoord, now_s: f64) {
         let segment = coord.segment;
-        self.sms[sm].admit_unchecked(&self.grid.segments()[segment].desc);
+        self.a.sms[sm].admit_unchecked(&self.grid.segments()[segment].desc);
         self.live_blocks += 1;
-        self.sm_state[sm].dirty = true;
-        let node = self.members.len() as u32;
-        self.members.push(MemberNode {
+        if !self.a.sm_dirty[sm] {
+            self.a.sm_dirty[sm] = true;
+            self.a.touched.push(sm as u32);
+        }
+        let node = self.a.members.len() as u32;
+        self.a.members.push(MemberNode {
             coord,
             next: NO_MEMBER,
         });
-        let round = self.events.scheduled();
-        let tail = self.sm_state[sm].tail;
-        if tail != NO_COHORT {
-            let last = &mut self.cohorts[tail as usize];
-            if last.segment == segment && last.admit_event == round {
-                last.n += 1;
-                let prev_member = last.tail;
-                last.tail = node;
-                self.members[prev_member as usize].next = node;
-                return;
-            }
+        let round = self.a.events.scheduled();
+        let len = self.a.sm_len[sm] as usize;
+        if len > 0 && self.a.sm_last_round[sm] == round && self.a.sm_last_seg[sm] == segment as u32
+        {
+            // Merge into the SM's lane tail. The cache cannot point at a
+            // retired cohort: rounds are unique per event and admissions
+            // follow retirements within one.
+            let tail = sm * self.stride + len - 1;
+            let meta = &mut self.a.c_meta[tail];
+            meta.n += 1;
+            let prev_member = meta.mtail;
+            meta.mtail = node;
+            self.a.c_nf[tail] = f64::from(meta.n);
+            self.a.members[prev_member as usize].next = node;
+            return;
         }
-        let cohort = Cohort {
-            segment,
+        debug_assert!(len < self.stride, "more cohorts than block slots");
+        if len == 0 {
+            self.active_sms += 1;
+        }
+        let lane = sm * self.stride + len;
+        self.a.c_sr[lane] = self.seg_rates[segment];
+        self.a.c_rate[lane] = 0.0;
+        self.a.c_anchor[lane] = now_s;
+        self.a.c_remaining[lane] = self.costs[segment].t_solo_s;
+        self.a.c_finish[lane] = f64::INFINITY;
+        self.a.c_nf[lane] = 1.0;
+        self.a.c_meta[lane] = CohortMeta {
+            seg: segment as u32,
             n: 1,
-            head: node,
-            tail: node,
-            next: NO_COHORT,
+            mhead: node,
+            mtail: node,
             start_s: now_s,
-            admit_event: round,
-            rate: 0.0,
-            anchor_s: now_s,
-            remaining: self.costs[segment].t_solo_s,
-            finish_s: f64::INFINITY,
         };
-        let idx = match self.free.pop() {
-            Some(slot) => {
-                self.cohorts[slot as usize] = cohort;
-                slot
-            }
-            None => {
-                self.cohorts.push(cohort);
-                (self.cohorts.len() - 1) as u32
-            }
-        };
-        if tail == NO_COHORT {
-            self.sm_state[sm].head = idx;
-        } else {
-            self.cohorts[tail as usize].next = idx;
-        }
-        self.sm_state[sm].tail = idx;
+        self.a.sm_len[sm] = (len + 1) as u32;
+        self.a.sm_last_seg[sm] = segment as u32;
+        self.a.sm_last_round[sm] = round;
     }
 
     /// Admit as many blocks committed to `sm` as fit, in FIFO order.
     /// (For the greedy policy the "committed queue" is the global pool.)
     fn admit_committed(&mut self, sm: usize, now_s: f64) {
         while let Some(&coord) = self.dispatcher.peek(sm) {
-            if !self.sms[sm].fits(&self.grid.segments()[coord.segment].desc) {
+            if !self.a.sms[sm].fits(&self.grid.segments()[coord.segment].desc) {
                 break;
             }
             let coord = self.dispatcher.pop(sm).expect("peeked block vanished");
@@ -464,11 +597,11 @@ impl Sim<'_> {
     fn admit_waves(&mut self, now_s: f64) {
         loop {
             let mut progress = false;
-            for sm in 0..self.sms.len() {
+            for sm in 0..self.a.sms.len() {
                 let Some(&coord) = self.dispatcher.peek_pool() else {
                     return;
                 };
-                if self.sms[sm].fits(&self.grid.segments()[coord.segment].desc) {
+                if self.a.sms[sm].fits(&self.grid.segments()[coord.segment].desc) {
                     let coord = self.dispatcher.pop_pool().expect("peeked block vanished");
                     self.admit(sm, coord, now_s);
                     progress = true;
@@ -484,115 +617,138 @@ impl Sim<'_> {
     /// bandwidth scale, re-rate the update set (re-anchoring cohorts
     /// whose rate moved bitwise), and return the device-wide event rates
     /// for the coming interval.
+    ///
+    /// The device-wide aggregates (`demand`, the snapshot subtotals)
+    /// are maintained *incrementally*: each recomputed SM folds the
+    /// difference between its new and cached subtotal into the running
+    /// value. An SM whose inputs did not change recomputes bitwise the
+    /// same subtotal, so its delta is exactly `+0.0` and adding it is a
+    /// bitwise no-op (the subtotals are non-negative, so `-0.0` never
+    /// arises) — which is why the reference mode, which recomputes
+    /// every SM every event, maintains bit-identical running values
+    /// while the incremental mode touches only dirty SMs. This replaces
+    /// the former per-event fold over all SMs, the single biggest fixed
+    /// cost per event at storm scale.
     fn rate_pass(&mut self, now: f64) -> EventRates {
-        let seg_rates = self.seg_rates;
+        let a = &mut *self.a;
+        let n_sms = a.sm_len.len();
+        // Deltas below must fold into the running totals in ascending SM
+        // order — the order the reference full scan applies them in.
+        // The list is one or two entries on a typical event; a hand
+        // insertion sort skips the general-purpose sort's dispatch.
+        for i in 1..a.touched.len() {
+            let mut j = i;
+            while j > 0 && a.touched[j - 1] > a.touched[j] {
+                a.touched.swap(j - 1, j);
+                j -= 1;
+            }
+        }
+        let dirty_n = a.touched.len();
         // Per-SM issue-demand sums and bandwidth demand at issue-limited
         // speed, for SMs whose membership changed.
-        for sm in 0..self.sm_state.len() {
-            if !(self.reference || self.sm_state[sm].dirty) {
-                continue;
-            }
+        let pass1_n = if self.scan_all { n_sms } else { dirty_n };
+        for k in 0..pass1_n {
+            let sm = if self.scan_all {
+                k
+            } else {
+                a.touched[k] as usize
+            };
+            let base = sm * self.stride;
+            let len = a.sm_len[sm] as usize;
+            let srs = &a.c_sr[base..base + len];
+            let nfs = &a.c_nf[base..base + len];
+            // One pass, two independent accumulators: the SM's issue
+            // demand and its solo-speed bandwidth appetite. The share
+            // factor is constant across the SM's lanes, so it scales
+            // the summed appetite once instead of every term (both
+            // engine modes run this statement, so they stay bitwise
+            // aligned with each other).
             let mut d = 0.0;
-            let mut ci = self.sm_state[sm].head;
-            while ci != NO_COHORT {
-                let c = &self.cohorts[ci as usize];
-                d += f64::from(c.n) * seg_rates[c.segment].issue_demand;
-                ci = c.next;
+            let mut bw_solo = 0.0;
+            for i in 0..len {
+                d += nfs[i] * srs[i].issue_demand;
+                bw_solo += nfs[i] * srs[i].bw_solo;
             }
             let share = if d > 1.0 { 1.0 / d } else { 1.0 };
-            let mut bw = 0.0;
-            let mut ci = self.sm_state[sm].head;
-            while ci != NO_COHORT {
-                let c = &self.cohorts[ci as usize];
-                bw += f64::from(c.n) * (seg_rates[c.segment].bw_solo * share);
-                ci = c.next;
-            }
-            let st = &mut self.sm_state[sm];
-            st.sum_d = d;
-            st.bw_sub = bw;
+            let bw = bw_solo * share;
+            a.sm_sum_d[sm] = d;
+            self.demand += bw - a.sm_bw[sm];
+            a.sm_bw[sm] = bw;
         }
 
         // Device bandwidth scale: a single device-wide factor, so a move
         // forces every SM into the update set (the saturated regime).
-        // Four independent accumulators break the serial add chain; both
-        // engine modes run this same fold, so the bits agree.
-        let mut acc = [0.0f64; 4];
-        let mut chunks = self.sm_state.chunks_exact(4);
-        for ch in &mut chunks {
-            acc[0] += ch[0].bw_sub;
-            acc[1] += ch[1].bw_sub;
-            acc[2] += ch[2].bw_sub;
-            acc[3] += ch[3].bw_sub;
-        }
-        let mut rest = 0.0;
-        for st in chunks.remainder() {
-            rest += st.bw_sub;
-        }
-        let demand = (acc[0] + acc[1]) + (acc[2] + acc[3]) + rest;
-        let bw_scale = if demand > self.cfg.dram_bandwidth {
-            self.cfg.dram_bandwidth / demand
+        let bw_scale = if self.demand > self.dram_bandwidth {
+            self.dram_bandwidth / self.demand
         } else {
             1.0
         };
-        let rate_all = self.reference || bw_scale.to_bits() != self.prev_bw_scale.to_bits();
+        let rate_all = self.scan_all || bw_scale.to_bits() != self.prev_bw_scale.to_bits();
         self.prev_bw_scale = bw_scale;
 
         // Re-rate the update set, refreshing each touched SM's earliest
         // predicted finish in the min index as we go.
-        for sm in 0..self.sm_state.len() {
-            if !(rate_all || self.sm_state[sm].dirty) {
-                continue;
-            }
-            let d = self.sm_state[sm].sum_d;
+        let rerate_n = if rate_all { n_sms } else { dirty_n };
+        for k in 0..rerate_n {
+            let sm = if rate_all { k } else { a.touched[k] as usize };
+            let d = a.sm_sum_d[sm];
             let share = if d > 1.0 { 1.0 / d } else { 1.0 };
+            let base = sm * self.stride;
+            let len = a.sm_len[sm] as usize;
+            let srs = &a.c_sr[base..base + len];
+            let nfs = &a.c_nf[base..base + len];
+            let rates = &mut a.c_rate[base..base + len];
+            let anchors = &mut a.c_anchor[base..base + len];
+            let remainings = &mut a.c_remaining[base..base + len];
+            let finishes = &mut a.c_finish[base..base + len];
             let mut sub = EventRates::default();
             let mut sm_min = f64::INFINITY;
-            let mut ci = self.sm_state[sm].head;
-            while ci != NO_COHORT {
-                let c = &mut self.cohorts[ci as usize];
-                let sr = &seg_rates[c.segment];
+            for i in 0..len {
+                let sr = &srs[i];
                 let rate = share * (sr.compute_frac + sr.mem_fraction * bw_scale);
-                if rate.to_bits() != c.rate.to_bits() {
+                if rate.to_bits() != rates[i].to_bits() {
                     // Re-anchor: bank progress at the old rate, then
                     // predict the finish under the new one.
-                    let span = now - c.anchor_s;
-                    c.remaining = (c.remaining - c.rate * span).max(0.0);
-                    c.anchor_s = now;
-                    c.rate = rate;
-                    c.finish_s = if rate > 0.0 {
-                        now + c.remaining / rate
+                    let span = now - anchors[i];
+                    remainings[i] = (remainings[i] - rates[i] * span).max(0.0);
+                    anchors[i] = now;
+                    rates[i] = rate;
+                    finishes[i] = if rate > 0.0 {
+                        now + remainings[i] / rate
                     } else {
                         f64::INFINITY
                     };
                 }
-                sm_min = sm_min.min(c.finish_s);
-                let nf = f64::from(c.n);
-                sub.comp_ops_per_s += nf * (c.rate * sr.comp_ops_per_solo);
-                sub.mem_txn_per_s += nf * (c.rate * sr.mem_txn_per_solo);
-                sub.bytes_per_s += nf * (c.rate * sr.bytes_per_solo);
+                sm_min = sm_min.min(finishes[i]);
+                let nf = nfs[i];
+                sub.comp_ops_per_s += nf * (rates[i] * sr.comp_ops_per_solo);
+                sub.mem_txn_per_s += nf * (rates[i] * sr.mem_txn_per_solo);
+                sub.bytes_per_s += nf * (rates[i] * sr.bytes_per_solo);
                 sub.resident_warps += nf * sr.warps;
-                ci = c.next;
             }
-            let st = &mut self.sm_state[sm];
-            st.rates = sub;
-            st.min_finish = sm_min;
-            st.dirty = false;
+            let old = &a.sm_rates[sm];
+            self.snap_acc.comp_ops_per_s += sub.comp_ops_per_s - old.comp_ops_per_s;
+            self.snap_acc.mem_txn_per_s += sub.mem_txn_per_s - old.mem_txn_per_s;
+            self.snap_acc.bytes_per_s += sub.bytes_per_s - old.bytes_per_s;
+            self.snap_acc.resident_warps += sub.resident_warps - old.resident_warps;
+            a.sm_rates[sm] = sub;
+            a.sm_min_finish[sm] = sm_min;
+            a.sm_dirty[sm] = false;
         }
+        // Under `rate_all` the loop above visited (and un-dirtied) every
+        // listed SM already; otherwise the list and the loop coincide.
+        // Either way every flag is now clear, so the list resets.
+        for &sm in &a.touched {
+            a.sm_dirty[sm as usize] = false;
+        }
+        a.touched.clear();
 
-        // Fold the device-wide snapshot from the per-SM subtotals.
-        let mut snap = EventRates::default();
-        let mut active = 0usize;
-        for st in &self.sm_state {
-            if st.head == NO_COHORT {
-                continue;
-            }
-            active += 1;
-            snap.comp_ops_per_s += st.rates.comp_ops_per_s;
-            snap.mem_txn_per_s += st.rates.mem_txn_per_s;
-            snap.bytes_per_s += st.rates.bytes_per_s;
-            snap.resident_warps += st.rates.resident_warps;
-        }
-        snap.active_sm_frac = active as f64 / self.sm_state.len() as f64;
+        // The device-wide snapshot is the running incremental total (an
+        // SM that just emptied zeroes its own subtotal out of it above,
+        // because retirement left it dirty); only the active-SM count is
+        // derived fresh, from its own incrementally-maintained tally.
+        let mut snap = self.snap_acc;
+        snap.active_sm_frac = self.active_sms as f64 / n_sms as f64;
         snap
     }
 
@@ -602,105 +758,156 @@ impl Sim<'_> {
     /// NaNs, no negative zeros), so the unrolled fold and the reference
     /// scan agree on the minimum of the same multiset.
     fn next_finish(&self) -> f64 {
+        let a = &*self.a;
         if self.reference {
             let mut f = f64::INFINITY;
-            for st in &self.sm_state {
-                let mut ci = st.head;
-                while ci != NO_COHORT {
-                    let c = &self.cohorts[ci as usize];
-                    f = f.min(c.finish_s);
-                    ci = c.next;
+            for sm in 0..a.sm_len.len() {
+                let base = sm * self.stride;
+                for i in 0..a.sm_len[sm] as usize {
+                    f = f.min(a.c_finish[base + i]);
                 }
             }
             return f;
         }
-        // Four independent accumulators break the serial `min` latency
-        // chain over the per-SM index.
-        let mut acc = [f64::INFINITY; 4];
-        let mut chunks = self.sm_state.chunks_exact(4);
+        // Finish times are non-negative (or `+inf` on an empty SM) and
+        // never NaN, and non-negative doubles order exactly like their
+        // unsigned bit patterns — so the fold runs on integer bits,
+        // which the compiler turns into straight-line vector min (the
+        // IEEE `minNum` lowering it would otherwise emit costs several
+        // instructions per lane). Four accumulators break the serial
+        // latency chain.
+        let mut acc = [f64::INFINITY.to_bits(); 4];
+        let mut chunks = a.sm_min_finish.chunks_exact(4);
         for ch in &mut chunks {
-            acc[0] = acc[0].min(ch[0].min_finish);
-            acc[1] = acc[1].min(ch[1].min_finish);
-            acc[2] = acc[2].min(ch[2].min_finish);
-            acc[3] = acc[3].min(ch[3].min_finish);
+            acc[0] = acc[0].min(ch[0].to_bits());
+            acc[1] = acc[1].min(ch[1].to_bits());
+            acc[2] = acc[2].min(ch[2].to_bits());
+            acc[3] = acc[3].min(ch[3].to_bits());
         }
-        for st in chunks.remainder() {
-            acc[0] = acc[0].min(st.min_finish);
+        for f in chunks.remainder() {
+            acc[0] = acc[0].min(f.to_bits());
         }
-        (acc[0].min(acc[1])).min(acc[2].min(acc[3]))
+        f64::from_bits((acc[0].min(acc[1])).min(acc[2].min(acc[3])))
     }
 
     /// Retire every cohort whose predicted finish falls within the
     /// relative tie window of `f_min`, in (SM, admission) order: fold
     /// its counters over its whole residency, emit its trace events,
-    /// release occupancy, unlink it from its SM's chain and recycle the
-    /// arena slot. The window is monotone in the finish time, so
-    /// skipping SMs whose indexed minimum lies beyond it provably
-    /// retires the same set as the reference full walk; retirement
-    /// mutates nothing the predicate reads, so walking and unlinking in
-    /// one pass selects the same set as a collect-then-retire split.
+    /// release occupancy and compact the SM's lane run in place
+    /// (admission order preserved). The window is monotone in the finish
+    /// time, so skipping SMs whose indexed minimum lies beyond it
+    /// provably retires the same set as the reference full walk;
+    /// retirement mutates nothing the predicate reads, so retiring and
+    /// compacting in one pass selects the same set as a
+    /// collect-then-retire split.
     fn retire(&mut self, f_min: f64, now_s: f64) {
         let thresh = f_min * (1.0 + DONE_EPS);
-        for sm in 0..self.sm_state.len() {
-            if !self.reference && self.sm_state[sm].min_finish > thresh {
-                continue;
+        let n_sms = self.a.sm_len.len();
+        if self.scan_all {
+            for sm in 0..n_sms {
+                self.retire_sm(sm, thresh, now_s);
             }
-            let mut prev = NO_COHORT;
-            let mut ci = self.sm_state[sm].head;
-            while ci != NO_COHORT {
-                let next = self.cohorts[ci as usize].next;
-                if self.cohorts[ci as usize].finish_s <= thresh {
-                    if prev == NO_COHORT {
-                        self.sm_state[sm].head = next;
-                    } else {
-                        self.cohorts[prev as usize].next = next;
+            return;
+        }
+        // Branch-free due scan: collect the SMs whose indexed minimum
+        // falls inside the window into a bitmask (non-negative finish
+        // times compare as their unsigned bit patterns, and an empty
+        // SM's `+inf` can never pass), then walk the set bits. Ascending
+        // SM order is preserved: chunks ascend and `trailing_zeros`
+        // yields ascending indices within one.
+        let tb = thresh.to_bits();
+        let mut base_sm = 0usize;
+        while base_sm < n_sms {
+            let hi = (base_sm + 64).min(n_sms);
+            let mut mask = 0u64;
+            for sm in base_sm..hi {
+                mask |= u64::from(self.a.sm_min_finish[sm].to_bits() <= tb) << (sm - base_sm);
+            }
+            while mask != 0 {
+                let sm = base_sm + mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                self.retire_sm(sm, thresh, now_s);
+            }
+            base_sm = hi;
+        }
+    }
+
+    /// Retire the due cohorts of one SM and compact its lane run.
+    fn retire_sm(&mut self, sm: usize, thresh: f64, now_s: f64) {
+        {
+            let base = sm * self.stride;
+            let len = self.a.sm_len[sm] as usize;
+            let mut w = 0usize;
+            for r in 0..len {
+                if self.a.c_finish[base + r] <= thresh {
+                    self.retire_one(sm, base + r, now_s);
+                    if !self.a.sm_dirty[sm] {
+                        self.a.sm_dirty[sm] = true;
+                        self.a.touched.push(sm as u32);
                     }
-                    if self.sm_state[sm].tail == ci {
-                        self.sm_state[sm].tail = prev;
-                    }
-                    self.retire_one(sm, ci, now_s);
-                    self.free.push(ci);
-                    self.sm_state[sm].dirty = true;
                 } else {
-                    prev = ci;
+                    if w != r {
+                        let a = &mut *self.a;
+                        a.c_sr[base + w] = a.c_sr[base + r];
+                        a.c_rate[base + w] = a.c_rate[base + r];
+                        a.c_anchor[base + w] = a.c_anchor[base + r];
+                        a.c_remaining[base + w] = a.c_remaining[base + r];
+                        a.c_finish[base + w] = a.c_finish[base + r];
+                        a.c_nf[base + w] = a.c_nf[base + r];
+                        a.c_meta[base + w] = a.c_meta[base + r];
+                    }
+                    w += 1;
                 }
-                ci = next;
             }
+            if w == 0 && len > 0 {
+                self.active_sms -= 1;
+            }
+            self.a.sm_len[sm] = w as u32;
         }
     }
 
     /// Fold one finished cohort's counters over its whole residency,
-    /// emit its trace events and release its occupancy. The caller has
-    /// already unlinked the cohort from its SM's chain.
-    fn retire_one(&mut self, sm: usize, ci: u32, now: f64) {
-        let c = &self.cohorts[ci as usize];
-        let cost = &self.costs[c.segment];
-        let consumed = cost.t_solo_s - (c.remaining - c.rate * (now - c.anchor_s));
+    /// emit its trace events and release its occupancy. The caller
+    /// compacts the lane run.
+    fn retire_one(&mut self, sm: usize, lane: usize, now: f64) {
+        let a = &mut *self.a;
+        let meta = a.c_meta[lane];
+        let seg = meta.seg as usize;
+        let cost = &self.costs[seg];
+        let consumed =
+            cost.t_solo_s - (a.c_remaining[lane] - a.c_rate[lane] * (now - a.c_anchor[lane]));
         let frac = (consumed / cost.t_solo_s).min(1.0);
-        let nf = f64::from(c.n);
+        let n = meta.n;
+        let nf = f64::from(n);
+        let start_s = meta.start_s;
+        // The shared products feed both the per-SM and device totals;
+        // computing each once keeps the values bitwise identical to the
+        // twice-evaluated form (same expression, same operands).
+        let comp_ops = nf * (cost.comp_ops * frac);
+        let mem_requests = nf * (cost.mem_requests * frac);
         let smc = &mut self.counters.per_sm[sm];
-        smc.busy_s += nf * (now - c.start_s);
+        smc.busy_s += nf * (now - start_s);
         smc.issue_cycles += nf * (cost.issue_cycles * frac);
-        smc.comp_ops += nf * (cost.comp_ops * frac);
-        smc.mem_requests += nf * (cost.mem_requests * frac);
-        smc.blocks += c.n;
-        self.counters.comp_ops += nf * (cost.comp_ops * frac);
-        self.counters.mem_requests += nf * (cost.mem_requests * frac);
+        smc.comp_ops += comp_ops;
+        smc.mem_requests += mem_requests;
+        smc.blocks += n;
+        self.counters.comp_ops += comp_ops;
+        self.counters.mem_requests += mem_requests;
         self.counters.mem_bytes += nf * (cost.mem_bytes * frac);
-        let desc = &self.grid.segments()[c.segment].desc;
-        let mut node = c.head;
+        let desc = &self.grid.segments()[seg].desc;
+        let mut node = meta.mhead;
         while node != NO_MEMBER {
-            let m = self.members[node as usize];
-            self.sms[sm].release(desc);
+            let m = a.members[node as usize];
+            a.sms[sm].release(desc);
             self.trace.push(BlockEvent {
                 coord: m.coord,
                 sm: sm as u32,
-                start_s: c.start_s,
+                start_s,
                 end_s: now,
             });
             node = m.next;
         }
-        self.live_blocks -= u64::from(c.n);
+        self.live_blocks -= u64::from(n);
     }
 
     /// The event loop: rate, step, retire, refill — until every block
@@ -711,7 +918,8 @@ impl Sim<'_> {
         // refill scan is restricted to SMs dirtied by this event's
         // retirements. The greedy policy shares one pool whose head
         // changes whenever *any* SM admits, so it keeps the full scan.
-        let scan_all_refill = self.reference || policy == DispatchPolicy::GreedyGlobal;
+        let scan_all_refill = self.scan_all || policy == DispatchPolicy::GreedyGlobal;
+        let n_sms = self.a.sm_len.len();
         // The loop is the clock's single writer: `now` mirrors it in a
         // register, and every helper takes the value down by argument
         // rather than re-reading the shared handle.
@@ -735,12 +943,11 @@ impl Sim<'_> {
                     rates: snap,
                 }),
             }
-            // Next completion through the event queue: scheduling bumps
+            // Next completion through the event queue: the pulse bumps
             // the admission round (the queue's sequence number), and the
             // clock steps by `dt` — the same float sum as `now += dt`,
             // which is not always bitwise `f_min`.
-            self.events.schedule(f_min, ());
-            let ev = self.events.pop().expect("completion event just scheduled");
+            let ev = self.a.events.pulse(f_min, ());
             now = self.clock.advance_by(dt);
 
             self.retire(ev.time_s, now);
@@ -751,8 +958,19 @@ impl Sim<'_> {
                 || policy == DispatchPolicy::GreedyGlobal
                 || self.reference
             {
-                for sm in 0..self.sms.len() {
-                    if scan_all_refill || self.sm_state[sm].dirty {
+                if scan_all_refill {
+                    for sm in 0..n_sms {
+                        self.admit_committed(sm, now);
+                    }
+                } else {
+                    // Only this event's retirements freed occupancy, and
+                    // those SMs are exactly the touched list (rate_pass
+                    // drained it; retire rebuilt it in ascending order).
+                    // Admitting here cannot extend the list: the SM's
+                    // dirty flag is already set.
+                    let dirty_n = self.a.touched.len();
+                    for k in 0..dirty_n {
+                        let sm = self.a.touched[k] as usize;
                         self.admit_committed(sm, now);
                     }
                 }
@@ -764,21 +982,34 @@ impl Sim<'_> {
             // earlier event would have drained the pool then), so the
             // idle scan too is restricted to dirty SMs.
             if policy == DispatchPolicy::PaperRedistribution && self.dispatcher.pool_len() > 0 {
-                self.idle_buf.clear();
-                for sm in 0..self.sms.len() {
-                    if (self.reference || self.sm_state[sm].dirty)
-                        && self.sms[sm].resident_blocks() == 0
-                        && self.dispatcher.peek(sm).is_none()
-                    {
-                        self.idle_buf.push(sm);
+                self.a.idle_buf.clear();
+                if self.scan_all {
+                    for sm in 0..n_sms {
+                        if self.a.sms[sm].resident_blocks() == 0
+                            && self.dispatcher.peek(sm).is_none()
+                        {
+                            self.a.idle_buf.push(sm);
+                        }
+                    }
+                } else {
+                    // Same touched-list restriction as the refill above;
+                    // the list is in ascending SM order, which the
+                    // round-robin deal below depends on.
+                    for k in 0..self.a.touched.len() {
+                        let sm = self.a.touched[k] as usize;
+                        if self.a.sms[sm].resident_blocks() == 0
+                            && self.dispatcher.peek(sm).is_none()
+                        {
+                            self.a.idle_buf.push(sm);
+                        }
                     }
                 }
-                if self.dispatcher.redistribute(&self.idle_buf) > 0 {
-                    let idle = std::mem::take(&mut self.idle_buf);
+                if self.dispatcher.redistribute(&self.a.idle_buf) > 0 {
+                    let idle = std::mem::take(&mut self.a.idle_buf);
                     for &sm in &idle {
                         self.admit_committed(sm, now);
                     }
-                    self.idle_buf = idle;
+                    self.a.idle_buf = idle;
                 }
             }
         }
@@ -1050,6 +1281,28 @@ mod tests {
     }
 
     #[test]
+    fn arena_reuse_is_invisible_to_results() {
+        // Back-to-back runs of *different* grid shapes on one thread
+        // share the arena; each must be bitwise identical to the same
+        // run on a virgin arena (fresh thread).
+        let e = engine();
+        let big = Grid::single(compute_kernel("big", 1024, 0.5), 60);
+        let mixed = ConsolidatedGrid::new()
+            .add(Grid::single(compute_kernel("a", 128, 0.7), 17))
+            .add(Grid::single(compute_kernel("b", 256, 0.3), 23))
+            .build();
+        // Warm the arena with a run of a different shape, then measure.
+        let _ = e.run(&big, DispatchPolicy::default()).unwrap();
+        let warm = e.run(&mixed, DispatchPolicy::default()).unwrap();
+        let e2 = e.clone();
+        let m2 = mixed.clone();
+        let cold = std::thread::spawn(move || e2.run(&m2, DispatchPolicy::default()).unwrap())
+            .join()
+            .unwrap();
+        assert!(warm == cold, "arena reuse changed the outcome");
+    }
+
+    #[test]
     fn all_blocks_eventually_retire() {
         let e = engine();
         for policy in [
@@ -1123,6 +1376,58 @@ mod tests {
                 assert!(
                     opt == reference,
                     "case {case} policy {policy:?}: optimized != reference\n\
+                     elapsed {} vs {}",
+                    opt.elapsed_s,
+                    reference.elapsed_s
+                );
+            }
+        }
+    }
+
+    /// A consolidated storm: `segments` kernels of mixed compute/memory
+    /// intensity, block sizes and block counts — the same construction
+    /// the microbench's `storm64`/`storm1024` grids use. Here it pins
+    /// the differential contract at fleet scale: ~30k blocks across a
+    /// thousand segments keep hundreds of cohorts live with the DRAM
+    /// rescale moving on nearly every event.
+    fn storm_grid(segments: u32) -> Grid {
+        let cfg = GpuConfig::tesla_c1060();
+        let mut storm = ConsolidatedGrid::new();
+        for i in 0..segments {
+            let tpb = 64 << (i % 3); // 64 / 128 / 256 threads
+            let warps = f64::from(tpb / 32);
+            let secs = 0.002 + 0.000131 * f64::from(i);
+            let mut b = KernelDesc::builder("storm")
+                .threads_per_block(tpb)
+                .comp_insts(secs * cfg.clock_hz / (warps * cfg.warp_issue_cycles()));
+            if i % 2 == 0 {
+                b = b.coalesced_mem(2_000.0 + 500.0 * f64::from(i % 7));
+            }
+            if i % 4 == 3 {
+                b = b.uncoalesced_mem(100.0);
+            }
+            storm = storm.add(Grid::single(b.build(), 17 + (i * 7) % 23));
+        }
+        storm.build()
+    }
+
+    #[test]
+    fn differential_sweep_covers_storm_shapes() {
+        // The storm1024 grid shape (and two smaller storms) under every
+        // dispatch policy: optimized vs reference, byte for byte.
+        let e = engine();
+        for segments in [64, 256, 1024] {
+            let g = storm_grid(segments);
+            for policy in [
+                DispatchPolicy::PaperRedistribution,
+                DispatchPolicy::StaticRoundRobin,
+                DispatchPolicy::GreedyGlobal,
+            ] {
+                let opt = e.run(&g, policy).unwrap();
+                let reference = e.run_reference(&g, policy).unwrap();
+                assert!(
+                    opt == reference,
+                    "storm{segments} policy {policy:?}: optimized != reference\n\
                      elapsed {} vs {}",
                     opt.elapsed_s,
                     reference.elapsed_s

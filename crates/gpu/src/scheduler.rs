@@ -36,6 +36,18 @@ pub enum DispatchPolicy {
     GreedyGlobal,
 }
 
+/// Recyclable queue storage behind a [`BlockDispatcher`]: the per-SM
+/// committed queues and the untouched pool, kept (emptied but with their
+/// capacity) between launches so back-to-back simulations on one thread
+/// stop allocating dispatch queues per run. Obtained from a finished
+/// dispatcher via [`BlockDispatcher::into_scratch`] and handed to the
+/// next via [`BlockDispatcher::recycled`].
+#[derive(Debug, Default)]
+pub struct DispatchScratch {
+    per_sm: Vec<VecDeque<BlockCoord>>,
+    pool: VecDeque<BlockCoord>,
+}
+
 /// Pending-block bookkeeping for one launch.
 ///
 /// * `per_sm` holds blocks *committed* to a specific SM (static policy
@@ -58,6 +70,18 @@ impl BlockDispatcher {
     /// Distribute the grid's blocks according to `policy` on a device
     /// with `num_sms` SMs.
     pub fn new(grid: &Grid, num_sms: u32, policy: DispatchPolicy) -> Self {
+        Self::recycled(DispatchScratch::default(), grid, num_sms, policy)
+    }
+
+    /// [`Self::new`], but reusing the queue allocations left behind by a
+    /// previous launch's dispatcher. Behaviour is identical; only the
+    /// allocation count differs.
+    pub fn recycled(
+        scratch: DispatchScratch,
+        grid: &Grid,
+        num_sms: u32,
+        policy: DispatchPolicy,
+    ) -> Self {
         let total = grid.total_blocks() as usize;
         let per_sm_cap = match policy {
             DispatchPolicy::StaticRoundRobin => total / (num_sms as usize).max(1) + 1,
@@ -67,12 +91,24 @@ impl BlockDispatcher {
             DispatchPolicy::StaticRoundRobin => 0,
             _ => total,
         };
+        let DispatchScratch {
+            mut per_sm,
+            mut pool,
+        } = scratch;
+        per_sm.truncate(num_sms as usize);
+        for q in &mut per_sm {
+            q.clear();
+            q.reserve(per_sm_cap);
+        }
+        while per_sm.len() < num_sms as usize {
+            per_sm.push(VecDeque::with_capacity(per_sm_cap));
+        }
+        pool.clear();
+        pool.reserve(pool_cap);
         let mut d = BlockDispatcher {
             policy,
-            per_sm: (0..num_sms)
-                .map(|_| VecDeque::with_capacity(per_sm_cap))
-                .collect(),
-            pool: VecDeque::with_capacity(pool_cap),
+            per_sm,
+            pool,
             remaining: total,
             committed: 0,
         };
@@ -164,6 +200,14 @@ impl BlockDispatcher {
     /// The dispatch policy in effect.
     pub fn policy(&self) -> DispatchPolicy {
         self.policy
+    }
+
+    /// Dismantle the dispatcher into its recyclable queue storage.
+    pub fn into_scratch(self) -> DispatchScratch {
+        DispatchScratch {
+            per_sm: self.per_sm,
+            pool: self.pool,
+        }
     }
 }
 

@@ -1,0 +1,53 @@
+//! Profiling harness for the `openloop64k` bench case with a
+//! configurable run count — the tracked bench takes min-of-3 on a
+//! ~1 s workload, which is too noisy to steer an optimization by.
+//!
+//! Usage: `openloop_profile [runs] [streams] [per_stream]`
+//! (defaults: 10 runs, 256 streams, 256 arrivals per stream).
+//! Prints min/mean wall ms for admission-on and admission-off.
+
+use std::time::Instant;
+
+use ewc_load::openloop::{run as run_load, LoadConfig};
+
+fn time_runs(runs: usize, mut f: impl FnMut()) -> (f64, f64) {
+    f(); // warm-up
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs.max(1) {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    (min, mean)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let runs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
+    let streams: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(256);
+    let per_stream: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(256);
+
+    let mut cfg = LoadConfig::scaled(42, LoadConfig::poisson(), 2.0);
+    cfg.streams = streams;
+    cfg.arrivals_per_stream = per_stream;
+    cfg.telemetry = false;
+
+    let (on_min, on_mean) = time_runs(runs, || {
+        std::hint::black_box(run_load(&cfg));
+    });
+    let mut open = cfg.clone();
+    open.admission = None;
+    let (off_min, off_mean) = time_runs(runs, || {
+        std::hint::black_box(run_load(&open));
+    });
+
+    println!(
+        "openloop {streams}x{per_stream} runs={runs}\n\
+         admission on : min {on_min:9.3} ms  mean {on_mean:9.3} ms\n\
+         admission off: min {off_min:9.3} ms  mean {off_mean:9.3} ms\n\
+         overhead (min): {:+.1}%",
+        (on_min / off_min - 1.0) * 100.0
+    );
+}

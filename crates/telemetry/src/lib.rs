@@ -39,6 +39,10 @@
 //! assert_eq!(snap.spans.len(), 1);
 //! ```
 
+// Telemetry records from inside the backend daemon and the engine hot
+// loop; an observability layer must never be what panics the process.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod audit;
 pub mod export;
 pub mod json;
