@@ -51,7 +51,10 @@ pub fn leader_election() -> Vec<Row> {
             ..base_cfg()
         },
     );
-    let (s_on, s_off) = (on.stats.unwrap(), off.stats.unwrap());
+    let (s_on, s_off) = (
+        on.stats.expect("dynamic setup reports stats"),
+        off.stats.expect("dynamic setup reports stats"),
+    );
     vec![
         Row {
             name: "leader election",
@@ -83,8 +86,8 @@ pub fn argument_batching() -> Vec<Row> {
     vec![Row {
         name: "argument batching",
         metric: "messages",
-        with_on: on.stats.unwrap().messages as f64,
-        with_off: off.stats.unwrap().messages as f64,
+        with_on: on.stats.expect("dynamic setup reports stats").messages as f64,
+        with_off: off.stats.expect("dynamic setup reports stats").messages as f64,
     }]
 }
 
@@ -101,7 +104,10 @@ pub fn constant_reuse() -> Vec<Row> {
             ..base_cfg()
         },
     );
-    let (s_on, s_off) = (on.stats.unwrap(), off.stats.unwrap());
+    let (s_on, s_off) = (
+        on.stats.expect("dynamic setup reports stats"),
+        off.stats.expect("dynamic setup reports stats"),
+    );
     vec![
         Row {
             name: "constant reuse",
@@ -130,11 +136,11 @@ pub fn dispatch_policy() -> Vec<Row> {
     }
     let paper = engine
         .run(&grid, DispatchPolicy::PaperRedistribution)
-        .unwrap()
+        .expect("scenario grid runs")
         .elapsed_s;
     let greedy = engine
         .run(&grid, DispatchPolicy::GreedyGlobal)
-        .unwrap()
+        .expect("scenario grid runs")
         .elapsed_s;
     vec![Row {
         name: "dispatch policy (scenario 1)",

@@ -60,7 +60,8 @@ pub fn study(processes: u32, kernels_per_process: u32) -> Row {
     // Serial: M·K individual launches.
     let mut gpu = GpuDevice::new(cfg.clone());
     for _ in 0..processes * kernels_per_process {
-        gpu.launch(&LaunchConfig::from_grid(kernel_grid())).unwrap();
+        gpu.launch(&LaunchConfig::from_grid(kernel_grid()))
+            .expect("launch accepted");
     }
     let (serial_s, serial_j) = (gpu.now_s(), energy_of(&gpu, 1));
 
@@ -72,7 +73,8 @@ pub fn study(processes: u32, kernels_per_process: u32) -> Row {
         for _ in 0..kernels_per_process {
             g = g.add(kernel_grid());
         }
-        gpu.launch(&LaunchConfig::from_grid(g.build())).unwrap();
+        gpu.launch(&LaunchConfig::from_grid(g.build()))
+            .expect("launch accepted");
     }
     let (fermi_s, fermi_j) = (gpu.now_s(), energy_of(&gpu, 2));
 
@@ -82,7 +84,8 @@ pub fn study(processes: u32, kernels_per_process: u32) -> Row {
     for _ in 0..processes * kernels_per_process {
         g = g.add(kernel_grid());
     }
-    gpu.launch(&LaunchConfig::from_grid(g.build())).unwrap();
+    gpu.launch(&LaunchConfig::from_grid(g.build()))
+        .expect("launch accepted");
     let (consolidated_s, consolidated_j) = (gpu.now_s(), energy_of(&gpu, 3));
 
     Row {

@@ -52,7 +52,7 @@ fn study(device: &'static str, cfg: &GpuConfig, n: u32) -> Row {
             aes.desc(),
             aes.blocks(),
         )))
-        .unwrap();
+        .expect("launch accepted");
     }
     let serial_s = gpu.now_s();
     let serial_j = sys.integrate(gpu.activity(), serial_s, Some(1)).energy_j;
@@ -62,7 +62,8 @@ fn study(device: &'static str, cfg: &GpuConfig, n: u32) -> Row {
     for _ in 0..n {
         g = g.add(Grid::single(aes.desc(), aes.blocks()));
     }
-    gpu.launch(&LaunchConfig::from_grid(g.build())).unwrap();
+    gpu.launch(&LaunchConfig::from_grid(g.build()))
+        .expect("launch accepted");
     let consolidated_s = gpu.now_s();
     let consolidated_j = sys
         .integrate(gpu.activity(), consolidated_s, Some(2))

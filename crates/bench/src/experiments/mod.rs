@@ -18,6 +18,7 @@ pub mod fig8;
 pub mod future_hw;
 pub mod multigpu;
 pub mod overload;
+pub mod policy;
 pub mod scenarios;
 pub mod table1;
 pub mod tables56;

@@ -21,7 +21,10 @@
 //! 64k open-loop arrivals through the whole admission-controlled
 //! runtime (arrival executor, frontends, backend daemon, consolidation)
 //! on the virtual clock, timing the full stack rather than the engine
-//! in isolation.
+//! in isolation. `policy_storm` times the decision engine's DVFS
+//! policy fan-out over 64 consolidation groups against the flat
+//! assessment, guarding both the default path and the per-state
+//! evaluation cost.
 //!
 //! Each grid is timed on the optimized cohort engine and (when the
 //! `ewc-gpu/reference-engine` feature is on, as it is for this crate) on
@@ -225,6 +228,84 @@ pub fn openloop_case(quick: bool) -> CaseResult {
     }
 }
 
+/// The `policy_storm` case: the decision engine's power-policy fan-out
+/// over a 64-group consolidation storm. Each group is assessed three
+/// ways (consolidate / serial / CPU); `optimized` additionally
+/// evaluates both GPU alternatives across every operating point of the
+/// DVFS ladder under the race-to-idle knob, while `reference` is the
+/// identical flat assessment (no power-state stack). The pair records
+/// what the per-state fan-out costs on the decision hot path — this is
+/// the default-path guard: the flat side must stay at the committed
+/// floor, and the policy side bounds the fan-out's overhead. `blocks`
+/// reports the plans' total blocks and `segments` the group count.
+pub fn policy_storm_case(quick: bool) -> CaseResult {
+    let cfg = GpuConfig::tesla_c1060();
+    let sys = ewc_energy::GpuSystemPower::tesla_system();
+    let coeffs = ewc_energy::PowerCoefficients::train(
+        &cfg,
+        &sys.truth,
+        &ewc_energy::TrainingBenchmark::rodinia_suite(),
+        42,
+    )
+    .expect("power-model training converges");
+    let engine = |policy: bool| {
+        let energy = ewc_models::EnergyModel::new(
+            cfg.clone(),
+            ewc_models::PowerModel::new(
+                coeffs.clone(),
+                ewc_energy::ThermalModel::gt200(),
+                cfg.clone(),
+            ),
+            sys.idle_w,
+        );
+        let e = ewc_core::DecisionEngine::new(
+            energy,
+            ewc_cpu::CpuEngine::new(ewc_cpu::CpuConfig::xeon_e5520_x2()),
+            ewc_cpu::CpuPowerModel::xeon_e5520_x2(),
+        );
+        if policy {
+            e.with_power_policy(ewc_core::PowerStatesConfig::race())
+        } else {
+            e
+        }
+    };
+    // 64 groups of distinct member counts and solo times, the mixed
+    // shape a consolidation storm hands the decision engine.
+    let mut total_blocks = 0;
+    let groups: Vec<(ewc_models::ConsolidationPlan, Vec<ewc_cpu::CpuTask>)> = (0..64u32)
+        .map(|i| {
+            let members = 2 + i % 8;
+            let secs = 2.0 + 0.25 * f64::from(i % 5);
+            let desc = compute_kernel("policy", 128, secs)
+                .coalesced_mem(50.0)
+                .build();
+            total_blocks += 3 * members;
+            let plan = ewc_models::ConsolidationPlan::homogeneous(desc, 3, members);
+            let tasks = (0..members)
+                .map(|_| ewc_cpu::CpuTask::new("policy", secs * 1.7, 2, 8 << 20))
+                .collect();
+            (plan, tasks)
+        })
+        .collect();
+    let runs = if quick { 10 } else { 30 };
+    let policied = engine(true);
+    let flat = engine(false);
+    let assess_all = |e: &ewc_core::DecisionEngine| {
+        for (plan, tasks) in &groups {
+            std::hint::black_box(e.assess(plan, tasks));
+        }
+    };
+    let optimized = time_runs(runs, || assess_all(&policied));
+    let reference = time_runs(runs, || assess_all(&flat));
+    CaseResult {
+        name: "policy_storm",
+        blocks: total_blocks,
+        segments: groups.len(),
+        optimized,
+        reference,
+    }
+}
+
 /// Time `f` over `runs` invocations (plus one untimed warm-up).
 pub fn time_runs<R>(runs: usize, mut f: impl FnMut() -> R) -> Timing {
     std::hint::black_box(f());
@@ -260,12 +341,14 @@ pub fn run(quick: bool) -> Vec<CaseResult> {
                 case.runs
             };
             let optimized = time_runs(runs, || {
-                engine.run(&case.grid, DispatchPolicy::default()).unwrap()
+                engine
+                    .run(&case.grid, DispatchPolicy::default())
+                    .expect("microbench grid runs")
             });
             let reference = time_runs(runs, || {
                 engine
                     .run_reference(&case.grid, DispatchPolicy::default())
-                    .unwrap()
+                    .expect("microbench grid runs")
             });
             CaseResult {
                 name: case.name,
@@ -277,6 +360,7 @@ pub fn run(quick: bool) -> Vec<CaseResult> {
         })
         .collect();
     results.push(openloop_case(quick));
+    results.push(policy_storm_case(quick));
     results
 }
 
@@ -524,7 +608,7 @@ mod tests {
         let run_names: Vec<&str> = cases()
             .iter()
             .map(|c| c.name)
-            .chain(std::iter::once("openloop64k"))
+            .chain(["openloop64k", "policy_storm"])
             .collect();
         for (name, _) in &baseline {
             assert!(

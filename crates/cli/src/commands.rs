@@ -46,6 +46,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
         "future-hw",
         "consolidation on Fermi-class silicon (extension)",
     ),
+    (
+        "policy",
+        "race-to-idle vs pace vs cap power policies (extension)",
+    ),
 ];
 
 /// Usage text.
@@ -71,12 +75,19 @@ pub fn usage() -> String {
          \x20                        fleet and compare placement policies on energy\n\
          \x20                        and latency (policy: round-robin | least-loaded |\n\
          \x20                        power-aware | frag-aware | all; default 4 all 42)\n\
-         \x20 load [process] [mult] [seed]\n\
+         \x20 load [process] [mult] [seed] [knob]\n\
          \x20                        drive an open-loop arrival storm (process:\n\
          \x20                        poisson | bursty | diurnal; mult x the base\n\
          \x20                        rate) against the admission-controlled backend\n\
          \x20                        and verify conservation and bounded queues\n\
-         \x20                        (default poisson 2 42)\n\
+         \x20                        (default poisson 2 42; knob: race | pace | cap\n\
+         \x20                        additionally runs the DVFS policy engine)\n\
+         \x20 policy [race|pace|cap|all] [watts]\n\
+         \x20                        run the DVFS policy engine over one consolidated\n\
+         \x20                        encryption batch and compare the knob's chosen\n\
+         \x20                        operating points and measured energy against the\n\
+         \x20                        flat baseline (watts overrides the cap budget;\n\
+         \x20                        default all, budget just under the P0 draw)\n\
          \x20 bench [--quick] [--json PATH] [--baseline [PATH]]\n\
          \x20                        run the engine microbench group (optimized cohort\n\
          \x20                        engine vs full-rescan reference), optionally\n\
@@ -133,6 +144,11 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
             args.get(1).map(String::as_str),
             args.get(2).map(String::as_str),
             args.get(3).map(String::as_str),
+            args.get(4).map(String::as_str),
+        ),
+        Some("policy") => policy(
+            args.get(1).map(String::as_str),
+            args.get(2).map(String::as_str),
         ),
         Some("bench") => bench(&args[1..]),
         Some("help") | None => Ok(usage()),
@@ -169,6 +185,7 @@ fn run_experiment(id: &str) -> Result<String, String> {
         "trace" => ex::trace::render(&ex::trace::run()),
         "overload" => ex::overload::render(&ex::overload::run()),
         "future-hw" => ex::future_hw::render(&ex::future_hw::run(9)),
+        "policy" => ex::policy::render(&ex::policy::run()),
         other => return Err(format!("unknown experiment '{other}'")),
     })
 }
@@ -511,7 +528,12 @@ fn fleet_row(devices: usize, kind: PolicyKind, seed: u64) -> Result<String, Stri
 
 /// `ewc load`: one open-loop storm, with the robustness invariants
 /// checked on the way out (this is what the CI overload matrix runs).
-fn load(process: Option<&str>, mult: Option<&str>, seed: Option<&str>) -> Result<String, String> {
+fn load(
+    process: Option<&str>,
+    mult: Option<&str>,
+    seed: Option<&str>,
+    knob: Option<&str>,
+) -> Result<String, String> {
     use ewc_load::openloop::{run as run_load, LoadConfig};
     let process = match process.unwrap_or("poisson") {
         "poisson" => LoadConfig::poisson(),
@@ -534,7 +556,30 @@ fn load(process: Option<&str>, mult: Option<&str>, seed: Option<&str>) -> Result
         .unwrap_or("42")
         .parse()
         .map_err(|_| "load: seed must be a number")?;
-    let cfg = LoadConfig::scaled(seed, process, mult);
+    let mut cfg = LoadConfig::scaled(seed, process, mult);
+    // Optional DVFS policy engine under the storm: a generous pace
+    // deadline (the staleness flush bound) and a cap just above the
+    // idle floor, so both knobs genuinely move off the top state.
+    let knob_label = match knob {
+        None | Some("off") => "off",
+        Some("race") => {
+            cfg.power_states = Some(ewc_core::PowerStatesConfig::race());
+            "race"
+        }
+        Some("pace") => {
+            cfg.power_states = Some(ewc_core::PowerStatesConfig::pace(0.25));
+            "pace"
+        }
+        Some("cap") => {
+            cfg.power_states = Some(ewc_core::PowerStatesConfig::cap(220.0));
+            "cap"
+        }
+        Some(other) => {
+            return Err(format!(
+                "load: unknown policy knob '{other}' (race|pace|cap|off)"
+            ))
+        }
+    };
     let r = run_load(&cfg);
     if !r.conserved() {
         return Err(format!(
@@ -561,10 +606,10 @@ fn load(process: Option<&str>, mult: Option<&str>, seed: Option<&str>) -> Result
         ));
     }
     Ok(format!(
-        "open-loop {} at {mult}x (seed {seed}): conserved\n\
+        "open-loop {} at {mult}x (seed {seed}, policy {knob_label}): conserved\n\
          \x20 generated {}  completed {}  shed {} ({:.1}%)  drained {}\n\
          \x20 busy answers {}  max queue depth {}  max ladder level {}\n\
-         \x20 goodput {:.1}/s  p99 {:.4}s  {:.3} J/request\n",
+         \x20 goodput {:.1}/s  p99 {:.4}s  {:.3} J/request  state transitions {}\n",
         cfg.process.label(),
         r.generated,
         r.completed,
@@ -577,7 +622,27 @@ fn load(process: Option<&str>, mult: Option<&str>, seed: Option<&str>) -> Result
         r.goodput_hz(),
         r.p99_latency_s,
         r.joules_per_request(),
+        r.stats.state_changes,
     ))
+}
+
+/// `ewc policy`: the DVFS policy engine over one consolidated batch,
+/// each knob against the flat (stack-off) baseline.
+fn policy(which: Option<&str>, watts: Option<&str>) -> Result<String, String> {
+    let which = which.unwrap_or("all");
+    let watts = watts
+        .map(|w| {
+            w.parse::<f64>()
+                .map_err(|_| "policy: watts must be a number".to_string())
+        })
+        .transpose()?;
+    if let Some(w) = watts {
+        if !w.is_finite() || w <= 0.0 {
+            return Err("policy: watts must be positive".into());
+        }
+    }
+    let rows = ex::policy::run_named(which, watts)?;
+    Ok(ex::policy::render(&rows))
 }
 
 /// Regression-gate threshold for `bench --baseline`: a tracked grid may
@@ -704,6 +769,21 @@ mod tests {
         assert!(dispatch(&args(&["load", "poisson", "0"])).is_err());
         assert!(dispatch(&args(&["load", "poisson", "-2"])).is_err());
         assert!(dispatch(&args(&["load", "poisson", "2", "x"])).is_err());
+        assert!(dispatch(&args(&["load", "poisson", "2", "7", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn load_storm_runs_under_a_policy_knob() {
+        let out = dispatch(&args(&["load", "poisson", "2", "7", "race"])).unwrap();
+        assert!(out.contains("policy race"), "{out}");
+        assert!(out.contains("conserved"), "{out}");
+        let transitions: u64 = out
+            .split("state transitions ")
+            .nth(1)
+            .and_then(|t| t.split_whitespace().next())
+            .and_then(|t| t.parse().ok())
+            .unwrap();
+        assert!(transitions > 0, "race must change device states: {out}");
     }
 
     #[test]
@@ -716,6 +796,7 @@ mod tests {
             "storm64",
             "storm1024",
             "openloop64k",
+            "policy_storm",
         ] {
             assert!(out.contains(case), "missing {case}: {out}");
         }
@@ -771,6 +852,17 @@ mod tests {
         std::fs::write(&bad, "not json").unwrap();
         let err = dispatch(&args(&["bench", "--baseline", bad.to_str().unwrap()])).unwrap_err();
         assert!(err.contains("baseline json"), "{err}");
+    }
+
+    #[test]
+    fn policy_compares_knobs_against_the_flat_baseline() {
+        let out = dispatch(&args(&["policy", "race"])).unwrap();
+        assert!(out.contains("flat"), "{out}");
+        assert!(out.contains("race"), "{out}");
+        assert!(out.contains("sleep"), "race must park: {out}");
+        assert!(dispatch(&args(&["policy", "bogus"])).is_err());
+        assert!(dispatch(&args(&["policy", "cap", "x"])).is_err());
+        assert!(dispatch(&args(&["policy", "cap", "-5"])).is_err());
     }
 
     #[test]

@@ -47,6 +47,7 @@ use crate::protocol::{CoreError, ExecConfig, KernelRequest, Request};
 use crate::resilience::RuntimeFaultInjector;
 use crate::stats::{BackendStats, ConsolidationRecord, KernelOutcome};
 use crate::template::TemplateRegistry;
+use ewc_models::PolicyKnob;
 
 /// Channel + thread handle for a running backend.
 pub struct BackendHandles {
@@ -121,6 +122,7 @@ pub fn spawn(
         extract_scratch: Vec::new(),
         flush_scratch: Vec::new(),
         saturated_scratch: Vec::new(),
+        fleet_throttles_seen: 0,
     };
     let join = std::thread::Builder::new()
         .name("ewc-backend".into())
@@ -208,6 +210,9 @@ struct Backend {
     flush_scratch: Vec<usize>,
     /// Recycled per-device saturation flags for overload-aware placement.
     saturated_scratch: Vec<bool>,
+    /// High-water mark into the governor's power-cap throttle log:
+    /// throttles past this index still need replaying onto the devices.
+    fleet_throttles_seen: usize,
 }
 
 impl Backend {
@@ -461,6 +466,7 @@ impl Backend {
             _ => self.fleet.place(ctx, &self.clock),
         };
         let d = rec.device as usize;
+        self.sync_fleet_throttles();
         if self.fleet_mode && self.sink.is_enabled() {
             self.sink.counter_add(&format!("placements_gpu{d}"), 1.0);
             self.sink.audit(DecisionRecord {
@@ -1086,6 +1092,21 @@ impl Backend {
         // Kernel launches are asynchronous: the device clock runs ahead
         // of the host clock, so other devices' groups can overlap.
         self.catch_up(device);
+        // Apply the knob-chosen operating point before the launch; the
+        // wake latency lands on the device clock. Race-to-idle parks the
+        // device in the deepest state once the group completes.
+        let mut park_after = None;
+        if let Some(sd) = &assessment.state {
+            if assessment.choice != Choice::Cpu {
+                if let Some(choice) = sd.chosen(assessment.choice) {
+                    let level = choice.level;
+                    if matches!(sd.knob, PolicyKnob::RaceToIdle) {
+                        park_after = self.decision.power_policy().and_then(|ps| ps.table.park());
+                    }
+                    self.apply_power_state(device, level);
+                }
+            }
+        }
         let t0 = self.gpus[device].now_s();
         let fates = match assessment.choice {
             Choice::Consolidate => self.run_ladder(device, &group, true),
@@ -1100,6 +1121,9 @@ impl Backend {
         };
 
         let completed_at_s = self.gpus[device].now_s();
+        if let Some(park) = park_after {
+            self.apply_power_state(device, park);
+        }
         for (req, fate) in group.iter().zip(&fates) {
             // Failed members never completed; they get no outcome record
             // — their story is told by `failed_kernels` and the audit log.
@@ -1537,6 +1561,80 @@ impl Backend {
         });
     }
 
+    /// Move `device` to state `level` of the configured ladder. No-op
+    /// without a power-state stack or when already there. Audited as
+    /// [`Verdict::StateChanged`]; the device itself emits the
+    /// `dvfs_level_gpu{d}` gauge and transition counter.
+    fn apply_power_state(&mut self, device: usize, level: usize) -> bool {
+        let Some((name, freq, latency)) = self.decision.power_policy().and_then(|ps| {
+            ps.table.get(level).map(|s| {
+                // Park states cannot run work; the engine clock scale is
+                // irrelevant there, so leave it at the base clock.
+                let freq = if s.can_run() { s.freq_scale } else { 1.0 };
+                (s.name, freq, s.wake_latency_s)
+            })
+        }) else {
+            return false;
+        };
+        let from = self.gpus[device].power_level();
+        let changed = self.gpus[device].set_power_state(level as u32, freq, latency);
+        if changed {
+            self.stats.state_changes += 1;
+            if self.sink.is_enabled() {
+                self.sink.audit(DecisionRecord {
+                    time_s: self.gpus[device].now_s(),
+                    kernels: Vec::new(),
+                    verdict: Verdict::StateChanged,
+                    consolidated: None,
+                    serial: None,
+                    cpu: None,
+                    reason: format!(
+                        "gpu{device}: power state {} -> {name} (level {level})",
+                        from.map_or_else(|| "p0".to_string(), |l| format!("level {l}")),
+                    ),
+                });
+            }
+        }
+        changed
+    }
+
+    /// Replay power-cap throttles the governor recorded onto the
+    /// actual devices so projections and simulated timing agree, and
+    /// audit each as a state change driven by the fleet cap.
+    fn sync_fleet_throttles(&mut self) {
+        while self.fleet_throttles_seen < self.fleet.state_changes().len() {
+            let rec = self.fleet.state_changes()[self.fleet_throttles_seen];
+            self.fleet_throttles_seen += 1;
+            let d = rec.device as usize;
+            let Some(state) = self.fleet.spec(d).states.get(rec.to).copied() else {
+                continue;
+            };
+            let freq = if state.can_run() {
+                state.freq_scale
+            } else {
+                1.0
+            };
+            let changed = self.gpus[d].set_power_state(rec.to as u32, freq, state.wake_latency_s);
+            if changed {
+                self.stats.state_changes += 1;
+                if self.sink.is_enabled() {
+                    self.sink.audit(DecisionRecord {
+                        time_s: self.gpus[d].now_s(),
+                        kernels: Vec::new(),
+                        verdict: Verdict::StateChanged,
+                        consolidated: None,
+                        serial: None,
+                        cpu: None,
+                        reason: format!(
+                            "gpu{d}: power cap throttled level {} -> {} (level {})",
+                            rec.from, state.name, rec.to
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
     /// Record the verdict and the predictions that justified it.
     fn audit_decision(
         &self,
@@ -1547,8 +1645,20 @@ impl Backend {
         tripped: bool,
         spilled: bool,
     ) {
+        let state_note = match &assessment.state {
+            Some(sd) => match sd.chosen(assessment.choice) {
+                Some(c) => format!(
+                    "; {} policy chose state {} ({:.3} J over horizon)",
+                    sd.knob.label(),
+                    c.state,
+                    c.horizon_energy_j
+                ),
+                None => String::new(),
+            },
+            None => String::new(),
+        };
         let reason = format!(
-            "predicted energy: consolidated {:.3} J (margin-adjusted), serial {:.3} J, cpu {:.3} J{}{}{}",
+            "predicted energy: consolidated {:.3} J (margin-adjusted), serial {:.3} J, cpu {:.3} J{}{}{}{state_note}",
             assessment.consolidated.system_energy_j,
             assessment.serial.system_energy_j,
             assessment.cpu_energy_j,

@@ -2,6 +2,43 @@
 
 use crate::admission::AdmissionConfig;
 use crate::resilience::ResiliencePolicy;
+use ewc_energy::PowerStateTable;
+use ewc_models::PolicyKnob;
+
+/// Power-state stack configuration: the device state ladder plus the
+/// policy knob that picks operating points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerStatesConfig {
+    /// The device's power-state ladder (DVFS levels, idle, sleep).
+    pub table: PowerStateTable,
+    /// The policy choosing among operating points.
+    pub knob: PolicyKnob,
+}
+
+impl PowerStatesConfig {
+    /// The testbed DVFS ladder under the given knob.
+    pub fn tesla(knob: PolicyKnob) -> Self {
+        PowerStatesConfig {
+            table: ewc_energy::PowerStateModel::tesla_dvfs().table,
+            knob,
+        }
+    }
+
+    /// Race-to-idle on the testbed ladder.
+    pub fn race() -> Self {
+        Self::tesla(PolicyKnob::RaceToIdle)
+    }
+
+    /// Pace-to-deadline on the testbed ladder.
+    pub fn pace(deadline_s: f64) -> Self {
+        Self::tesla(PolicyKnob::Pace { deadline_s })
+    }
+
+    /// Cap-aware on the testbed ladder.
+    pub fn cap(cap_w: f64) -> Self {
+        Self::tesla(PolicyKnob::CapAware { cap_w })
+    }
+}
 
 /// Configuration of the consolidation runtime.
 ///
@@ -66,6 +103,13 @@ pub struct RuntimeConfig {
     /// `Busy` backpressure, sheds aged requests CoDel-style, and runs
     /// the degradation ladder.
     pub admission: Option<AdmissionConfig>,
+    /// Optional power-state stack. `None` (the default) runs every
+    /// device pinned at P0 with the flat power model — byte-identical to
+    /// the pre-DVFS runtime. `Some` evaluates each GPU alternative
+    /// across the ladder's operating points, applies the knob's chosen
+    /// state to the device before launching, and parks the device in the
+    /// deepest state afterwards when racing to idle.
+    pub power_states: Option<PowerStatesConfig>,
 }
 
 impl RuntimeConfig {
@@ -115,6 +159,7 @@ impl Default for RuntimeConfig {
             resilience: ResiliencePolicy::default(),
             fleet: None,
             admission: None,
+            power_states: None,
         }
     }
 }

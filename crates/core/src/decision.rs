@@ -13,7 +13,11 @@
 
 use ewc_cpu::{CpuEngine, CpuOutcome, CpuPowerModel, CpuTask};
 use ewc_exec::TaskPool;
-use ewc_models::{ConsolidationPlan, EnergyModel, Prediction};
+use ewc_models::{
+    choose_state, ConsolidationPlan, EnergyModel, PolicyKnob, Prediction, StateChoice,
+};
+
+use crate::config::PowerStatesConfig;
 
 /// The chosen execution alternative.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,6 +28,29 @@ pub enum Choice {
     SerialGpu,
     /// Run the instances on the CPU.
     Cpu,
+}
+
+/// The power-state verdicts for the GPU alternatives, present only when
+/// a [`PowerStatesConfig`] is wired into the engine.
+#[derive(Debug, Clone)]
+pub struct StateDecision {
+    /// The knob that produced the verdicts.
+    pub knob: PolicyKnob,
+    /// Chosen operating point for the consolidated alternative.
+    pub consolidated: StateChoice,
+    /// Chosen operating point for the serial alternative.
+    pub serial: StateChoice,
+}
+
+impl StateDecision {
+    /// The state choice for the chosen GPU alternative (`None` for CPU).
+    pub fn chosen(&self, choice: Choice) -> Option<&StateChoice> {
+        match choice {
+            Choice::Consolidate => Some(&self.consolidated),
+            Choice::SerialGpu => Some(&self.serial),
+            Choice::Cpu => None,
+        }
+    }
 }
 
 /// Predictions for all alternatives plus the verdict.
@@ -39,11 +66,18 @@ pub struct Assessment {
     pub cpu_time_s: f64,
     /// CPU whole-system energy prediction, joules.
     pub cpu_energy_j: f64,
+    /// Power-state verdicts for the GPU alternatives (`None` when the
+    /// engine runs without a power-state stack — the flat behaviour).
+    pub state: Option<StateDecision>,
 }
 
 impl Assessment {
-    /// Predicted time of the chosen alternative.
+    /// Predicted time of the chosen alternative (in its chosen power
+    /// state, when a state stack is active).
     pub fn chosen_time_s(&self) -> f64 {
+        if let Some(c) = self.state.as_ref().and_then(|s| s.chosen(self.choice)) {
+            return c.time_s;
+        }
         match self.choice {
             Choice::Consolidate => self.consolidated.time_s,
             Choice::SerialGpu => self.serial.time_s,
@@ -51,8 +85,12 @@ impl Assessment {
         }
     }
 
-    /// Predicted whole-system energy of the chosen alternative.
+    /// Predicted whole-system energy of the chosen alternative (over the
+    /// policy horizon, when a state stack is active).
     pub fn chosen_energy_j(&self) -> f64 {
+        if let Some(c) = self.state.as_ref().and_then(|s| s.chosen(self.choice)) {
+            return c.horizon_energy_j;
+        }
         match self.choice {
             Choice::Consolidate => self.consolidated.system_energy_j,
             Choice::SerialGpu => self.serial.system_energy_j,
@@ -68,6 +106,7 @@ pub struct DecisionEngine {
     cpu_power: CpuPowerModel,
     margin: f64,
     parallelism: usize,
+    power_states: Option<PowerStatesConfig>,
 }
 
 impl DecisionEngine {
@@ -85,7 +124,22 @@ impl DecisionEngine {
             // `0` asks the shared [`TaskPool`] for its default width
             // (one worker per available core).
             parallelism: 0,
+            power_states: None,
         }
+    }
+
+    /// Wire in a power-state stack: GPU alternatives are then evaluated
+    /// across the ladder's operating points and compared at their
+    /// knob-chosen states' horizon energies. Without this the engine is
+    /// bit-identical to the flat (P0-only) behaviour.
+    pub fn with_power_policy(mut self, cfg: PowerStatesConfig) -> Self {
+        self.power_states = Some(cfg);
+        self
+    }
+
+    /// The wired power-state stack, if any.
+    pub fn power_policy(&self) -> Option<&PowerStatesConfig> {
+        self.power_states.as_ref()
     }
 
     /// Override the required consolidation benefit margin (fraction of
@@ -140,13 +194,37 @@ impl DecisionEngine {
             unreachable!("pool returns the three parts positionally");
         };
 
+        // Power-state pass, gated on the config so the flat path stays
+        // bit-identical: evaluate both GPU alternatives across the
+        // ladder's operating points and let the knob pick; the verdict
+        // below then compares the knob-chosen horizon energies.
+        let state = self.power_states.as_ref().map(|ps| {
+            let evals_c: Vec<(usize, Prediction)> = ps
+                .table
+                .operating_points()
+                .map(|(l, s)| (l, self.energy.predict_in_state(plan, s)))
+                .collect();
+            let evals_s: Vec<(usize, Prediction)> = ps
+                .table
+                .operating_points()
+                .map(|(l, s)| (l, self.energy.predict_serial_in_state(plan, s)))
+                .collect();
+            let idle_w = self.energy.idle_w();
+            StateDecision {
+                knob: ps.knob,
+                consolidated: choose_state(&ps.table, &ps.knob, &evals_c, idle_w),
+                serial: choose_state(&ps.table, &ps.knob, &evals_s, idle_w),
+            }
+        });
+        let (cons_e, serial_e) = match &state {
+            Some(sd) => (sd.consolidated.horizon_energy_j, sd.serial.horizon_energy_j),
+            None => (consolidated.system_energy_j, serial.system_energy_j),
+        };
+
         let candidates = [
             // Consolidation pays a benefit margin: it must clearly win.
-            (
-                Choice::Consolidate,
-                consolidated.system_energy_j * (1.0 + self.margin),
-            ),
-            (Choice::SerialGpu, serial.system_energy_j),
+            (Choice::Consolidate, cons_e * (1.0 + self.margin)),
+            (Choice::SerialGpu, serial_e),
             (Choice::Cpu, cpu_energy),
         ];
         // total_cmp: a NaN prediction (degenerate model input) must not
@@ -164,6 +242,7 @@ impl DecisionEngine {
             serial,
             cpu_time_s: cpu_out.makespan_s,
             cpu_energy_j: cpu_energy,
+            state,
         }
     }
 
@@ -272,6 +351,46 @@ mod tests {
         );
         assert_eq!(serial.cpu_time_s.to_bits(), fanned.cpu_time_s.to_bits());
         assert_eq!(serial.cpu_energy_j.to_bits(), fanned.cpu_energy_j.to_bits());
+    }
+
+    #[test]
+    fn power_policy_none_leaves_the_assessment_flat() {
+        let plan = ConsolidationPlan::new().with(compute("a", 6.0, 4));
+        let tasks = [CpuTask::new("a", 12.0, 2, 4 << 20)];
+        let a = engine().assess(&plan, &tasks);
+        assert!(a.state.is_none());
+        assert_eq!(a.chosen_energy_j().to_bits(), {
+            match a.choice {
+                Choice::Consolidate => a.consolidated.system_energy_j.to_bits(),
+                Choice::SerialGpu => a.serial.system_energy_j.to_bits(),
+                Choice::Cpu => a.cpu_energy_j.to_bits(),
+            }
+        });
+    }
+
+    #[test]
+    fn race_and_pace_pick_different_states_for_heavy_work() {
+        // A full-tilt compute-heavy group: race pins P0, pace drops to a
+        // lower operating point under a relaxed deadline.
+        let mut plan = ConsolidationPlan::new();
+        let mut tasks = Vec::new();
+        for _ in 0..9 {
+            plan.push(compute("enc", 8.4, 3));
+            tasks.push(CpuTask::new("enc", 14.4, 2, 8 << 20));
+        }
+        let race = engine()
+            .with_power_policy(crate::config::PowerStatesConfig::race())
+            .assess(&plan, &tasks);
+        let rd = race.state.as_ref().expect("policy wired");
+        assert_eq!(rd.consolidated.state, "p0");
+
+        let deadline = race.consolidated.time_s * 3.0;
+        let pace = engine()
+            .with_power_policy(crate::config::PowerStatesConfig::pace(deadline))
+            .assess(&plan, &tasks);
+        let pd = pace.state.as_ref().expect("policy wired");
+        assert_ne!(pd.consolidated.state, "p0", "pace throttles under slack");
+        assert!(pd.consolidated.time_s > rd.consolidated.time_s);
     }
 
     #[test]

@@ -93,8 +93,8 @@ pub mod template;
 
 pub use admission::{AdmissionConfig, AdmissionDecision, DegradationConfig, Priority, ShedCause};
 pub use backend::BackendHandles;
-pub use config::RuntimeConfig;
-pub use decision::{Choice, DecisionEngine};
+pub use config::{PowerStatesConfig, RuntimeConfig};
+pub use decision::{Choice, DecisionEngine, StateDecision};
 pub use frontend::Frontend;
 pub use protocol::{CoreError, KernelRequest};
 pub use resilience::{CircuitBreaker, ResiliencePolicy, RuntimeFaultInjector};

@@ -151,11 +151,14 @@ impl RuntimeBuilder {
             PowerModel::new(coeffs, ThermalModel::gt200(), self.gpu_cfg.clone()),
             self.idle_w,
         );
-        let decision = DecisionEngine::new(
+        let mut decision = DecisionEngine::new(
             energy,
             CpuEngine::new(self.cpu_cfg),
             CpuPowerModel::xeon_e5520_x2(),
         );
+        if let Some(ps) = &self.cfg.power_states {
+            decision = decision.with_power_policy(ps.clone());
+        }
         let noise_seed = self.cfg.noise_seed;
         let batching = self.cfg.argument_batching;
         let sink = self.telemetry.clone();

@@ -108,6 +108,10 @@ pub struct BackendStats {
     /// Placements the fleet power cap redirected away from the policy's
     /// first choice.
     pub cap_redirects: u64,
+    /// Device power-state transitions the backend applied (DVFS level
+    /// changes and race-to-idle parks). Zero without a power-state
+    /// stack.
+    pub state_changes: u64,
     /// Launch attempts answered with `Busy` backpressure (each may be
     /// retried; not a terminal state).
     pub busy_rejections: u64,

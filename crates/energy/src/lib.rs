@@ -20,7 +20,12 @@
 //!   the fitting procedure producing [`training::PowerCoefficients`];
 //! * [`system::GpuSystemPower`] — composition of idle floor, thermal and
 //!   dynamic terms over a device activity profile, yielding the
-//!   whole-system energy the experiments report.
+//!   whole-system energy the experiments report;
+//! * [`states`] — the composable power-state stack: an ordered ladder of
+//!   sleep / idle / DVFS states over the same ground truth
+//!   (`rate × f`, `power × f·V²`), with the one-state
+//!   [`states::PowerStateModel::single`] instance byte-identical to the
+//!   flat model.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +33,7 @@
 pub mod ground_truth;
 pub mod meter;
 pub mod regression;
+pub mod states;
 pub mod system;
 pub mod thermal;
 pub mod training;
@@ -35,6 +41,7 @@ pub mod training;
 pub use ground_truth::GpuPowerGroundTruth;
 pub use meter::{Measurement, PowerMeter, PowerSource};
 pub use regression::LinearRegression;
+pub use states::{PowerState, PowerStateModel, PowerStateTable, StateKind};
 pub use system::GpuSystemPower;
 pub use thermal::ThermalModel;
 pub use training::{PowerCoefficients, TrainingBenchmark};

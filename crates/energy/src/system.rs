@@ -60,6 +60,22 @@ impl GpuSystemPower {
         }
     }
 
+    /// Static draw of the extra cards beyond the first on an
+    /// `num_devices`-GPU node, watts. The single idle-floor helper every
+    /// accounting path charges through — `integrate_many` here and the
+    /// fleet's per-device summaries both — so multi-card static can
+    /// never be paid twice or not at all.
+    pub fn extra_static_w(&self, num_devices: usize) -> f64 {
+        self.extra_gpu_static_w * num_devices.saturating_sub(1) as f64
+    }
+
+    /// The node's whole static idle floor with `num_devices` cards
+    /// installed: the measured system idle (which includes the first
+    /// card) plus each extra card's static draw.
+    pub fn idle_floor_w(&self, num_devices: usize) -> f64 {
+        self.idle_w + self.extra_static_w(num_devices)
+    }
+
     /// Integrate a multi-GPU node: the idle floor is paid once (plus the
     /// extra cards' static draw), each device contributes its own
     /// dynamic + thermal energy.
@@ -70,7 +86,7 @@ impl GpuSystemPower {
         seed: Option<u64>,
     ) -> SystemEnergy {
         let duration = t_end.max(0.0);
-        let extra = self.extra_gpu_static_w * per_device.len().saturating_sub(1) as f64;
+        let extra = self.extra_static_w(per_device.len());
         let mut gpu_energy = 0.0;
         for (d, acts) in per_device.iter().enumerate() {
             let e = self.integrate(acts, t_end, seed.map(|s| s + d as u64));

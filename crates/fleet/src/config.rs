@@ -1,5 +1,6 @@
 //! Fleet description: per-device specs and the fleet-level knobs.
 
+use ewc_energy::PowerStateTable;
 use ewc_gpu::GpuConfig;
 
 use crate::policy::{FragAware, LeastLoaded, PlacementPolicy, PowerAware, RoundRobin};
@@ -32,6 +33,11 @@ pub struct DeviceSpec {
     /// C1060 (1.0). A die-shrunk part of the same architecture would sit
     /// below 1.0; a wider card above it.
     pub power_scale: f64,
+    /// The card's power-state ladder. The default single-state table
+    /// (P0 at [`CARD_IDLE_W`]) makes every accounting path bit-compatible
+    /// with the pre-DVFS fleet; a multi-level table lets the power cap
+    /// throttle this device instead of only redirecting placement.
+    pub states: PowerStateTable,
 }
 
 impl DeviceSpec {
@@ -41,6 +47,7 @@ impl DeviceSpec {
             name: "c1060".to_string(),
             gpu: GpuConfig::tesla_c1060(),
             power_scale: 1.0,
+            states: PowerStateTable::single(CARD_IDLE_W),
         }
     }
 
@@ -59,7 +66,16 @@ impl DeviceSpec {
             name: name.to_string(),
             gpu,
             power_scale,
+            states: PowerStateTable::single(CARD_IDLE_W),
         }
+    }
+
+    /// Replace the card's power-state ladder (e.g.
+    /// [`PowerStateTable::dvfs`] to let the fleet power cap throttle the
+    /// card through its operating points).
+    pub fn with_states(mut self, states: PowerStateTable) -> Self {
+        self.states = states;
+        self
     }
 
     /// Live contexts at which the placement proxy treats this card as
@@ -75,10 +91,28 @@ impl DeviceSpec {
     /// idle floor and the all-SMs-busy ceiling — the same shape the
     /// trained per-device power model has, collapsed to one number so
     /// policies can score a binding without a kernel spec in hand.
+    /// Evaluated at the ladder's top state; see
+    /// [`DeviceSpec::est_power_in_state_w`].
     pub fn est_power_w(&self, ctxs: u32) -> f64 {
+        self.est_power_in_state_w(ctxs, self.states.top())
+    }
+
+    /// The power proxy with the card held at state `level`: the state's
+    /// static floor plus a per-SM dynamic term scaled by the state's
+    /// `f·V²`. At the top of the default single-state table this is
+    /// bit-identical to the pre-DVFS proxy (`CARD_IDLE_W` floor,
+    /// [`SM_ACTIVE_W`] per SM). An unknown level falls back to the top
+    /// state.
+    pub fn est_power_in_state_w(&self, ctxs: u32, level: usize) -> f64 {
+        let state = self
+            .states
+            .get(level)
+            .unwrap_or(&self.states.states[self.states.top()]);
         let cap = self.capacity();
         let u = f64::from(ctxs.min(cap)) / f64::from(cap);
-        self.power_scale * (CARD_IDLE_W + SM_ACTIVE_W * f64::from(self.gpu.num_sms) * u)
+        self.power_scale
+            * (state.static_w
+                + (SM_ACTIVE_W * state.dynamic_scale()) * f64::from(self.gpu.num_sms) * u)
     }
 }
 
@@ -188,6 +222,16 @@ impl FleetConfig {
         self
     }
 
+    /// Give every device the DVFS ladder (anchored at [`CARD_IDLE_W`])
+    /// so the power cap can throttle operating points before it falls
+    /// back to redirecting placement.
+    pub fn with_dvfs(mut self) -> Self {
+        for spec in &mut self.devices {
+            spec.states = PowerStateTable::dvfs(CARD_IDLE_W);
+        }
+        self
+    }
+
     /// Set the fleet-level power cap, watts.
     pub fn with_power_cap(mut self, watts: f64) -> Self {
         self.power_cap_w = Some(watts);
@@ -220,6 +264,44 @@ mod tests {
         assert_eq!(
             spec.est_power_w(SATURATION_CTXS + 4).to_bits(),
             busy.to_bits()
+        );
+    }
+
+    #[test]
+    fn state_table_proxy_matches_the_flat_proxy_at_top() {
+        // The proxy is now derived from the state table; at the default
+        // single-state table's top this must be the pre-DVFS arithmetic
+        // bit-for-bit.
+        let spec = DeviceSpec::c1060();
+        for ctxs in 0..=SATURATION_CTXS {
+            let cap = spec.capacity();
+            let u = f64::from(ctxs.min(cap)) / f64::from(cap);
+            let flat =
+                spec.power_scale * (CARD_IDLE_W + SM_ACTIVE_W * f64::from(spec.gpu.num_sms) * u);
+            assert_eq!(spec.est_power_w(ctxs).to_bits(), flat.to_bits());
+        }
+    }
+
+    #[test]
+    fn dvfs_table_throttles_the_proxy() {
+        let spec = DeviceSpec::c1060().with_states(PowerStateTable::dvfs(CARD_IDLE_W));
+        let top = spec.states.top();
+        let busy_top = spec.est_power_in_state_w(SATURATION_CTXS, top);
+        // The deepest operating point draws markedly less at equal load.
+        let (deepest, _) = spec
+            .states
+            .operating_points()
+            .next()
+            .expect("dvfs ladder has operating points");
+        let busy_deep = spec.est_power_in_state_w(SATURATION_CTXS, deepest);
+        assert!(
+            busy_deep < busy_top * 0.5,
+            "p2 proxy {busy_deep:.1} W vs p0 {busy_top:.1} W"
+        );
+        // Unknown levels fall back to the top state.
+        assert_eq!(
+            spec.est_power_in_state_w(3, 99).to_bits(),
+            spec.est_power_in_state_w(3, top).to_bits()
         );
     }
 

@@ -70,6 +70,19 @@ pub struct PlacementRecord {
     pub reason: PlacementReason,
 }
 
+/// One power-cap throttle event: a device moved between operating
+/// points of its state ladder. The backend replays these onto the
+/// simulated devices and audits them as `state_changed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateChangeRecord {
+    /// The throttled device.
+    pub device: u32,
+    /// Level left (index into the device's state table).
+    pub from: usize,
+    /// Level entered.
+    pub to: usize,
+}
+
 /// Fleet-wide placement and health state.
 pub struct FleetGovernor {
     specs: Vec<DeviceSpec>,
@@ -82,6 +95,12 @@ pub struct FleetGovernor {
     placements: Vec<PlacementRecord>,
     cap_redirects: u64,
     migrations: u64,
+    /// Current operating point per device (index into its state table),
+    /// initialised to each ladder's top. The power proxy and cap filter
+    /// score at this level.
+    dvfs_level: Vec<usize>,
+    state_changes: Vec<StateChangeRecord>,
+    throttles: u64,
 }
 
 impl FleetGovernor {
@@ -94,6 +113,7 @@ impl FleetGovernor {
         } else {
             cfg.devices.clone()
         };
+        let dvfs_level = specs.iter().map(|s| s.states.top()).collect();
         FleetGovernor {
             specs,
             policy_kind: cfg.policy,
@@ -105,6 +125,9 @@ impl FleetGovernor {
             placements: Vec::new(),
             cap_redirects: 0,
             migrations: 0,
+            dvfs_level,
+            state_changes: Vec::new(),
+            throttles: 0,
         }
     }
 
@@ -152,12 +175,20 @@ impl FleetGovernor {
     }
 
     /// Projected fleet draw (placement power proxy, watts) with one
-    /// extra context on `extra_on`.
+    /// extra context on `extra_on`, each device scored at its current
+    /// operating point. With default single-state tables every device
+    /// sits at its only state, so this is the pre-DVFS projection
+    /// bit-for-bit.
     pub fn projected_power_w(&self, extra_on: Option<usize>) -> f64 {
         self.specs
             .iter()
             .enumerate()
-            .map(|(d, spec)| spec.est_power_w(self.live[d] + u32::from(extra_on == Some(d))))
+            .map(|(d, spec)| {
+                spec.est_power_in_state_w(
+                    self.live[d] + u32::from(extra_on == Some(d)),
+                    self.dvfs_level[d],
+                )
+            })
             .sum()
     }
 
@@ -212,16 +243,23 @@ impl FleetGovernor {
         }
         if let Some(cap) = self.power_cap_w {
             if self.projected_power_w(Some(device)) > cap {
-                let best = (0..self.specs.len())
-                    .min_by(|&a, &b| {
-                        self.projected_power_w(Some(a))
-                            .total_cmp(&self.projected_power_w(Some(b)))
-                    })
-                    .unwrap_or(device);
-                if best != device {
-                    device = best;
-                    reason = PlacementReason::PowerCap;
-                    self.cap_redirects += 1;
+                // Throttle first: drop the picked device to the fastest
+                // operating point whose projection fits under the cap.
+                // Only multi-level ladders can throttle — the default
+                // single-state fleet falls through to the redirect, the
+                // pre-DVFS behaviour bit-for-bit.
+                if !self.throttle_to_fit(device, cap) {
+                    let best = (0..self.specs.len())
+                        .min_by(|&a, &b| {
+                            self.projected_power_w(Some(a))
+                                .total_cmp(&self.projected_power_w(Some(b)))
+                        })
+                        .unwrap_or(device);
+                    if best != device {
+                        device = best;
+                        reason = PlacementReason::PowerCap;
+                        self.cap_redirects += 1;
+                    }
                 }
             }
         }
@@ -234,6 +272,62 @@ impl FleetGovernor {
         };
         self.placements.push(rec.clone());
         rec
+    }
+
+    /// Move `device` to the fastest operating point of its ladder whose
+    /// projected fleet draw (with the extra context on `device`) fits
+    /// under `cap_w`. Returns `false` — recording nothing — when no
+    /// other operating point fits (including the single-state default,
+    /// which has nowhere to go).
+    fn throttle_to_fit(&mut self, device: usize, cap_w: f64) -> bool {
+        let current = self.dvfs_level[device];
+        let levels: Vec<usize> = self.specs[device]
+            .states
+            .operating_points()
+            .map(|(l, _)| l)
+            .collect();
+        let mut best: Option<(usize, f64)> = None;
+        for level in levels {
+            if level == current {
+                continue;
+            }
+            self.dvfs_level[device] = level;
+            let fits = self.projected_power_w(Some(device)) <= cap_w;
+            let f = self.specs[device].states.states[level].freq_scale;
+            if fits && best.is_none_or(|(_, bf)| f > bf) {
+                best = Some((level, f));
+            }
+        }
+        self.dvfs_level[device] = current;
+        match best {
+            Some((level, _)) => {
+                self.dvfs_level[device] = level;
+                self.throttles += 1;
+                self.state_changes.push(StateChangeRecord {
+                    device: device as u32,
+                    from: current,
+                    to: level,
+                });
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Current operating point of device `d` (index into its ladder).
+    pub fn device_level(&self, d: usize) -> usize {
+        self.dvfs_level[d]
+    }
+
+    /// Every power-cap throttle event, in occurrence order.
+    pub fn state_changes(&self) -> &[StateChangeRecord] {
+        &self.state_changes
+    }
+
+    /// Number of placements the power cap absorbed by throttling a
+    /// device instead of redirecting the context.
+    pub fn throttles(&self) -> u64 {
+        self.throttles
     }
 
     /// Release a reaped context's binding so its device's live count no
@@ -377,6 +471,46 @@ mod tests {
             recs.iter().all(|r| r.device != 2),
             "the wide card is unaffordable under the cap: {recs:?}"
         );
+    }
+
+    #[test]
+    fn power_cap_throttles_dvfs_devices_before_redirecting() {
+        let clk = VirtualClock::new();
+        // Two DVFS-capable c1060s idle at 80 W total; one context on a
+        // P0 card projects 58.75 + 40 = 98.75 W. A 95 W cap forces the
+        // pick down the ladder instead of bouncing the context to the
+        // other card.
+        let fleet = FleetConfig::homogeneous(2).with_dvfs().with_power_cap(95.0);
+        let mut g = governor(fleet);
+        let top = g.spec(0).states.top();
+        assert_eq!(g.device_level(0), top);
+        let rec = g.place(1, &clk);
+        // The binding stayed on the policy's pick…
+        assert_eq!((rec.device, rec.reason), (0, PlacementReason::Policy));
+        // …but the card was throttled to make it affordable.
+        assert_ne!(g.device_level(0), top, "cap must throttle gpu0");
+        assert_eq!(g.throttles(), 1);
+        assert_eq!(g.cap_redirects(), 0, "throttle absorbed the cap hit");
+        let changes = g.state_changes();
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].device, 0);
+        assert_eq!(changes[0].from, top);
+        assert!(g.projected_power_w(None) <= 95.0);
+    }
+
+    #[test]
+    fn single_state_fleet_still_redirects_under_the_cap() {
+        let clk = VirtualClock::new();
+        // Same cap, no DVFS tables: the only lever is redirect, and the
+        // pre-DVFS assertions hold unchanged.
+        let fleet = FleetConfig::heterogeneous(3)
+            .with_policy(PolicyKind::RoundRobin)
+            .with_power_cap(140.0);
+        let mut g = governor(fleet);
+        let recs: Vec<_> = (0..3u64).map(|ctx| g.place(ctx, &clk)).collect();
+        assert!(recs.iter().any(|r| r.reason == PlacementReason::PowerCap));
+        assert_eq!(g.throttles(), 0);
+        assert!(g.state_changes().is_empty());
     }
 
     #[test]

@@ -31,5 +31,5 @@ mod policy;
 
 pub use breaker::{CircuitBreaker, ResiliencePolicy};
 pub use config::{DeviceSpec, FleetConfig, PolicyKind};
-pub use governor::{FleetGovernor, PlacementReason, PlacementRecord};
+pub use governor::{FleetGovernor, PlacementReason, PlacementRecord, StateChangeRecord};
 pub use policy::{DeviceView, FragAware, LeastLoaded, PlacementPolicy, PowerAware, RoundRobin};

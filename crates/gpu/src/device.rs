@@ -17,9 +17,36 @@ use crate::error::GpuError;
 use crate::fault::{DeviceFault, FaultInjectorHandle};
 use crate::kernel::{BlockCtx, LaunchConfig};
 use crate::memory::GlobalMemory;
-use ewc_exec::VirtualClock;
+use ewc_exec::{EventQueue, VirtualClock};
 
 use crate::transfer::{Direction, DmaEngine, DmaStats};
+
+/// One completed power-state transition on a device timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StateTransition {
+    /// Device time at which the new state became effective (after the
+    /// wake/settle latency elapsed).
+    pub at_s: f64,
+    /// Level left (index into the caller's power-state table).
+    pub from: u32,
+    /// Level entered.
+    pub to: u32,
+    /// Wake/settle latency charged on the device clock.
+    pub latency_s: f64,
+}
+
+/// DVFS bookkeeping, allocated only once `set_power_state` is called.
+/// Devices that never change state carry `None` and behave — and emit —
+/// byte-identically to a build without this feature.
+struct DvfsControl {
+    level: u32,
+    freq_scale: f64,
+    /// Pending transition-complete events. Settle latencies are modelled
+    /// as scheduled events so transition ordering is a pure function of
+    /// the schedule calls (same discipline as the engine's event queue).
+    queue: EventQueue<(u32, u32)>,
+    served: Vec<StateTransition>,
+}
 
 /// Outcome of one kernel launch.
 #[derive(Debug, Clone)]
@@ -57,6 +84,9 @@ pub struct GpuDevice {
     injector: Option<FaultInjectorHandle>,
     /// Faults this device has actually served, for reporting.
     faults_served: u64,
+    /// Power-state control; `None` until the power-state stack is
+    /// enabled for this device (the byte-identical default).
+    dvfs: Option<DvfsControl>,
 }
 
 impl GpuDevice {
@@ -79,6 +109,7 @@ impl GpuDevice {
             device_index: 0,
             injector: None,
             faults_served: 0,
+            dvfs: None,
         }
     }
 
@@ -100,6 +131,90 @@ impl GpuDevice {
     /// Number of injected faults this device has served.
     pub fn faults_served(&self) -> u64 {
         self.faults_served
+    }
+
+    /// Move the device to power-state `level`, an index into the
+    /// caller's state table. `freq_scale` is the relative SM clock of
+    /// the target state (1.0 = the configured clock); `latency_s` is the
+    /// wake/settle latency, charged on the device clock before the state
+    /// becomes effective — launches issued after this call run entirely
+    /// in the new state.
+    ///
+    /// Timing in non-top states comes from re-deriving the execution
+    /// engine at the scaled clock: compute throughput scales with `f`
+    /// while DRAM bandwidth and PCIe are unaffected, so memory-bound
+    /// kernels lose less time than compute-bound ones — exactly the
+    /// asymmetry a DVFS policy trades on.
+    ///
+    /// Returns `false` (and charges nothing) when the device is already
+    /// at `level`. Devices on which this is never called behave
+    /// byte-identically to builds without power states.
+    pub fn set_power_state(&mut self, level: u32, freq_scale: f64, latency_s: f64) -> bool {
+        assert!(
+            freq_scale > 0.0 && freq_scale.is_finite(),
+            "freq_scale must be positive and finite"
+        );
+        if let Some(ctl) = &self.dvfs {
+            if ctl.level == level {
+                return false;
+            }
+        }
+        let now = self.clock.now_s();
+        let mut ctl = self.dvfs.take().unwrap_or_else(|| DvfsControl {
+            level: 0,
+            freq_scale: 1.0,
+            queue: EventQueue::new(),
+            served: Vec::new(),
+        });
+        let from = ctl.level;
+        ctl.queue.schedule(now + latency_s.max(0.0), (from, level));
+        // Drain every due transition (normally the one just scheduled)
+        // in event order, advancing the clock through each settle point.
+        while let Some(ev) = ctl.queue.pop() {
+            let (ev_from, ev_to) = ev.payload;
+            if ev.time_s > self.clock.now_s() {
+                self.clock.advance_by(ev.time_s - self.clock.now_s());
+            }
+            ctl.served.push(StateTransition {
+                at_s: self.clock.now_s(),
+                from: ev_from,
+                to: ev_to,
+                latency_s: (ev.time_s - now).max(0.0),
+            });
+        }
+        if ctl.freq_scale != freq_scale {
+            let mut scaled = self.cfg.clone();
+            scaled.clock_hz *= freq_scale;
+            self.engine = ExecutionEngine::new(scaled);
+        }
+        ctl.level = level;
+        ctl.freq_scale = freq_scale;
+        if self.sink.is_enabled() {
+            self.sink.counter_add("power_transitions", 1.0);
+            self.sink.gauge_set(
+                &format!("dvfs_level_gpu{}", self.device_index),
+                level.into(),
+            );
+        }
+        self.dvfs = Some(ctl);
+        true
+    }
+
+    /// Current power-state level, or `None` if the power-state stack was
+    /// never engaged on this device.
+    pub fn power_level(&self) -> Option<u32> {
+        self.dvfs.as_ref().map(|c| c.level)
+    }
+
+    /// Relative SM clock of the active state (1.0 when power states are
+    /// disengaged or the device sits at the top state).
+    pub fn freq_scale(&self) -> f64 {
+        self.dvfs.as_ref().map_or(1.0, |c| c.freq_scale)
+    }
+
+    /// Every power-state transition this device has served, in order.
+    pub fn state_transitions(&self) -> &[StateTransition] {
+        self.dvfs.as_ref().map_or(&[], |c| &c.served)
     }
 
     /// Device configuration.
@@ -456,6 +571,70 @@ mod tests {
             .build();
         let r = gpu.launch(&LaunchConfig::single(k, 1)).unwrap();
         assert!(r.elapsed_s >= gpu.config().launch_overhead_s);
+    }
+
+    #[test]
+    fn power_state_scales_kernel_time_and_charges_latency() {
+        let k = KernelDesc::builder("k")
+            .threads_per_block(64)
+            .comp_insts(1e6)
+            .build();
+
+        let mut full = device();
+        let t_full = full.launch(&LaunchConfig::single(k.clone(), 4)).unwrap();
+
+        let mut half = device();
+        let t0 = half.now_s();
+        assert!(half.set_power_state(2, 0.5, 20e-6));
+        assert!(
+            (half.now_s() - t0 - 20e-6).abs() < 1e-12,
+            "settle latency charged"
+        );
+        assert_eq!(half.power_level(), Some(2));
+        assert_eq!(half.freq_scale(), 0.5);
+        let t_half = half.launch(&LaunchConfig::single(k, 4)).unwrap();
+
+        // Compute-bound kernel at half clock: simulated time ~doubles
+        // (launch overhead is clock-independent).
+        let full_sim = t_full.elapsed_s - full.config().launch_overhead_s;
+        let half_sim = t_half.elapsed_s - half.config().launch_overhead_s;
+        assert!(
+            half_sim > 1.8 * full_sim,
+            "half clock should ~double compute time: {half_sim} vs {full_sim}"
+        );
+        let tr = half.state_transitions();
+        assert_eq!(tr.len(), 1);
+        assert_eq!((tr[0].from, tr[0].to), (0, 2));
+    }
+
+    #[test]
+    fn power_state_noop_and_return_to_top_restores_timing() {
+        let k = KernelDesc::builder("k")
+            .threads_per_block(64)
+            .comp_insts(1e6)
+            .build();
+        let mut base = device();
+        let want = base.launch(&LaunchConfig::single(k.clone(), 4)).unwrap();
+
+        let mut gpu = device();
+        assert!(gpu.set_power_state(2, 0.5, 0.0));
+        assert!(!gpu.set_power_state(2, 0.5, 0.0), "same level is a no-op");
+        assert!(gpu.set_power_state(0, 1.0, 0.0));
+        let got = gpu.launch(&LaunchConfig::single(k, 4)).unwrap();
+        assert_eq!(
+            got.elapsed_s.to_bits(),
+            want.elapsed_s.to_bits(),
+            "back at the top state, timing is bit-identical"
+        );
+        assert_eq!(gpu.state_transitions().len(), 2);
+    }
+
+    #[test]
+    fn untouched_device_reports_no_power_state() {
+        let gpu = device();
+        assert_eq!(gpu.power_level(), None);
+        assert_eq!(gpu.freq_scale(), 1.0);
+        assert!(gpu.state_transitions().is_empty());
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub mod transfer;
 
 pub use config::GpuConfig;
 pub use counters::{DeviceCounters, EventRates, SmCounters};
-pub use device::{DeviceAlloc, DevicePtr, GpuDevice, LaunchReport};
+pub use device::{DeviceAlloc, DevicePtr, GpuDevice, LaunchReport, StateTransition};
 pub use engine::{ExecutionEngine, SimOutcome};
 pub use error::GpuError;
 pub use fault::{DeviceFault, DeviceFaultInjector, FaultInjectorHandle};

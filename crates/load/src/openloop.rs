@@ -80,6 +80,11 @@ pub struct LoadConfig {
     /// Also switches the backend into virtual-span mode on the
     /// executor's own clock, the byte-identical replay configuration.
     pub telemetry: bool,
+    /// Optional power-state stack installed in the backend; `None` (all
+    /// presets) runs the flat P0-only runtime. `Some` exercises the
+    /// DVFS policy engine under open-loop load — the CI policy matrix's
+    /// openloop leg.
+    pub power_states: Option<ewc_core::PowerStatesConfig>,
 }
 
 impl LoadConfig {
@@ -106,6 +111,7 @@ impl LoadConfig {
             p_low: 0.2,
             p_high: 0.1,
             telemetry: false,
+            power_states: None,
         }
     }
 
@@ -431,6 +437,7 @@ pub fn run(cfg: &LoadConfig) -> LoadReport {
         channel_latency_s: cfg.channel_latency_s,
         noise_seed: Some(cfg.seed),
         admission: cfg.admission.clone(),
+        power_states: cfg.power_states.clone(),
         ..RuntimeConfig::default()
     })
     .telemetry(sink)
@@ -579,6 +586,28 @@ mod tests {
         assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
         // The full backend statistics (every per-kernel outcome record,
         // every timestamp) must replay byte-identically too.
+        assert_eq!(format!("{:?}", a.stats), format!("{:?}", b.stats));
+    }
+
+    #[test]
+    fn policy_enabled_storm_conserves_and_replays_identically() {
+        // The DVFS policy engine under open-loop overload: the same
+        // conservation and determinism invariants must hold, and the
+        // backend must actually be changing device states.
+        let mut cfg = small(LoadConfig::storm(42));
+        cfg.power_states = Some(ewc_core::PowerStatesConfig::race());
+        let a = run(&cfg);
+        assert!(a.conserved(), "{a:?}");
+        assert_eq!(a.client.client_errors, 0);
+        assert!(
+            a.stats.state_changes > 0,
+            "race must transition states: {:?}",
+            a.stats.state_changes
+        );
+        let b = run(&cfg);
+        assert_eq!(a.client, b.client);
+        assert_eq!(a.elapsed_s.to_bits(), b.elapsed_s.to_bits());
+        assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
         assert_eq!(format!("{:?}", a.stats), format!("{:?}", b.stats));
     }
 

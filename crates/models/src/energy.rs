@@ -5,6 +5,7 @@
 //! energy model composes the performance and power models with the
 //! system idle floor.
 
+use ewc_energy::PowerState;
 use ewc_gpu::GpuConfig;
 
 use crate::perf::{PerfModel, PerfPrediction};
@@ -25,6 +26,9 @@ pub struct Prediction {
     pub gpu_energy_j: f64,
     /// Predicted whole-system energy (idle floor included).
     pub system_energy_j: f64,
+    /// The DVFS state this prediction was evaluated in (`None` = the
+    /// flat single-state path, which is the P0 anchor).
+    pub state: Option<PowerState>,
     /// The underlying performance prediction.
     pub perf: PerfPrediction,
 }
@@ -97,7 +101,74 @@ impl EnergyModel {
             thermal_w,
             gpu_energy_j,
             system_energy_j,
+            state: None,
             perf,
+        }
+    }
+
+    /// Predict a consolidated launch with the device held at DVFS state
+    /// `state`: the performance model runs on a clock-scaled
+    /// configuration (compute time ∝ `1/f`, DRAM bandwidth unchanged),
+    /// the rate-derived dynamic power — which already carries the `f`
+    /// factor through the slower rates — is then scaled by `V²`, giving
+    /// the classic `f·V²` dynamic law relative to P0. At the P0 anchor
+    /// (`f = V = 1`) this is bit-identical to [`EnergyModel::predict`].
+    pub fn predict_in_state(&self, plan: &ConsolidationPlan, state: &PowerState) -> Prediction {
+        if state.freq_scale == 1.0 && state.volt_scale == 1.0 {
+            return Prediction {
+                state: Some(*state),
+                ..self.predict(plan)
+            };
+        }
+        let mut cfg = self.perf.config().clone();
+        cfg.clock_hz *= state.freq_scale;
+        let perf_model = PerfModel::new(cfg.clone());
+        let power_model = self.power.with_config(cfg.clone());
+        let placement = analyze(plan, &cfg);
+        let perf = perf_model.predict_placed(plan, &placement);
+        let rates = power_model.predicted_rates(plan, &placement, perf.time_s, &perf.per_sm_finish);
+        let dyn_power_w = power_model.predict_dyn_power_w(&rates) * state.volt_sq();
+        let thermal_w = power_model.predict_thermal_w(dyn_power_w);
+        let gpu_energy_j = (dyn_power_w + thermal_w) * perf.time_s;
+        let system_energy_j = gpu_energy_j + self.idle_w * perf.time_s;
+        Prediction {
+            time_s: perf.time_s,
+            dyn_power_w,
+            thermal_w,
+            gpu_energy_j,
+            system_energy_j,
+            state: Some(*state),
+            perf,
+        }
+    }
+
+    /// The serial alternative evaluated at DVFS state `state` (mirrors
+    /// [`EnergyModel::predict_serial`]).
+    pub fn predict_serial_in_state(
+        &self,
+        plan: &ConsolidationPlan,
+        state: &PowerState,
+    ) -> Prediction {
+        let mut time = 0.0;
+        let mut gpu_energy = 0.0;
+        let mut last_perf = None;
+        for m in &plan.members {
+            let single = ConsolidationPlan::new()
+                .with(crate::plan::KernelSpec::new(m.desc.clone(), m.blocks));
+            let p = self.predict_in_state(&single, state);
+            time += p.time_s;
+            gpu_energy += p.gpu_energy_j;
+            last_perf = Some(p.perf);
+        }
+        let system = gpu_energy + self.idle_w * time;
+        Prediction {
+            time_s: time,
+            dyn_power_w: if time > 0.0 { gpu_energy / time } else { 0.0 },
+            thermal_w: 0.0,
+            gpu_energy_j: gpu_energy,
+            system_energy_j: system,
+            state: Some(*state),
+            perf: last_perf.unwrap_or_else(|| self.perf.predict(&ConsolidationPlan::new())),
         }
     }
 
@@ -144,6 +215,7 @@ impl EnergyModel {
             thermal_w: 0.0,
             gpu_energy_j: gpu_energy,
             system_energy_j: system,
+            state: None,
             perf: last_perf.unwrap_or_else(|| self.perf.predict(&ConsolidationPlan::new())),
         }
     }

@@ -27,6 +27,9 @@
 //! * [`energy::EnergyModel`] — E = P̄ × T, composed with idle and thermal
 //!   terms into whole-system joules, the quantity the decision engine
 //!   compares across alternatives.
+//! * [`policy`] — the power-policy knob over the `ewc-energy` state
+//!   ladder: race-to-idle, pace-to-deadline, or cap-aware state choice
+//!   scored over a common horizon ([`policy::choose_state`]).
 //!
 //! ```
 //! use ewc_energy::{GpuPowerGroundTruth, PowerCoefficients, ThermalModel, TrainingBenchmark};
@@ -60,15 +63,18 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod energy;
 pub mod perf;
 pub mod placement;
 pub mod plan;
+pub mod policy;
 pub mod power;
 
 pub use energy::{EnergyModel, Prediction, PredictionRange};
 pub use perf::{PerfModel, PerfPrediction};
 pub use placement::{analyze, Placement};
 pub use plan::{ConsolidationPlan, KernelSpec};
+pub use policy::{choose_state, horizon_s, PolicyKnob, StateChoice};
 pub use power::PowerModel;

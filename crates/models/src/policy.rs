@@ -1,0 +1,355 @@
+//! The power-policy knob: race-to-idle vs pace vs cap-aware.
+//!
+//! Racing-to-idle (run at the top DVFS state, then drop into the deepest
+//! sleep) wins when the static floor dominates — every second shaved off
+//! the run is a second of sleep-state savings. Pacing (the slowest state
+//! that still meets the deadline) wins when dynamic power dominates —
+//! the `V²` energy-per-op savings outweigh the longer time spent above
+//! the sleep floor. Cap-aware picks the cheapest state whose average
+//! draw fits under a watts budget. [`choose_state`] scores a set of
+//! per-state predictions over a common horizon so the three knobs are
+//! comparable joules-to-joules.
+
+use ewc_energy::PowerStateTable;
+
+use crate::energy::Prediction;
+
+/// Which power policy the decision engine runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicyKnob {
+    /// Run at the top operating point, then park in the deepest state.
+    RaceToIdle,
+    /// Run at the slowest operating point that still finishes within the
+    /// deadline (falling back to the top state when none does).
+    Pace {
+        /// Completion deadline, seconds.
+        deadline_s: f64,
+    },
+    /// Cheapest-energy operating point whose average system draw stays
+    /// under the cap (falling back to the lowest-draw state when none
+    /// fits).
+    CapAware {
+        /// Average system power budget, watts.
+        cap_w: f64,
+    },
+}
+
+impl PolicyKnob {
+    /// Stable CLI / telemetry label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyKnob::RaceToIdle => "race",
+            PolicyKnob::Pace { .. } => "pace",
+            PolicyKnob::CapAware { .. } => "cap",
+        }
+    }
+}
+
+/// The outcome of a state choice for one alternative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateChoice {
+    /// Chosen level (index into the state table).
+    pub level: usize,
+    /// The chosen state's stable name.
+    pub state: &'static str,
+    /// Predicted run time in the chosen state, seconds.
+    pub time_s: f64,
+    /// Predicted whole-system energy over the scoring horizon: the run
+    /// plus the parked remainder plus transition charges, joules.
+    pub horizon_energy_j: f64,
+    /// Every candidate's `(state, time_s, horizon_energy_j)`, in ladder
+    /// order, for the audit trail.
+    pub candidates: Vec<(&'static str, f64, f64)>,
+}
+
+/// The common scoring horizon for a set of per-state predictions: the
+/// slowest candidate's time (so every alternative's parked remainder is
+/// non-negative), stretched to the pace deadline when one is set.
+pub fn horizon_s(knob: &PolicyKnob, evals: &[(usize, Prediction)]) -> f64 {
+    let slowest = evals.iter().fold(0.0_f64, |m, (_, p)| m.max(p.time_s));
+    match knob {
+        PolicyKnob::Pace { deadline_s } => slowest.max(*deadline_s),
+        _ => slowest,
+    }
+}
+
+/// Whole-horizon energy of running in state `level` then parking:
+/// the run's system energy, the parked remainder at the post-run floor,
+/// plus the enter-state and enter-park transition energies.
+fn horizon_energy_j(
+    table: &PowerStateTable,
+    idle_w: f64,
+    horizon: f64,
+    level: usize,
+    pred: &Prediction,
+) -> f64 {
+    let state = &table.states[level];
+    let parked_w = idle_w - table.park_savings_w();
+    let park_transition_j = table.park().map_or(0.0, |p| table.states[p].transition_j);
+    let remainder = (horizon - pred.time_s).max(0.0);
+    pred.system_energy_j + parked_w * remainder + state.transition_j + park_transition_j
+}
+
+/// Pick the operating point `knob` prescribes from per-state predictions
+/// of one alternative (`evals`: `(level, prediction)` pairs, ladder
+/// order). `idle_w` is the system idle floor the predictions already
+/// charge during the run; the parked remainder is charged at that floor
+/// minus the table's park savings.
+pub fn choose_state(
+    table: &PowerStateTable,
+    knob: &PolicyKnob,
+    evals: &[(usize, Prediction)],
+    idle_w: f64,
+) -> StateChoice {
+    assert!(!evals.is_empty(), "need at least one candidate state");
+    let horizon = horizon_s(knob, evals);
+    let scored: Vec<(usize, f64, f64)> = evals
+        .iter()
+        .map(|(level, p)| {
+            (
+                *level,
+                p.time_s,
+                horizon_energy_j(table, idle_w, horizon, *level, p),
+            )
+        })
+        .collect();
+    let candidates: Vec<(&'static str, f64, f64)> = scored
+        .iter()
+        .map(|&(level, t, e)| (table.states[level].name, t, e))
+        .collect();
+
+    let pick = match knob {
+        // NaN-safe total_cmp throughout: a degenerate prediction must
+        // never panic the daemon — it simply never wins.
+        PolicyKnob::RaceToIdle => scored.iter().max_by(|a, b| {
+            table.states[a.0]
+                .freq_scale
+                .total_cmp(&table.states[b.0].freq_scale)
+        }),
+        PolicyKnob::Pace { deadline_s } => scored
+            .iter()
+            .filter(|(_, t, _)| *t <= *deadline_s)
+            .min_by(|a, b| {
+                table.states[a.0]
+                    .freq_scale
+                    .total_cmp(&table.states[b.0].freq_scale)
+            })
+            .or_else(|| {
+                // Nothing meets the deadline: fastest state, least late.
+                scored.iter().max_by(|a, b| {
+                    table.states[a.0]
+                        .freq_scale
+                        .total_cmp(&table.states[b.0].freq_scale)
+                })
+            }),
+        PolicyKnob::CapAware { cap_w } => scored
+            .iter()
+            .filter(|(_, t, e)| if *t > 0.0 { e / t <= *cap_w } else { true })
+            .min_by(|a, b| a.2.total_cmp(&b.2))
+            .or_else(|| {
+                // Nothing fits the cap: the lowest-draw state.
+                scored.iter().min_by(|a, b| {
+                    let pa = if a.1 > 0.0 { a.2 / a.1 } else { a.2 };
+                    let pb = if b.1 > 0.0 { b.2 / b.1 } else { b.2 };
+                    pa.total_cmp(&pb)
+                })
+            }),
+    };
+    let &(level, time_s, energy) = pick.unwrap_or(&scored[0]);
+    StateChoice {
+        level,
+        state: table.states[level].name,
+        time_s,
+        horizon_energy_j: energy,
+        candidates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy::EnergyModel;
+    use crate::plan::ConsolidationPlan;
+    use crate::power::PowerModel;
+    use ewc_energy::{
+        GpuPowerGroundTruth, PowerCoefficients, PowerStateModel, ThermalModel, TrainingBenchmark,
+    };
+    use ewc_gpu::{GpuConfig, KernelDesc};
+
+    fn model() -> EnergyModel {
+        let cfg = GpuConfig::tesla_c1060();
+        let coeffs = PowerCoefficients::train(
+            &cfg,
+            &GpuPowerGroundTruth::tesla_c1060(),
+            &TrainingBenchmark::rodinia_suite(),
+            42,
+        )
+        .expect("training converges");
+        EnergyModel::new(
+            cfg.clone(),
+            PowerModel::new(coeffs, ThermalModel::gt200(), cfg),
+            200.0,
+        )
+    }
+
+    fn compute(name: &str, secs: f64, tilt_blocks: u32) -> ConsolidationPlan {
+        let c = GpuConfig::tesla_c1060();
+        ConsolidationPlan::homogeneous(
+            KernelDesc::builder(name)
+                .threads_per_block(256)
+                .comp_insts(secs * c.clock_hz / (8.0 * c.warp_issue_cycles()))
+                .build(),
+            tilt_blocks,
+            1,
+        )
+    }
+
+    fn evals(
+        m: &EnergyModel,
+        stack: &PowerStateModel,
+        plan: &ConsolidationPlan,
+    ) -> Vec<(usize, Prediction)> {
+        stack
+            .table
+            .operating_points()
+            .map(|(level, state)| (level, m.predict_in_state(plan, state)))
+            .collect()
+    }
+
+    #[test]
+    fn race_picks_the_top_state_and_pace_the_slowest_feasible() {
+        let m = model();
+        let stack = PowerStateModel::tesla_dvfs();
+        let plan = compute("k", 5.0, 30);
+        let ev = evals(&m, &stack, &plan);
+        let race = choose_state(&stack.table, &PolicyKnob::RaceToIdle, &ev, m.idle_w());
+        assert_eq!(race.state, "p0");
+        let t0 = race.time_s;
+        let pace = choose_state(
+            &stack.table,
+            &PolicyKnob::Pace {
+                deadline_s: t0 * 2.5,
+            },
+            &ev,
+            m.idle_w(),
+        );
+        assert_eq!(pace.state, "p2", "half clock fits a 2.5× deadline");
+        assert!(pace.time_s > race.time_s);
+    }
+
+    #[test]
+    fn impossible_deadline_falls_back_to_the_top_state() {
+        let m = model();
+        let stack = PowerStateModel::tesla_dvfs();
+        let ev = evals(&m, &stack, &compute("k", 5.0, 30));
+        let pace = choose_state(
+            &stack.table,
+            &PolicyKnob::Pace { deadline_s: 1e-9 },
+            &ev,
+            m.idle_w(),
+        );
+        assert_eq!(pace.state, "p0");
+    }
+
+    #[test]
+    fn cap_prefers_cheapest_state_that_fits() {
+        let m = model();
+        let stack = PowerStateModel::tesla_dvfs();
+        let ev = evals(&m, &stack, &compute("k", 5.0, 60));
+        // A cap below the P0 average draw forces a lower state.
+        let p0_avg = {
+            let race = choose_state(&stack.table, &PolicyKnob::RaceToIdle, &ev, m.idle_w());
+            race.horizon_energy_j / race.time_s
+        };
+        let capped = choose_state(
+            &stack.table,
+            &PolicyKnob::CapAware {
+                cap_w: p0_avg - 10.0,
+            },
+            &ev,
+            m.idle_w(),
+        );
+        assert_ne!(capped.state, "p0", "cap {p0_avg:.0}−10 W must throttle");
+        // A generous cap degenerates to plain argmin energy.
+        let free = choose_state(
+            &stack.table,
+            &PolicyKnob::CapAware { cap_w: 1e9 },
+            &ev,
+            m.idle_w(),
+        );
+        let min_e = free
+            .candidates
+            .iter()
+            .map(|c| c.2)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(free.horizon_energy_j.to_bits(), min_e.to_bits());
+    }
+
+    #[test]
+    fn race_vs_pace_crossover_follows_dynamic_power() {
+        // Light tilt (few blocks): the static floor dominates, racing to
+        // sleep wins. Heavy tilt (full device): V² savings dominate,
+        // pacing wins. The crossover the policy engine exists for.
+        let m = model();
+        let stack = PowerStateModel::tesla_dvfs();
+        for (blocks, pace_wins) in [(3u32, false), (60u32, true)] {
+            let ev = evals(&m, &stack, &compute("k", 6.0, blocks));
+            let t0 = ev
+                .iter()
+                .map(|(_, p)| p.time_s)
+                .fold(f64::INFINITY, f64::min);
+            let knob = PolicyKnob::Pace {
+                deadline_s: t0 * 2.2,
+            };
+            let horizon_knobbed = |k: &PolicyKnob| {
+                // Score both at the pace horizon so the joules compare.
+                let h = horizon_s(&knob, &ev);
+                let c = choose_state(&stack.table, k, &ev, m.idle_w());
+                let p = ev
+                    .iter()
+                    .find(|(l, _)| *l == c.level)
+                    .expect("chosen level evaluated");
+                let parked = m.idle_w() - stack.table.park_savings_w();
+                p.1.system_energy_j + parked * (h - p.1.time_s).max(0.0)
+            };
+            let e_race = horizon_knobbed(&PolicyKnob::RaceToIdle);
+            let e_pace = horizon_knobbed(&knob);
+            if pace_wins {
+                assert!(
+                    e_pace < e_race,
+                    "{blocks} blocks: pace {e_pace:.0} J should beat race {e_race:.0} J"
+                );
+            } else {
+                assert!(
+                    e_race < e_pace,
+                    "{blocks} blocks: race {e_race:.0} J should beat pace {e_pace:.0} J"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_state_table_is_degenerate() {
+        let m = model();
+        let stack = PowerStateModel::single();
+        let plan = compute("k", 4.0, 10);
+        let ev = evals(&m, &stack, &plan);
+        assert_eq!(ev.len(), 1);
+        let base = m.predict(&plan);
+        // One P0 state, no park: every knob picks it and the horizon
+        // energy is exactly the flat prediction.
+        for knob in [
+            PolicyKnob::RaceToIdle,
+            PolicyKnob::Pace { deadline_s: 1.0 },
+            PolicyKnob::CapAware { cap_w: 100.0 },
+        ] {
+            let c = choose_state(&stack.table, &knob, &ev, m.idle_w());
+            assert_eq!(c.state, "p0");
+            assert_eq!(
+                c.horizon_energy_j.to_bits(),
+                base.system_energy_j.to_bits(),
+                "{knob:?}"
+            );
+        }
+    }
+}

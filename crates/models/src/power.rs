@@ -37,6 +37,18 @@ impl PowerModel {
         &self.coeffs
     }
 
+    /// The same trained coefficients and thermal model rebound to a
+    /// (typically clock-scaled) configuration — how a DVFS state reuses
+    /// the P0 fit: the linear model evaluated at the slower rates
+    /// carries the `f` factor for free.
+    pub fn with_config(&self, cfg: GpuConfig) -> PowerModel {
+        PowerModel {
+            coeffs: self.coeffs.clone(),
+            thermal: self.thermal.clone(),
+            cfg,
+        }
+    }
+
     /// Predicted device-wide average event rates for a plan expected to
     /// run for `time_s` seconds with `sms_used` SMs holding work.
     pub fn predicted_rates(

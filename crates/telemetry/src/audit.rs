@@ -35,6 +35,10 @@ pub enum Verdict {
     /// sustained pressure, or back up after a quiet period). Only
     /// emitted when admission control is configured.
     Degraded,
+    /// A device moved to a different power state (a DVFS level, or
+    /// parked in idle/sleep). Only emitted when a power-state stack is
+    /// configured.
+    StateChanged,
 }
 
 impl Verdict {
@@ -49,6 +53,7 @@ impl Verdict {
             Verdict::Placed => "placed",
             Verdict::Shed => "shed",
             Verdict::Degraded => "degraded",
+            Verdict::StateChanged => "state_changed",
         }
     }
 }
@@ -88,7 +93,8 @@ impl DecisionRecord {
             | Verdict::Drained
             | Verdict::Placed
             | Verdict::Shed
-            | Verdict::Degraded => None,
+            | Verdict::Degraded
+            | Verdict::StateChanged => None,
         }
     }
 }
